@@ -1,0 +1,41 @@
+// Package agg implements the time-decayed aggregates of Section IV of the
+// forward-decay paper: decayed count, sum, average and variance, min and
+// max, heavy hitters, quantiles, and count-distinct — each computable in the
+// same asymptotic resources as its undecayed counterpart.
+//
+// Every aggregate follows the paper's key implementation idea: maintain
+// state in terms of the static weights g(tᵢ−L), which are fixed at arrival,
+// and divide by the normalizer g(t−L) only at query time. State is kept
+// under an automatic log-domain scale: whenever a new static weight would
+// overflow the current scale, the accumulated state is linearly rescaled
+// onto a fresh landmark — the continuous version of the rescaling pass
+// described in §VI-A — so exponential decay runs forever without numeric
+// overflow.
+//
+// All aggregates are insensitive to arrival order (out-of-order streams,
+// §VI-B, need no special handling) and mergeable across distributed sites
+// that share the same decay model and landmark.
+//
+// None of the types in this package are safe for concurrent use; wrap them
+// in a mutex or shard per goroutine.
+package agg
+
+import (
+	"fmt"
+
+	"forwarddecay/decay"
+)
+
+// sameModel reports whether two forward decay models are compatible for
+// merging: the same landmark and the same weight function (compared by its
+// descriptive form, which encodes the function class and parameters).
+func sameModel(a, b decay.Forward) bool {
+	return a.Landmark == b.Landmark && a.Func.String() == b.Func.String()
+}
+
+// errModelMismatch constructs the error returned by Merge methods when the
+// decay models differ.
+func errModelMismatch(a, b decay.Forward) error {
+	return fmt.Errorf("agg: cannot merge: decay models differ (%s @%g vs %s @%g)",
+		a.Func, a.Landmark, b.Func, b.Landmark)
+}

@@ -1,0 +1,365 @@
+package agg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"forwarddecay/decay"
+	"forwarddecay/internal/core"
+	"forwarddecay/sketch"
+)
+
+// Binary encodings for the distributed-mergeable aggregates: a site
+// serializes its partial aggregate, ships it, and the coordinator
+// unmarshals and merges (§VI-B of the paper). Encodings carry the decay
+// model (in its textual form) so that mismatched models are caught at
+// decode/merge time.
+
+const (
+	tagCounter       byte = 0x61
+	tagSum           byte = 0x62
+	tagHeavyHitters  byte = 0x63
+	tagQuantiles     byte = 0x64
+	tagMax           byte = 0x65
+	tagMin           byte = 0x66
+	tagDistinctExact byte = 0x67
+)
+
+// appendModel appends the model's text encoding, length-prefixed.
+func appendModel(b []byte, m decay.Forward) ([]byte, error) {
+	mt, err := m.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(mt)))
+	return append(b, mt...), nil
+}
+
+// readModel consumes a length-prefixed model encoding.
+func readModel(b []byte) (decay.Forward, []byte, error) {
+	if len(b) < 8 {
+		return decay.Forward{}, nil, fmt.Errorf("agg: truncated encoding")
+	}
+	n := binary.LittleEndian.Uint64(b)
+	b = b[8:]
+	if uint64(len(b)) < n || n > 4096 {
+		return decay.Forward{}, nil, fmt.Errorf("agg: truncated or implausible model encoding")
+	}
+	var m decay.Forward
+	if err := m.UnmarshalText(b[:n]); err != nil {
+		return decay.Forward{}, nil, err
+	}
+	return m, b[n:], nil
+}
+
+// appendScaled appends a scaled sum's raw state.
+func appendScaled(b []byte, s *core.ScaledSum) []byte {
+	sum, scale := s.Raw()
+	empty := byte(0)
+	if s.Empty() {
+		empty = 1
+	}
+	b = append(b, empty)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(sum))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(scale))
+}
+
+// readScaled consumes a scaled sum's raw state.
+func readScaled(b []byte) (core.ScaledSum, []byte, error) {
+	if len(b) < 17 {
+		return core.ScaledSum{}, nil, fmt.Errorf("agg: truncated encoding")
+	}
+	empty := b[0]
+	sum := math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(b[9:]))
+	b = b[17:]
+	var s core.ScaledSum
+	if empty == 0 && sum != 0 {
+		// Reconstruct by adding the single equivalent term sum·e^scale.
+		s.Add(scale, sum)
+	} else if empty == 0 {
+		s.Add(scale, 0) // preserves non-emptiness semantics via no-op; value 0
+	}
+	return s, b, nil
+}
+
+// MarshalBinary encodes the counter with its decay model.
+func (c *Counter) MarshalBinary() ([]byte, error) {
+	b := []byte{tagCounter}
+	b, err := appendModel(b, c.model)
+	if err != nil {
+		return nil, err
+	}
+	b = appendScaled(b, &c.c)
+	return binary.LittleEndian.AppendUint64(b, c.n), nil
+}
+
+// UnmarshalBinary decodes a counter produced by MarshalBinary.
+func (c *Counter) UnmarshalBinary(b []byte) error {
+	b = bytes.Clone(b)
+	if len(b) < 1 || b[0] != tagCounter {
+		return fmt.Errorf("agg: not a Counter encoding")
+	}
+	m, rest, err := readModel(b[1:])
+	if err != nil {
+		return err
+	}
+	s, rest, err := readScaled(rest)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 8 {
+		return fmt.Errorf("agg: malformed Counter encoding")
+	}
+	c.model = m
+	c.c = s
+	c.n = binary.LittleEndian.Uint64(rest)
+	return nil
+}
+
+// MarshalBinary encodes the aggregate with its decay model.
+func (s *Sum) MarshalBinary() ([]byte, error) {
+	b := []byte{tagSum}
+	b, err := appendModel(b, s.model)
+	if err != nil {
+		return nil, err
+	}
+	b = appendScaled(b, &s.c)
+	b = appendScaled(b, &s.s)
+	b = appendScaled(b, &s.s2)
+	return binary.LittleEndian.AppendUint64(b, s.n), nil
+}
+
+// UnmarshalBinary decodes an aggregate produced by MarshalBinary.
+func (s *Sum) UnmarshalBinary(b []byte) error {
+	b = bytes.Clone(b)
+	if len(b) < 1 || b[0] != tagSum {
+		return fmt.Errorf("agg: not a Sum encoding")
+	}
+	m, rest, err := readModel(b[1:])
+	if err != nil {
+		return err
+	}
+	var c, sv, s2 core.ScaledSum
+	if c, rest, err = readScaled(rest); err != nil {
+		return err
+	}
+	if sv, rest, err = readScaled(rest); err != nil {
+		return err
+	}
+	if s2, rest, err = readScaled(rest); err != nil {
+		return err
+	}
+	if len(rest) != 8 {
+		return fmt.Errorf("agg: malformed Sum encoding")
+	}
+	s.model = m
+	s.c, s.s, s.s2 = c, sv, s2
+	s.n = binary.LittleEndian.Uint64(rest)
+	return nil
+}
+
+// MarshalBinary encodes the summary with its decay model and log scale.
+func (h *HeavyHitters) MarshalBinary() ([]byte, error) {
+	b := []byte{tagHeavyHitters}
+	b, err := appendModel(b, h.model)
+	if err != nil {
+		return nil, err
+	}
+	started := byte(0)
+	if h.started {
+		started = 1
+	}
+	b = append(b, started)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(h.logScale))
+	sb, err := h.ss.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(b, sb...), nil
+}
+
+// UnmarshalBinary decodes a summary produced by MarshalBinary.
+func (h *HeavyHitters) UnmarshalBinary(b []byte) error {
+	b = bytes.Clone(b)
+	if len(b) < 1 || b[0] != tagHeavyHitters {
+		return fmt.Errorf("agg: not a HeavyHitters encoding")
+	}
+	m, rest, err := readModel(b[1:])
+	if err != nil {
+		return err
+	}
+	if len(rest) < 9 {
+		return fmt.Errorf("agg: truncated HeavyHitters encoding")
+	}
+	started := rest[0] == 1
+	logScale := math.Float64frombits(binary.LittleEndian.Uint64(rest[1:]))
+	ss := &sketch.SpaceSaving{}
+	if err := ss.UnmarshalBinary(rest[9:]); err != nil {
+		return err
+	}
+	h.model = m
+	h.started = started
+	h.logScale = logScale
+	h.ss = ss
+	return nil
+}
+
+// marshalExtreme encodes an extreme tracker under the given tag.
+func marshalExtreme(tag byte, e *extreme) ([]byte, error) {
+	b := []byte{tag}
+	b, err := appendModel(b, e.model)
+	if err != nil {
+		return nil, err
+	}
+	set := byte(0)
+	if e.set {
+		set = 1
+	}
+	b = append(b, set)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.ti))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(e.v))
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(e.lw)), nil
+}
+
+// unmarshalExtreme decodes an extreme tracker, checking the tag.
+func unmarshalExtreme(tag byte, b []byte, isMax bool) (extreme, error) {
+	b = bytes.Clone(b)
+	if len(b) < 1 || b[0] != tag {
+		return extreme{}, fmt.Errorf("agg: wrong min/max encoding tag")
+	}
+	m, rest, err := readModel(b[1:])
+	if err != nil {
+		return extreme{}, err
+	}
+	if len(rest) != 25 {
+		return extreme{}, fmt.Errorf("agg: malformed min/max encoding")
+	}
+	return extreme{
+		model: m,
+		max:   isMax,
+		set:   rest[0] == 1,
+		ti:    math.Float64frombits(binary.LittleEndian.Uint64(rest[1:])),
+		v:     math.Float64frombits(binary.LittleEndian.Uint64(rest[9:])),
+		lw:    math.Float64frombits(binary.LittleEndian.Uint64(rest[17:])),
+	}, nil
+}
+
+// MarshalBinary encodes the aggregate with its decay model.
+func (m *Max) MarshalBinary() ([]byte, error) { return marshalExtreme(tagMax, &m.e) }
+
+// UnmarshalBinary decodes an aggregate produced by MarshalBinary.
+func (m *Max) UnmarshalBinary(b []byte) error {
+	e, err := unmarshalExtreme(tagMax, b, true)
+	if err != nil {
+		return err
+	}
+	m.e = e
+	return nil
+}
+
+// MarshalBinary encodes the aggregate with its decay model.
+func (m *Min) MarshalBinary() ([]byte, error) { return marshalExtreme(tagMin, &m.e) }
+
+// UnmarshalBinary decodes an aggregate produced by MarshalBinary.
+func (m *Min) UnmarshalBinary(b []byte) error {
+	e, err := unmarshalExtreme(tagMin, b, false)
+	if err != nil {
+		return err
+	}
+	m.e = e
+	return nil
+}
+
+// MarshalBinary encodes the exact distinct counter with its decay model.
+func (d *DistinctExact) MarshalBinary() ([]byte, error) {
+	b := []byte{tagDistinctExact}
+	b, err := appendModel(b, d.model)
+	if err != nil {
+		return nil, err
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(d.maxLW)))
+	for k, lw := range d.maxLW {
+		b = binary.LittleEndian.AppendUint64(b, k)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(lw))
+	}
+	return b, nil
+}
+
+// UnmarshalBinary decodes a counter produced by MarshalBinary.
+func (d *DistinctExact) UnmarshalBinary(b []byte) error {
+	b = bytes.Clone(b)
+	if len(b) < 1 || b[0] != tagDistinctExact {
+		return fmt.Errorf("agg: not a DistinctExact encoding")
+	}
+	m, rest, err := readModel(b[1:])
+	if err != nil {
+		return err
+	}
+	if len(rest) < 8 {
+		return fmt.Errorf("agg: truncated DistinctExact encoding")
+	}
+	n := binary.LittleEndian.Uint64(rest)
+	rest = rest[8:]
+	if uint64(len(rest)) != n*16 {
+		return fmt.Errorf("agg: malformed DistinctExact encoding")
+	}
+	maxLW := make(map[uint64]float64, n)
+	for i := uint64(0); i < n; i++ {
+		k := binary.LittleEndian.Uint64(rest)
+		lw := math.Float64frombits(binary.LittleEndian.Uint64(rest[8:]))
+		maxLW[k] = lw
+		rest = rest[16:]
+	}
+	d.model = m
+	d.maxLW = maxLW
+	return nil
+}
+
+// MarshalBinary encodes the summary with its decay model and log scale.
+func (q *Quantiles) MarshalBinary() ([]byte, error) {
+	b := []byte{tagQuantiles}
+	b, err := appendModel(b, q.model)
+	if err != nil {
+		return nil, err
+	}
+	started := byte(0)
+	if q.started {
+		started = 1
+	}
+	b = append(b, started)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(q.logScale))
+	qb, err := q.qd.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	return append(b, qb...), nil
+}
+
+// UnmarshalBinary decodes a summary produced by MarshalBinary.
+func (q *Quantiles) UnmarshalBinary(b []byte) error {
+	b = bytes.Clone(b)
+	if len(b) < 1 || b[0] != tagQuantiles {
+		return fmt.Errorf("agg: not a Quantiles encoding")
+	}
+	m, rest, err := readModel(b[1:])
+	if err != nil {
+		return err
+	}
+	if len(rest) < 9 {
+		return fmt.Errorf("agg: truncated Quantiles encoding")
+	}
+	started := rest[0] == 1
+	logScale := math.Float64frombits(binary.LittleEndian.Uint64(rest[1:]))
+	qd := &sketch.QDigest{}
+	if err := qd.UnmarshalBinary(rest[9:]); err != nil {
+		return err
+	}
+	q.model = m
+	q.started = started
+	q.logScale = logScale
+	q.qd = qd
+	return nil
+}

@@ -1,0 +1,70 @@
+package agg_test
+
+import (
+	"fmt"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+)
+
+// The paper's Example 2: decayed count, sum and average over the Example 1
+// stream in constant space.
+func ExampleSum() {
+	fd := decay.NewForward(decay.NewPoly(2), 100)
+	s := agg.NewSum(fd)
+	for _, it := range []struct{ ti, v float64 }{
+		{105, 4}, {107, 8}, {103, 3}, {108, 6}, {104, 4},
+	} {
+		s.Observe(it.ti, it.v)
+	}
+	fmt.Printf("C=%.2f S=%.2f A=%.2f\n", s.Count(110), s.Value(110), s.Mean())
+	// Output: C=1.63 S=9.67 A=5.93
+}
+
+// The paper's Example 3: φ=0.2 decayed heavy hitters.
+func ExampleHeavyHitters() {
+	fd := decay.NewForward(decay.NewPoly(2), 100)
+	hh := agg.NewHeavyHittersK(fd, 16)
+	for _, it := range []struct {
+		v  uint64
+		ti float64
+	}{
+		{4, 105}, {8, 107}, {3, 103}, {6, 108}, {4, 104},
+	} {
+		hh.Observe(it.v, it.ti)
+	}
+	for _, item := range hh.Query(110, 0.2) {
+		fmt.Printf("%d:%.2f ", item.Key, item.Count)
+	}
+	fmt.Println()
+	// Output: 6:0.64 8:0.49 4:0.41
+}
+
+// Decayed quantiles are independent of the query time: the normalizer
+// cancels between rank and threshold.
+func ExampleQuantiles() {
+	fd := decay.NewForward(decay.NewPoly(1), 0)
+	q := agg.NewQuantiles(fd, 1024, 0.01)
+	for i := uint64(0); i < 1000; i++ {
+		q.Observe(i, float64(i+1)) // later (heavier) items have larger values
+	}
+	fmt.Println(q.Quantile(0.5) > 500) // decayed median skews late
+	// Output: true
+}
+
+// Distributed operation (§VI-B): per-site aggregates merge exactly.
+func ExampleCounter_Merge() {
+	fd := decay.NewForward(decay.NewExp(0.1), 0)
+	site1 := agg.NewCounter(fd)
+	site2 := agg.NewCounter(fd)
+	site1.Observe(10)
+	site2.Observe(20)
+	if err := site1.Merge(site2); err != nil {
+		fmt.Println(err)
+	}
+	single := agg.NewCounter(fd)
+	single.Observe(10)
+	single.Observe(20)
+	fmt.Println(site1.Value(30) == single.Value(30))
+	// Output: true
+}

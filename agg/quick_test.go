@@ -1,0 +1,248 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"forwarddecay/decay"
+	"forwarddecay/internal/core"
+)
+
+// qconf returns a reproducible quick configuration.
+func qconf(seed int64, n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// pickModel maps an arbitrary byte to one of the forward decay models used
+// in the property tests.
+func pickModel(which uint8) decay.Forward {
+	models := []decay.Forward{
+		decay.NewForward(decay.None{}, 0),
+		decay.NewForward(decay.NewPoly(1), 0),
+		decay.NewForward(decay.NewPoly(2), 0),
+		decay.NewForward(decay.NewPoly(0.5), 0),
+		decay.NewForward(decay.NewExp(0.01), 0),
+		decay.NewForward(decay.NewExp(0.3), 0),
+		decay.NewForward(decay.LandmarkWindow{}, 0),
+	}
+	return models[int(which)%len(models)]
+}
+
+// genStream derives a reproducible random stream from a seed.
+func genQuickStream(seed uint64, n int) (ts, vs []float64) {
+	rng := core.NewRNG(seed)
+	ts = make([]float64, n)
+	vs = make([]float64, n)
+	for i := range ts {
+		ts[i] = 1 + 999*rng.Float64()
+		vs[i] = -10 + 20*rng.Float64()
+	}
+	return
+}
+
+// TestQuickSumMatchesBruteForce property-tests Definition 5 across models
+// and random streams.
+func TestQuickSumMatchesBruteForce(t *testing.T) {
+	f := func(which uint8, seed uint64) bool {
+		m := pickModel(which)
+		ts, vs := genQuickStream(seed, 300)
+		s := NewSum(m)
+		for i := range ts {
+			s.Observe(ts[i], vs[i])
+		}
+		const tq = 1000
+		var wantC, wantS float64
+		for i := range ts {
+			w := m.Weight(ts[i], tq)
+			wantC += w
+			wantS += w * vs[i]
+		}
+		return almostEq(s.Count(tq), wantC, 1e-8) && almostEq(s.Value(tq), wantS, 1e-8)
+	}
+	if err := quick.Check(f, qconf(11, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeCommutesAndAssociates checks that splitting a stream into
+// arbitrary parts and merging in arbitrary order reproduces the
+// single-stream aggregate.
+func TestQuickMergeCommutesAndAssociates(t *testing.T) {
+	f := func(which uint8, seed uint64, splitRaw uint8) bool {
+		m := pickModel(which)
+		ts, vs := genQuickStream(seed, 200)
+		parts := 2 + int(splitRaw)%3
+		whole := NewSum(m)
+		sums := make([]*Sum, parts)
+		for i := range sums {
+			sums[i] = NewSum(m)
+		}
+		for i := range ts {
+			whole.Observe(ts[i], vs[i])
+			sums[i%parts].Observe(ts[i], vs[i])
+		}
+		// Merge right-to-left (different association than left-to-right).
+		acc := NewSum(m)
+		for i := parts - 1; i >= 0; i-- {
+			if err := acc.Merge(sums[i]); err != nil {
+				return false
+			}
+		}
+		const tq = 1000
+		return almostEq(acc.Value(tq), whole.Value(tq), 1e-8) &&
+			almostEq(acc.Count(tq), whole.Count(tq), 1e-8)
+	}
+	if err := quick.Check(f, qconf(12, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickOrderInsensitive permutes the stream and compares all aggregate
+// outputs.
+func TestQuickOrderInsensitive(t *testing.T) {
+	f := func(which uint8, seed uint64) bool {
+		m := pickModel(which)
+		ts, vs := genQuickStream(seed, 200)
+		a, b := NewSum(m), NewSum(m)
+		mxA, mxB := NewMax(m), NewMax(m)
+		for i := range ts {
+			a.Observe(ts[i], vs[i])
+			mxA.Observe(ts[i], vs[i])
+		}
+		perm := core.NewRNG(seed ^ 0xdead).Perm(len(ts))
+		for _, i := range perm {
+			b.Observe(ts[i], vs[i])
+			mxB.Observe(ts[i], vs[i])
+		}
+		const tq = 1000
+		if !almostEq(a.Value(tq), b.Value(tq), 1e-8) {
+			return false
+		}
+		va, vb := mxA.Value(tq), mxB.Value(tq)
+		return almostEq(va, vb, 1e-8) || math.IsNaN(va) && math.IsNaN(vb)
+	}
+	if err := quick.Check(f, qconf(13, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCountMonotoneInTime checks that a decayed count never increases
+// as the query time advances (each item's weight is non-increasing).
+func TestQuickCountMonotoneInTime(t *testing.T) {
+	f := func(which uint8, seed uint64, dRaw float64) bool {
+		m := pickModel(which)
+		ts, _ := genQuickStream(seed, 100)
+		c := NewCounter(m)
+		for _, ti := range ts {
+			c.Observe(ti)
+		}
+		t1 := 1000.0
+		d := math.Abs(dRaw)
+		if math.IsNaN(d) || math.IsInf(d, 0) {
+			d = 1
+		}
+		t2 := t1 + math.Mod(d, 1e6)
+		return c.Value(t2) <= c.Value(t1)+1e-9
+	}
+	if err := quick.Check(f, qconf(14, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMeanWithinRange: the decayed mean of values lies within the
+// value range (it is a convex combination).
+func TestQuickMeanWithinRange(t *testing.T) {
+	f := func(which uint8, seed uint64) bool {
+		m := pickModel(which)
+		ts, vs := genQuickStream(seed, 150)
+		s := NewSum(m)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		any := false
+		for i := range ts {
+			s.Observe(ts[i], vs[i])
+			if m.StaticWeight(ts[i]) > 0 {
+				any = true
+				lo = math.Min(lo, vs[i])
+				hi = math.Max(hi, vs[i])
+			}
+		}
+		mean := s.Mean()
+		if !any {
+			return math.IsNaN(mean) || mean == 0
+		}
+		return mean >= lo-1e-9 && mean <= hi+1e-9
+	}
+	if err := quick.Check(f, qconf(15, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVarianceNonNegative: decayed variance is never negative.
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(which uint8, seed uint64) bool {
+		m := pickModel(which)
+		ts, vs := genQuickStream(seed, 150)
+		s := NewSum(m)
+		for i := range ts {
+			s.Observe(ts[i], vs[i])
+		}
+		v := s.Variance()
+		return math.IsNaN(v) || v >= 0
+	}
+	if err := quick.Check(f, qconf(16, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickShiftLandmarkInvariant: for exponential decay, shifting the
+// landmark never changes queried values.
+func TestQuickShiftLandmarkInvariant(t *testing.T) {
+	f := func(seed uint64, alphaRaw, newLRaw float64) bool {
+		alpha := 0.01 + math.Mod(math.Abs(alphaRaw), 0.5)
+		if math.IsNaN(alpha) {
+			alpha = 0.1
+		}
+		m := decay.NewForward(decay.Exp{Alpha: alpha}, 0)
+		ts, vs := genQuickStream(seed, 100)
+		s := NewSum(m)
+		for i := range ts {
+			s.Observe(ts[i], vs[i])
+		}
+		before := s.Value(1000)
+		newL := math.Mod(math.Abs(newLRaw), 2000)
+		if math.IsNaN(newL) {
+			newL = 500
+		}
+		if err := s.ShiftLandmark(newL); err != nil {
+			return false
+		}
+		return almostEq(s.Value(1000), before, 1e-7)
+	}
+	if err := quick.Check(f, qconf(17, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeavyHittersTotalConserved: the decayed count reported by the
+// heavy-hitters summary equals the counter's decayed count (total weight is
+// conserved through SpaceSaving).
+func TestQuickHeavyHittersTotalConserved(t *testing.T) {
+	f := func(which uint8, seed uint64) bool {
+		m := pickModel(which)
+		ts, _ := genQuickStream(seed, 200)
+		rng := core.NewRNG(seed)
+		h := NewHeavyHittersK(m, 10)
+		c := NewCounter(m)
+		for _, ti := range ts {
+			h.Observe(uint64(rng.Intn(50)), ti)
+			c.Observe(ti)
+		}
+		const tq = 1000
+		return almostEq(h.DecayedCount(tq), c.Value(tq), 1e-7)
+	}
+	if err := quick.Check(f, qconf(18, 200)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"fmt"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "examples",
+		Title: "Worked Examples 1–3 of the paper (golden values)",
+		Run:   runExamples,
+	})
+}
+
+// runExamples recomputes the paper's worked examples through the public
+// API: Example 1 (decayed weights), Example 2 (count, sum, average) and
+// Example 3 (heavy hitters at φ=0.2).
+func runExamples(cfg RunConfig) []Table {
+	stream := []struct{ ti, v float64 }{
+		{105, 4}, {107, 8}, {103, 3}, {108, 6}, {104, 4},
+	}
+	fd := decay.NewForward(decay.NewPoly(2), 100)
+	const tq = 110
+
+	t1 := Table{
+		ID:      "example1",
+		Title:   "decayed weights at t=110 under g(n)=n², L=100 (paper: .25 .49 .09 .64 .16)",
+		Columns: []string{"(ti, vi)", "weight"},
+	}
+	for _, it := range stream {
+		t1.Rows = append(t1.Rows, []string{
+			fmt.Sprintf("(%g, %g)", it.ti, it.v),
+			fmt.Sprintf("%.2f", fd.Weight(it.ti, tq)),
+		})
+	}
+
+	s := agg.NewSum(fd)
+	for _, it := range stream {
+		s.Observe(it.ti, it.v)
+	}
+	t2 := Table{
+		ID:      "example2",
+		Title:   "decayed count/sum/average (paper: C=1.63, S=9.67, A=5.93)",
+		Columns: []string{"aggregate", "value"},
+		Rows: [][]string{
+			{"C", fmt.Sprintf("%.2f", s.Count(tq))},
+			{"S", fmt.Sprintf("%.2f", s.Value(tq))},
+			{"A", fmt.Sprintf("%.2f", s.Mean())},
+		},
+	}
+
+	hh := agg.NewHeavyHittersK(fd, 16)
+	for _, it := range stream {
+		hh.Observe(uint64(it.v), it.ti)
+	}
+	t3 := Table{
+		ID:      "example3",
+		Title:   "φ=0.2 heavy hitters (paper: items 4, 6, 8; threshold 0.326)",
+		Columns: []string{"item", "decayed count"},
+	}
+	for _, ic := range hh.Query(tq, 0.2) {
+		t3.Rows = append(t3.Rows, []string{
+			fmt.Sprintf("%d", ic.Key),
+			fmt.Sprintf("%.2f", ic.Count),
+		})
+	}
+	t3.Notes = append(t3.Notes,
+		fmt.Sprintf("threshold φC = %.3f; d3 = 0.09 is correctly excluded", 0.2*hh.DecayedCount(tq)))
+	return []Table{t1, t2, t3}
+}

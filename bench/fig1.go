@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+
+	"forwarddecay/decay"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Relative decay property of forward decay with g(n)=n² (Figure 1)",
+		Run:   runFig1,
+	})
+}
+
+// runFig1 evaluates the weights of items placed at fixed relative positions
+// in [L, t] for two different query times: under monomial forward decay the
+// columns must be identical (Lemma 1), demonstrating the relative-decay
+// property Figure 1 illustrates.
+func runFig1(cfg RunConfig) []Table {
+	const L = 100.0
+	times := []float64{200, 1100} // the paper's t and a much later t'
+	gammas := []float64{0.1, 0.25, 0.5, 0.75, 0.9, 1.0}
+	fd := decay.NewForward(decay.NewPoly(2), L)
+
+	t := Table{
+		ID:      "fig1",
+		Title:   "weight of the item at relative age γ between L and t (g(n)=n²)",
+		Columns: []string{"gamma", fmt.Sprintf("weight @t=%g", times[0]), fmt.Sprintf("weight @t'=%g", times[1]), "gamma^2"},
+	}
+	for _, g := range gammas {
+		row := []string{fmt.Sprintf("%.2f", g)}
+		for _, tq := range times {
+			ti := g*tq + (1-g)*L
+			row = append(row, fmt.Sprintf("%.4f", fd.Weight(ti, tq)))
+		}
+		row = append(row, fmt.Sprintf("%.4f", g*g))
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"both query-time columns equal γ² exactly: the weight depends only on relative age (Lemma 1)")
+
+	// Contrast: backward polynomial decay has no such property.
+	bd := decay.NewBackward(decay.NewAgePoly(2))
+	t2 := Table{
+		ID:      "fig1-contrast",
+		Title:   "the same items under BACKWARD poly decay f(a)=(a+1)^-2: weights drift with t",
+		Columns: []string{"gamma", fmt.Sprintf("weight @t=%g", times[0]), fmt.Sprintf("weight @t'=%g", times[1])},
+	}
+	for _, g := range gammas {
+		row := []string{fmt.Sprintf("%.2f", g)}
+		for _, tq := range times {
+			ti := g*tq + (1-g)*L
+			row = append(row, fmt.Sprintf("%.6f", bd.Weight(ti, tq)))
+		}
+		t2.Rows = append(t2.Rows, row)
+	}
+	return []Table{t, t2}
+}

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/netgen"
+	"forwarddecay/window"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ooo",
+		Title: "Out-of-order delivery: forward decay is exact, backward structures degrade (§VI-B)",
+		Run:   runOOO,
+	})
+}
+
+// runOOO delivers the same traffic with increasing reordering and compares
+// each method's decayed sum against the exact value computed from true
+// timestamps. Forward decay never looks at arrival order; the Exponential
+// Histogram requires non-decreasing timestamps and clamps stragglers,
+// accumulating error as reordering grows.
+func runOOO(cfg RunConfig) []Table {
+	n := cfg.packets(200_000)
+	const alpha = 0.05
+	fm := decay.NewForward(decay.NewExp(alpha), 0)
+	bm := decay.NewAgeExp(alpha)
+
+	t := Table{
+		ID:    "ooo",
+		Title: "decayed byte sum error vs delivery reordering (exp decay, α=0.05)",
+		Columns: []string{"shuffle buffer", "timestamp inversions",
+			"forward err %", "backward EH err %"},
+	}
+	for _, buf := range []int{0, 64, 1024, 16384} {
+		gcfg := netgen.DefaultConfig(2000, cfg.Seed)
+		gcfg.OutOfOrder = buf
+		g := netgen.New(gcfg)
+
+		fs := agg.NewSum(fm)
+		bs := window.NewBackwardSum(0.05, 0)
+		var exact float64
+		var inversions int
+		prev := math.Inf(-1)
+		pkts := g.Take(make([]netgen.Packet, 0, n), n)
+		var now float64
+		for _, p := range pkts {
+			if p.Time > now {
+				now = p.Time
+			}
+		}
+		for _, p := range pkts {
+			if p.Time < prev {
+				inversions++
+			}
+			prev = p.Time
+			v := float64(p.Len)
+			fs.Observe(p.Time, v)
+			bs.Observe(p.Time, v) // EH clamps out-of-order timestamps
+			exact += v * math.Exp(-alpha*(now-p.Time))
+		}
+		fErr := 100 * math.Abs(fs.Value(now)-exact) / exact
+		bErr := 100 * math.Abs(bs.Value(bm, now)-exact) / exact
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", buf),
+			fmt.Sprintf("%d", inversions),
+			fmt.Sprintf("%.4f", fErr),
+			fmt.Sprintf("%.4f", bErr),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"forward decay stores static weights, so delivery order is irrelevant (error stays at float rounding);",
+		"the EH must clamp late timestamps to stay well-formed, and its error grows with the reordering depth")
+	return []Table{t}
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"math"
+
+	"forwarddecay/gsql"
+	"forwarddecay/netgen"
+	"forwarddecay/udaf"
+)
+
+// packetStream materializes n packets at the given rate.
+func packetStream(rate float64, seed uint64, n int) []netgen.Packet {
+	g := netgen.New(netgen.DefaultConfig(rate, seed))
+	return g.Take(make([]netgen.Packet, 0, n), n)
+}
+
+// tupleStream materializes n packet tuples at the given rate.
+func tupleStream(rate float64, seed uint64, n int) []gsql.Tuple {
+	g := netgen.New(netgen.DefaultConfig(rate, seed))
+	out := make([]gsql.Tuple, n)
+	for i := range out {
+		out[i] = netgen.Tuple(g.Next())
+	}
+	return out
+}
+
+// newEngine builds an engine with the TCP packet stream and all UDAFs
+// registered under the given configuration.
+func newEngine(cfg udaf.Config) *gsql.Engine {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		panic(err)
+	}
+	if err := udaf.RegisterAll(e, cfg); err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// runStatementNsPerTuple prepares and runs a query over the tuples,
+// returning the measured cost per tuple in nanoseconds. Output rows are
+// discarded (the experiments measure maintenance cost, as the paper does).
+// The run is repeated and the minimum taken, so warm-up effects (map
+// growth, page faults, GC debt from workload generation) do not inflate
+// individual cells.
+func runStatementNsPerTuple(e *gsql.Engine, query string, tuples []gsql.Tuple, opts gsql.Options) float64 {
+	st, err := e.Prepare(query)
+	if err != nil {
+		panic(err)
+	}
+	best := math.Inf(1)
+	for rep := 0; rep < 2; rep++ {
+		run := st.Start(func(gsql.Tuple) error { return nil }, opts)
+		ns := MeasureNsPerOp(len(tuples), func(i int) {
+			if err := run.Push(tuples[i]); err != nil {
+				panic(err)
+			}
+		})
+		if err := run.Close(); err != nil {
+			panic(err)
+		}
+		if ns < best {
+			best = ns
+		}
+	}
+	return best
+}

@@ -1,0 +1,76 @@
+// Command fdbench regenerates the tables and figures of the forward-decay
+// paper's evaluation on the synthetic substrate.
+//
+// Usage:
+//
+//	fdbench [-scale f] [-seed n] list
+//	fdbench [-scale f] [-seed n] all
+//	fdbench [-scale f] [-seed n] <experiment-id> [<experiment-id>...]
+//
+// Experiment ids are the paper's figure numbers (fig1, fig2a…fig2d,
+// fig3a, fig3b, fig4a…fig4d, fig5) plus "examples" for the worked examples.
+// Scale 1.0 (the default) runs the full workloads; smaller values run
+// proportionally smaller ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"forwarddecay/bench"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full experiment)")
+	seed := flag.Uint64("seed", 20090329, "deterministic workload seed")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cfg := bench.RunConfig{Scale: *scale, Seed: *seed}
+
+	switch args[0] {
+	case "list":
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-9s %s\n", e.ID, e.Title)
+		}
+		return
+	case "all":
+		for _, e := range bench.Experiments() {
+			runOne(e, cfg)
+		}
+		return
+	}
+	for _, id := range args {
+		e := bench.ByID(id)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "fdbench: unknown experiment %q (try 'fdbench list')\n", id)
+			os.Exit(1)
+		}
+		runOne(*e, cfg)
+	}
+}
+
+func runOne(e bench.Experiment, cfg bench.RunConfig) {
+	fmt.Printf("# %s — %s (scale %g)\n\n", e.ID, e.Title, cfg.Scale)
+	for _, t := range e.Run(cfg) {
+		t.Render(os.Stdout)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: fdbench [-scale f] [-seed n] <command>
+
+commands:
+  list            list experiment ids
+  all             run every experiment
+  <id> [...]      run specific experiments (e.g. fig2a fig5 examples)
+
+flags:
+`)
+	flag.PrintDefaults()
+}

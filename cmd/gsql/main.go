@@ -1,0 +1,126 @@
+// Command gsql executes GSQL queries over synthesized packet streams or
+// saved traces, printing result rows as time buckets close — a miniature of
+// the Gigascope workflow the forward-decay paper evaluates in.
+//
+// Usage:
+//
+//	gsql [flags] 'select tb, dstIP, destPort,
+//	              sum(len*(time % 60)*(time % 60))/3600 from TCP
+//	              group by time/60 as tb, dstIP, destPort'
+//
+// Flags:
+//
+//	-trace file     replay a trace written by tracegen (default: synthesize)
+//	-rate r         synthetic packet rate (default 100000)
+//	-packets n      synthetic packet count (default 1000000)
+//	-seed n         synthetic generator seed
+//	-no-split       disable two-level aggregation
+//	-limit n        print at most n rows (0 = all)
+//	-k, -eps, -phi, -window
+//	                UDAF parameters (sample size, accuracy, HH threshold,
+//	                window seconds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"forwarddecay/gsql"
+	"forwarddecay/netgen"
+	"forwarddecay/udaf"
+)
+
+func main() {
+	trace := flag.String("trace", "", "trace file to replay (default: synthesize)")
+	rate := flag.Float64("rate", 100_000, "synthetic packet rate (pkt/s)")
+	packets := flag.Int("packets", 1_000_000, "synthetic packet count")
+	seed := flag.Uint64("seed", 1, "synthetic generator seed")
+	noSplit := flag.Bool("no-split", false, "disable two-level aggregation")
+	limit := flag.Int("limit", 0, "print at most n rows (0 = all)")
+	k := flag.Int("k", 100, "UDAF sample size")
+	eps := flag.Float64("eps", 0.01, "UDAF accuracy parameter")
+	phi := flag.Float64("phi", 0.01, "UDAF heavy-hitter threshold")
+	win := flag.Float64("window", 60, "UDAF window seconds")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gsql [flags] '<query>'")
+		flag.Usage()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		fatal(err)
+	}
+	if err := udaf.RegisterAll(e, udaf.Config{
+		SampleSize: *k, Epsilon: *eps, Phi: *phi, Window: *win, Seed: *seed,
+	}); err != nil {
+		fatal(err)
+	}
+
+	st, err := e.Prepare(query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "plan: %s\n", st.Describe())
+	fmt.Println(strings.Join(st.Columns(), "\t"))
+
+	printed := 0
+	run := st.Start(func(row gsql.Tuple) error {
+		if *limit > 0 && printed >= *limit {
+			return gsql.SinkStop()
+		}
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+		printed++
+		return nil
+	}, gsql.Options{DisableTwoLevel: *noSplit})
+
+	push := func(p netgen.Packet) error { return run.Push(netgen.Tuple(p)) }
+
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		err = netgen.StreamTrace(f, push)
+		f.Close()
+		if err != nil {
+			finish(run, err)
+			return
+		}
+	} else {
+		g := netgen.New(netgen.DefaultConfig(*rate, *seed))
+		for i := 0; i < *packets; i++ {
+			if err := push(g.Next()); err != nil {
+				finish(run, err)
+				return
+			}
+		}
+	}
+	finish(run, nil)
+}
+
+// finish closes the run, tolerating the sink-stop sentinel.
+func finish(run *gsql.Run, pushErr error) {
+	if pushErr != nil && pushErr.Error() != gsql.SinkStop().Error() {
+		fatal(pushErr)
+	}
+	if err := run.Close(); err != nil && err.Error() != gsql.SinkStop().Error() {
+		fatal(err)
+	}
+	tuples, evictions := run.Stats()
+	fmt.Fprintf(os.Stderr, "processed %d tuples, %d low-level evictions\n", tuples, evictions)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gsql:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Command tracegen synthesizes network packet traces in the repository's
+// binary trace format, for replay through cmd/gsql and offline analysis.
+//
+// Usage:
+//
+//	tracegen -out trace.bin [-rate 100000] [-packets 1000000] [-seed 1]
+//	         [-hosts 20000] [-zipf 1.1] [-tcp 0.85] [-ooo 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"forwarddecay/netgen"
+)
+
+func main() {
+	out := flag.String("out", "", "output trace file (required)")
+	rate := flag.Float64("rate", 100_000, "packet rate (pkt/s)")
+	packets := flag.Int("packets", 1_000_000, "number of packets")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	hosts := flag.Int("hosts", 20_000, "distinct destination hosts")
+	zipf := flag.Float64("zipf", 1.1, "destination popularity skew")
+	tcp := flag.Float64("tcp", 0.85, "TCP fraction")
+	ooo := flag.Int("ooo", 0, "out-of-order shuffle buffer size (0 = in order)")
+	flag.Parse()
+
+	if *out == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := netgen.DefaultConfig(*rate, *seed)
+	cfg.Hosts = *hosts
+	cfg.ZipfS = *zipf
+	cfg.TCPFraction = *tcp
+	cfg.OutOfOrder = *ooo
+
+	g := netgen.New(cfg)
+	pkts := g.Take(make([]netgen.Packet, 0, *packets), *packets)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := netgen.WriteTrace(f, pkts); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	last := pkts[len(pkts)-1].Time
+	fmt.Printf("wrote %d packets spanning %.1f s (%.0f pkt/s) to %s\n",
+		len(pkts), last, float64(len(pkts))/last, *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,116 @@
+package decay
+
+import (
+	"fmt"
+	"math"
+)
+
+// AgeNone is the trivial age function f(a) = 1: no decay.
+type AgeNone struct{}
+
+// Eval returns 1 for every age.
+func (AgeNone) Eval(float64) float64 { return 1 }
+
+func (AgeNone) String() string { return "none" }
+
+// SlidingWindow is the age function of sliding-window semantics: f(a) = 1
+// for a < W and 0 for a ≥ W. Only items younger than the window size count.
+type SlidingWindow struct {
+	// W is the window size (same time units as the timestamps), W > 0.
+	W float64
+}
+
+// NewSlidingWindow returns sliding-window decay with the given window size.
+// It panics if w <= 0.
+func NewSlidingWindow(w float64) SlidingWindow {
+	if w <= 0 {
+		panic("decay: sliding window size must be positive")
+	}
+	return SlidingWindow{W: w}
+}
+
+// Eval returns 1 if a < W and 0 otherwise.
+func (s SlidingWindow) Eval(a float64) float64 {
+	if a < s.W {
+		return 1
+	}
+	return 0
+}
+
+func (s SlidingWindow) String() string { return fmt.Sprintf("window(%g)", s.W) }
+
+// AgeExp is backward exponential decay f(a) = exp(−λ·a) for λ > 0. It is
+// the unique decay family for which forward and backward decay coincide
+// (§III-A of the paper): AgeExp{λ} assigns exactly the same weights as
+// Forward{Func: Exp{λ}} for any landmark.
+type AgeExp struct {
+	// Lambda is the decay rate λ > 0.
+	Lambda float64
+}
+
+// NewAgeExp returns backward exponential decay with the given rate.
+// It panics if lambda <= 0.
+func NewAgeExp(lambda float64) AgeExp {
+	if lambda <= 0 {
+		panic("decay: AgeExp rate must be positive")
+	}
+	return AgeExp{Lambda: lambda}
+}
+
+// Eval returns exp(−λ·a).
+func (e AgeExp) Eval(a float64) float64 { return math.Exp(-e.Lambda * a) }
+
+func (e AgeExp) String() string { return fmt.Sprintf("exp(%g)", e.Lambda) }
+
+// AgePoly is backward polynomial decay f(a) = (a+1)^(−α) for α > 0
+// (the +1 normalizes f(0) = 1). Unlike its forward counterpart, computing
+// aggregates exactly under this function requires revisiting items, which is
+// precisely the scalability problem forward decay removes.
+type AgePoly struct {
+	// Alpha is the exponent α > 0.
+	Alpha float64
+}
+
+// NewAgePoly returns backward polynomial decay with the given exponent.
+// It panics if alpha <= 0.
+func NewAgePoly(alpha float64) AgePoly {
+	if alpha <= 0 {
+		panic("decay: AgePoly exponent must be positive")
+	}
+	return AgePoly{Alpha: alpha}
+}
+
+// Eval returns (a+1)^(−α).
+func (p AgePoly) Eval(a float64) float64 { return math.Pow(a+1, -p.Alpha) }
+
+func (p AgePoly) String() string { return fmt.Sprintf("poly(%g)", p.Alpha) }
+
+// AgeSubPoly is the sub-polynomial decay f(a) = (1 + ln(1+a))^(−1) mentioned
+// in §II, decaying more slowly than any polynomial.
+type AgeSubPoly struct{}
+
+// Eval returns 1/(1 + ln(1+a)).
+func (AgeSubPoly) Eval(a float64) float64 { return 1 / (1 + math.Log1p(a)) }
+
+func (AgeSubPoly) String() string { return "subpoly" }
+
+// AgeSuperExp is the super-exponential decay f(a) = exp(−λ·a²) mentioned in
+// §II, decaying faster than any exponential.
+type AgeSuperExp struct {
+	// Lambda is the rate λ > 0.
+	Lambda float64
+}
+
+// NewAgeSuperExp returns super-exponential decay with the given rate.
+// It panics if lambda <= 0.
+func NewAgeSuperExp(lambda float64) AgeSuperExp {
+	if lambda <= 0 {
+		panic("decay: AgeSuperExp rate must be positive")
+	}
+	return AgeSuperExp{Lambda: lambda}
+}
+
+// Eval returns exp(−λ·a²).
+func (s AgeSuperExp) Eval(a float64) float64 { return math.Exp(-s.Lambda * a * a) }
+
+func (s AgeSuperExp) String() string { return fmt.Sprintf("superexp(%g)", s.Lambda) }

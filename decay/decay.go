@@ -1,0 +1,173 @@
+// Package decay implements the time-decay models of Cormode, Shkapenyuk,
+// Srivastava and Xu, "Forward Decay: A Practical Time Decay Model for
+// Streaming Systems" (ICDE 2009).
+//
+// A decay model assigns every stream item i (with timestamp tᵢ) a weight
+// w(i, t) ∈ [0, 1] at query time t, with w(i, tᵢ) = 1 and w monotone
+// non-increasing in t (Definition 1 of the paper).
+//
+// Two families are provided:
+//
+//   - Backward decay (Definition 2): w(i,t) = f(t−tᵢ)/f(0) for a positive
+//     non-increasing age function f. This is the classical formulation
+//     (sliding windows, backward exponential and polynomial decay).
+//
+//   - Forward decay (Definition 3): w(i,t) = g(tᵢ−L)/g(t−L) for a positive
+//     non-decreasing function g and a fixed landmark time L earlier than all
+//     item timestamps. The numerator g(tᵢ−L) — the static weight — is fixed
+//     at arrival, which is what makes every aggregate in this repository
+//     computable in the same resources as its undecayed counterpart.
+//
+// Exponential decay is identical in the two families (§III-A of the paper),
+// and forward decay with a monomial g(n)=n^β satisfies the relative-decay
+// property (Lemma 1): the weight of an item depends only on its age as a
+// fraction of the interval [L, t].
+//
+// Timestamps and landmarks are float64s in arbitrary but consistent units
+// (the rest of this repository uses seconds).
+package decay
+
+import "math"
+
+// Model is the common interface of forward and backward decay: it reports
+// the decayed weight of an item with timestamp ti at query time t.
+//
+// Implementations guarantee the decay-function axioms (Definition 1) for
+// t ≥ ti ≥ (the model's landmark, if any): Weight(ti, ti) = 1, the result is
+// in [0, 1], and it is non-increasing in t.
+type Model interface {
+	Weight(ti, t float64) float64
+}
+
+// Func is a forward-decay weight function g: a positive, monotone
+// non-decreasing function of the elapsed time n ≥ 0 since the landmark.
+// Implementations must return 0 (and LogEval −Inf) for n < 0 unless the
+// function is naturally defined there (as exponential decay is).
+type Func interface {
+	// Eval returns g(n).
+	Eval(n float64) float64
+	// LogEval returns ln g(n), or math.Inf(-1) where g(n) = 0. Computing in
+	// the log domain lets exponential decay run indefinitely without
+	// overflowing float64 (§VI-A of the paper).
+	LogEval(n float64) float64
+	// String returns a short human-readable description, e.g. "poly(2)".
+	String() string
+}
+
+// LandmarkShifter is implemented by forward-decay functions for which the
+// landmark can be moved without revisiting items: there is a constant c
+// (depending only on the shift δ) with ln g(n−δ) = ln g(n) + c for all n.
+// Exponential decay has this property (c = −α·δ); monomials do not.
+// Aggregates use it to rebase accumulated state onto a fresh landmark, the
+// rescaling trick of §VI-A.
+type LandmarkShifter interface {
+	// LogShift returns the additive log-domain constant for shifting the
+	// landmark forward by delta, and whether the function supports shifting.
+	LogShift(delta float64) (logScale float64, ok bool)
+}
+
+// Forward is a forward decay model: a weight function g together with a
+// landmark time L. Items are expected to have timestamps ti > L; items at or
+// before the landmark get weight zero under monomial decay and landmark
+// windows (and are simply extrapolated under exponential decay).
+//
+// The zero value is not useful; populate both fields. Choosing the landmark:
+// because of the relative-decay property it is natural to set L to (a lower
+// bound on) the smallest timestamp in the query — e.g. the query start time
+// (§III-B of the paper).
+type Forward struct {
+	// Func is the non-decreasing weight function g.
+	Func Func
+	// Landmark is the time L from which forward ages are measured.
+	Landmark float64
+}
+
+// NewForward returns a forward decay model with the given function and
+// landmark.
+func NewForward(g Func, landmark float64) Forward {
+	return Forward{Func: g, Landmark: landmark}
+}
+
+// StaticWeight returns g(ti − L): the unnormalized weight fixed at an item's
+// arrival. All streaming state in this repository is maintained in terms of
+// static weights; division by the normalizer happens only at query time.
+func (f Forward) StaticWeight(ti float64) float64 {
+	return f.Func.Eval(ti - f.Landmark)
+}
+
+// LogStaticWeight returns ln g(ti − L), or −Inf for zero weight.
+func (f Forward) LogStaticWeight(ti float64) float64 {
+	return f.Func.LogEval(ti - f.Landmark)
+}
+
+// Normalizer returns g(t − L), the query-time scaling denominator.
+func (f Forward) Normalizer(t float64) float64 {
+	return f.Func.Eval(t - f.Landmark)
+}
+
+// LogNormalizer returns ln g(t − L), or −Inf if the normalizer is zero.
+func (f Forward) LogNormalizer(t float64) float64 {
+	return f.Func.LogEval(t - f.Landmark)
+}
+
+// Weight returns the decayed weight g(ti−L)/g(t−L) of an item with
+// timestamp ti evaluated at time t. For t ≥ ti > L the result is in [0, 1].
+// Queries should use t at least as large as the biggest timestamp observed;
+// with a larger ti the weight may exceed 1 (a "future" item relative to a
+// historical query, §VI-B).
+func (f Forward) Weight(ti, t float64) float64 {
+	// Compute in the log domain so that exponential decay with large
+	// arguments cannot overflow the intermediate values.
+	lw := f.Func.LogEval(ti-f.Landmark) - f.Func.LogEval(t-f.Landmark)
+	if math.IsNaN(lw) {
+		// 0/0 (e.g. both before the landmark window opens): weight 0.
+		return 0
+	}
+	return math.Exp(lw)
+}
+
+// Shifted returns a copy of the model rebased onto the landmark newL, along
+// with the log-domain factor by which existing static weights must be scaled
+// (ln g(ti−newL) = ln g(ti−L) + logScale). ok reports whether the model's
+// function supports landmark shifting (see LandmarkShifter); when it does
+// not, the original model is returned unchanged with logScale 0.
+func (f Forward) Shifted(newL float64) (shifted Forward, logScale float64, ok bool) {
+	s, sok := f.Func.(LandmarkShifter)
+	if !sok {
+		return f, 0, false
+	}
+	c, cok := s.LogShift(newL - f.Landmark)
+	if !cok {
+		return f, 0, false
+	}
+	return Forward{Func: f.Func, Landmark: newL}, c, true
+}
+
+// Backward is a backward decay model (Definition 2): the weight of an item
+// of age a = t − ti is f(a)/f(0) for a positive non-increasing age function.
+type Backward struct {
+	// Func is the non-increasing age function f.
+	Func AgeFunc
+}
+
+// NewBackward returns a backward decay model over the given age function.
+func NewBackward(f AgeFunc) Backward { return Backward{Func: f} }
+
+// Weight returns f(t−ti)/f(0). Ages below zero (items "from the future")
+// are clamped to age 0, i.e. weight 1.
+func (b Backward) Weight(ti, t float64) float64 {
+	a := t - ti
+	if a < 0 {
+		a = 0
+	}
+	return b.Func.Eval(a) / b.Func.Eval(0)
+}
+
+// AgeFunc is a backward-decay age function f: positive at 0 and monotone
+// non-increasing for ages a ≥ 0.
+type AgeFunc interface {
+	// Eval returns f(a) for age a ≥ 0.
+	Eval(a float64) float64
+	// String returns a short human-readable description, e.g. "window(60)".
+	String() string
+}

@@ -1,0 +1,304 @@
+package decay
+
+import (
+	"math"
+	"testing"
+)
+
+// almostEq reports whether a and b agree to within tol (absolute for small
+// magnitudes, relative for large).
+func almostEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	if d <= tol {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return d <= tol*m
+}
+
+// TestExample1Weights reproduces Example 1 of the paper: stream
+// {(105,4),(107,8),(103,3),(108,6),(104,4)}, landmark L=100, g(n)=n²,
+// evaluated at t=110 the weights are {0.25, 0.49, 0.09, 0.64, 0.16}.
+func TestExample1Weights(t *testing.T) {
+	fd := NewForward(NewPoly(2), 100)
+	ts := []float64{105, 107, 103, 108, 104}
+	want := []float64{0.25, 0.49, 0.09, 0.64, 0.16}
+	for i, ti := range ts {
+		got := fd.Weight(ti, 110)
+		if !almostEq(got, want[i], 1e-12) {
+			t.Errorf("Weight(%v, 110) = %v, want %v", ti, got, want[i])
+		}
+	}
+}
+
+func TestForwardWeightAtArrivalIsOne(t *testing.T) {
+	funcs := []Func{None{}, NewPoly(0.5), NewPoly(1), NewPoly(2), NewExp(0.1), NewPolySum(1, 2, 3), LandmarkWindow{}}
+	for _, g := range funcs {
+		fd := NewForward(g, 50)
+		for _, ti := range []float64{50.001, 51, 75, 1e6} {
+			if w := fd.Weight(ti, ti); !almostEq(w, 1, 1e-12) {
+				t.Errorf("%v: Weight(%v,%v) = %v, want 1", g, ti, ti, w)
+			}
+		}
+	}
+}
+
+func TestForwardWeightMonotoneNonIncreasing(t *testing.T) {
+	funcs := []Func{None{}, NewPoly(0.5), NewPoly(2), NewExp(0.05), NewPolySum(0, 1, 0.5), LandmarkWindow{}}
+	for _, g := range funcs {
+		fd := NewForward(g, 0)
+		ti := 10.0
+		prev := math.Inf(1)
+		for _, tq := range []float64{10, 11, 20, 100, 1000, 10000} {
+			w := fd.Weight(ti, tq)
+			if w < 0 || w > 1 {
+				t.Errorf("%v: Weight(%v,%v) = %v out of [0,1]", g, ti, tq, w)
+			}
+			if w > prev+1e-12 {
+				t.Errorf("%v: weight increased from %v to %v at t=%v", g, prev, w, tq)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestExpForwardEqualsBackward verifies the §III-A identity: forward
+// exponential decay coincides exactly with backward exponential decay,
+// regardless of the landmark.
+func TestExpForwardEqualsBackward(t *testing.T) {
+	for _, alpha := range []float64{0.01, 0.1, 1, 3} {
+		for _, L := range []float64{-50, 0, 99.5} {
+			fd := NewForward(NewExp(alpha), L)
+			bd := NewBackward(NewAgeExp(alpha))
+			for _, ti := range []float64{100, 123.25, 500} {
+				for _, tq := range []float64{500, 501, 750, 1000} {
+					fw, bw := fd.Weight(ti, tq), bd.Weight(ti, tq)
+					if !almostEq(fw, bw, 1e-9) {
+						t.Fatalf("alpha=%v L=%v ti=%v t=%v: forward %v != backward %v",
+							alpha, L, ti, tq, fw, bw)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPolyForwardDiffersFromBackward checks the paper's remark that the
+// exponential identity does NOT hold for polynomial decay.
+func TestPolyForwardDiffersFromBackward(t *testing.T) {
+	fd := NewForward(NewPoly(2), 0)
+	bd := NewBackward(NewAgePoly(2))
+	if fw, bw := fd.Weight(50, 100), bd.Weight(50, 100); almostEq(fw, bw, 1e-6) {
+		t.Errorf("expected forward poly (%v) to differ from backward poly (%v)", fw, bw)
+	}
+}
+
+func TestLogEvalConsistentWithEval(t *testing.T) {
+	funcs := []Func{None{}, NewPoly(0.5), NewPoly(2), NewPoly(3.7), NewExp(0.1), NewPolySum(1, 0, 2), LandmarkWindow{}}
+	for _, g := range funcs {
+		for _, n := range []float64{-5, 0, 1e-9, 0.5, 1, 10, 123.456} {
+			ev, lg := g.Eval(n), g.LogEval(n)
+			if ev == 0 {
+				if !math.IsInf(lg, -1) {
+					t.Errorf("%v: Eval(%v)=0 but LogEval=%v", g, n, lg)
+				}
+				continue
+			}
+			if !almostEq(math.Log(ev), lg, 1e-9) {
+				t.Errorf("%v: log(Eval(%v))=%v != LogEval=%v", g, n, math.Log(ev), lg)
+			}
+		}
+	}
+}
+
+func TestExpLogShiftExact(t *testing.T) {
+	e := NewExp(0.25)
+	for _, delta := range []float64{-10, 0, 1, 100} {
+		c, ok := e.LogShift(delta)
+		if !ok {
+			t.Fatal("Exp must support LogShift")
+		}
+		for _, n := range []float64{0, 5, 42} {
+			want := e.LogEval(n - delta)
+			got := e.LogEval(n) + c
+			if !almostEq(got, want, 1e-9) {
+				t.Errorf("delta=%v n=%v: shifted %v, want %v", delta, n, got, want)
+			}
+		}
+	}
+}
+
+func TestShifted(t *testing.T) {
+	fd := NewForward(NewExp(0.5), 100)
+	shifted, logScale, ok := fd.Shifted(200)
+	if !ok {
+		t.Fatal("exp model must be shiftable")
+	}
+	if shifted.Landmark != 200 {
+		t.Fatalf("landmark = %v, want 200", shifted.Landmark)
+	}
+	// ln g(ti − newL) must equal ln g(ti − L) + logScale.
+	for _, ti := range []float64{250, 300} {
+		want := shifted.LogStaticWeight(ti)
+		got := fd.LogStaticWeight(ti) + logScale
+		if !almostEq(got, want, 1e-9) {
+			t.Errorf("ti=%v: %v, want %v", ti, got, want)
+		}
+	}
+
+	// Non-shiftable functions report ok = false and leave the model alone.
+	pd := NewForward(NewPoly(2), 100)
+	same, ls, ok := pd.Shifted(200)
+	if ok || ls != 0 || same.Landmark != 100 {
+		t.Errorf("poly Shifted = (%+v, %v, %v), want unchanged/0/false", same, ls, ok)
+	}
+}
+
+func TestLandmarkWindowSemantics(t *testing.T) {
+	fd := NewForward(LandmarkWindow{}, 100)
+	if w := fd.Weight(101, 500); w != 1 {
+		t.Errorf("item after landmark: weight %v, want 1", w)
+	}
+	if w := fd.Weight(99, 500); w != 0 {
+		t.Errorf("item before landmark: weight %v, want 0", w)
+	}
+	if w := fd.Weight(100, 500); w != 0 {
+		t.Errorf("item at landmark: weight %v, want 0", w)
+	}
+}
+
+func TestSlidingWindowSemantics(t *testing.T) {
+	bd := NewBackward(NewSlidingWindow(60))
+	if w := bd.Weight(100, 130); w != 1 {
+		t.Errorf("in-window weight %v, want 1", w)
+	}
+	if w := bd.Weight(100, 160); w != 0 {
+		t.Errorf("expired weight %v, want 0", w)
+	}
+	if w := bd.Weight(100, 159.999); w != 1 {
+		t.Errorf("age just under W: weight %v, want 1", w)
+	}
+}
+
+func TestBackwardAxioms(t *testing.T) {
+	funcs := []AgeFunc{AgeNone{}, NewSlidingWindow(30), NewAgeExp(0.2), NewAgePoly(1.5), AgeSubPoly{}, NewAgeSuperExp(0.01)}
+	for _, f := range funcs {
+		bd := NewBackward(f)
+		if w := bd.Weight(42, 42); !almostEq(w, 1, 1e-12) {
+			t.Errorf("%v: Weight at age 0 = %v, want 1", f, w)
+		}
+		prev := math.Inf(1)
+		for _, tq := range []float64{42, 43, 50, 100, 500} {
+			w := bd.Weight(42, tq)
+			if w < 0 || w > 1 {
+				t.Errorf("%v: weight %v out of range at t=%v", f, w, tq)
+			}
+			if w > prev+1e-12 {
+				t.Errorf("%v: weight increased to %v at t=%v", f, w, tq)
+			}
+			prev = w
+		}
+	}
+}
+
+func TestConstructorsPanicOnBadParameters(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Poly zero", func() { NewPoly(0) }},
+		{"Poly negative", func() { NewPoly(-1) }},
+		{"Exp zero", func() { NewExp(0) }},
+		{"ExpHalfLife zero", func() { NewExpHalfLife(0) }},
+		{"SlidingWindow zero", func() { NewSlidingWindow(0) }},
+		{"AgeExp negative", func() { NewAgeExp(-0.5) }},
+		{"AgePoly zero", func() { NewAgePoly(0) }},
+		{"AgeSuperExp zero", func() { NewAgeSuperExp(0) }},
+		{"PolySum negative coeff", func() { NewPolySum(1, -1) }},
+		{"PolySum all zero", func() { NewPolySum(0, 0) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.fn()
+		}()
+	}
+}
+
+func TestExpHalfLife(t *testing.T) {
+	e := NewExpHalfLife(10)
+	fd := NewForward(e, 0)
+	if w := fd.Weight(100, 110); !almostEq(w, 0.5, 1e-12) {
+		t.Errorf("weight after one half-life = %v, want 0.5", w)
+	}
+	if w := fd.Weight(100, 130); !almostEq(w, 0.125, 1e-12) {
+		t.Errorf("weight after three half-lives = %v, want 0.125", w)
+	}
+}
+
+func TestPolySumHorner(t *testing.T) {
+	// g(n) = 1 + 2n + 3n².
+	p := NewPolySum(1, 2, 3)
+	if got, want := p.Eval(2), 1+4.0+12.0; !almostEq(got, want, 1e-12) {
+		t.Errorf("Eval(2) = %v, want %v", got, want)
+	}
+	if got := p.Eval(-3); got != 1 {
+		t.Errorf("Eval(-3) = %v, want g(0)=1", got)
+	}
+}
+
+func TestStaticWeightAndNormalizer(t *testing.T) {
+	fd := NewForward(NewPoly(2), 100)
+	if got := fd.StaticWeight(105); !almostEq(got, 25, 1e-12) {
+		t.Errorf("StaticWeight(105) = %v, want 25", got)
+	}
+	if got := fd.Normalizer(110); !almostEq(got, 100, 1e-12) {
+		t.Errorf("Normalizer(110) = %v, want 100", got)
+	}
+	if got := fd.LogStaticWeight(105); !almostEq(got, math.Log(25), 1e-12) {
+		t.Errorf("LogStaticWeight(105) = %v, want ln 25", got)
+	}
+	if got := fd.LogNormalizer(110); !almostEq(got, math.Log(100), 1e-12) {
+		t.Errorf("LogNormalizer(110) = %v, want ln 100", got)
+	}
+}
+
+// TestExpNoOverflowViaLogDomain checks that weights computed for very large
+// time offsets stay finite and correct even though g itself overflows.
+func TestExpNoOverflowViaLogDomain(t *testing.T) {
+	fd := NewForward(NewExp(1), 0)
+	// g(1e5) overflows float64, but the weight is exp(-10) regardless.
+	w := fd.Weight(1e5-10, 1e5)
+	if !almostEq(w, math.Exp(-10), 1e-9) {
+		t.Errorf("weight = %v, want %v", w, math.Exp(-10))
+	}
+	if math.IsInf(fd.Normalizer(1e5), 1) == false {
+		t.Errorf("sanity: expected the raw normalizer to overflow, got %v", fd.Normalizer(1e5))
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{None{}.String(), "none"},
+		{NewPoly(2).String(), "poly(2)"},
+		{NewExp(0.5).String(), "exp(0.5)"},
+		{LandmarkWindow{}.String(), "landmark"},
+		{AgeNone{}.String(), "none"},
+		{NewSlidingWindow(60).String(), "window(60)"},
+		{NewAgeExp(0.1).String(), "exp(0.1)"},
+		{NewAgePoly(1).String(), "poly(1)"},
+		{AgeSubPoly{}.String(), "subpoly"},
+		{NewAgeSuperExp(2).String(), "superexp(2)"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("String() = %q, want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package decay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// EncodeFunc renders a forward decay function in its canonical textual
+// form (the same form String returns), suitable for storage or for
+// shipping summaries between distributed sites.
+func EncodeFunc(g Func) string { return g.String() }
+
+// DecodeFunc parses the canonical textual form of the built-in forward
+// decay functions: "none", "landmark", "poly(β)", "exp(α)" and
+// "polysum([γ0 γ1 …])". Custom Func implementations are not decodable.
+func DecodeFunc(s string) (Func, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "none":
+		return None{}, nil
+	case s == "landmark":
+		return LandmarkWindow{}, nil
+	case strings.HasPrefix(s, "poly(") && strings.HasSuffix(s, ")"):
+		beta, err := strconv.ParseFloat(s[5:len(s)-1], 64)
+		if err != nil || beta <= 0 {
+			return nil, fmt.Errorf("decay: bad poly exponent in %q", s)
+		}
+		return Poly{Beta: beta}, nil
+	case strings.HasPrefix(s, "exp(") && strings.HasSuffix(s, ")"):
+		alpha, err := strconv.ParseFloat(s[4:len(s)-1], 64)
+		if err != nil || alpha <= 0 {
+			return nil, fmt.Errorf("decay: bad exp rate in %q", s)
+		}
+		return Exp{Alpha: alpha}, nil
+	case strings.HasPrefix(s, "polysum([") && strings.HasSuffix(s, "])"):
+		body := s[len("polysum([") : len(s)-2]
+		var coeffs []float64
+		if body != "" {
+			for _, f := range strings.Fields(body) {
+				c, err := strconv.ParseFloat(f, 64)
+				if err != nil || c < 0 {
+					return nil, fmt.Errorf("decay: bad polysum coefficient %q in %q", f, s)
+				}
+				coeffs = append(coeffs, c)
+			}
+		}
+		any := false
+		for _, c := range coeffs {
+			if c > 0 {
+				any = true
+			}
+		}
+		if !any {
+			return nil, fmt.Errorf("decay: polysum in %q has no positive coefficient", s)
+		}
+		return PolySum{Coeffs: coeffs}, nil
+	default:
+		return nil, fmt.Errorf("decay: unknown decay function %q", s)
+	}
+}
+
+// MarshalText encodes the model as "<func>@<landmark>".
+func (f Forward) MarshalText() ([]byte, error) {
+	if f.Func == nil {
+		return nil, fmt.Errorf("decay: cannot marshal a Forward with nil Func")
+	}
+	return []byte(fmt.Sprintf("%s@%g", EncodeFunc(f.Func), f.Landmark)), nil
+}
+
+// UnmarshalText decodes the "<func>@<landmark>" form produced by
+// MarshalText.
+func (f *Forward) UnmarshalText(b []byte) error {
+	s := string(b)
+	i := strings.LastIndexByte(s, '@')
+	if i < 0 {
+		return fmt.Errorf("decay: bad Forward encoding %q (missing '@')", s)
+	}
+	g, err := DecodeFunc(s[:i])
+	if err != nil {
+		return err
+	}
+	l, err := strconv.ParseFloat(s[i+1:], 64)
+	if err != nil {
+		return fmt.Errorf("decay: bad landmark in %q", s)
+	}
+	f.Func = g
+	f.Landmark = l
+	return nil
+}

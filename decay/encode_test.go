@@ -1,0 +1,80 @@
+package decay
+
+import "testing"
+
+func TestEncodeDecodeFuncRoundTrip(t *testing.T) {
+	funcs := []Func{
+		None{},
+		LandmarkWindow{},
+		NewPoly(2),
+		NewPoly(0.5),
+		NewExp(0.125),
+		NewPolySum(1, 0, 3.5),
+	}
+	for _, g := range funcs {
+		enc := EncodeFunc(g)
+		dec, err := DecodeFunc(enc)
+		if err != nil {
+			t.Fatalf("%q: %v", enc, err)
+		}
+		if dec.String() != g.String() {
+			t.Errorf("round trip %q → %q", g.String(), dec.String())
+		}
+		// Behavioural equality at sample points.
+		for _, n := range []float64{0, 0.5, 1, 10, 100} {
+			if dec.Eval(n) != g.Eval(n) {
+				t.Errorf("%q: Eval(%v) differs after decode", enc, n)
+			}
+		}
+	}
+}
+
+func TestDecodeFuncErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "nonsense", "poly()", "poly(x)", "poly(-1)", "poly(0)",
+		"exp()", "exp(0)", "exp(-2)", "polysum([])", "polysum([0 0])",
+		"polysum([1 -2])", "poly(2", "window(60)",
+	} {
+		if _, err := DecodeFunc(bad); err == nil {
+			t.Errorf("DecodeFunc(%q) should fail", bad)
+		}
+	}
+}
+
+func TestForwardTextRoundTrip(t *testing.T) {
+	models := []Forward{
+		NewForward(NewPoly(2), 100),
+		NewForward(NewExp(0.25), -7.5),
+		NewForward(None{}, 0),
+		NewForward(LandmarkWindow{}, 1e9),
+	}
+	for _, m := range models {
+		b, err := m.MarshalText()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Forward
+		if err := d.UnmarshalText(b); err != nil {
+			t.Fatalf("%s: %v", b, err)
+		}
+		if d.Landmark != m.Landmark || d.Func.String() != m.Func.String() {
+			t.Errorf("round trip %q → %s@%g", b, d.Func, d.Landmark)
+		}
+		if d.Weight(m.Landmark+10, m.Landmark+20) != m.Weight(m.Landmark+10, m.Landmark+20) {
+			t.Errorf("%s: behaviour differs after decode", b)
+		}
+	}
+}
+
+func TestForwardTextErrors(t *testing.T) {
+	var f Forward
+	for _, bad := range []string{"", "poly(2)", "poly(2)@", "poly(2)@x", "bogus@5"} {
+		if err := f.UnmarshalText([]byte(bad)); err == nil {
+			t.Errorf("UnmarshalText(%q) should fail", bad)
+		}
+	}
+	bad := Forward{}
+	if _, err := bad.MarshalText(); err == nil {
+		t.Error("MarshalText with nil Func should fail")
+	}
+}

@@ -1,0 +1,56 @@
+package decay_test
+
+import (
+	"fmt"
+
+	"forwarddecay/decay"
+)
+
+// The paper's Example 1: quadratic forward decay with landmark 100,
+// evaluated at time 110.
+func ExampleForward_Weight() {
+	fd := decay.NewForward(decay.NewPoly(2), 100)
+	for _, ti := range []float64{105, 107, 103, 108, 104} {
+		fmt.Printf("%.2f ", fd.Weight(ti, 110))
+	}
+	fmt.Println()
+	// Output: 0.25 0.49 0.09 0.64 0.16
+}
+
+// Forward and backward exponential decay coincide exactly (§III-A), for
+// any landmark.
+func ExampleExp() {
+	fwd := decay.NewForward(decay.NewExp(0.1), 42) // arbitrary landmark
+	bwd := decay.NewBackward(decay.NewAgeExp(0.1))
+	fmt.Printf("forward:  %.6f\n", fwd.Weight(100, 130))
+	fmt.Printf("backward: %.6f\n", bwd.Weight(100, 130))
+	// Output:
+	// forward:  0.049787
+	// backward: 0.049787
+}
+
+// Monomial forward decay has the relative-decay property (Lemma 1): the
+// item half-way between the landmark and the query time always weighs γ^β.
+func ExamplePoly() {
+	fd := decay.NewForward(decay.NewPoly(2), 0)
+	for _, t := range []float64{100, 1000, 100000} {
+		fmt.Printf("%.2f ", fd.Weight(t/2, t)) // item at relative age 0.5
+	}
+	fmt.Println()
+	// Output: 0.25 0.25 0.25
+}
+
+// NewExpHalfLife expresses exponential decay by its half-life.
+func ExampleNewExpHalfLife() {
+	fd := decay.NewForward(decay.NewExpHalfLife(60), 0)
+	fmt.Printf("%.3f %.3f %.3f\n", fd.Weight(300, 300), fd.Weight(240, 300), fd.Weight(180, 300))
+	// Output: 1.000 0.500 0.250
+}
+
+// Landmark windows count everything after the landmark at full weight
+// (§III-C).
+func ExampleLandmarkWindow() {
+	fd := decay.NewForward(decay.LandmarkWindow{}, 100)
+	fmt.Printf("%.0f %.0f\n", fd.Weight(99, 200), fd.Weight(101, 200))
+	// Output: 0 1
+}

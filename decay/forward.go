@@ -1,0 +1,177 @@
+package decay
+
+import (
+	"fmt"
+	"math"
+)
+
+// None is the trivial forward-decay function g(n) = 1: every item keeps
+// weight 1 forever, recovering undecayed aggregation.
+type None struct{}
+
+// Eval returns 1 for every n.
+func (None) Eval(float64) float64 { return 1 }
+
+// LogEval returns 0 for every n.
+func (None) LogEval(float64) float64 { return 0 }
+
+// LogShift reports that shifting the landmark never changes weights.
+func (None) LogShift(float64) (float64, bool) { return 0, true }
+
+func (None) String() string { return "none" }
+
+// Poly is the monomial forward-decay function g(n) = n^β for β > 0
+// (§III-B of the paper). It satisfies the relative-decay property (Lemma 1):
+// at any query time t, the weight of an item at timestamp γ·t + (1−γ)·L is
+// exactly γ^β. For n ≤ 0 (items at or before the landmark) the weight is 0.
+type Poly struct {
+	// Beta is the exponent β > 0. Beta = 2 gives the quadratic decay used in
+	// the paper's examples and experiments.
+	Beta float64
+}
+
+// NewPoly returns monomial decay with the given exponent. It panics if
+// beta <= 0; use None for the undecayed case.
+func NewPoly(beta float64) Poly {
+	if beta <= 0 {
+		panic("decay: Poly exponent must be positive")
+	}
+	return Poly{Beta: beta}
+}
+
+// Eval returns n^β, or 0 for n ≤ 0.
+func (p Poly) Eval(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return math.Pow(n, p.Beta)
+}
+
+// LogEval returns β·ln n, or −Inf for n ≤ 0.
+func (p Poly) LogEval(n float64) float64 {
+	if n <= 0 {
+		return math.Inf(-1)
+	}
+	return p.Beta * math.Log(n)
+}
+
+func (p Poly) String() string { return fmt.Sprintf("poly(%g)", p.Beta) }
+
+// Exp is the exponential forward-decay function g(n) = exp(α·n) for α > 0.
+// Forward exponential decay coincides exactly with backward exponential
+// decay with rate α (§III-A of the paper): the landmark cancels out, so
+// w(i,t) = exp(−α·(t−tᵢ)).
+type Exp struct {
+	// Alpha is the decay rate α > 0 (per unit time). The weight of an item
+	// halves every ln(2)/α time units.
+	Alpha float64
+}
+
+// NewExp returns exponential decay with the given rate. It panics if
+// alpha <= 0; use None for the undecayed case.
+func NewExp(alpha float64) Exp {
+	if alpha <= 0 {
+		panic("decay: Exp rate must be positive")
+	}
+	return Exp{Alpha: alpha}
+}
+
+// NewExpHalfLife returns exponential decay whose weights halve every
+// halfLife time units. It panics if halfLife <= 0.
+func NewExpHalfLife(halfLife float64) Exp {
+	if halfLife <= 0 {
+		panic("decay: half-life must be positive")
+	}
+	return Exp{Alpha: math.Ln2 / halfLife}
+}
+
+// Eval returns exp(α·n). For large n this overflows float64; streaming
+// state should therefore be maintained via LogEval and rebased with
+// LogShift, which the agg package does automatically.
+func (e Exp) Eval(n float64) float64 { return math.Exp(e.Alpha * n) }
+
+// LogEval returns α·n, which never overflows for realistic inputs.
+func (e Exp) LogEval(n float64) float64 { return e.Alpha * n }
+
+// LogShift implements LandmarkShifter: moving the landmark forward by delta
+// multiplies every static weight by exp(−α·delta), i.e. adds −α·delta in
+// the log domain. This is the rescaling trick of §VI-A.
+func (e Exp) LogShift(delta float64) (float64, bool) { return -e.Alpha * delta, true }
+
+func (e Exp) String() string { return fmt.Sprintf("exp(%g)", e.Alpha) }
+
+// LandmarkWindow is the forward-decay function g(n) = 1 for n > 0 and 0
+// otherwise (§III-C): every item after the landmark counts with full weight
+// until the query ("window") closes. It generalizes the landmark-window
+// semantics implicitly adopted by many streaming systems.
+type LandmarkWindow struct{}
+
+// Eval returns 1 for n > 0 and 0 otherwise.
+func (LandmarkWindow) Eval(n float64) float64 {
+	if n > 0 {
+		return 1
+	}
+	return 0
+}
+
+// LogEval returns 0 for n > 0 and −Inf otherwise.
+func (LandmarkWindow) LogEval(n float64) float64 {
+	if n > 0 {
+		return 0
+	}
+	return math.Inf(-1)
+}
+
+func (LandmarkWindow) String() string { return "landmark" }
+
+// PolySum is a general polynomial forward-decay function
+// g(n) = Σⱼ γⱼ·n^j with non-negative coefficients (§III-B mentions this
+// family). Coeffs[j] is γⱼ; at least one coefficient must be positive for g
+// to be a valid decay function.
+type PolySum struct {
+	// Coeffs holds γ₀, γ₁, …; all must be ≥ 0 so that g is non-decreasing.
+	Coeffs []float64
+}
+
+// NewPolySum returns a polynomial decay function with the given
+// coefficients. It panics if any coefficient is negative or if all are zero.
+func NewPolySum(coeffs ...float64) PolySum {
+	any := false
+	for _, c := range coeffs {
+		if c < 0 {
+			panic("decay: PolySum coefficients must be non-negative")
+		}
+		if c > 0 {
+			any = true
+		}
+	}
+	if !any {
+		panic("decay: PolySum needs at least one positive coefficient")
+	}
+	out := make([]float64, len(coeffs))
+	copy(out, coeffs)
+	return PolySum{Coeffs: out}
+}
+
+// Eval returns Σⱼ γⱼ·n^j by Horner's rule, treating n < 0 as 0.
+func (p PolySum) Eval(n float64) float64 {
+	if n < 0 {
+		n = 0
+	}
+	v := 0.0
+	for j := len(p.Coeffs) - 1; j >= 0; j-- {
+		v = v*n + p.Coeffs[j]
+	}
+	return v
+}
+
+// LogEval returns ln g(n), or −Inf where g(n) = 0.
+func (p PolySum) LogEval(n float64) float64 {
+	v := p.Eval(n)
+	if v == 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(v)
+}
+
+func (p PolySum) String() string { return fmt.Sprintf("polysum(%v)", p.Coeffs) }

@@ -1,0 +1,164 @@
+package decay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// qcfg returns a quick.Config with a fixed seed so statistical tests are
+// reproducible.
+func qcfg(seed int64) *quick.Config {
+	return &quick.Config{
+		MaxCount: 2000,
+		Rand:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// clampUnit maps an arbitrary float64 into (0, 1].
+func clampUnit(x float64) float64 {
+	x = math.Abs(x)
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0.5
+	}
+	x = math.Mod(x, 1)
+	if x == 0 {
+		return 1
+	}
+	return x
+}
+
+// TestQuickRelativeDecay property-tests Lemma 1: under g(n)=n^β the weight
+// of the item at relative position γ in [L, t] is exactly γ^β, for every
+// query time, landmark and exponent.
+func TestQuickRelativeDecay(t *testing.T) {
+	f := func(gammaRaw, betaRaw, lRaw, spanRaw float64) bool {
+		gamma := clampUnit(gammaRaw)
+		beta := 0.1 + 5*clampUnit(betaRaw)
+		L := math.Mod(lRaw, 1e6)
+		if math.IsNaN(L) || math.IsInf(L, 0) {
+			L = 0
+		}
+		span := 1 + 1e4*clampUnit(spanRaw)
+		tq := L + span
+		ti := gamma*tq + (1-gamma)*L
+
+		fd := NewForward(NewPoly(beta), L)
+		got := fd.Weight(ti, tq)
+		want := math.Pow(gamma, beta)
+		return almostEq(got, want, 1e-6)
+	}
+	if err := quick.Check(f, qcfg(1)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDefinition1Forward property-tests the decay-function axioms for a
+// selection of forward decay functions: weight 1 at arrival, range [0,1],
+// monotone non-increasing in t.
+func TestQuickDefinition1Forward(t *testing.T) {
+	funcs := []Func{None{}, NewPoly(0.5), NewPoly(2), NewExp(0.01), NewPolySum(0, 1, 2), LandmarkWindow{}}
+	f := func(which uint8, tiRaw, d1Raw, d2Raw float64) bool {
+		g := funcs[int(which)%len(funcs)]
+		fd := NewForward(g, 0)
+		ti := 1e-6 + 1e5*clampUnit(tiRaw)
+		d1 := 1e5 * clampUnit(d1Raw)
+		d2 := 1e5 * clampUnit(d2Raw)
+		t1 := ti + d1
+		t2 := t1 + d2
+
+		w0 := fd.Weight(ti, ti)
+		w1 := fd.Weight(ti, t1)
+		w2 := fd.Weight(ti, t2)
+		if !almostEq(w0, 1, 1e-9) {
+			return false
+		}
+		for _, w := range []float64{w1, w2} {
+			if w < 0 || w > 1+1e-9 {
+				return false
+			}
+		}
+		return w2 <= w1+1e-9 && w1 <= w0+1e-9
+	}
+	if err := quick.Check(f, qcfg(2)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDefinition1Backward does the same for backward decay functions.
+func TestQuickDefinition1Backward(t *testing.T) {
+	funcs := []AgeFunc{AgeNone{}, NewSlidingWindow(100), NewAgeExp(0.05), NewAgePoly(2), AgeSubPoly{}, NewAgeSuperExp(1e-4)}
+	f := func(which uint8, tiRaw, d1Raw, d2Raw float64) bool {
+		fn := funcs[int(which)%len(funcs)]
+		bd := NewBackward(fn)
+		ti := 1e5 * clampUnit(tiRaw)
+		t1 := ti + 1e4*clampUnit(d1Raw)
+		t2 := t1 + 1e4*clampUnit(d2Raw)
+
+		if w := bd.Weight(ti, ti); !almostEq(w, 1, 1e-9) {
+			return false
+		}
+		w1, w2 := bd.Weight(ti, t1), bd.Weight(ti, t2)
+		if w1 < 0 || w1 > 1+1e-9 || w2 < 0 || w2 > 1+1e-9 {
+			return false
+		}
+		return w2 <= w1+1e-9
+	}
+	if err := quick.Check(f, qcfg(3)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickExpIdentity property-tests the forward/backward coincidence for
+// exponential decay over random rates, landmarks and times.
+func TestQuickExpIdentity(t *testing.T) {
+	f := func(alphaRaw, lRaw, tiRaw, dRaw float64) bool {
+		alpha := 1e-3 + clampUnit(alphaRaw)
+		L := 1e3 * (clampUnit(lRaw) - 0.5)
+		ti := L + 1e3*clampUnit(tiRaw)
+		tq := ti + 1e2*clampUnit(dRaw)
+		fw := NewForward(NewExp(alpha), L).Weight(ti, tq)
+		bw := NewBackward(NewAgeExp(alpha)).Weight(ti, tq)
+		return almostEq(fw, bw, 1e-7)
+	}
+	if err := quick.Check(f, qcfg(4)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWeightScaleInvariance checks the §III observation that scaling g
+// by a constant has no effect on decayed weights, using PolySum to represent
+// the scaled function.
+func TestQuickWeightScaleInvariance(t *testing.T) {
+	f := func(cRaw, tiRaw, dRaw float64) bool {
+		c := 0.5 + 10*clampUnit(cRaw)
+		ti := 1 + 1e4*clampUnit(tiRaw)
+		tq := ti + 1e4*clampUnit(dRaw)
+		base := NewForward(NewPolySum(0, 1), 0)   // g(n) = n
+		scaled := NewForward(NewPolySum(0, c), 0) // g(n) = c·n
+		return almostEq(base.Weight(ti, tq), scaled.Weight(ti, tq), 1e-9)
+	}
+	if err := quick.Check(f, qcfg(5)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLogShiftConsistency checks that for any shiftable function,
+// applying the LogShift constant reproduces LogEval at the shifted argument.
+func TestQuickLogShiftConsistency(t *testing.T) {
+	f := func(alphaRaw, deltaRaw, nRaw float64) bool {
+		alpha := 1e-3 + 2*clampUnit(alphaRaw)
+		delta := 1e3 * (clampUnit(deltaRaw) - 0.5)
+		n := 1e3 * clampUnit(nRaw)
+		e := NewExp(alpha)
+		c, ok := e.LogShift(delta)
+		if !ok {
+			return false
+		}
+		return almostEq(e.LogEval(n)+c, e.LogEval(n-delta), 1e-7)
+	}
+	if err := quick.Check(f, qcfg(6)); err != nil {
+		t.Error(err)
+	}
+}

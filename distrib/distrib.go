@@ -1,0 +1,277 @@
+// Package distrib runs forward-decay aggregation across distributed sites,
+// the deployment mode of §VI-B and the concluding remarks of the paper:
+// because static weights are fixed at arrival and all summaries merge, any
+// number of independent sites can aggregate their own partitions of a
+// stream and a coordinator can combine their partial states into the
+// summary of the union — with no coordination during ingestion and no
+// sensitivity to arrival order or skew between sites.
+//
+// Each site runs in its own goroutine, owns its aggregates exclusively, and
+// ships *serialized* partial state to the coordinator on demand, modelling
+// the network boundary: what crosses between goroutines is the same byte
+// encoding that would cross between machines.
+package distrib
+
+import (
+	"fmt"
+	"sync"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+)
+
+// Observation is one keyed, timestamped, valued stream event.
+type Observation struct {
+	// Key identifies the item (e.g. a destination).
+	Key uint64
+	// Value is the observation's numeric value (e.g. bytes); it feeds the
+	// decayed sum and, clamped to the quantile domain, the quantile digest.
+	Value float64
+	// Time is the event timestamp.
+	Time float64
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Sites is the number of ingestion sites (goroutines), ≥ 1.
+	Sites int
+	// Model is the shared forward decay model; all sites must agree on the
+	// function and landmark for their summaries to merge.
+	Model decay.Forward
+	// HHK enables per-site heavy-hitter summaries with HHK counters when
+	// positive.
+	HHK int
+	// QuantileU enables per-site quantile digests over [0, QuantileU) with
+	// error QuantileEps when positive.
+	QuantileU   uint64
+	QuantileEps float64
+	// Buffer is each site's input channel capacity (default 1024).
+	Buffer int
+}
+
+// Summary is a merged, queryable snapshot of the whole cluster.
+type Summary struct {
+	// Sum holds the decayed count/sum/mean/variance of all observations.
+	Sum *agg.Sum
+	// HH holds the merged heavy hitters (nil unless enabled).
+	HH *agg.HeavyHitters
+	// Quantiles holds the merged quantile digest (nil unless enabled).
+	Quantiles *agg.Quantiles
+}
+
+// siteState is the serialized partial state a site ships on request.
+type siteState struct {
+	sum []byte
+	hh  []byte
+	qd  []byte
+	err error
+}
+
+// site is one ingestion worker.
+type site struct {
+	in   chan Observation
+	snap chan chan siteState
+	done chan struct{}
+}
+
+// Cluster is a running set of sites plus the coordinator-side merge logic.
+// Observe routes events to sites; Snapshot produces a merged Summary.
+// Close must be called to release the workers.
+type Cluster struct {
+	cfg    Config
+	sites  []*site
+	wg     sync.WaitGroup
+	closed bool
+	mu     sync.Mutex
+}
+
+// New starts a cluster. It returns an error for invalid configurations.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("distrib: need at least one site")
+	}
+	if cfg.Model.Func == nil {
+		return nil, fmt.Errorf("distrib: config needs a decay model")
+	}
+	if cfg.QuantileU > 0 && !(cfg.QuantileEps > 0 && cfg.QuantileEps < 1) {
+		return nil, fmt.Errorf("distrib: quantiles enabled but QuantileEps invalid")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	c := &Cluster{cfg: cfg}
+	for i := 0; i < cfg.Sites; i++ {
+		s := &site{
+			in:   make(chan Observation, cfg.Buffer),
+			snap: make(chan chan siteState),
+			done: make(chan struct{}),
+		}
+		c.sites = append(c.sites, s)
+		c.wg.Add(1)
+		go c.runSite(s)
+	}
+	return c, nil
+}
+
+// runSite is the per-site event loop: it owns its aggregates exclusively,
+// so no locking is needed on the hot path.
+func (c *Cluster) runSite(s *site) {
+	defer c.wg.Done()
+	sum := agg.NewSum(c.cfg.Model)
+	var hh *agg.HeavyHitters
+	if c.cfg.HHK > 0 {
+		hh = agg.NewHeavyHittersK(c.cfg.Model, c.cfg.HHK)
+	}
+	var qd *agg.Quantiles
+	if c.cfg.QuantileU > 0 {
+		qd = agg.NewQuantiles(c.cfg.Model, c.cfg.QuantileU, c.cfg.QuantileEps)
+	}
+	process := func(ob Observation) {
+		sum.Observe(ob.Time, ob.Value)
+		if hh != nil {
+			hh.Observe(ob.Key, ob.Time)
+		}
+		if qd != nil {
+			v := uint64(0)
+			if ob.Value > 0 {
+				v = uint64(ob.Value)
+			}
+			qd.Observe(v, ob.Time)
+		}
+	}
+	for {
+		select {
+		case ob, ok := <-s.in:
+			if !ok {
+				close(s.done)
+				return
+			}
+			process(ob)
+		case reply := <-s.snap:
+			// Drain everything already queued before answering, so a
+			// snapshot taken after ingestion quiesces reflects every
+			// delivered observation.
+			for drained := false; !drained; {
+				select {
+				case ob, ok := <-s.in:
+					if !ok {
+						reply <- marshalSite(sum, hh, qd)
+						close(s.done)
+						return
+					}
+					process(ob)
+				default:
+					drained = true
+				}
+			}
+			reply <- marshalSite(sum, hh, qd)
+		}
+	}
+}
+
+// marshalSite serializes a site's current state.
+func marshalSite(sum *agg.Sum, hh *agg.HeavyHitters, qd *agg.Quantiles) siteState {
+	var st siteState
+	st.sum, st.err = sum.MarshalBinary()
+	if st.err != nil {
+		return st
+	}
+	if hh != nil {
+		st.hh, st.err = hh.MarshalBinary()
+		if st.err != nil {
+			return st
+		}
+	}
+	if qd != nil {
+		st.qd, st.err = qd.MarshalBinary()
+	}
+	return st
+}
+
+// Observe routes an observation to a site. Site indices wrap (negative
+// values included), so callers may pass any routing value — a counter, a
+// flow hash cast to int, etc.
+func (c *Cluster) Observe(siteIdx int, ob Observation) {
+	i := siteIdx % len(c.sites)
+	if i < 0 {
+		i += len(c.sites)
+	}
+	c.sites[i].in <- ob
+}
+
+// Sites returns the number of sites.
+func (c *Cluster) Sites() int { return len(c.sites) }
+
+// Snapshot asks every site for its serialized partial state and merges the
+// decoded partials into a fresh Summary — exactly the distributed pattern
+// of §VI-B. It is safe to call concurrently with Observe; each site
+// snapshots at an event boundary.
+func (c *Cluster) Snapshot() (*Summary, error) {
+	states := make([]siteState, len(c.sites))
+	replies := make([]chan siteState, len(c.sites))
+	for i, s := range c.sites {
+		replies[i] = make(chan siteState, 1)
+		select {
+		case s.snap <- replies[i]:
+		case <-s.done:
+			return nil, fmt.Errorf("distrib: site %d already closed", i)
+		}
+	}
+	for i := range replies {
+		states[i] = <-replies[i]
+		if states[i].err != nil {
+			return nil, fmt.Errorf("distrib: site %d snapshot: %w", i, states[i].err)
+		}
+	}
+
+	out := &Summary{Sum: agg.NewSum(c.cfg.Model)}
+	if c.cfg.HHK > 0 {
+		out.HH = agg.NewHeavyHittersK(c.cfg.Model, c.cfg.HHK)
+	}
+	if c.cfg.QuantileU > 0 {
+		out.Quantiles = agg.NewQuantiles(c.cfg.Model, c.cfg.QuantileU, c.cfg.QuantileEps)
+	}
+	for i, st := range states {
+		var sum agg.Sum
+		if err := sum.UnmarshalBinary(st.sum); err != nil {
+			return nil, fmt.Errorf("distrib: decoding site %d sum: %w", i, err)
+		}
+		if err := out.Sum.Merge(&sum); err != nil {
+			return nil, err
+		}
+		if out.HH != nil {
+			var hh agg.HeavyHitters
+			if err := hh.UnmarshalBinary(st.hh); err != nil {
+				return nil, fmt.Errorf("distrib: decoding site %d heavy hitters: %w", i, err)
+			}
+			if err := out.HH.Merge(&hh); err != nil {
+				return nil, err
+			}
+		}
+		if out.Quantiles != nil {
+			var qd agg.Quantiles
+			if err := qd.UnmarshalBinary(st.qd); err != nil {
+				return nil, fmt.Errorf("distrib: decoding site %d quantiles: %w", i, err)
+			}
+			if err := out.Quantiles.Merge(&qd); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Close drains and stops all sites. Observe must not be called after (or
+// concurrently with) Close. Close is idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, s := range c.sites {
+		close(s.in)
+	}
+	c.wg.Wait()
+}

@@ -1,0 +1,178 @@
+package distrib
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/netgen"
+)
+
+func almostEq(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestClusterMatchesSingleNode partitions a packet stream across sites by
+// flow hash and checks the merged snapshot equals a single-node run: sums
+// exactly, heavy hitters and quantiles within their merge error.
+func TestClusterMatchesSingleNode(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(2), 0)
+	cl, err := New(Config{
+		Sites: 4, Model: model, HHK: 400, QuantileU: 2048, QuantileEps: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := agg.NewSum(model)
+	singleHH := agg.NewHeavyHittersK(model, 400)
+
+	gen := netgen.New(netgen.DefaultConfig(5000, 17))
+	var now float64
+	for gen.Now() < 60 {
+		p := gen.Next()
+		now = p.Time
+		ob := Observation{Key: p.DestKey(), Value: float64(p.Len), Time: p.Time}
+		cl.Observe(int(p.FlowKey()), ob) // route by flow hash
+		single.Observe(p.Time, float64(p.Len))
+		singleHH.Observe(p.DestKey(), p.Time)
+	}
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+
+	if !almostEq(snap.Sum.Value(now), single.Value(now), 1e-9) {
+		t.Errorf("cluster sum %v, single-node %v", snap.Sum.Value(now), single.Value(now))
+	}
+	if !almostEq(snap.Sum.Mean(), single.Mean(), 1e-9) {
+		t.Errorf("cluster mean %v, single-node %v", snap.Sum.Mean(), single.Mean())
+	}
+	if !almostEq(snap.Sum.Variance(), single.Variance(), 1e-6) {
+		t.Errorf("cluster variance %v, single-node %v", snap.Sum.Variance(), single.Variance())
+	}
+
+	// Heavy hitters: the single-node φ-heavy hitters must all be reported
+	// by the merged summary (merge widens error bounds but preserves the
+	// guarantee superset-wise at slightly smaller φ).
+	const phi = 0.03
+	merged := map[uint64]bool{}
+	for _, it := range snap.HH.Query(now, phi/2) {
+		merged[it.Key] = true
+	}
+	for _, it := range singleHH.Query(now, phi) {
+		if !merged[it.Key] {
+			t.Errorf("cluster lost heavy hitter %d", it.Key)
+		}
+	}
+	if snap.Quantiles == nil {
+		t.Fatal("quantiles missing")
+	}
+	med := snap.Quantiles.Quantile(0.5)
+	if med < 40 || med > 1500 {
+		t.Errorf("merged median packet size %d implausible", med)
+	}
+}
+
+// TestClusterConcurrentSnapshots exercises snapshots while ingestion is in
+// flight from multiple producers.
+func TestClusterConcurrentSnapshots(t *testing.T) {
+	model := decay.NewForward(decay.NewExp(0.01), 0)
+	cl, err := New(Config{Sites: 3, Model: model, HHK: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20000; i++ {
+				cl.Observe(p, Observation{Key: uint64(i % 100), Value: 1, Time: float64(i) * 0.001})
+			}
+		}()
+	}
+	snapsDone := make(chan struct{})
+	go func() {
+		defer close(snapsDone)
+		for i := 0; i < 20; i++ {
+			if _, err := cl.Snapshot(); err != nil {
+				t.Errorf("snapshot %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-snapsDone
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if snap.Sum.N() != 60000 {
+		t.Errorf("cluster saw %d observations, want 60000", snap.Sum.N())
+	}
+}
+
+// TestClusterSkewedPartitioning sends nearly everything to one site; the
+// merged result is identical to balanced partitioning (merging is exact for
+// the sums).
+func TestClusterSkewedPartitioning(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(1), 0)
+	mk := func(route func(i int) int) float64 {
+		cl, err := New(Config{Sites: 4, Model: model})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		for i := 0; i < 10000; i++ {
+			cl.Observe(route(i), Observation{Key: 1, Value: 2, Time: 1 + float64(i)*0.01})
+		}
+		snap, err := cl.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap.Sum.Value(200)
+	}
+	balanced := mk(func(i int) int { return i })
+	skewed := mk(func(i int) int {
+		if i%100 == 0 {
+			return i
+		}
+		return 0
+	})
+	if !almostEq(balanced, skewed, 1e-9) {
+		t.Errorf("partitioning changed the answer: %v vs %v", balanced, skewed)
+	}
+}
+
+func TestClusterConfigValidation(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(2), 0)
+	if _, err := New(Config{Sites: 0, Model: model}); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := New(Config{Sites: 1}); err == nil {
+		t.Error("missing model accepted")
+	}
+	if _, err := New(Config{Sites: 1, Model: model, QuantileU: 100}); err == nil {
+		t.Error("quantiles without epsilon accepted")
+	}
+}
+
+func TestClusterCloseIdempotentAndSnapshotAfterClose(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(2), 0)
+	cl, err := New(Config{Sites: 2, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Observe(0, Observation{Key: 1, Value: 1, Time: 1})
+	cl.Close()
+	cl.Close() // idempotent
+	if _, err := cl.Snapshot(); err == nil {
+		t.Error("snapshot after close should fail")
+	}
+}

@@ -1,0 +1,72 @@
+// Latencymetrics shows the forward-decay machinery in its most widespread
+// production role: an exponentially-decaying reservoir tracking service
+// latency percentiles, the construction popular metrics libraries adopted
+// from this line of work. A simulated service degrades sharply; the
+// decaying reservoir's p99 reacts within a couple of half-lives, while a
+// plain uniform reservoir stays anchored to stale history.
+//
+// Run with: go run ./examples/latencymetrics
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"forwarddecay/internal/core"
+	"forwarddecay/metrics"
+	"forwarddecay/sample"
+)
+
+func main() {
+	clock := time.Date(2026, 7, 4, 12, 0, 0, 0, time.UTC)
+	now := func() time.Time { return clock }
+
+	decaying := metrics.NewReservoir(1024, 30*time.Second, metrics.WithClock(now))
+	uniform := sample.NewReservoir[float64](1024, 99)
+	rng := core.NewRNG(2026)
+
+	// Latency model: log-normal-ish around a base that jumps 10× at t=10min.
+	lat := func(minute int) float64 {
+		base := 12.0 // ms
+		if minute >= 10 {
+			base = 120
+		}
+		return base * (0.5 + rng.Float64()*1.5)
+	}
+
+	fmt.Println("minute  decaying p50   decaying p99   uniform p50")
+	for minute := 0; minute < 14; minute++ {
+		for i := 0; i < 2000; i++ { // ~33 requests/s
+			v := lat(minute)
+			decaying.Update(v)
+			uniform.Add(v)
+			clock = clock.Add(30 * time.Millisecond)
+		}
+		s := decaying.Snapshot()
+		up50 := quantile(uniform.Sample(), 0.5)
+		marker := ""
+		if minute == 10 {
+			marker = "   ← regression deployed"
+		}
+		fmt.Printf("%5d   %9.1f ms   %9.1f ms   %8.1f ms%s\n",
+			minute, s.Median(), s.Quantile(0.99), up50, marker)
+	}
+	fmt.Println("\nthe decaying reservoir's percentiles converge to the new regime within")
+	fmt.Println("a couple of 30 s half-lives; the uniform sample's median is still")
+	fmt.Println("anchored to the ten minutes of healthy traffic it mostly holds")
+}
+
+// quantile computes a simple quantile of an unsorted sample copy.
+func quantile(vals []float64, phi float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	for i := 1; i < len(s); i++ { // insertion sort: sample is small
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(phi * float64(len(s)-1))
+	return s[idx]
+}

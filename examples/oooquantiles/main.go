@@ -1,0 +1,75 @@
+// Oooquantiles demonstrates Section VI-B of the paper: forward-decay
+// aggregates tolerate out-of-order arrivals with no special handling, and
+// summaries built at distributed sites merge into the summary of the union.
+// The demo tracks decayed quantiles of packet sizes over a badly reordered
+// stream, split across three "monitors", and shows the merged digest agrees
+// with a single-site, in-order run.
+//
+// Run with: go run ./examples/oooquantiles
+package main
+
+import (
+	"fmt"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/netgen"
+)
+
+func main() {
+	model := decay.NewForward(decay.NewPoly(2), 0)
+	const u = 2048 // packet sizes fit in [0, 2048)
+
+	// Reference: in-order, single site.
+	inOrder := netgen.New(netgen.DefaultConfig(20_000, 9))
+	ref := agg.NewQuantiles(model, u, 0.02)
+	var now float64
+	for inOrder.Now() < 60 {
+		p := inOrder.Next()
+		now = p.Time
+		ref.Observe(uint64(p.Len), p.Time)
+	}
+
+	// The same traffic, delivered badly out of order (shuffle buffer of
+	// 4096 packets) and split across three sites.
+	cfg := netgen.DefaultConfig(20_000, 9)
+	cfg.OutOfOrder = 4096
+	ooo := netgen.New(cfg)
+	sites := []*agg.Quantiles{
+		agg.NewQuantiles(model, u, 0.02),
+		agg.NewQuantiles(model, u, 0.02),
+		agg.NewQuantiles(model, u, 0.02),
+	}
+	i := 0
+	inversions := 0
+	prev := 0.0
+	for ooo.Now() < 60 {
+		p := ooo.Next()
+		if p.Time < prev {
+			inversions++
+		}
+		prev = p.Time
+		sites[i%3].Observe(uint64(p.Len), p.Time)
+		i++
+	}
+
+	merged := sites[0]
+	must(merged.Merge(sites[1]))
+	must(merged.Merge(sites[2]))
+
+	fmt.Printf("processed ~%d packets; out-of-order delivery had %d timestamp inversions\n\n", i, inversions)
+	fmt.Println("decayed packet-size quantiles (recent minutes weighted quadratically):")
+	fmt.Printf("%8s  %18s  %22s\n", "phi", "in-order 1 site", "out-of-order 3 sites")
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("%8.2f  %18d  %22d\n", phi, ref.Quantile(phi), merged.Quantile(phi))
+	}
+	fmt.Printf("\ndecayed counts at t=%.1f: in-order %.1f, merged %.1f\n",
+		now, ref.DecayedCount(now), merged.DecayedCount(now))
+	fmt.Println("\nno reordering logic exists anywhere in the library: static weights make order irrelevant (§VI-B)")
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

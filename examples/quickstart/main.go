@@ -1,0 +1,68 @@
+// Quickstart: a 60-second tour of the forwarddecay public API — decay
+// models, decayed aggregates, heavy hitters, quantiles and sampling.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/sample"
+)
+
+func main() {
+	// A forward decay model: quadratic decay g(n) = n² with the landmark at
+	// time 100 — the model of the paper's running example.
+	fd := decay.NewForward(decay.NewPoly(2), 100)
+
+	// The paper's Example 1 stream: (timestamp, value) pairs.
+	stream := []struct{ ti, v float64 }{
+		{105, 4}, {107, 8}, {103, 3}, {108, 6}, {104, 4},
+	}
+
+	fmt.Println("Decayed weights at t=110 (Example 1):")
+	for _, it := range stream {
+		fmt.Printf("  item (%g, %g): weight %.2f\n", it.ti, it.v, fd.Weight(it.ti, 110))
+	}
+
+	// Decayed count, sum, average and variance in constant space
+	// (Definition 5 / Theorem 1).
+	s := agg.NewSum(fd)
+	for _, it := range stream {
+		s.Observe(it.ti, it.v)
+	}
+	fmt.Printf("\nC = %.2f, S = %.2f, A = %.2f (Example 2)\n",
+		s.Count(110), s.Value(110), s.Mean())
+	fmt.Printf("decayed std dev = %.3f\n", s.StdDev())
+
+	// Decayed heavy hitters via weighted SpaceSaving (Theorem 2).
+	hh := agg.NewHeavyHittersK(fd, 16)
+	for _, it := range stream {
+		hh.Observe(uint64(it.v), it.ti)
+	}
+	fmt.Println("\nφ=0.2 heavy hitters (Example 3):")
+	for _, item := range hh.Query(110, 0.2) {
+		fmt.Printf("  value %d: decayed count %.2f\n", item.Key, item.Count)
+	}
+
+	// Weighted reservoir sampling under forward decay (Theorem 6): recent
+	// items are proportionally more likely to be drawn.
+	wrs := sample.NewForwardWRS[float64](fd, 2, 42)
+	for _, it := range stream {
+		wrs.Observe(it.v, it.ti)
+	}
+	fmt.Printf("\nsize-2 weighted sample without replacement: %v\n", wrs.Sample())
+
+	// Exponential decay works identically — and because forward and
+	// backward exponential decay coincide (§III-A), this is also an
+	// exponentially time-decayed counter with a 10-second half-life.
+	exp := decay.NewForward(decay.NewExpHalfLife(10), 100)
+	c := agg.NewCounter(exp)
+	for _, it := range stream {
+		c.Observe(it.ti)
+	}
+	fmt.Printf("\nexp half-life 10s: decayed count %.3f at t=110, %.3f at t=130\n",
+		c.Value(110), c.Value(130))
+}

@@ -1,0 +1,3 @@
+module forwarddecay
+
+go 1.22

@@ -1,0 +1,223 @@
+package gsql
+
+import (
+	"fmt"
+)
+
+// Aggregator accumulates values for one group. Implementations of the
+// builtin aggregates and of user-defined aggregate functions (UDAFs) both
+// satisfy this interface.
+type Aggregator interface {
+	// Step folds in one tuple's argument values (empty for count(*)).
+	Step(args []Value) error
+	// Final produces the aggregate result.
+	Final() Value
+}
+
+// Merger is implemented by aggregators that can combine partial states.
+// Only queries whose every aggregate is a Merger run under the two-level
+// (low/high) split; others run at the high level only, exactly as the
+// paper's UDAFs do.
+type Merger interface {
+	Aggregator
+	// Merge folds another partial aggregate of the same kind into this one.
+	Merge(other Aggregator) error
+}
+
+// AggSpec describes an aggregate function: its name, arity and factory.
+// Mergeable must be set only if the factory's aggregators implement Merger.
+type AggSpec struct {
+	// Name is the function name used in queries (case-insensitive).
+	Name string
+	// MinArgs and MaxArgs bound the argument count (count(*) passes 0).
+	MinArgs, MaxArgs int
+	// New creates an empty aggregator for one group.
+	New func() Aggregator
+	// Mergeable enables the two-level split for this aggregate.
+	Mergeable bool
+}
+
+// builtinAggs returns the specs of the builtin aggregates.
+func builtinAggs() map[string]AggSpec {
+	mk := func(name string, min, max int, f func() Aggregator) AggSpec {
+		return AggSpec{Name: name, MinArgs: min, MaxArgs: max, New: f, Mergeable: true}
+	}
+	return map[string]AggSpec{
+		"count": mk("count", 0, 1, func() Aggregator { return &countAgg{} }),
+		"sum":   mk("sum", 1, 1, func() Aggregator { return &sumAgg{} }),
+		"avg":   mk("avg", 1, 1, func() Aggregator { return &avgAgg{} }),
+		"min":   mk("min", 1, 1, func() Aggregator { return &minmaxAgg{min: true} }),
+		"max":   mk("max", 1, 1, func() Aggregator { return &minmaxAgg{} }),
+	}
+}
+
+// countAgg implements count(*) and count(expr) (counting non-NULL values).
+type countAgg struct{ n int64 }
+
+func (c *countAgg) Step(args []Value) error {
+	if len(args) == 0 || !args[0].IsNull() {
+		c.n++
+	}
+	return nil
+}
+
+func (c *countAgg) Final() Value { return Int(c.n) }
+
+func (c *countAgg) Merge(o Aggregator) error {
+	oc, ok := o.(*countAgg)
+	if !ok {
+		return fmt.Errorf("gsql: count: cannot merge %T", o)
+	}
+	c.n += oc.n
+	return nil
+}
+
+// sumAgg implements sum(expr), preserving integer typing for all-integer
+// inputs (GS/C semantics).
+type sumAgg struct {
+	i       int64
+	f       float64
+	isFloat bool
+	seen    bool
+}
+
+func (s *sumAgg) Step(args []Value) error {
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	s.seen = true
+	if v.T == TFloat {
+		if !s.isFloat {
+			s.f = float64(s.i)
+			s.isFloat = true
+		}
+		s.f += v.F
+		return nil
+	}
+	if s.isFloat {
+		s.f += float64(v.AsInt())
+	} else {
+		s.i += v.AsInt()
+	}
+	return nil
+}
+
+func (s *sumAgg) Final() Value {
+	if !s.seen {
+		return Null
+	}
+	if s.isFloat {
+		return Float(s.f)
+	}
+	return Int(s.i)
+}
+
+func (s *sumAgg) Merge(o Aggregator) error {
+	os, ok := o.(*sumAgg)
+	if !ok {
+		return fmt.Errorf("gsql: sum: cannot merge %T", o)
+	}
+	if !os.seen {
+		return nil
+	}
+	if os.isFloat {
+		s.Step([]Value{Float(os.f)})
+	} else {
+		s.Step([]Value{Int(os.i)})
+	}
+	return nil
+}
+
+// avgAgg implements avg(expr) as a float mean.
+type avgAgg struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAgg) Step(args []Value) error {
+	if args[0].IsNull() {
+		return nil
+	}
+	a.sum += args[0].AsFloat()
+	a.n++
+	return nil
+}
+
+func (a *avgAgg) Final() Value {
+	if a.n == 0 {
+		return Null
+	}
+	return Float(a.sum / float64(a.n))
+}
+
+func (a *avgAgg) Merge(o Aggregator) error {
+	oa, ok := o.(*avgAgg)
+	if !ok {
+		return fmt.Errorf("gsql: avg: cannot merge %T", o)
+	}
+	a.sum += oa.sum
+	a.n += oa.n
+	return nil
+}
+
+// minmaxAgg implements min(expr) and max(expr) over numeric or string
+// values.
+type minmaxAgg struct {
+	min  bool
+	best Value
+	seen bool
+}
+
+func (m *minmaxAgg) Step(args []Value) error {
+	v := args[0]
+	if v.IsNull() {
+		return nil
+	}
+	if !m.seen {
+		m.best, m.seen = v, true
+		return nil
+	}
+	c, err := compare(v, m.best)
+	if err != nil {
+		return err
+	}
+	if m.min && c < 0 || !m.min && c > 0 {
+		m.best = v
+	}
+	return nil
+}
+
+func (m *minmaxAgg) Final() Value {
+	if !m.seen {
+		return Null
+	}
+	return m.best
+}
+
+func (m *minmaxAgg) Merge(o Aggregator) error {
+	om, ok := o.(*minmaxAgg)
+	if !ok {
+		return fmt.Errorf("gsql: min/max: cannot merge %T", o)
+	}
+	if !om.seen {
+		return nil
+	}
+	return m.Step([]Value{om.best})
+}
+
+// validateSpec checks an AggSpec before registration.
+func validateSpec(s AggSpec) error {
+	if s.Name == "" || s.New == nil {
+		return fmt.Errorf("gsql: aggregate spec needs a name and factory")
+	}
+	if s.MinArgs < 0 || s.MaxArgs < s.MinArgs {
+		return fmt.Errorf("gsql: aggregate %s: bad arity bounds [%d,%d]", s.Name, s.MinArgs, s.MaxArgs)
+	}
+	if s.Mergeable {
+		if _, ok := s.New().(Merger); !ok {
+			return fmt.Errorf("gsql: aggregate %s declared mergeable but does not implement Merger", s.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Package gsql is a small streaming query engine modelled on the GS
+// (Gigascope) system in which the forward-decay paper's experiments run: an
+// SQL-like language over unbounded tuple streams with tumbling time-bucket
+// semantics, a two-level aggregation architecture, and user-defined
+// aggregate functions (UDAFs).
+//
+// The features the paper exercises are all present:
+//
+//   - Queries like the paper's §IV-A decayed count,
+//
+//     select tb, destIP, destPort,
+//     sum(len*(time % 60)*(time % 60))/3600
+//     from TCP
+//     group by time/60 as tb, destIP, destPort
+//
+//     parse and run unmodified: integer arithmetic (%, /), group-by
+//     expressions with aliases, aggregates nested in arithmetic, WHERE and
+//     HAVING filters, and scalar functions (exp, ln, sqrt, pow, abs).
+//
+//   - Tumbling time buckets: when a monotone group-by expression (one
+//     derived from a timestamp column, e.g. time/60) advances, all groups
+//     of the closed bucket are emitted — GS's time-bucket semantics.
+//     Run.Heartbeat closes buckets during traffic lulls (GS's heartbeat
+//     mechanism). Late tuples are never dropped: a tuple arriving after its
+//     bucket closed aggregates under its old bucket key and is emitted as a
+//     supplementary row at the next flush.
+//
+//   - Two-level aggregation: a fixed-size low-level hash table performs
+//     partial aggregation and evicts partials on collision to a high-level
+//     aggregator that merges them (the architecture behind Figure 2(a));
+//     Options.DisableTwoLevel turns the split off, as the paper does for
+//     Figure 2(b). Non-mergeable UDAFs automatically run at the high level
+//     only, matching the paper's setup.
+//
+//   - UDAFs: RegisterUDAF installs arbitrary aggregate implementations; the
+//     repository registers forward-decay samplers, SpaceSaving heavy
+//     hitters and the backward-decay baselines this way (see the bench
+//     package), with no query-language extensions — the paper's central
+//     systems claim.
+//
+// The engine is deliberately a substrate, not a product: one stream per
+// query, no joins, no subqueries.
+package gsql

@@ -1,0 +1,137 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Engine holds registered streams and aggregate functions and prepares
+// queries against them.
+type Engine struct {
+	streams map[string]*Schema
+	aggs    map[string]AggSpec
+}
+
+// NewEngine returns an engine with the builtin aggregates registered.
+func NewEngine() *Engine {
+	return &Engine{
+		streams: make(map[string]*Schema),
+		aggs:    builtinAggs(),
+	}
+}
+
+// RegisterStream makes a stream schema queryable in FROM clauses.
+func (e *Engine) RegisterStream(s *Schema) error {
+	if s == nil || s.Name == "" {
+		return fmt.Errorf("gsql: nil or unnamed schema")
+	}
+	k := strings.ToLower(s.Name)
+	if _, dup := e.streams[k]; dup {
+		return fmt.Errorf("gsql: stream %s already registered", s.Name)
+	}
+	e.streams[k] = s
+	return nil
+}
+
+// RegisterUDAF installs a user-defined aggregate function; queries may then
+// call it like any builtin aggregate. This is the extension mechanism the
+// paper uses for the holistic aggregates and samplers (no query-language
+// changes needed).
+func (e *Engine) RegisterUDAF(spec AggSpec) error {
+	if err := validateSpec(spec); err != nil {
+		return err
+	}
+	k := strings.ToLower(spec.Name)
+	if _, dup := e.aggs[k]; dup {
+		return fmt.Errorf("gsql: aggregate %s already registered", spec.Name)
+	}
+	e.aggs[k] = spec
+	return nil
+}
+
+// Statement is a prepared query. Prepare once, then create any number of
+// independent Runs.
+type Statement struct {
+	p    *plan
+	text string
+}
+
+// Prepare parses, plans and compiles a query.
+func (e *Engine) Prepare(query string) (*Statement, error) {
+	isAgg := func(name string) bool {
+		_, ok := e.aggs[name]
+		return ok
+	}
+	ast, err := parseQuery(query, isAgg)
+	if err != nil {
+		return nil, err
+	}
+	schema, ok := e.streams[strings.ToLower(ast.from)]
+	if !ok {
+		return nil, fmt.Errorf("gsql: unknown stream %q", ast.from)
+	}
+	p, err := buildPlan(ast, schema, e.aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{p: p, text: query}, nil
+}
+
+// Columns returns the output column names.
+func (s *Statement) Columns() []string { return s.p.Columns() }
+
+// Mergeable reports whether all of the statement's aggregates support
+// partial merging (the precondition for the two-level split).
+func (s *Statement) Mergeable() bool { return s.p.mergeable }
+
+// Temporal reports whether the statement has a tumbling time-bucket
+// group-by expression.
+func (s *Statement) Temporal() bool { return s.p.temporalIdx >= 0 }
+
+// Describe returns a terse plan summary for diagnostics.
+func (s *Statement) Describe() string { return s.p.describe() }
+
+// Text returns the original query text.
+func (s *Statement) Text() string { return s.text }
+
+// Start begins an execution run delivering output rows to sink.
+func (s *Statement) Start(sink func(Tuple) error, opts Options) *Run {
+	return newRun(s.p, sink, opts)
+}
+
+// Execute runs the statement over a finite tuple source, collecting all
+// output rows — a convenience for tests and examples. next returns the next
+// tuple and false when exhausted.
+func (s *Statement) Execute(next func() (Tuple, bool), opts Options) ([]Tuple, error) {
+	var out []Tuple
+	run := s.Start(func(row Tuple) error {
+		out = append(out, row)
+		return nil
+	}, opts)
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if err := run.Push(t); err != nil {
+			return out, err
+		}
+	}
+	if err := run.Close(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// SliceSource adapts a slice of tuples to an Execute source.
+func SliceSource(tuples []Tuple) func() (Tuple, bool) {
+	i := 0
+	return func() (Tuple, bool) {
+		if i >= len(tuples) {
+			return nil, false
+		}
+		t := tuples[i]
+		i++
+		return t, true
+	}
+}

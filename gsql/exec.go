@@ -1,0 +1,293 @@
+package gsql
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"forwarddecay/internal/core"
+)
+
+// Options configure query execution.
+type Options struct {
+	// DisableTwoLevel forces all aggregation to the high level, as the
+	// paper does for Figure 2(b). The default (false) splits mergeable
+	// queries across a fixed-size low-level table and a high-level merger.
+	DisableTwoLevel bool
+	// LowLevelSlots is the size of the low-level hash table (power of two;
+	// default 4096).
+	LowLevelSlots int
+}
+
+// Run executes one prepared statement over a stream: Push tuples, then
+// Close. Rows are delivered to the sink as time buckets close (and finally
+// at Close), each bucket's groups in deterministic (key-sorted) order.
+//
+// A Run is single-use and not safe for concurrent use.
+type Run struct {
+	p    *plan
+	sink func(Tuple) error
+
+	twoLevel bool
+	low      []lowSlot
+	lowMask  uint64
+	high     map[string]*group
+
+	bucketSet bool
+	bucket    Value
+
+	keyBuf []byte
+	args   []Value
+	rec    Tuple // scratch combined record
+
+	// stats
+	evictions uint64
+	tuples    uint64
+}
+
+type lowSlot struct {
+	used bool
+	hash uint64
+	key  []byte
+	gv   Tuple
+	aggs []Aggregator
+}
+
+type group struct {
+	gv   Tuple
+	aggs []Aggregator
+}
+
+// newRun wires a plan to a sink under the given options.
+func newRun(p *plan, sink func(Tuple) error, opts Options) *Run {
+	r := &Run{
+		p:    p,
+		sink: sink,
+		high: make(map[string]*group),
+		args: make([]Value, 4),
+		rec:  make(Tuple, len(p.groupFns)+len(p.aggSpecs)),
+	}
+	r.twoLevel = p.mergeable && !opts.DisableTwoLevel && len(p.groupFns) > 0
+	if r.twoLevel {
+		n := opts.LowLevelSlots
+		if n <= 0 {
+			n = 4096
+		}
+		// Round up to a power of two for mask indexing.
+		sz := 1
+		for sz < n {
+			sz <<= 1
+		}
+		r.low = make([]lowSlot, sz)
+		r.lowMask = uint64(sz - 1)
+	}
+	return r
+}
+
+// Push processes one input tuple.
+func (r *Run) Push(t Tuple) error {
+	r.tuples++
+	if r.p.where != nil {
+		ok, err := r.p.where(t)
+		if err != nil {
+			return err
+		}
+		if !ok.Truthy() {
+			return nil
+		}
+	}
+
+	// Evaluate group-by expressions and detect bucket advancement.
+	ng := len(r.p.groupFns)
+	gv := make(Tuple, ng)
+	r.keyBuf = r.keyBuf[:0]
+	for i, fn := range r.p.groupFns {
+		v, err := fn(t)
+		if err != nil {
+			return err
+		}
+		gv[i] = v
+		r.keyBuf = v.appendKey(r.keyBuf)
+	}
+	if ti := r.p.temporalIdx; ti >= 0 {
+		b := gv[ti]
+		if !r.bucketSet {
+			r.bucket, r.bucketSet = b, true
+		} else if c, _ := compare(b, r.bucket); c > 0 {
+			if err := r.flush(); err != nil {
+				return err
+			}
+			r.bucket = b
+		}
+	}
+
+	if !r.twoLevel {
+		// string(r.keyBuf) in a map index expression does not allocate; the
+		// string is only materialized when a new group is inserted.
+		g := r.high[string(r.keyBuf)]
+		if g == nil {
+			g = &group{gv: gv, aggs: r.newAggs()}
+			r.high[string(r.keyBuf)] = g
+		}
+		return r.step(g.aggs, t)
+	}
+
+	// Two-level: probe the fixed-size low table; evict the resident partial
+	// on collision (GS's low-level aggregation). The fast path — a repeated
+	// group key hitting its slot — performs no allocation at all.
+	h := core.HashBytes(r.keyBuf)
+	s := &r.low[h&r.lowMask]
+	if s.used && !(s.hash == h && bytes.Equal(s.key, r.keyBuf)) {
+		if err := r.evict(s); err != nil {
+			return err
+		}
+		s.used = false
+	}
+	if !s.used {
+		s.used = true
+		s.hash = h
+		s.key = append(s.key[:0], r.keyBuf...)
+		s.gv = gv
+		s.aggs = r.newAggs()
+	}
+	return r.step(s.aggs, t)
+}
+
+// newAggs instantiates one aggregator per slot.
+func (r *Run) newAggs() []Aggregator {
+	aggs := make([]Aggregator, len(r.p.aggSpecs))
+	for i, spec := range r.p.aggSpecs {
+		aggs[i] = spec.New()
+	}
+	return aggs
+}
+
+// step folds tuple t into each aggregator.
+func (r *Run) step(aggs []Aggregator, t Tuple) error {
+	for i, a := range aggs {
+		argFns := r.p.aggArgFns[i]
+		args := r.args[:0]
+		for _, fn := range argFns {
+			v, err := fn(t)
+			if err != nil {
+				return err
+			}
+			args = append(args, v)
+		}
+		if err := a.Step(args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evict merges a low-level partial into the high level.
+func (r *Run) evict(s *lowSlot) error {
+	r.evictions++
+	g := r.high[string(s.key)]
+	if g == nil {
+		r.high[string(s.key)] = &group{gv: s.gv, aggs: s.aggs}
+		return nil
+	}
+	for i, a := range g.aggs {
+		if err := a.(Merger).Merge(s.aggs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flush drains the low table into the high level, emits every group of the
+// closed bucket in key order, and resets for the next bucket.
+func (r *Run) flush() error {
+	if r.twoLevel {
+		for i := range r.low {
+			if r.low[i].used {
+				if err := r.evict(&r.low[i]); err != nil {
+					return err
+				}
+				r.low[i].used = false
+				r.low[i].aggs = nil
+				r.low[i].gv = nil
+			}
+		}
+	}
+	keys := make([]string, 0, len(r.high))
+	for k := range r.high {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := r.high[k]
+		copy(r.rec, g.gv)
+		for i, a := range g.aggs {
+			r.rec[len(g.gv)+i] = a.Final()
+		}
+		if r.p.having != nil {
+			ok, err := r.p.having(r.rec)
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		out := make(Tuple, len(r.p.outFns))
+		for i, fn := range r.p.outFns {
+			v, err := fn(r.rec)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		if err := r.sink(out); err != nil {
+			return err
+		}
+	}
+	for k := range r.high {
+		delete(r.high, k)
+	}
+	return nil
+}
+
+// Heartbeat advances the temporal bucket without carrying data, closing
+// (and emitting) any buckets older than the one containing ts. It mirrors
+// GS's heartbeat/punctuation mechanism: a lull in traffic must not leave
+// the previous time bucket's results unreported. ts is a value in the same
+// units as the temporal group-by expression's source column (e.g. seconds
+// for `group by time/60`); it is ignored for non-temporal queries.
+func (r *Run) Heartbeat(ts Value) error {
+	ti := r.p.temporalIdx
+	if ti < 0 {
+		return nil
+	}
+	b, err := r.p.temporalOf(ts)
+	if err != nil {
+		return err
+	}
+	if !r.bucketSet {
+		r.bucket, r.bucketSet = b, true
+		return nil
+	}
+	if c, _ := compare(b, r.bucket); c > 0 {
+		if err := r.flush(); err != nil {
+			return err
+		}
+		r.bucket = b
+	}
+	return nil
+}
+
+// Close flushes the final (still open) bucket.
+func (r *Run) Close() error { return r.flush() }
+
+// Stats reports tuples processed and low-level evictions (diagnostics for
+// the two-level experiments).
+func (r *Run) Stats() (tuples, evictions uint64) { return r.tuples, r.evictions }
+
+// errSinkStop can be returned by sinks to abort execution early.
+var errSinkStop = fmt.Errorf("gsql: sink requested stop")
+
+// SinkStop returns the sentinel error a sink may return to stop execution;
+// Push and Close propagate it unchanged.
+func SinkStop() error { return errSinkStop }

@@ -1,0 +1,260 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// evalFn evaluates a compiled expression against a record (a stream tuple,
+// or for output expressions the concatenation of group values and aggregate
+// results).
+type evalFn func(rec Tuple) (Value, error)
+
+// compileEnv resolves names and aggregate calls during compilation.
+type compileEnv struct {
+	// resolve maps an identifier to a record index; returns -1 if unknown.
+	resolve func(name string) int
+	// aggSlot maps an aggregate call to a record index; nil forbids
+	// aggregates (tuple-level expressions).
+	aggSlot func(a *aggExpr) (int, error)
+	// subMatch, if non-nil, maps a whole subtree to a record index (used to
+	// match select-list subexpressions against group-by expressions).
+	subMatch func(e expr) int
+	funcs    map[string]scalarFunc
+}
+
+// compile builds an evaluator for e under the environment.
+func (env *compileEnv) compile(e expr) (evalFn, error) {
+	if env.subMatch != nil {
+		if idx := env.subMatch(e); idx >= 0 {
+			return func(rec Tuple) (Value, error) { return rec[idx], nil }, nil
+		}
+	}
+	switch n := e.(type) {
+	case *numLit:
+		v := n.v
+		return func(Tuple) (Value, error) { return v, nil }, nil
+	case *strLit:
+		v := Str(n.s)
+		return func(Tuple) (Value, error) { return v, nil }, nil
+	case *boolLit:
+		v := Bool(n.b)
+		return func(Tuple) (Value, error) { return v, nil }, nil
+	case *colRef:
+		idx := env.resolve(n.name)
+		if idx < 0 {
+			return nil, fmt.Errorf("gsql: unknown column %q", n.name)
+		}
+		return func(rec Tuple) (Value, error) { return rec[idx], nil }, nil
+	case *unExpr:
+		inner, err := env.compile(n.e)
+		if err != nil {
+			return nil, err
+		}
+		switch n.op {
+		case "-":
+			return func(rec Tuple) (Value, error) {
+				v, err := inner(rec)
+				if err != nil {
+					return Null, err
+				}
+				if v.T == TInt {
+					return Int(-v.I), nil
+				}
+				return Float(-v.AsFloat()), nil
+			}, nil
+		case "not":
+			return func(rec Tuple) (Value, error) {
+				v, err := inner(rec)
+				if err != nil {
+					return Null, err
+				}
+				return Bool(!v.Truthy()), nil
+			}, nil
+		}
+		return nil, fmt.Errorf("gsql: unknown unary operator %q", n.op)
+	case *binExpr:
+		return env.compileBin(n)
+	case *callExpr:
+		f, ok := env.funcs[n.name]
+		if !ok {
+			return nil, fmt.Errorf("gsql: unknown function %q", n.name)
+		}
+		if len(n.args) != f.nargs {
+			return nil, fmt.Errorf("gsql: %s expects %d argument(s), got %d", n.name, f.nargs, len(n.args))
+		}
+		args := make([]evalFn, len(n.args))
+		for i, a := range n.args {
+			fn, err := env.compile(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = fn
+		}
+		return func(rec Tuple) (Value, error) {
+			vals := make([]Value, len(args))
+			for i, fn := range args {
+				v, err := fn(rec)
+				if err != nil {
+					return Null, err
+				}
+				vals[i] = v
+			}
+			return f.fn(vals)
+		}, nil
+	case *aggExpr:
+		if env.aggSlot == nil {
+			return nil, fmt.Errorf("gsql: aggregate %s is not allowed here", n.name)
+		}
+		idx, err := env.aggSlot(n)
+		if err != nil {
+			return nil, err
+		}
+		return func(rec Tuple) (Value, error) { return rec[idx], nil }, nil
+	default:
+		return nil, fmt.Errorf("gsql: cannot compile %T", e)
+	}
+}
+
+func (env *compileEnv) compileBin(n *binExpr) (evalFn, error) {
+	l, err := env.compile(n.l)
+	if err != nil {
+		return nil, err
+	}
+	r, err := env.compile(n.r)
+	if err != nil {
+		return nil, err
+	}
+	switch n.op {
+	case "+", "-", "*", "/", "%":
+		op := n.op[0]
+		return func(rec Tuple) (Value, error) {
+			a, err := l(rec)
+			if err != nil {
+				return Null, err
+			}
+			b, err := r(rec)
+			if err != nil {
+				return Null, err
+			}
+			return numericBinop(op, a, b)
+		}, nil
+	case "=", "!=", "<", "<=", ">", ">=":
+		op := n.op
+		return func(rec Tuple) (Value, error) {
+			a, err := l(rec)
+			if err != nil {
+				return Null, err
+			}
+			b, err := r(rec)
+			if err != nil {
+				return Null, err
+			}
+			c, err := compare(a, b)
+			if err != nil {
+				return Null, err
+			}
+			switch op {
+			case "=":
+				return Bool(c == 0), nil
+			case "!=":
+				return Bool(c != 0), nil
+			case "<":
+				return Bool(c < 0), nil
+			case "<=":
+				return Bool(c <= 0), nil
+			case ">":
+				return Bool(c > 0), nil
+			default:
+				return Bool(c >= 0), nil
+			}
+		}, nil
+	case "and":
+		return func(rec Tuple) (Value, error) {
+			a, err := l(rec)
+			if err != nil {
+				return Null, err
+			}
+			if !a.Truthy() {
+				return Bool(false), nil
+			}
+			b, err := r(rec)
+			if err != nil {
+				return Null, err
+			}
+			return Bool(b.Truthy()), nil
+		}, nil
+	case "or":
+		return func(rec Tuple) (Value, error) {
+			a, err := l(rec)
+			if err != nil {
+				return Null, err
+			}
+			if a.Truthy() {
+				return Bool(true), nil
+			}
+			b, err := r(rec)
+			if err != nil {
+				return Null, err
+			}
+			return Bool(b.Truthy()), nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("gsql: unknown operator %q", n.op)
+	}
+}
+
+// hasAgg reports whether the expression contains an aggregate call.
+func hasAgg(e expr) bool {
+	switch n := e.(type) {
+	case *aggExpr:
+		return true
+	case *unExpr:
+		return hasAgg(n.e)
+	case *binExpr:
+		return hasAgg(n.l) || hasAgg(n.r)
+	case *callExpr:
+		for _, a := range n.args {
+			if hasAgg(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// monotoneCol returns the index of the monotone (timestamp) column that
+// the expression is a non-decreasing function of, or -1: the column itself,
+// or such an expression divided by / multiplied by a positive constant, or
+// shifted by a constant. Group-by expressions with this property define the
+// query's tumbling time buckets.
+func monotoneCol(e expr, s *Schema) int {
+	switch n := e.(type) {
+	case *colRef:
+		i := s.ColumnIndex(n.name)
+		if i >= 0 && s.Cols[i].Monotone {
+			return i
+		}
+	case *binExpr:
+		c, ok := n.r.(*numLit)
+		if !ok {
+			return -1
+		}
+		switch n.op {
+		case "/", "*":
+			if c.v.AsFloat() > 0 {
+				return monotoneCol(n.l, s)
+			}
+		case "+", "-":
+			return monotoneCol(n.l, s)
+		}
+	}
+	return -1
+}
+
+// isMonotoneExpr reports whether monotoneCol finds a source column.
+func isMonotoneExpr(e expr, s *Schema) bool { return monotoneCol(e, s) >= 0 }
+
+// exprKey returns the canonical form used to match select-list expressions
+// against group-by expressions.
+func exprKey(e expr) string { return strings.ToLower(e.String()) }

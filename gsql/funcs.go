@@ -1,0 +1,66 @@
+package gsql
+
+import (
+	"fmt"
+	"math"
+)
+
+// scalarFunc is a builtin scalar function.
+type scalarFunc struct {
+	nargs int
+	fn    func(args []Value) (Value, error)
+}
+
+// builtinFuncs are the scalar functions available in expressions. They
+// cover everything the paper's queries need — notably exp(), used to feed
+// exponential forward-decay weights to sampling UDAFs, as in
+// "PRISAMP(srcIP, exp(time % 60))".
+var builtinFuncs = map[string]scalarFunc{
+	"exp": float1(math.Exp),
+	"ln": {1, func(a []Value) (Value, error) {
+		x := a[0].AsFloat()
+		if x <= 0 {
+			return Null, fmt.Errorf("gsql: ln of non-positive value %g", x)
+		}
+		return Float(math.Log(x)), nil
+	}},
+	"log2": {1, func(a []Value) (Value, error) {
+		x := a[0].AsFloat()
+		if x <= 0 {
+			return Null, fmt.Errorf("gsql: log2 of non-positive value %g", x)
+		}
+		return Float(math.Log2(x)), nil
+	}},
+	"sqrt": {1, func(a []Value) (Value, error) {
+		x := a[0].AsFloat()
+		if x < 0 {
+			return Null, fmt.Errorf("gsql: sqrt of negative value %g", x)
+		}
+		return Float(math.Sqrt(x)), nil
+	}},
+	"pow": {2, func(a []Value) (Value, error) {
+		return Float(math.Pow(a[0].AsFloat(), a[1].AsFloat())), nil
+	}},
+	"abs": {1, func(a []Value) (Value, error) {
+		if a[0].T == TInt {
+			if a[0].I < 0 {
+				return Int(-a[0].I), nil
+			}
+			return a[0], nil
+		}
+		return Float(math.Abs(a[0].AsFloat())), nil
+	}},
+	"floor": float1(math.Floor),
+	"ceil":  float1(math.Ceil),
+	// float(x) forces float arithmetic where integer semantics would
+	// otherwise truncate.
+	"float": {1, func(a []Value) (Value, error) { return Float(a[0].AsFloat()), nil }},
+	// int(x) truncates to integer.
+	"int": {1, func(a []Value) (Value, error) { return Int(a[0].AsInt()), nil }},
+}
+
+func float1(f func(float64) float64) scalarFunc {
+	return scalarFunc{1, func(a []Value) (Value, error) {
+		return Float(f(a[0].AsFloat())), nil
+	}}
+}

@@ -1,0 +1,143 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp      // punctuation and operators
+	tokKeyword // reserved words, lowercased
+)
+
+// token is one lexical token with its source position (byte offset).
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// keywords are the reserved words of the query language (lowercased).
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"as": true, "having": true, "and": true, "or": true, "not": true,
+	"true": true, "false": true,
+}
+
+// lex tokenizes a query string.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(c):
+			j := i + 1
+			for j < n && isIdentPart(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			lw := strings.ToLower(word)
+			if keywords[lw] {
+				toks = append(toks, token{tokKeyword, lw, i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			seenDot, seenExp := false, false
+			for j < n {
+				d := src[j]
+				switch {
+				case d >= '0' && d <= '9':
+					j++
+				case d == '.' && !seenDot && !seenExp:
+					seenDot = true
+					j++
+				case (d == 'e' || d == 'E') && !seenExp && j+1 < n &&
+					(src[j+1] >= '0' && src[j+1] <= '9' || src[j+1] == '+' || src[j+1] == '-'):
+					seenExp = true
+					j += 2
+				default:
+					goto numDone
+				}
+			}
+		numDone:
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("gsql: unterminated string literal at offset %d", i)
+				}
+				if src[j] == '\'' {
+					if j+1 < n && src[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case strings.IndexByte("+-*/%(),=", c) >= 0:
+			toks = append(toks, token{tokOp, string(c), i})
+			i++
+		case c == '<':
+			if i+1 < n && (src[i+1] == '=' || src[i+1] == '>') {
+				toks = append(toks, token{tokOp, src[i : i+2], i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, "<", i})
+				i++
+			}
+		case c == '>':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, ">=", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokOp, ">", i})
+				i++
+			}
+		case c == '!':
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{tokOp, "!=", i})
+				i += 2
+			} else {
+				return nil, fmt.Errorf("gsql: unexpected '!' at offset %d", i)
+			}
+		default:
+			if c < 0x80 && unicode.IsPrint(rune(c)) {
+				return nil, fmt.Errorf("gsql: unexpected character %q at offset %d", c, i)
+			}
+			return nil, fmt.Errorf("gsql: unexpected byte 0x%02x at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,330 @@
+package gsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	i    int
+	agg  func(name string) bool // reports whether a name is an aggregate
+}
+
+// parseQuery parses a full query. isAgg tells the parser which function
+// names denote aggregates (builtins plus registered UDAFs).
+func parseQuery(src string, isAgg func(string) bool) (*queryAST, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, agg: isAgg}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected %q after end of query", p.cur().text)
+	}
+	return q, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k tokKind, text string) (token, error) {
+	if p.at(k, text) {
+		return p.next(), nil
+	}
+	return token{}, p.errorf("expected %q, found %q", text, p.cur().text)
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("gsql: parse error at offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) query() (*queryAST, error) {
+	if _, err := p.expect(tokKeyword, "select"); err != nil {
+		return nil, err
+	}
+	q := &queryAST{}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		item := selectItem{e: e}
+		if p.accept(tokKeyword, "as") {
+			id, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			item.alias = strings.ToLower(id.text)
+		}
+		q.sel = append(q.sel, item)
+		if !p.accept(tokOp, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokKeyword, "from"); err != nil {
+		return nil, err
+	}
+	id, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	q.from = id.text
+	if p.accept(tokKeyword, "where") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.where = e
+	}
+	if p.accept(tokKeyword, "group") {
+		if _, err := p.expect(tokKeyword, "by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			gi := groupItem{e: e}
+			if p.accept(tokKeyword, "as") {
+				id, err := p.expect(tokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				gi.alias = strings.ToLower(id.text)
+			}
+			q.group = append(q.group, gi)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if p.accept(tokKeyword, "having") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		q.having = e
+	}
+	return q, nil
+}
+
+// expr parses with precedence: or < and < not < comparison < additive <
+// multiplicative < unary < primary.
+func (p *parser) expr() (expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "or") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "or", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "and") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: "and", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (expr, error) {
+	if p.accept(tokKeyword, "not") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unExpr{op: "not", e: e}, nil
+	}
+	return p.cmpExpr()
+}
+
+var cmpOps = map[string]string{"=": "=", "!=": "!=", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+func (p *parser) cmpExpr() (expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tokOp {
+		if canon, ok := cmpOps[p.cur().text]; ok {
+			p.next()
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &binExpr{op: canon, l: l, r: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "+") || p.at(tokOp, "-") {
+		op := p.next().text
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) mulExpr() (expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokOp, "*") || p.at(tokOp, "/") || p.at(tokOp, "%") {
+		op := p.next().text
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &binExpr{op: op, l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) unaryExpr() (expr, error) {
+	if p.accept(tokOp, "-") {
+		e, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &unExpr{op: "-", e: e}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q: %v", t.text, err)
+			}
+			return &numLit{Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer %q: %v", t.text, err)
+		}
+		return &numLit{Int(n)}, nil
+	case t.kind == tokString:
+		p.next()
+		return &strLit{t.text}, nil
+	case t.kind == tokKeyword && (t.text == "true" || t.text == "false"):
+		p.next()
+		return &boolLit{t.text == "true"}, nil
+	case t.kind == tokIdent:
+		p.next()
+		name := strings.ToLower(t.text)
+		if !p.accept(tokOp, "(") {
+			return &colRef{name: name, idx: -1}, nil
+		}
+		// Function or aggregate call.
+		if p.agg != nil && p.agg(name) {
+			return p.aggCall(name)
+		}
+		var args []expr
+		if !p.at(tokOp, ")") {
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokOp, ",") {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &callExpr{name: name, args: args}, nil
+	case t.kind == tokOp && t.text == "(":
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("unexpected %q", t.text)
+	}
+}
+
+// aggCall parses the argument list of an aggregate after the open paren.
+func (p *parser) aggCall(name string) (expr, error) {
+	if p.accept(tokOp, "*") {
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return &aggExpr{name: name, star: true}, nil
+	}
+	var args []expr
+	if !p.at(tokOp, ")") {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.accept(tokOp, ",") {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(tokOp, ")"); err != nil {
+		return nil, err
+	}
+	return &aggExpr{name: name, args: args}, nil
+}

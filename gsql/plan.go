@@ -1,0 +1,232 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// plan is a fully compiled query.
+type plan struct {
+	schema *Schema
+	where  evalFn // nil if absent
+
+	// Group-by expressions evaluated per tuple; groupVals form the group
+	// identity.
+	groupFns []evalFn
+	// temporalIdx is the index of the group expression defining tumbling
+	// time buckets, or -1 (single landmark bucket, flushed at close);
+	// temporalCol is the schema column it derives from.
+	temporalIdx int
+	temporalCol int
+
+	// Aggregates, in slot order. aggArgFns[i] are the compiled argument
+	// expressions of aggregate i.
+	aggSpecs  []AggSpec
+	aggArgFns [][]evalFn
+	mergeable bool // all aggregates mergeable → two-level split possible
+
+	// Output expressions over the combined record groupVals ++ aggFinals.
+	outFns   []evalFn
+	outNames []string
+	having   evalFn // nil if absent
+}
+
+// buildPlan analyzes and compiles a parsed query.
+func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, error) {
+	p := &plan{schema: schema, temporalIdx: -1, temporalCol: -1, mergeable: true}
+
+	tupleEnv := &compileEnv{
+		resolve: func(name string) int { return schema.ColumnIndex(name) },
+		funcs:   builtinFuncs,
+	}
+
+	// WHERE clause: tuple-level, no aggregates.
+	if q.where != nil {
+		if hasAgg(q.where) {
+			return nil, fmt.Errorf("gsql: aggregates are not allowed in WHERE")
+		}
+		fn, err := tupleEnv.compile(q.where)
+		if err != nil {
+			return nil, err
+		}
+		p.where = fn
+	}
+
+	// Group-by expressions: tuple-level; record canonical keys and aliases
+	// for matching select items, and find the temporal expression.
+	groupKeyToIdx := map[string]int{}
+	for i, g := range q.group {
+		if hasAgg(g.e) {
+			return nil, fmt.Errorf("gsql: aggregates are not allowed in GROUP BY")
+		}
+		fn, err := tupleEnv.compile(g.e)
+		if err != nil {
+			return nil, err
+		}
+		p.groupFns = append(p.groupFns, fn)
+		groupKeyToIdx[exprKey(g.e)] = i
+		if g.alias != "" {
+			groupKeyToIdx[g.alias] = i
+		}
+		if p.temporalIdx < 0 {
+			if col := monotoneCol(g.e, schema); col >= 0 {
+				p.temporalIdx = i
+				p.temporalCol = col
+			}
+		}
+	}
+
+	// Aggregate slot assignment: identical aggregate calls share a slot.
+	aggKeyToSlot := map[string]int{}
+	addAgg := func(a *aggExpr) (int, error) {
+		key := exprKey(a)
+		if slot, ok := aggKeyToSlot[key]; ok {
+			return slot, nil
+		}
+		spec, ok := aggs[a.name]
+		if !ok {
+			return 0, fmt.Errorf("gsql: unknown aggregate %q", a.name)
+		}
+		nargs := len(a.args)
+		if a.star {
+			nargs = 0
+		}
+		if nargs < spec.MinArgs || nargs > spec.MaxArgs {
+			return 0, fmt.Errorf("gsql: %s expects between %d and %d argument(s), got %d",
+				a.name, spec.MinArgs, spec.MaxArgs, nargs)
+		}
+		var argFns []evalFn
+		for _, arg := range a.args {
+			if hasAgg(arg) {
+				return 0, fmt.Errorf("gsql: nested aggregates are not allowed")
+			}
+			fn, err := tupleEnv.compile(arg)
+			if err != nil {
+				return 0, err
+			}
+			argFns = append(argFns, fn)
+		}
+		slot := len(p.aggSpecs)
+		p.aggSpecs = append(p.aggSpecs, spec)
+		p.aggArgFns = append(p.aggArgFns, argFns)
+		if !spec.Mergeable {
+			p.mergeable = false
+		}
+		aggKeyToSlot[key] = slot
+		return slot, nil
+	}
+
+	// Output expressions evaluate against groupVals ++ aggFinals. A select
+	// item subtree that textually matches a group-by expression (or its
+	// alias) compiles to a reference; aggregate calls compile to their slot.
+	nGroups := len(p.groupFns)
+	outEnv := &compileEnv{
+		resolve: func(name string) int {
+			if idx, ok := groupKeyToIdx[name]; ok {
+				return idx
+			}
+			return -1
+		},
+		aggSlot: func(a *aggExpr) (int, error) {
+			slot, err := addAgg(a)
+			if err != nil {
+				return 0, err
+			}
+			return nGroups + slot, nil
+		},
+		subMatch: func(e expr) int {
+			if idx, ok := groupKeyToIdx[exprKey(e)]; ok {
+				return idx
+			}
+			return -1
+		},
+		funcs: builtinFuncs,
+	}
+
+	for i, item := range q.sel {
+		fn, err := outEnv.compile(item.e)
+		if err != nil {
+			return nil, err
+		}
+		// Non-aggregate select items must be derived from the group-by
+		// expressions; a bare column that is neither grouped nor aliased
+		// has no well-defined value per group.
+		if !hasAgg(item.e) && !derivesFromGroups(item.e, groupKeyToIdx) {
+			return nil, fmt.Errorf("gsql: select item %d (%s) is neither an aggregate nor a group-by expression",
+				i+1, item.e.String())
+		}
+		p.outFns = append(p.outFns, fn)
+		name := item.alias
+		if name == "" {
+			name = item.e.String()
+		}
+		p.outNames = append(p.outNames, name)
+	}
+
+	if q.having != nil {
+		fn, err := outEnv.compile(q.having)
+		if err != nil {
+			return nil, err
+		}
+		p.having = fn
+	}
+
+	if len(p.aggSpecs) == 0 && len(q.group) > 0 {
+		return nil, fmt.Errorf("gsql: GROUP BY without aggregates is not supported")
+	}
+	return p, nil
+}
+
+// derivesFromGroups reports whether every leaf of e is a literal or matches
+// a group-by expression/alias.
+func derivesFromGroups(e expr, groups map[string]int) bool {
+	if _, ok := groups[exprKey(e)]; ok {
+		return true
+	}
+	switch n := e.(type) {
+	case *numLit, *strLit, *boolLit:
+		return true
+	case *colRef:
+		_, ok := groups[n.name]
+		return ok
+	case *unExpr:
+		return derivesFromGroups(n.e, groups)
+	case *binExpr:
+		return derivesFromGroups(n.l, groups) && derivesFromGroups(n.r, groups)
+	case *callExpr:
+		for _, a := range n.args {
+			if !derivesFromGroups(a, groups) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// temporalOf evaluates the temporal group expression for a heartbeat: a
+// synthetic tuple carrying ts in the temporal source column.
+func (p *plan) temporalOf(ts Value) (Value, error) {
+	if p.temporalIdx < 0 || p.temporalCol < 0 {
+		return Null, fmt.Errorf("gsql: query has no temporal bucket")
+	}
+	scratch := make(Tuple, len(p.schema.Cols))
+	scratch[p.temporalCol] = ts
+	return p.groupFns[p.temporalIdx](scratch)
+}
+
+// Columns returns the output column names, in select-list order.
+func (p *plan) Columns() []string {
+	out := make([]string, len(p.outNames))
+	copy(out, p.outNames)
+	return out
+}
+
+// describe renders a terse plan summary (used by tests and the CLI).
+func (p *plan) describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "groups=%d aggs=%d temporal=%d mergeable=%v",
+		len(p.groupFns), len(p.aggSpecs), p.temporalIdx, p.mergeable)
+	return sb.String()
+}

@@ -1,0 +1,85 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one stream attribute.
+type Column struct {
+	// Name is the attribute name (matched case-insensitively in queries).
+	Name string
+	// Type is the attribute's value type.
+	Type Type
+	// Monotone marks attributes that never decrease across the stream
+	// (timestamps). Group-by expressions derived from a monotone column by
+	// order-preserving arithmetic define the query's tumbling time buckets.
+	Monotone bool
+}
+
+// Schema describes a stream's tuples.
+type Schema struct {
+	// Name is the stream name used in FROM clauses.
+	Name string
+	// Cols are the attributes, in tuple order.
+	Cols []Column
+}
+
+// NewSchema builds a schema, validating that column names are unique.
+func NewSchema(name string, cols ...Column) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("gsql: schema needs a name")
+	}
+	seen := map[string]bool{}
+	for _, c := range cols {
+		k := strings.ToLower(c.Name)
+		if k == "" {
+			return nil, fmt.Errorf("gsql: schema %s: empty column name", name)
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("gsql: schema %s: duplicate column %s", name, c.Name)
+		}
+		seen[k] = true
+	}
+	return &Schema{Name: name, Cols: cols}, nil
+}
+
+// MustSchema is NewSchema that panics on error, for static schemas.
+func MustSchema(name string, cols ...Column) *Schema {
+	s, err := NewSchema(name, cols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColumnIndex returns the index of the named column (case-insensitive), or
+// -1 if absent.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Tuple is one stream record, positionally matching its schema's columns.
+type Tuple []Value
+
+// PacketSchema is the schema of the synthesized network streams used
+// throughout the repository's experiments, mirroring the paper's TCP/UDP
+// streams: time (integer seconds, monotone), ftime (fractional seconds),
+// srcIP, dstIP, srcPort, destPort, proto, len.
+func PacketSchema(name string) *Schema {
+	return MustSchema(name,
+		Column{Name: "time", Type: TInt, Monotone: true},
+		Column{Name: "ftime", Type: TFloat, Monotone: true},
+		Column{Name: "srcIP", Type: TInt},
+		Column{Name: "dstIP", Type: TInt},
+		Column{Name: "srcPort", Type: TInt},
+		Column{Name: "destPort", Type: TInt},
+		Column{Name: "proto", Type: TInt},
+		Column{Name: "len", Type: TInt},
+	)
+}

@@ -1,0 +1,147 @@
+package gsql
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValueConstructorsAndString(t *testing.T) {
+	cases := []struct {
+		v   Value
+		typ Type
+		str string
+		ok  bool // Truthy
+	}{
+		{Int(42), TInt, "42", true},
+		{Int(0), TInt, "0", false},
+		{Int(-7), TInt, "-7", true},
+		{Float(2.5), TFloat, "2.5", true},
+		{Float(0), TFloat, "0", false},
+		{Str("hi"), TString, "hi", true},
+		{Str(""), TString, "", false},
+		{Bool(true), TBool, "true", true},
+		{Bool(false), TBool, "false", false},
+		{Null, TNull, "NULL", false},
+	}
+	for _, c := range cases {
+		if c.v.T != c.typ {
+			t.Errorf("%v: type %v, want %v", c.v, c.v.T, c.typ)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("String = %q, want %q", got, c.str)
+		}
+		if got := c.v.Truthy(); got != c.ok {
+			t.Errorf("%v: Truthy = %v, want %v", c.v, got, c.ok)
+		}
+	}
+}
+
+func TestValueConversions(t *testing.T) {
+	if Int(7).AsFloat() != 7 || Float(2.9).AsInt() != 2 || Bool(true).AsInt() != 1 {
+		t.Error("conversions broken")
+	}
+	if Null.AsFloat() != 0 || Null.AsInt() != 0 {
+		t.Error("NULL conversions should be zero")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull broken")
+	}
+}
+
+func TestNumericBinopPromotion(t *testing.T) {
+	// int ∘ int stays int.
+	v, err := numericBinop('/', Int(7), Int(2))
+	if err != nil || v.T != TInt || v.I != 3 {
+		t.Errorf("7/2 = %v (%v)", v, err)
+	}
+	v, _ = numericBinop('%', Int(-7), Int(3))
+	if v.I != -1 { // Go semantics
+		t.Errorf("-7%%3 = %v, want -1", v)
+	}
+	// Mixed promotes to float.
+	v, _ = numericBinop('/', Int(7), Float(2))
+	if v.T != TFloat || v.F != 3.5 {
+		t.Errorf("7/2.0 = %v", v)
+	}
+	v, _ = numericBinop('%', Float(7.5), Float(2))
+	if math.Abs(v.F-1.5) > 1e-12 {
+		t.Errorf("7.5 mod 2 = %v", v)
+	}
+	// Division by zero errors for ints.
+	if _, err := numericBinop('/', Int(1), Int(0)); err == nil {
+		t.Error("int division by zero must error")
+	}
+	if _, err := numericBinop('%', Int(1), Int(0)); err == nil {
+		t.Error("int modulo by zero must error")
+	}
+	// Float division by zero yields ±Inf (SQL-ish permissiveness).
+	v, err = numericBinop('/', Float(1), Float(0))
+	if err != nil || !math.IsInf(v.F, 1) {
+		t.Errorf("1.0/0.0 = %v (%v)", v, err)
+	}
+}
+
+func TestCompareSemantics(t *testing.T) {
+	c, err := compare(Int(1), Float(1.0))
+	if err != nil || c != 0 {
+		t.Errorf("1 vs 1.0: %d (%v)", c, err)
+	}
+	c, _ = compare(Int(2), Int(10))
+	if c >= 0 {
+		t.Error("2 < 10 failed")
+	}
+	c, _ = compare(Str("b"), Str("a"))
+	if c <= 0 {
+		t.Error("string compare failed")
+	}
+	if _, err := compare(Str("x"), Int(1)); err == nil {
+		t.Error("string vs int must error")
+	}
+	c, _ = compare(Bool(true), Int(0))
+	if c <= 0 {
+		t.Error("true > 0 failed")
+	}
+}
+
+func TestAppendKeyDistinguishes(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(1), Int(2)},
+		{Int(1), Float(1)},
+		{Str("a"), Str("b")},
+		{Str("a"), Int(0)},
+		{Bool(true), Bool(false)},
+		{Null, Int(0)},
+	}
+	for _, p := range pairs {
+		a := string(p[0].appendKey(nil))
+		b := string(p[1].appendKey(nil))
+		if a == b {
+			t.Errorf("appendKey collision between %v and %v", p[0], p[1])
+		}
+	}
+	// Same value encodes identically.
+	if string(Int(5).appendKey(nil)) != string(Int(5).appendKey(nil)) {
+		t.Error("appendKey not deterministic")
+	}
+	// String keys with embedded separators stay distinct (terminator).
+	x := Str("a").appendKey(nil)
+	x = Str("b").appendKey(x)
+	y := Str("ab").appendKey(nil)
+	y = Str("").appendKey(y)
+	if string(x) == string(y) {
+		t.Error(`("a","b") and ("ab","") keys collide`)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TNull: "null", TInt: "int", TFloat: "float", TString: "string", TBool: "bool",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q", ty, ty.String())
+		}
+	}
+	if Type(99).String() == "" {
+		t.Error("unknown type should render something")
+	}
+}

@@ -1,0 +1,223 @@
+// Integration tests exercising the full stack the way the paper's
+// deployment does: synthetic traffic → the gsql engine with forward-decay
+// arithmetic and UDAFs → results validated against the agg library as
+// ground truth; plus the distributed path: netgen → distrib cluster →
+// merged summaries vs single-node aggregates.
+package forwarddecay_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/distrib"
+	"forwarddecay/gsql"
+	"forwarddecay/netgen"
+	"forwarddecay/sketch"
+	"forwarddecay/udaf"
+)
+
+// TestEndToEndDecayedSumThroughEngine runs the paper's §IV-A query over a
+// generated minute of traffic and checks every output group against the
+// decayed sums computed directly with the library.
+func TestEndToEndDecayedSumThroughEngine(t *testing.T) {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		t.Fatal(err)
+	}
+	if err := udaf.RegisterAll(e, udaf.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Prepare(`
+		select tb, dstIP, destPort,
+		       sum(float(len)*(time % 60)*(time % 60))/3600
+		from TCP group by time/60 as tb, dstIP, destPort`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := netgen.New(netgen.DefaultConfig(20_000, 77))
+	var pkts []netgen.Packet
+	for gen.Now() < 125 {
+		pkts = append(pkts, gen.Next())
+	}
+
+	// Ground truth per (bucket, dst, port): forward decay with g(n)=n²,
+	// landmark at the bucket start, normalizer 60² = 3600 — what the query
+	// expresses arithmetically (integer-second timestamps).
+	type gkey struct {
+		tb   int64
+		dst  uint32
+		port uint16
+	}
+	truth := map[gkey]float64{}
+	for _, p := range pkts {
+		sec := int64(p.Time)
+		k := gkey{sec / 60, p.DstIP, p.DstPort}
+		n := float64(sec % 60)
+		truth[k] += float64(p.Len) * n * n / 3600
+	}
+
+	rows, err := st.Execute(func() func() (gsql.Tuple, bool) {
+		i := 0
+		return func() (gsql.Tuple, bool) {
+			if i >= len(pkts) {
+				return nil, false
+			}
+			tu := netgen.Tuple(pkts[i])
+			i++
+			return tu, true
+		}
+	}(), gsql.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(truth) {
+		t.Fatalf("engine produced %d groups, truth has %d", len(rows), len(truth))
+	}
+	for _, r := range rows {
+		k := gkey{r[0].AsInt(), uint32(r[1].AsInt()), uint16(r[2].AsInt())}
+		want, ok := truth[k]
+		if !ok {
+			t.Fatalf("unexpected group %+v", k)
+		}
+		if got := r[3].AsFloat(); math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Fatalf("group %+v: engine %v, truth %v", k, got, want)
+		}
+	}
+}
+
+// TestEndToEndHeavyHittersEngineVsLibrary cross-checks the sshh UDAF
+// against agg.HeavyHitters on identical traffic.
+func TestEndToEndHeavyHittersEngineVsLibrary(t *testing.T) {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		t.Fatal(err)
+	}
+	if err := udaf.RegisterAll(e, udaf.Config{Epsilon: 0.005, Phi: 0.05}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Prepare(`select tb, sshh(dstIP, float((time%60)*(time%60))) from TCP group by time/60 as tb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen := netgen.New(netgen.DefaultConfig(10_000, 78))
+	var pkts []netgen.Packet
+	for gen.Now() < 59 {
+		pkts = append(pkts, gen.Next())
+	}
+	// Library truth: the UDAF runs a weighted SpaceSaving over static
+	// weights (sec % 60)²; run the identical reduction directly.
+	lib := sketch.NewSpaceSaving(0.005)
+	for _, p := range pkts {
+		sec := float64(int64(p.Time) % 60)
+		lib.Update(uint64(p.DstIP), sec*sec)
+	}
+	var row gsql.Tuple
+	run := st.Start(func(r gsql.Tuple) error {
+		if row == nil {
+			row = r
+		}
+		return nil
+	}, gsql.Options{})
+	for _, p := range pkts {
+		if err := run.Push(netgen.Tuple(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if row == nil || row[1].S == "" {
+		t.Fatal("engine produced no heavy hitters")
+	}
+	engineTop := strings.SplitN(strings.SplitN(row[1].S, ",", 2)[0], ":", 2)[0]
+	libHH := lib.HeavyHitters(0.05)
+	if len(libHH) == 0 {
+		t.Fatal("library produced no heavy hitters")
+	}
+	libTop := libHH[0].Key
+	if engineTop != intToString(int64(libTop)) {
+		t.Errorf("engine top %s != library top %d", engineTop, libTop)
+	}
+}
+
+func intToString(v int64) string { return gsql.Int(v).String() }
+
+// TestEndToEndDistributedMatchesEngine runs the same traffic through the
+// distrib cluster and through direct aggregation, confirming the decayed
+// sums agree exactly.
+func TestEndToEndDistributedMatchesEngine(t *testing.T) {
+	model := decay.NewForward(decay.NewExp(0.05), 0)
+	cl, err := distrib.New(distrib.Config{Sites: 5, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := agg.NewSum(model)
+	gen := netgen.New(netgen.DefaultConfig(5_000, 79))
+	var now float64
+	for gen.Now() < 30 {
+		p := gen.Next()
+		now = p.Time
+		cl.Observe(int(p.FlowKey()), distrib.Observation{
+			Key: p.DestKey(), Value: float64(p.Len), Time: p.Time,
+		})
+		direct.Observe(p.Time, float64(p.Len))
+	}
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if got, want := snap.Sum.Value(now), direct.Value(now); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("distributed decayed sum %v, direct %v", got, want)
+	}
+	if snap.Sum.N() != direct.N() {
+		t.Errorf("distributed N %d, direct %d", snap.Sum.N(), direct.N())
+	}
+}
+
+// TestEndToEndTraceReplayDeterminism writes a trace, replays it through a
+// statement twice, and requires bit-identical outputs.
+func TestEndToEndTraceReplayDeterminism(t *testing.T) {
+	gen := netgen.New(netgen.DefaultConfig(5_000, 80))
+	pkts := gen.Take(nil, 50_000)
+
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Prepare(`select tb, dstIP, count(*), sum(len) from TCP group by time/10 as tb, dstIP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnce := func() []gsql.Tuple {
+		i := 0
+		rows, err := st.Execute(func() (gsql.Tuple, bool) {
+			if i >= len(pkts) {
+				return nil, false
+			}
+			tu := netgen.Tuple(pkts[i])
+			i++
+			return tu, true
+		}, gsql.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+// Mix64 is the SplitMix64 finalizer: a fast, high-quality 64-bit mixing
+// function used to derive hash values and per-item pseudo-random draws from
+// integer identities.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// HashString hashes a string to 64 bits using FNV-1a followed by a final
+// mix, giving well-distributed values for use in sketches.
+func HashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return Mix64(h)
+}
+
+// HashBytes hashes a byte slice to 64 bits using FNV-1a followed by a
+// final mix; it matches HashString on equal contents.
+func HashBytes(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return Mix64(h)
+}
+
+// Hash2 combines two 64-bit values into one well-mixed 64-bit hash.
+func Hash2(a, b uint64) uint64 {
+	return Mix64(a ^ Mix64(b+0x9e3779b97f4a7c15))
+}
+
+// U64ToUnit maps a 64-bit hash to the open unit interval (0, 1).
+// The result is never exactly 0 or 1, so it is safe to take logarithms or
+// reciprocals of it.
+func U64ToUnit(x uint64) float64 {
+	// Use the top 53 bits for a uniform dyadic rational in [0,1), then
+	// shift half a ulp away from zero.
+	return (float64(x>>11) + 0.5) / (1 << 53)
+}

@@ -1,0 +1,38 @@
+package core
+
+import "math"
+
+// MaxSafeExp is the largest magnitude of a log-domain offset that we allow
+// before rebasing an accumulator onto a new scale. exp(±300) is comfortably
+// inside float64 range (which overflows near exp(709.78)) while leaving
+// headroom for sums of many rebased terms.
+const MaxSafeExp = 300
+
+// LogSumExp returns ln(exp(a) + exp(b)) computed stably.
+// It tolerates -Inf operands (representing zero weight).
+func LogSumExp(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// ExpClamped returns exp(x), flushing to 0 for very negative x and
+// saturating at MaxFloat64 rather than +Inf for very positive x. Callers use
+// it when a saturated value is semantically "too large to matter precisely"
+// (for example, a candidate that will certainly win a max comparison).
+func ExpClamped(x float64) float64 {
+	if x <= -745 { // exp underflows to 0 below ~-745.1
+		return 0
+	}
+	if x >= 709.7 {
+		return math.MaxFloat64
+	}
+	return math.Exp(x)
+}

@@ -1,0 +1,63 @@
+package core
+
+import "math"
+
+// RNG is a small, fast, deterministic xoshiro256**-style generator used on
+// hot paths where we want reproducibility without the locking or allocation
+// of math/rand's default source. The zero value is not valid; use NewRNG.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given seed via SplitMix64, as
+// recommended by the xoshiro authors.
+func NewRNG(seed uint64) *RNG {
+	var r RNG
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		r.s[i] = Mix64(x)
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform draw from the open interval (0, 1).
+func (r *RNG) Float64() float64 { return U64ToUnit(r.Uint64()) }
+
+// ExpFloat64 returns an exponentially distributed draw with rate 1.
+func (r *RNG) ExpFloat64() float64 { return -math.Log(r.Float64()) }
+
+// Intn returns a uniform draw from [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("core: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // tiny modulo bias is fine for our uses
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

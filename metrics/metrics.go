@@ -1,0 +1,195 @@
+// Package metrics provides a production-style, thread-safe
+// exponentially-decaying reservoir on top of the forward-decay sampling
+// machinery — the construction popularized by metrics libraries (a decaying
+// reservoir keeps a fixed-size sample whose inclusion probabilities decay
+// exponentially with age, so percentile snapshots reflect roughly the last
+// few half-lives of data).
+//
+// Internally this is exactly §V-B of the forward-decay paper: weighted
+// reservoir sampling with static weights exp(α·(t−L)), maintained in the
+// log domain so no periodic rescaling pass is ever needed — an improvement
+// over landmark-rescaling implementations, which must stop the world to
+// renormalize weights.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"forwarddecay/decay"
+	"forwarddecay/sample"
+)
+
+// Reservoir is a fixed-size, exponentially-decaying sample of float64
+// observations. It is safe for concurrent use.
+type Reservoir struct {
+	mu    sync.Mutex
+	model decay.Forward
+	s     *sample.WRS[float64]
+	now   func() time.Time
+	start time.Time
+	count uint64
+	seed  uint64
+}
+
+// Option configures a Reservoir.
+type Option func(*Reservoir)
+
+// WithClock substitutes the time source (for tests and simulations).
+func WithClock(now func() time.Time) Option {
+	return func(r *Reservoir) { r.now = now }
+}
+
+// WithSeed fixes the sampling seed (defaults to 1; the sample distribution
+// is the same for any seed, so a fixed default keeps behaviour
+// reproducible).
+func WithSeed(seed uint64) Option {
+	return func(r *Reservoir) { r.seed = seed }
+}
+
+// NewReservoir returns a decaying reservoir holding up to size
+// observations with the given half-life: an observation one half-life old
+// is half as likely to be in the sample as a fresh one. It panics if
+// size < 1 or halfLife <= 0.
+func NewReservoir(size int, halfLife time.Duration, opts ...Option) *Reservoir {
+	if size < 1 {
+		panic("metrics: reservoir size must be positive")
+	}
+	if halfLife <= 0 {
+		panic("metrics: half-life must be positive")
+	}
+	r := &Reservoir{now: time.Now, seed: 1}
+	for _, o := range opts {
+		o(r)
+	}
+	r.start = r.now()
+	alpha := math.Ln2 / halfLife.Seconds()
+	r.model = decay.NewForward(decay.Exp{Alpha: alpha}, 0)
+	r.s = sample.NewWRS[float64](size, r.seed)
+	return r
+}
+
+// Update records an observation at the current time.
+func (r *Reservoir) Update(v float64) { r.UpdateAt(v, r.now()) }
+
+// Model exposes the underlying forward decay model, letting advanced
+// callers inspect the decay rate.
+func (r *Reservoir) Model() decay.Forward { return r.model }
+
+// UpdateAt records an observation with an explicit timestamp. Out-of-order
+// timestamps are fine (§VI-B of the paper).
+func (r *Reservoir) UpdateAt(v float64, t time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	r.s.Add(v, r.model.LogStaticWeight(t.Sub(r.start).Seconds()))
+}
+
+// Count returns the total number of observations recorded.
+func (r *Reservoir) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Snapshot returns an immutable view of the current sample for quantile
+// and moment queries.
+func (r *Reservoir) Snapshot() Snapshot {
+	r.mu.Lock()
+	vals := r.s.Sample() // copies
+	count := r.count
+	r.mu.Unlock()
+	sort.Float64s(vals)
+	return Snapshot{values: vals, count: count}
+}
+
+// Snapshot is a point-in-time view of a Reservoir's sample.
+type Snapshot struct {
+	values []float64 // sorted
+	count  uint64
+}
+
+// Size returns the number of sampled observations in the snapshot.
+func (s Snapshot) Size() int { return len(s.values) }
+
+// Count returns the total observations recorded by the reservoir.
+func (s Snapshot) Count() uint64 { return s.count }
+
+// Quantile returns the φ-quantile of the sample (0 ≤ φ ≤ 1), or NaN when
+// empty.
+func (s Snapshot) Quantile(phi float64) float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	if phi <= 0 {
+		return s.values[0]
+	}
+	if phi >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := phi * float64(len(s.values)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 < len(s.values) {
+		return s.values[lo]*(1-frac) + s.values[lo+1]*frac
+	}
+	return s.values[lo]
+}
+
+// Median returns the 50th percentile.
+func (s Snapshot) Median() float64 { return s.Quantile(0.5) }
+
+// Min returns the smallest sampled value, or NaN when empty.
+func (s Snapshot) Min() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	return s.values[0]
+}
+
+// Max returns the largest sampled value, or NaN when empty.
+func (s Snapshot) Max() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Mean returns the sample mean, or NaN when empty.
+func (s Snapshot) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// StdDev returns the sample standard deviation, or NaN when empty.
+func (s Snapshot) StdDev() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Values returns a copy of the sorted sampled values.
+func (s Snapshot) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}

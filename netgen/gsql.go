@@ -1,0 +1,31 @@
+package netgen
+
+import "forwarddecay/gsql"
+
+// Tuple converts a packet to a gsql tuple matching gsql.PacketSchema:
+// (time, ftime, srcIP, dstIP, srcPort, destPort, proto, len).
+func Tuple(p Packet) gsql.Tuple {
+	return gsql.Tuple{
+		gsql.Int(int64(p.Time)),
+		gsql.Float(p.Time),
+		gsql.Int(int64(p.SrcIP)),
+		gsql.Int(int64(p.DstIP)),
+		gsql.Int(int64(p.SrcPort)),
+		gsql.Int(int64(p.DstPort)),
+		gsql.Int(int64(p.Proto)),
+		gsql.Int(int64(p.Len)),
+	}
+}
+
+// AppendTuple writes the packet's tuple into dst (which must have length 8),
+// avoiding allocation on hot paths.
+func AppendTuple(dst gsql.Tuple, p Packet) {
+	dst[0] = gsql.Int(int64(p.Time))
+	dst[1] = gsql.Float(p.Time)
+	dst[2] = gsql.Int(int64(p.SrcIP))
+	dst[3] = gsql.Int(int64(p.DstIP))
+	dst[4] = gsql.Int(int64(p.SrcPort))
+	dst[5] = gsql.Int(int64(p.DstPort))
+	dst[6] = gsql.Int(int64(p.Proto))
+	dst[7] = gsql.Int(int64(p.Len))
+}

@@ -1,0 +1,152 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"forwarddecay/decay"
+)
+
+// TestAccessorsAcrossSamplers covers the small accessors.
+func TestAccessorsAcrossSamplers(t *testing.T) {
+	r := NewReservoir[int](3, 1)
+	r.Add(1)
+	if r.Len() != 1 || r.N() != 1 {
+		t.Error("Reservoir accessors")
+	}
+	sk := NewSkipReservoir[int](3, 1)
+	for i := 0; i < 10; i++ {
+		sk.Add(i)
+	}
+	if sk.N() != 10 {
+		t.Error("SkipReservoir N")
+	}
+	_ = sk.Skip() // exercised; value depends on random draws
+	ag := NewAggarwal[int](3, 1)
+	ag.Add(1)
+	if ag.N() != 1 || ag.Len() != 1 {
+		t.Error("Aggarwal accessors")
+	}
+	p := NewPriority[int](3, 1)
+	p.Add(1, 0)
+	if p.N() != 1 {
+		t.Error("Priority N")
+	}
+	ch := NewChain[int](5, 1)
+	ch.Add(1)
+	if ch.N() != 1 {
+		t.Error("Chain N")
+	}
+}
+
+// TestForwardWrapperAccessorsAndMerge covers the forward-decay wrapper
+// methods not exercised elsewhere.
+func TestForwardWrapperAccessorsAndMerge(t *testing.T) {
+	m := decay.NewForward(decay.NewExp(0.1), 0)
+	wr := NewForwardWR[int](m, 4, 1)
+	wr.Observe(1, 5)
+	if wr.Model() != m {
+		t.Error("ForwardWR Model")
+	}
+	wrs := NewForwardWRS[int](m, 4, 2)
+	wrs2 := NewForwardWRS[int](m, 4, 3)
+	wrs.Observe(1, 5)
+	wrs2.Observe(2, 6)
+	wrs.Merge(wrs2)
+	if wrs.Model() != m || len(wrs.Sample()) != 2 {
+		t.Errorf("ForwardWRS merge: %v", wrs.Sample())
+	}
+	pr := NewForwardPriority[int](m, 4, 4)
+	pr2 := NewForwardPriority[int](m, 4, 5)
+	pr.Observe(1, 5)
+	pr2.Observe(2, 6)
+	pr.Merge(pr2)
+	if pr.Model() != m {
+		t.Error("ForwardPriority Model")
+	}
+	s := pr.Sample(10)
+	if len(s) != 2 {
+		t.Errorf("ForwardPriority merged sample: %v", s)
+	}
+	for _, w := range s {
+		if w.Weight <= 0 || math.IsInf(w.Weight, 0) {
+			t.Errorf("bad weight %v", w.Weight)
+		}
+	}
+}
+
+// TestReservoirMergePartialFills covers merging when one side is unfilled.
+func TestReservoirMergePartialFills(t *testing.T) {
+	a := NewReservoir[int](5, 1)
+	b := NewReservoir[int](5, 2)
+	a.Add(1)
+	a.Add(2)
+	for i := 10; i < 13; i++ {
+		b.Add(i)
+	}
+	a.Merge(b)
+	if a.N() != 5 || a.Len() != 5 {
+		t.Errorf("merged N=%d Len=%d", a.N(), a.Len())
+	}
+	// Merge into empty adopts the other side.
+	c := NewReservoir[int](5, 3)
+	c.Merge(a)
+	if c.N() != 5 || c.Len() != 5 {
+		t.Errorf("empty merge N=%d Len=%d", c.N(), c.Len())
+	}
+	// Merge of empty is a no-op.
+	d := NewReservoir[int](5, 4)
+	a.Merge(d)
+	if a.N() != 5 {
+		t.Error("empty other changed N")
+	}
+	// Size mismatch panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size mismatch")
+		}
+	}()
+	a.Merge(NewReservoir[int](4, 5))
+}
+
+// TestWRMergeEmptyBranches covers WR merge with empty sides and mismatch.
+func TestWRMergeEmptyBranches(t *testing.T) {
+	a := NewWR[int](3, 1)
+	b := NewWR[int](3, 2)
+	b.Add(7, 0)
+	a.Merge(b) // empty ← nonempty: adopt
+	for _, it := range a.Sample() {
+		if it != 7 {
+			t.Errorf("adopted sample = %v", a.Sample())
+		}
+	}
+	c := NewWR[int](3, 3)
+	a.Merge(c) // nonempty ← empty: no-op
+	if a.N() != 1 {
+		t.Errorf("N = %d", a.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size mismatch")
+		}
+	}()
+	a.Merge(NewWR[int](2, 4))
+}
+
+// TestPriorityMergeSizeMismatchPanics completes merge error coverage.
+func TestPriorityMergeSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewPriority[int](2, 1).Merge(NewPriority[int](3, 2))
+}
+
+// TestChainEmptySample covers the no-sample path.
+func TestChainEmptySample(t *testing.T) {
+	ch := NewChain[int](5, 1)
+	if _, ok := ch.Sample(); ok {
+		t.Error("empty chain claims a sample")
+	}
+}

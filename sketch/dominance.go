@@ -1,0 +1,206 @@
+package sketch
+
+import (
+	"math"
+
+	"forwarddecay/internal/core"
+)
+
+// Dominance estimates the dominance norm Σ_v max_{vᵢ=v} wᵢ of a stream of
+// (key, weight) pairs — exactly the quantity that count-distinct under
+// forward decay reduces to (Definition 9 / Theorem 4 of the paper, via the
+// reduction of Cormode and Muthukrishnan).
+//
+// The paper cites the range-efficient F₀ algorithm of Pavan and Tirthapura;
+// this implementation substitutes a layered-KMV construction (see DESIGN.md):
+// weights are bucketed into geometric levels of ratio base, and a KMV
+// distinct sketch per retained level estimates D_l, the number of distinct
+// keys whose maximum weight reaches level l. The norm is recovered as
+//
+//	Σ_l (base^l − base^{l−1}) · D̂_l  (+ base^lo · D̂_lo for the lowest level)
+//
+// which is accurate to the product of the discretization factor (≈ base)
+// and the KMV error (≈ 1/√k). Only the top maxLevels levels are retained;
+// levels far below the current maximum carry a vanishing fraction of the
+// norm, so pruning them preserves the estimate. Weights are supplied in the
+// log domain, so exponential forward decay never overflows.
+//
+// Dominance is not safe for concurrent use.
+type Dominance struct {
+	logBase   float64
+	k         int
+	maxLevels int
+	levels    map[int]*KMV
+	lo, hi    int
+	empty     bool
+}
+
+// NewDominance returns an estimator with per-level KMV size k, level ratio
+// base > 1, and at most maxLevels retained levels. Good defaults are
+// k = 1024, base = 1.05, maxLevels = 1024. It panics on invalid parameters.
+func NewDominance(k int, base float64, maxLevels int) *Dominance {
+	if k < 3 {
+		panic("sketch: Dominance needs KMV size k >= 3")
+	}
+	if base <= 1 {
+		panic("sketch: Dominance base must exceed 1")
+	}
+	if maxLevels < 2 {
+		panic("sketch: Dominance needs at least two levels")
+	}
+	return &Dominance{
+		logBase:   math.Log(base),
+		k:         k,
+		maxLevels: maxLevels,
+		levels:    make(map[int]*KMV),
+		empty:     true,
+	}
+}
+
+// Update records key with the given log-domain weight (ln w). Items of zero
+// weight (logW = −Inf) are ignored.
+func (d *Dominance) Update(key uint64, logW float64) {
+	if math.IsInf(logW, -1) || math.IsNaN(logW) {
+		return
+	}
+	l := int(math.Floor(logW / d.logBase))
+	if d.empty {
+		d.lo, d.hi = l, l
+		d.empty = false
+	}
+	if l > d.hi {
+		d.hi = l
+	}
+	if l < d.lo && d.hi-l+1 <= d.maxLevels {
+		d.extendDown(l)
+	}
+	if nlo := d.hi - d.maxLevels + 1; nlo > d.lo {
+		for j := d.lo; j < nlo; j++ {
+			delete(d.levels, j)
+		}
+		d.lo = nlo
+	}
+	if l < d.lo {
+		l = d.lo // clamp pruned weights into the lowest retained level
+	}
+	h := core.Mix64(key ^ 0x5bf03635ea3eddcb)
+	for j := d.lo; j <= l; j++ {
+		kmv := d.levels[j]
+		if kmv == nil {
+			kmv = NewKMV(d.k)
+			d.levels[j] = kmv
+		}
+		kmv.InsertHash(h)
+	}
+}
+
+// extendDown opens levels [newLo, lo) while the budget allows. Every key
+// seen so far was inserted into the current lowest level, so D_j for any
+// lower level j equals that level's key set: the new levels start as clones
+// of it, preserving the telescoping estimate for past items.
+func (d *Dominance) extendDown(newLo int) {
+	base := d.levels[d.lo]
+	for j := newLo; j < d.lo; j++ {
+		if base != nil {
+			d.levels[j] = base.Clone()
+		} else {
+			d.levels[j] = NewKMV(d.k)
+		}
+	}
+	d.lo = newLo
+}
+
+// LogEstimate returns ln of the estimated dominance norm, or −Inf for an
+// empty stream. Working in the log domain keeps exponential-decay weights
+// representable.
+func (d *Dominance) LogEstimate() float64 {
+	if d.empty {
+		return math.Inf(-1)
+	}
+	// ln Σ_l coeff_l · D_l via log-sum-exp.
+	acc := math.Inf(-1)
+	for l := d.lo; l <= d.hi; l++ {
+		kmv := d.levels[l]
+		if kmv == nil || kmv.Len() == 0 {
+			continue
+		}
+		est := kmv.Estimate()
+		var logCoeff float64
+		if l == d.lo {
+			logCoeff = float64(l) * d.logBase
+		} else {
+			// base^l − base^{l−1} = base^l · (1 − 1/base)
+			logCoeff = float64(l)*d.logBase + math.Log(1-math.Exp(-d.logBase))
+		}
+		acc = core.LogSumExp(acc, logCoeff+math.Log(est))
+	}
+	// Center the discretization bias: the layered sum underestimates by a
+	// factor between 1 and base; multiply by √base.
+	return acc + d.logBase/2
+}
+
+// Estimate returns the estimated dominance norm in the linear domain.
+// It may overflow to +Inf if weights were supplied with very large log
+// values; prefer LogEstimate in that case.
+func (d *Dominance) Estimate() float64 { return math.Exp(d.LogEstimate()) }
+
+// Merge folds another estimator (with identical parameters) into this one.
+// It panics if the level ratios differ.
+func (d *Dominance) Merge(o *Dominance) {
+	if o == nil || o.empty {
+		return
+	}
+	if math.Abs(o.logBase-d.logBase) > 1e-12 {
+		panic("sketch: merging Dominance sketches with different bases")
+	}
+	if d.empty {
+		d.lo, d.hi, d.empty = o.lo, o.hi, false
+	}
+	if o.hi > d.hi {
+		d.hi = o.hi
+	}
+	if o.lo < d.lo && d.hi-o.lo+1 <= d.maxLevels {
+		d.extendDown(o.lo)
+	}
+	if nlo := d.hi - d.maxLevels + 1; nlo > d.lo {
+		for j := d.lo; j < nlo; j++ {
+			delete(d.levels, j)
+		}
+		d.lo = nlo
+	}
+	// Every key of o qualifies for all levels at or below o's lowest level
+	// (which, by the update invariant, holds o's full key set).
+	oLowest := o.levels[o.lo]
+	for j := d.lo; j <= d.hi; j++ {
+		var src *KMV
+		switch {
+		case j < o.lo:
+			src = oLowest
+		case j > o.hi:
+			src = nil
+		default:
+			src = o.levels[j]
+		}
+		if src == nil || src.Len() == 0 {
+			continue
+		}
+		dst := d.levels[j]
+		if dst == nil {
+			dst = NewKMV(d.k)
+			d.levels[j] = dst
+		}
+		dst.Merge(src)
+	}
+}
+
+// Levels returns the number of retained levels (for tests and size probes).
+func (d *Dominance) Levels() int { return len(d.levels) }
+
+// SizeBytes estimates the in-memory footprint.
+func (d *Dominance) SizeBytes() int {
+	s := 96
+	for _, kmv := range d.levels {
+		s += 48 + kmv.SizeBytes()
+	}
+	return s
+}

@@ -1,0 +1,418 @@
+package sketch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary encodings for the mergeable summaries, used when shipping partial
+// state between distributed sites (§VI-B of the paper). All encodings are
+// little-endian, versioned with a one-byte tag, and round-trip exactly.
+
+const (
+	tagSpaceSaving byte = 0x51
+	tagQDigest     byte = 0x52
+	tagKMV         byte = 0x53
+	tagMisraGries  byte = 0x54
+	tagDominance   byte = 0x55
+)
+
+// enc is a little-endian append-style writer.
+type enc struct{ b []byte }
+
+func (e *enc) u8(v byte)     { e.b = append(e.b, v) }
+func (e *enc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *enc) f64(v float64) { e.u64(math.Float64bits(v)) }
+
+// dec is the matching reader.
+type dec struct{ b []byte }
+
+func (d *dec) u8() (byte, error) {
+	if len(d.b) < 1 {
+		return 0, fmt.Errorf("sketch: truncated encoding")
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v, nil
+}
+
+func (d *dec) u64() (uint64, error) {
+	if len(d.b) < 8 {
+		return 0, fmt.Errorf("sketch: truncated encoding")
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v, nil
+}
+
+func (d *dec) i64() (int64, error) { v, err := d.u64(); return int64(v), err }
+
+func (d *dec) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *dec) done() error {
+	if len(d.b) != 0 {
+		return fmt.Errorf("sketch: %d trailing bytes in encoding", len(d.b))
+	}
+	return nil
+}
+
+func expectTag(d *dec, want byte) error {
+	got, err := d.u8()
+	if err != nil {
+		return err
+	}
+	if got != want {
+		return fmt.Errorf("sketch: wrong encoding tag 0x%02x, want 0x%02x", got, want)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the summary.
+func (s *SpaceSaving) MarshalBinary() ([]byte, error) {
+	e := &enc{}
+	e.u8(tagSpaceSaving)
+	e.u64(uint64(s.k))
+	e.f64(s.total)
+	e.u64(uint64(len(s.entries)))
+	for _, en := range s.entries {
+		e.u64(en.key)
+		e.f64(en.count)
+		e.f64(en.err)
+	}
+	return e.b, nil
+}
+
+// UnmarshalBinary decodes a summary produced by MarshalBinary, replacing
+// the receiver's state.
+func (s *SpaceSaving) UnmarshalBinary(b []byte) error {
+	d := &dec{bytes.Clone(b)}
+	if err := expectTag(d, tagSpaceSaving); err != nil {
+		return err
+	}
+	k, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if k == 0 || k > 1<<30 {
+		return fmt.Errorf("sketch: implausible SpaceSaving k %d", k)
+	}
+	total, err := d.f64()
+	if err != nil {
+		return err
+	}
+	n, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if n > k {
+		return fmt.Errorf("sketch: SpaceSaving encoding has %d entries for k=%d", n, k)
+	}
+	entries := make([]ssEntry, n)
+	for i := range entries {
+		if entries[i].key, err = d.u64(); err != nil {
+			return err
+		}
+		if entries[i].count, err = d.f64(); err != nil {
+			return err
+		}
+		if entries[i].err, err = d.f64(); err != nil {
+			return err
+		}
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	s.k = int(k)
+	s.total = total
+	s.entries = entries
+	s.pos = make(map[uint64]int, n)
+	s.heapify()
+	return nil
+}
+
+// MarshalBinary encodes the digest (compressing first).
+func (q *QDigest) MarshalBinary() ([]byte, error) {
+	q.Compress()
+	e := &enc{}
+	e.u8(tagQDigest)
+	e.u64(uint64(q.logU))
+	e.u64(uint64(q.k))
+	e.f64(q.total)
+	e.u64(uint64(len(q.nodes)))
+	for id, w := range q.nodes {
+		e.u64(id)
+		e.f64(w)
+	}
+	return e.b, nil
+}
+
+// UnmarshalBinary decodes a digest produced by MarshalBinary.
+func (q *QDigest) UnmarshalBinary(b []byte) error {
+	d := &dec{bytes.Clone(b)}
+	if err := expectTag(d, tagQDigest); err != nil {
+		return err
+	}
+	logU, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if logU == 0 || logU > 63 {
+		return fmt.Errorf("sketch: implausible QDigest domain 2^%d", logU)
+	}
+	k, err := d.u64()
+	if err != nil {
+		return err
+	}
+	total, err := d.f64()
+	if err != nil {
+		return err
+	}
+	n, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if n > 1<<28 {
+		return fmt.Errorf("sketch: implausible QDigest node count %d", n)
+	}
+	nodes := make(map[uint64]float64, n)
+	maxID := uint64(2) << logU
+	for i := uint64(0); i < n; i++ {
+		id, err := d.u64()
+		if err != nil {
+			return err
+		}
+		if id == 0 || id >= maxID {
+			return fmt.Errorf("sketch: QDigest node id %d out of range", id)
+		}
+		w, err := d.f64()
+		if err != nil {
+			return err
+		}
+		nodes[id] = w
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	q.logU = uint(logU)
+	q.k = int(k)
+	q.total = total
+	q.dirty = 0
+	q.nodes = nodes
+	return nil
+}
+
+// MarshalBinary encodes the sketch.
+func (s *KMV) MarshalBinary() ([]byte, error) {
+	e := &enc{}
+	e.u8(tagKMV)
+	e.u64(uint64(s.k))
+	e.u64(uint64(len(s.h)))
+	for _, h := range s.h {
+		e.u64(h)
+	}
+	return e.b, nil
+}
+
+// UnmarshalBinary decodes a sketch produced by MarshalBinary.
+func (s *KMV) UnmarshalBinary(b []byte) error {
+	d := &dec{bytes.Clone(b)}
+	if err := expectTag(d, tagKMV); err != nil {
+		return err
+	}
+	k, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if k == 0 || k > 1<<30 {
+		return fmt.Errorf("sketch: implausible KMV k %d", k)
+	}
+	n, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if n > k {
+		return fmt.Errorf("sketch: KMV encoding holds %d hashes for k=%d", n, k)
+	}
+	fresh := NewKMV(int(k))
+	for i := uint64(0); i < n; i++ {
+		h, err := d.u64()
+		if err != nil {
+			return err
+		}
+		fresh.InsertHash(h)
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	*s = *fresh
+	return nil
+}
+
+// MarshalBinary encodes the summary.
+func (m *MisraGries) MarshalBinary() ([]byte, error) {
+	e := &enc{}
+	e.u8(tagMisraGries)
+	e.u64(uint64(m.k))
+	e.f64(m.total)
+	e.u64(uint64(len(m.counters)))
+	for k2, c := range m.counters {
+		e.u64(k2)
+		e.f64(c)
+	}
+	return e.b, nil
+}
+
+// UnmarshalBinary decodes a summary produced by MarshalBinary.
+func (m *MisraGries) UnmarshalBinary(b []byte) error {
+	d := &dec{bytes.Clone(b)}
+	if err := expectTag(d, tagMisraGries); err != nil {
+		return err
+	}
+	k, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if k == 0 || k > 1<<30 {
+		return fmt.Errorf("sketch: implausible MisraGries k %d", k)
+	}
+	total, err := d.f64()
+	if err != nil {
+		return err
+	}
+	n, err := d.u64()
+	if err != nil {
+		return err
+	}
+	if n > k {
+		return fmt.Errorf("sketch: MisraGries encoding has %d counters for k=%d", n, k)
+	}
+	counters := make(map[uint64]float64, n)
+	for i := uint64(0); i < n; i++ {
+		key, err := d.u64()
+		if err != nil {
+			return err
+		}
+		c, err := d.f64()
+		if err != nil {
+			return err
+		}
+		counters[key] = c
+	}
+	if err := d.done(); err != nil {
+		return err
+	}
+	m.k = int(k)
+	m.total = total
+	m.counters = counters
+	return nil
+}
+
+// MarshalBinary encodes the estimator.
+func (d *Dominance) MarshalBinary() ([]byte, error) {
+	e := &enc{}
+	e.u8(tagDominance)
+	e.f64(d.logBase)
+	e.u64(uint64(d.k))
+	e.u64(uint64(d.maxLevels))
+	if d.empty {
+		e.u8(0)
+		return e.b, nil
+	}
+	e.u8(1)
+	e.i64(int64(d.lo))
+	e.i64(int64(d.hi))
+	e.u64(uint64(len(d.levels)))
+	for l, kmv := range d.levels {
+		e.i64(int64(l))
+		kb, err := kmv.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		e.u64(uint64(len(kb)))
+		e.b = append(e.b, kb...)
+	}
+	return e.b, nil
+}
+
+// UnmarshalBinary decodes an estimator produced by MarshalBinary.
+func (d *Dominance) UnmarshalBinary(b []byte) error {
+	r := &dec{bytes.Clone(b)}
+	if err := expectTag(r, tagDominance); err != nil {
+		return err
+	}
+	logBase, err := r.f64()
+	if err != nil {
+		return err
+	}
+	if !(logBase > 0) {
+		return fmt.Errorf("sketch: implausible Dominance base")
+	}
+	k, err := r.u64()
+	if err != nil {
+		return err
+	}
+	maxLevels, err := r.u64()
+	if err != nil {
+		return err
+	}
+	if k < 3 || maxLevels < 2 || k > 1<<30 || maxLevels > 1<<24 {
+		return fmt.Errorf("sketch: implausible Dominance parameters")
+	}
+	nonEmpty, err := r.u8()
+	if err != nil {
+		return err
+	}
+	out := &Dominance{logBase: logBase, k: int(k), maxLevels: int(maxLevels),
+		levels: make(map[int]*KMV), empty: true}
+	if nonEmpty == 1 {
+		lo, err := r.i64()
+		if err != nil {
+			return err
+		}
+		hi, err := r.i64()
+		if err != nil {
+			return err
+		}
+		n, err := r.u64()
+		if err != nil {
+			return err
+		}
+		if hi < lo || n > maxLevels {
+			return fmt.Errorf("sketch: inconsistent Dominance encoding")
+		}
+		out.lo, out.hi, out.empty = int(lo), int(hi), false
+		for i := uint64(0); i < n; i++ {
+			l, err := r.i64()
+			if err != nil {
+				return err
+			}
+			if l < lo || l > hi {
+				return fmt.Errorf("sketch: Dominance level %d out of range", l)
+			}
+			ln, err := r.u64()
+			if err != nil {
+				return err
+			}
+			if uint64(len(r.b)) < ln {
+				return fmt.Errorf("sketch: truncated encoding")
+			}
+			kmv := &KMV{}
+			if err := kmv.UnmarshalBinary(r.b[:ln]); err != nil {
+				return err
+			}
+			r.b = r.b[ln:]
+			out.levels[int(l)] = kmv
+		}
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	*d = *out
+	return nil
+}

@@ -1,0 +1,190 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+
+	"forwarddecay/internal/core"
+)
+
+func TestSpaceSavingRoundTrip(t *testing.T) {
+	keys, ws, _ := zipfStream(101, 20000, 500, 1.3, true)
+	s := NewSpaceSavingK(64)
+	for i := range keys {
+		s.Update(keys[i], ws[i])
+	}
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d SpaceSaving
+	if err := d.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != s.Total() || d.K() != s.K() || d.Len() != s.Len() {
+		t.Fatalf("header mismatch: %v/%v/%v vs %v/%v/%v",
+			d.Total(), d.K(), d.Len(), s.Total(), s.K(), s.Len())
+	}
+	for _, ic := range s.HeavyHitters(0) {
+		est, errB := d.Estimate(ic.Key)
+		if est != ic.Count || errB != ic.Err {
+			t.Fatalf("key %d: decoded (%v,%v), want (%v,%v)", ic.Key, est, errB, ic.Count, ic.Err)
+		}
+	}
+	// Decoded sketches keep working.
+	d.Update(999999, 5)
+	if est, _ := d.Estimate(999999); est < 5 {
+		t.Errorf("decoded sketch update broken: %v", est)
+	}
+}
+
+func TestQDigestRoundTrip(t *testing.T) {
+	rng := core.NewRNG(102)
+	q := NewQDigest(1<<10, 0.05)
+	for i := 0; i < 20000; i++ {
+		q.Update(uint64(rng.Intn(1<<10)), 1+rng.Float64())
+	}
+	b, err := q.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d QDigest
+	if err := d.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Total()-q.Total()) > 1e-9 || d.U() != q.U() {
+		t.Fatalf("header mismatch")
+	}
+	for _, v := range []uint64{10, 100, 500, 1000} {
+		// Rank sums node weights in map order; allow float-summation jitter.
+		if math.Abs(d.Rank(v)-q.Rank(v)) > 1e-9*q.Total() {
+			t.Errorf("Rank(%d): decoded %v, want %v", v, d.Rank(v), q.Rank(v))
+		}
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if d.Quantile(phi) != q.Quantile(phi) {
+			t.Errorf("Quantile(%v) mismatch", phi)
+		}
+	}
+}
+
+func TestKMVRoundTrip(t *testing.T) {
+	s := NewKMV(128)
+	for i := 0; i < 5000; i++ {
+		s.Insert(uint64(i))
+	}
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d KMV
+	if err := d.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.Estimate() != s.Estimate() || d.Len() != s.Len() || d.K() != s.K() {
+		t.Fatalf("decoded KMV differs: %v/%d vs %v/%d", d.Estimate(), d.Len(), s.Estimate(), s.Len())
+	}
+	// Continues to dedupe correctly after decoding.
+	before := d.Len()
+	d.Insert(42) // already present
+	if d.Len() != before {
+		t.Error("decoded KMV lost membership state")
+	}
+}
+
+func TestMisraGriesRoundTrip(t *testing.T) {
+	keys, ws, _ := zipfStream(103, 10000, 300, 1.2, true)
+	m := NewMisraGries(40)
+	for i := range keys {
+		m.Update(keys[i], ws[i])
+	}
+	b, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d MisraGries
+	if err := d.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != m.Total() || d.Len() != m.Len() {
+		t.Fatalf("header mismatch")
+	}
+	for _, ic := range m.Items() {
+		if d.Estimate(ic.Key) != ic.Count {
+			t.Errorf("key %d: decoded %v, want %v", ic.Key, d.Estimate(ic.Key), ic.Count)
+		}
+	}
+}
+
+func TestDominanceRoundTrip(t *testing.T) {
+	rng := core.NewRNG(104)
+	s := NewDominance(128, 1.1, 256)
+	for i := 0; i < 5000; i++ {
+		s.Update(uint64(rng.Intn(500)), 8*rng.Float64())
+	}
+	b, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Dominance
+	if err := d.UnmarshalBinary(b); err != nil {
+		t.Fatal(err)
+	}
+	if d.LogEstimate() != s.LogEstimate() {
+		t.Fatalf("decoded estimate %v, want %v", d.LogEstimate(), s.LogEstimate())
+	}
+	// Decoded estimators merge with live ones.
+	d.Merge(s)
+	if math.IsNaN(d.LogEstimate()) {
+		t.Error("merge after decode produced NaN")
+	}
+
+	// Empty round trip.
+	e := NewDominance(16, 2, 8)
+	eb, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var de Dominance
+	if err := de.UnmarshalBinary(eb); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(de.LogEstimate(), -1) {
+		t.Errorf("decoded empty Dominance estimate = %v", de.LogEstimate())
+	}
+}
+
+func TestEncodingsRejectGarbage(t *testing.T) {
+	garbage := [][]byte{nil, {0x00}, {0xff, 1, 2, 3}, []byte("short"), {tagSpaceSaving, 1}}
+	for _, b := range garbage {
+		if err := (&SpaceSaving{}).UnmarshalBinary(b); err == nil {
+			t.Errorf("SpaceSaving accepted %v", b)
+		}
+		if err := (&QDigest{}).UnmarshalBinary(b); err == nil {
+			t.Errorf("QDigest accepted %v", b)
+		}
+		if err := (&KMV{}).UnmarshalBinary(b); err == nil {
+			t.Errorf("KMV accepted %v", b)
+		}
+		if err := (&MisraGries{}).UnmarshalBinary(b); err == nil {
+			t.Errorf("MisraGries accepted %v", b)
+		}
+		if err := (&Dominance{}).UnmarshalBinary(b); err == nil {
+			t.Errorf("Dominance accepted %v", b)
+		}
+	}
+	// Cross-type confusion rejected.
+	k := NewKMV(8)
+	k.Insert(1)
+	kb, _ := k.MarshalBinary()
+	if err := (&SpaceSaving{}).UnmarshalBinary(kb); err == nil {
+		t.Error("SpaceSaving accepted a KMV encoding")
+	}
+	// Trailing bytes rejected.
+	s := NewSpaceSavingK(4)
+	s.Update(1, 1)
+	sb, _ := s.MarshalBinary()
+	if err := (&SpaceSaving{}).UnmarshalBinary(append(sb, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}

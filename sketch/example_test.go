@@ -1,0 +1,50 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"forwarddecay/sketch"
+)
+
+// Weighted SpaceSaving is the engine behind heavy hitters under forward
+// decay: weights are fixed at arrival (the static weights g(tᵢ−L)).
+func ExampleSpaceSaving() {
+	ss := sketch.NewSpaceSavingK(4)
+	// Example 3 of the paper: items weighted by quadratic forward decay.
+	for _, it := range []struct {
+		v uint64
+		w float64
+	}{
+		{4, 0.25}, {8, 0.49}, {3, 0.09}, {6, 0.64}, {4, 0.16},
+	} {
+		ss.Update(it.v, it.w)
+	}
+	for _, ic := range ss.HeavyHitters(0.2) {
+		fmt.Printf("%d:%.2f ", ic.Key, ic.Count)
+	}
+	fmt.Println()
+	// Output: 6:0.64 8:0.49 4:0.41
+}
+
+// QDigest answers weighted quantile queries over an integer domain.
+func ExampleQDigest() {
+	q := sketch.NewQDigest(1024, 0.01)
+	for v := uint64(0); v < 1000; v++ {
+		q.Update(v, 1)
+	}
+	fmt.Println(q.Quantile(0.5) >= 450 && q.Quantile(0.5) <= 550)
+	// Output: true
+}
+
+// KMV estimates distinct counts and merges by union.
+func ExampleKMV() {
+	a, b := sketch.NewKMV(256), sketch.NewKMV(256)
+	for i := 0; i < 1000; i++ {
+		a.Insert(uint64(i))
+		b.Insert(uint64(i + 500)) // overlap 500..999
+	}
+	a.Merge(b)
+	est := a.Estimate()
+	fmt.Println(est > 1200 && est < 1800) // true union size is 1500
+	// Output: true
+}

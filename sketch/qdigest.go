@@ -1,0 +1,230 @@
+package sketch
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// QDigest is the quantile summary of Shrivastava, Buragohain, Agrawal and
+// Suri, in its weighted form: values come from the integer domain
+// [0, U) (U a power of two) and each update carries an arbitrary positive
+// weight, fixed at arrival — exactly what forward decay needs (Theorem 3 of
+// the paper). With compression factor k it uses O(k·log U) nodes and answers
+// rank and quantile queries with additive error at most (log₂U / k)·W,
+// where W is the total weight; choosing k = ⌈log₂U / ε⌉ gives εW error.
+//
+// The digest is mergeable and supports linear Scale rescaling for landmark
+// shifts. It is not safe for concurrent use.
+type QDigest struct {
+	logU  uint               // tree depth: domain is [0, 2^logU)
+	k     int                // compression factor
+	nodes map[uint64]float64 // heap-numbered tree node → weight
+	total float64
+	dirty float64 // weight added since the last compression
+}
+
+// NewQDigest returns a digest over the value domain [0, u) with target rank
+// error epsilon. u is rounded up to the next power of two. It panics unless
+// u ≥ 2 and 0 < epsilon < 1.
+func NewQDigest(u uint64, epsilon float64) *QDigest {
+	if u < 2 {
+		panic("sketch: QDigest domain must have at least two values")
+	}
+	if !(epsilon > 0 && epsilon < 1) {
+		panic("sketch: QDigest epsilon must be in (0,1)")
+	}
+	logU := uint(0)
+	for uint64(1)<<logU < u {
+		logU++
+	}
+	k := int(math.Ceil(float64(logU) / epsilon))
+	if k < 1 {
+		k = 1
+	}
+	return &QDigest{logU: logU, k: k, nodes: make(map[uint64]float64)}
+}
+
+// U returns the (rounded) domain size.
+func (q *QDigest) U() uint64 { return 1 << q.logU }
+
+// Total returns the total weight observed.
+func (q *QDigest) Total() float64 { return q.total }
+
+// Len returns the number of stored tree nodes.
+func (q *QDigest) Len() int { return len(q.nodes) }
+
+// Update adds weight w for value v. Values ≥ U are clamped to U−1;
+// non-positive weights are ignored.
+func (q *QDigest) Update(v uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	if v >= q.U() {
+		v = q.U() - 1
+	}
+	leaf := q.U() + v // heap numbering: root = 1, leaves = U..2U-1
+	q.nodes[leaf] += w
+	q.total += w
+	q.dirty += w
+	// Compress once a constant fraction of new weight has accumulated, so
+	// the amortised update cost stays low while the size bound holds.
+	if q.dirty > q.total/4 && len(q.nodes) > 3*q.sizeBound()/2 {
+		q.Compress()
+	}
+}
+
+// sizeBound is the O(k log U) node bound the compression restores.
+func (q *QDigest) sizeBound() int { return 3 * q.k * int(q.logU+1) }
+
+// Compress restores the q-digest invariant, merging under-full sibling
+// pairs into their parents bottom-up. It runs in time linear in the number
+// of stored nodes (plus sorting) and is called automatically; callers only
+// need it directly before serializing or measuring size.
+func (q *QDigest) Compress() {
+	if len(q.nodes) == 0 {
+		q.dirty = 0
+		return
+	}
+	thresh := q.total / float64(q.k)
+	ids := make([]uint64, 0, len(q.nodes))
+	for id := range q.nodes {
+		ids = append(ids, id)
+	}
+	// Descending id order visits children before parents.
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+	for _, id := range ids {
+		if id <= 1 {
+			continue
+		}
+		c, ok := q.nodes[id]
+		if !ok {
+			continue
+		}
+		sib := q.nodes[id^1]
+		par := q.nodes[id>>1]
+		if c+sib+par <= thresh {
+			q.nodes[id>>1] = par + c + sib
+			delete(q.nodes, id)
+			delete(q.nodes, id^1)
+		}
+	}
+	q.dirty = 0
+}
+
+// Rank returns the estimated total weight of values strictly less than v.
+// The true rank is within an additive (log₂U/k)·Total of the estimate.
+func (q *QDigest) Rank(v uint64) float64 {
+	if v >= q.U() {
+		v = q.U() - 1
+	}
+	var r float64
+	for id, w := range q.nodes {
+		_, hi := q.span(id)
+		if hi < v {
+			r += w
+		}
+	}
+	return r
+}
+
+// Quantile returns the smallest value whose estimated rank reaches
+// phi·Total: the φ-quantile under the stored weights. phi is clamped to
+// [0, 1].
+func (q *QDigest) Quantile(phi float64) uint64 {
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 1 {
+		phi = 1
+	}
+	target := phi * q.total
+	nodes := q.sortedNodes()
+	var cum float64
+	for _, n := range nodes {
+		cum += n.w
+		if cum >= target {
+			return n.hi
+		}
+	}
+	if len(nodes) == 0 {
+		return 0
+	}
+	return nodes[len(nodes)-1].hi
+}
+
+type qdNode struct {
+	lo, hi uint64
+	w      float64
+}
+
+// sortedNodes returns the stored nodes in q-digest query order: increasing
+// upper endpoint, ties broken by smaller range (larger lower endpoint)
+// first.
+func (q *QDigest) sortedNodes() []qdNode {
+	out := make([]qdNode, 0, len(q.nodes))
+	for id, w := range q.nodes {
+		lo, hi := q.span(id)
+		out = append(out, qdNode{lo, hi, w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].hi != out[j].hi {
+			return out[i].hi < out[j].hi
+		}
+		return out[i].lo > out[j].lo
+	})
+	return out
+}
+
+// span returns the value interval [lo, hi] covered by heap node id.
+func (q *QDigest) span(id uint64) (lo, hi uint64) {
+	level := uint(bits.Len64(id)) - 1
+	below := q.logU - level
+	lo = (id - (1 << level)) << below
+	hi = lo + (1 << below) - 1
+	return lo, hi
+}
+
+// Scale multiplies every stored weight and the total by f ≥ 0 (landmark
+// rescaling, §VI-A of the paper).
+func (q *QDigest) Scale(f float64) {
+	if f < 0 {
+		panic("sketch: negative scale")
+	}
+	for id := range q.nodes {
+		q.nodes[id] *= f
+	}
+	q.total *= f
+	q.dirty *= f
+}
+
+// Merge folds another digest over the same domain into this one by adding
+// node weights and recompressing. It panics if the domains differ. Errors
+// add: the merged digest has additive rank error (log₂U/k)·(W₁+W₂).
+func (q *QDigest) Merge(o *QDigest) {
+	if o == nil {
+		return
+	}
+	if o.logU != q.logU {
+		panic("sketch: merging QDigests over different domains")
+	}
+	for id, w := range o.nodes {
+		q.nodes[id] += w
+	}
+	q.total += o.total
+	q.Compress()
+}
+
+// Clone returns a deep copy of the digest.
+func (q *QDigest) Clone() *QDigest {
+	c := &QDigest{logU: q.logU, k: q.k, total: q.total, dirty: q.dirty,
+		nodes: make(map[uint64]float64, len(q.nodes))}
+	for id, w := range q.nodes {
+		c.nodes[id] = w
+	}
+	return c
+}
+
+// SizeBytes estimates the in-memory footprint after compression
+// (~48 B per map slot).
+func (q *QDigest) SizeBytes() int { return 48 + len(q.nodes)*48 }

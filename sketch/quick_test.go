@@ -1,0 +1,266 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"forwarddecay/internal/core"
+)
+
+func qconf(seed int64, n int) *quick.Config {
+	return &quick.Config{MaxCount: n, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// TestQuickSpaceSavingInvariants property-tests the structural invariants
+// of the weighted SpaceSaving summary on random weighted streams: total
+// conservation, the min-heap property, estimate ≥ truth for monitored keys,
+// and the W/k error bound.
+func TestQuickSpaceSavingInvariants(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := 2 + int(kRaw)%30
+		rng := core.NewRNG(seed)
+		ss := NewSpaceSavingK(k)
+		exact := map[uint64]float64{}
+		var total float64
+		for i := 0; i < 500; i++ {
+			key := uint64(rng.Intn(80))
+			w := 0.1 + 3*rng.Float64()
+			ss.Update(key, w)
+			exact[key] += w
+			total += w
+		}
+		if !almostEqF(ss.Total(), total, 1e-9) {
+			return false
+		}
+		// Heap property over the internal slice.
+		for i := 1; i < len(ss.entries); i++ {
+			if ss.entries[(i-1)/2].count > ss.entries[i].count+1e-12 {
+				return false
+			}
+		}
+		bound := total / float64(k)
+		for key, truth := range exact {
+			est, err := ss.Estimate(key)
+			if est+1e-9 < truth || est > truth+bound+1e-9 || err > bound+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qconf(21, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+func almostEqF(a, b, tol float64) bool {
+	d := math.Abs(a - b)
+	return d <= tol || d <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestQuickSpaceSavingMergeBound: merged summaries keep a (conservative)
+// additive bound of 3(W₁+W₂)/k.
+func TestQuickSpaceSavingMergeBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := core.NewRNG(seed)
+		const k = 20
+		a, b := NewSpaceSavingK(k), NewSpaceSavingK(k)
+		exact := map[uint64]float64{}
+		var total float64
+		for i := 0; i < 400; i++ {
+			key := uint64(rng.Intn(60))
+			w := 0.1 + rng.Float64()
+			if i%2 == 0 {
+				a.Update(key, w)
+			} else {
+				b.Update(key, w)
+			}
+			exact[key] += w
+			total += w
+		}
+		a.Merge(b)
+		if !almostEqF(a.Total(), total, 1e-9) {
+			return false
+		}
+		for key, truth := range exact {
+			est, _ := a.Estimate(key)
+			if est+1e-9 < truth || est > truth+3*total/k+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qconf(22, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQDigestConservation: compression and merging never change the
+// total weight, and ranks stay within the error bound.
+func TestQuickQDigestConservation(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := core.NewRNG(seed)
+		const u = 1 << 8
+		q := NewQDigest(u, 0.1)
+		vals := make([]uint64, 0, 300)
+		ws := make([]float64, 0, 300)
+		var total float64
+		for i := 0; i < 300; i++ {
+			v := uint64(rng.Intn(u))
+			w := 0.5 + rng.Float64()
+			q.Update(v, w)
+			vals = append(vals, v)
+			ws = append(ws, w)
+			total += w
+		}
+		q.Compress()
+		if !almostEqF(q.Total(), total, 1e-9) {
+			return false
+		}
+		// Rank at a random point within bound.
+		probe := uint64(rng.Intn(u))
+		var want float64
+		for i, v := range vals {
+			if v < probe {
+				want += ws[i]
+			}
+		}
+		return math.Abs(q.Rank(probe)-want) <= 0.1*total+1e-9
+	}
+	if err := quick.Check(f, qconf(23, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQDigestScaleLinearity: Scale(c) multiplies every rank by c.
+func TestQuickQDigestScaleLinearity(t *testing.T) {
+	f := func(seed uint64, cRaw float64) bool {
+		c := 0.1 + math.Mod(math.Abs(cRaw), 5)
+		if math.IsNaN(c) {
+			c = 1
+		}
+		rng := core.NewRNG(seed)
+		q := NewQDigest(256, 0.1)
+		for i := 0; i < 200; i++ {
+			q.Update(uint64(rng.Intn(256)), 1+rng.Float64())
+		}
+		before := q.Rank(123)
+		totalBefore := q.Total()
+		q.Scale(c)
+		return almostEqF(q.Rank(123), c*before, 1e-9) && almostEqF(q.Total(), c*totalBefore, 1e-9)
+	}
+	if err := quick.Check(f, qconf(24, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKMVMergeCommutative: A∪B and B∪A produce identical estimates.
+func TestQuickKMVMergeCommutative(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		build := func(seed uint64) *KMV {
+			rng := core.NewRNG(seed)
+			k := NewKMV(64)
+			for i := 0; i < 500; i++ {
+				k.Insert(uint64(rng.Intn(2000)))
+			}
+			return k
+		}
+		ab := build(seedA)
+		ab.Merge(build(seedB))
+		ba := build(seedB)
+		ba.Merge(build(seedA))
+		return ab.Estimate() == ba.Estimate()
+	}
+	if err := quick.Check(f, qconf(25, 200)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMisraGriesUnderestimates: MG estimates never exceed the truth
+// and the deficit is bounded by W/(k+1).
+func TestQuickMisraGriesUnderestimates(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := 2 + int(kRaw)%20
+		rng := core.NewRNG(seed)
+		mg := NewMisraGries(k)
+		exact := map[uint64]float64{}
+		var total float64
+		for i := 0; i < 400; i++ {
+			key := uint64(rng.Intn(50))
+			w := 0.1 + 2*rng.Float64()
+			mg.Update(key, w)
+			exact[key] += w
+			total += w
+		}
+		if mg.Len() > k {
+			return false
+		}
+		for key, truth := range exact {
+			est := mg.Estimate(key)
+			if est > truth+1e-9 || est < truth-total/float64(k+1)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qconf(26, 300)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEHWindowBound: the EH window count stays within the relative
+// error bound on random in-order streams.
+func TestQuickEHWindowBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := core.NewRNG(seed)
+		const eps, W = 0.1, 30.0
+		h := NewExpHistogram(eps, W)
+		var items []float64
+		ts := 0.0
+		for i := 0; i < 2000; i++ {
+			ts += rng.ExpFloat64() / 50
+			h.Insert(ts, 1)
+			items = append(items, ts)
+		}
+		var want float64
+		for _, x := range items {
+			if x > ts-W {
+				want++
+			}
+		}
+		got := h.WindowCount(ts)
+		return math.Abs(got-want) <= 3*eps*want+2
+	}
+	if err := quick.Check(f, qconf(27, 100)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDominanceUpperSensible: the estimate never collapses to zero for
+// non-empty input and is within a wide multiplicative band of the exact
+// dominance norm (tight accuracy is covered by the deterministic tests).
+func TestQuickDominanceSane(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := core.NewRNG(seed)
+		d := NewDominance(256, 1.1, 256)
+		exact := map[uint64]float64{}
+		for i := 0; i < 400; i++ {
+			key := uint64(rng.Intn(100))
+			lw := 5 * rng.Float64()
+			d.Update(key, lw)
+			if m, ok := exact[key]; !ok || lw > m {
+				exact[key] = lw
+			}
+		}
+		var want float64
+		for _, lw := range exact {
+			want += math.Exp(lw)
+		}
+		got := math.Exp(d.LogEstimate())
+		return got > want/2 && got < want*2
+	}
+	if err := quick.Check(f, qconf(28, 150)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,289 @@
+package sketch
+
+import (
+	"math"
+	"sort"
+)
+
+// SpaceSaving is the deterministic heavy-hitters summary of Metwally,
+// Agrawal and El Abbadi, in its weighted form (as analysed by Cormode, Korn
+// and Tirthapura for decayed streams): each update carries an arbitrary
+// positive weight, fixed at arrival. With k counters it guarantees, for
+// total weight W:
+//
+//	true(v) ≤ Estimate(v) ≤ true(v) + W/k
+//
+// so with k = ⌈1/ε⌉ all items of weight ≥ φW are reported and no item of
+// weight < (φ−ε)W is (Theorem 2 of the forward-decay paper).
+//
+// The implementation keeps the monitored items in a min-heap ordered by
+// count, giving O(log k) worst-case updates. For unweighted (unary) streams
+// the StreamSummary type is the O(1)-amortised alternative.
+//
+// SpaceSaving is not safe for concurrent use.
+type SpaceSaving struct {
+	k       int
+	entries []ssEntry      // min-heap on count
+	pos     map[uint64]int // key → index in entries
+	total   float64        // total weight observed
+}
+
+type ssEntry struct {
+	key   uint64
+	count float64 // estimated weight (upper bound on true weight)
+	err   float64 // overestimation bound
+}
+
+// NewSpaceSaving returns a summary with k = ⌈1/epsilon⌉ counters.
+// It panics unless 0 < epsilon < 1.
+func NewSpaceSaving(epsilon float64) *SpaceSaving {
+	if !(epsilon > 0 && epsilon < 1) {
+		panic("sketch: SpaceSaving epsilon must be in (0,1)")
+	}
+	return NewSpaceSavingK(int(math.Ceil(1 / epsilon)))
+}
+
+// NewSpaceSavingK returns a summary with exactly k counters. It panics if
+// k < 1.
+func NewSpaceSavingK(k int) *SpaceSaving {
+	if k < 1 {
+		panic("sketch: SpaceSaving needs at least one counter")
+	}
+	return &SpaceSaving{
+		k:       k,
+		entries: make([]ssEntry, 0, k),
+		pos:     make(map[uint64]int, k),
+	}
+}
+
+// K returns the number of counters.
+func (s *SpaceSaving) K() int { return s.k }
+
+// Total returns the total weight of all updates observed.
+func (s *SpaceSaving) Total() float64 { return s.total }
+
+// Len returns the number of monitored items.
+func (s *SpaceSaving) Len() int { return len(s.entries) }
+
+// Update adds weight w for the given key. Non-positive weights are ignored.
+func (s *SpaceSaving) Update(key uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.total += w
+	if i, ok := s.pos[key]; ok {
+		s.entries[i].count += w
+		s.siftDown(i)
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, ssEntry{key: key, count: w})
+		s.pos[key] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	// Evict the minimum-count item: the newcomer inherits its count as the
+	// overestimation error.
+	min := &s.entries[0]
+	delete(s.pos, min.key)
+	min.err = min.count
+	min.count += w
+	min.key = key
+	s.pos[key] = 0
+	s.siftDown(0)
+}
+
+// Estimate returns the estimated weight of key and the overestimation
+// bound. For a monitored key, true ∈ [count−err, count]. For an unmonitored
+// key the estimate is the minimum counter value (an upper bound on its true
+// weight), with err equal to the same value.
+func (s *SpaceSaving) Estimate(key uint64) (count, err float64) {
+	if i, ok := s.pos[key]; ok {
+		return s.entries[i].count, s.entries[i].err
+	}
+	if len(s.entries) < s.k || len(s.entries) == 0 {
+		return 0, 0
+	}
+	m := s.entries[0].count
+	return m, m
+}
+
+// ErrorBound returns the maximum possible overestimation across all items,
+// i.e. the minimum counter value when the summary is full (at most W/k).
+func (s *SpaceSaving) ErrorBound() float64 {
+	if len(s.entries) < s.k || len(s.entries) == 0 {
+		return 0
+	}
+	return s.entries[0].count
+}
+
+// HeavyHitters returns all monitored items whose estimated weight is at
+// least phi times the total weight, in decreasing order of estimate. Every
+// item of true weight ≥ phi·Total is included; no item of true weight
+// < (phi − 1/k)·Total is.
+func (s *SpaceSaving) HeavyHitters(phi float64) []ItemCount {
+	thresh := phi * s.total
+	var out []ItemCount
+	for _, e := range s.entries {
+		if e.count >= thresh {
+			out = append(out, ItemCount{Key: e.key, Count: e.count, Err: e.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Top returns the n monitored items with the largest estimates, in
+// decreasing order.
+func (s *SpaceSaving) Top(n int) []ItemCount {
+	out := make([]ItemCount, 0, len(s.entries))
+	for _, e := range s.entries {
+		out = append(out, ItemCount{Key: e.key, Count: e.count, Err: e.err})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Scale multiplies every counter, error bound and the total by f ≥ 0. It is
+// the linear rescaling pass of §VI-A of the paper, used when rebasing
+// exponential forward decay onto a new landmark.
+func (s *SpaceSaving) Scale(f float64) {
+	if f < 0 {
+		panic("sketch: negative scale")
+	}
+	for i := range s.entries {
+		s.entries[i].count *= f
+		s.entries[i].err *= f
+	}
+	s.total *= f
+}
+
+// Merge folds another summary into this one (the other is left unchanged).
+// Following the mergeable-summaries construction, counts and error bounds
+// of shared keys add, the union is truncated to the k largest counters, and
+// the guarantee degrades to the sum of the two errors: the merged estimates
+// satisfy true(v) ≤ est(v) ≤ true(v) + (W₁+W₂)/k.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil || len(o.entries) == 0 {
+		return
+	}
+	type ce struct{ count, err float64 }
+	union := make(map[uint64]ce, len(s.entries)+len(o.entries))
+	// Unmonitored keys in one summary could have weight up to its minimum
+	// counter there; fold that in as additional error on the other side's
+	// entries for a sound (if conservative) bound.
+	sMin, oMin := 0.0, 0.0
+	if len(s.entries) == s.k {
+		sMin = s.entries[0].count
+	}
+	if len(o.entries) == o.k {
+		oMin = o.entries[0].count
+	}
+	for _, e := range s.entries {
+		union[e.key] = ce{e.count, e.err}
+	}
+	for _, e := range o.entries {
+		if c, ok := union[e.key]; ok {
+			union[e.key] = ce{c.count + e.count, c.err + e.err}
+		} else {
+			union[e.key] = ce{e.count + sMin, e.err + sMin}
+		}
+	}
+	for k, c := range union {
+		if _, inO := o.pos[k]; !inO {
+			union[k] = ce{c.count + oMin, c.err + oMin}
+		}
+	}
+	all := make([]ssEntry, 0, len(union))
+	for k, c := range union {
+		all = append(all, ssEntry{key: k, count: c.count, err: c.err})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].count > all[j].count })
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	s.entries = all
+	s.pos = make(map[uint64]int, len(all))
+	s.heapify()
+	s.total += o.total
+}
+
+// Clone returns a deep copy of the summary.
+func (s *SpaceSaving) Clone() *SpaceSaving {
+	c := &SpaceSaving{
+		k:       s.k,
+		entries: append([]ssEntry(nil), s.entries...),
+		pos:     make(map[uint64]int, len(s.pos)),
+		total:   s.total,
+	}
+	for k, v := range s.pos {
+		c.pos[k] = v
+	}
+	return c
+}
+
+// Reset clears the summary for reuse, retaining its capacity.
+func (s *SpaceSaving) Reset() {
+	s.entries = s.entries[:0]
+	for k := range s.pos {
+		delete(s.pos, k)
+	}
+	s.total = 0
+}
+
+// SizeBytes estimates the in-memory footprint: 24 bytes per heap entry plus
+// roughly 48 bytes per map slot, plus the fixed header.
+func (s *SpaceSaving) SizeBytes() int {
+	return 48 + cap(s.entries)*24 + len(s.pos)*48
+}
+
+func (s *SpaceSaving) heapify() {
+	for i := range s.entries {
+		s.pos[s.entries[i].key] = i
+	}
+	for i := len(s.entries)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	e := s.entries
+	for i > 0 {
+		p := (i - 1) / 2
+		if e[p].count <= e[i].count {
+			break
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	e := s.entries
+	n := len(e)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e[l].count < e[m].count {
+			m = l
+		}
+		if r < n && e[r].count < e[m].count {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	e := s.entries
+	e[i], e[j] = e[j], e[i]
+	s.pos[e[i].key] = i
+	s.pos[e[j].key] = j
+}

@@ -1,0 +1,334 @@
+// Package udaf adapts the forward-decay algorithms and the backward-decay
+// baselines to gsql user-defined aggregate functions, mirroring the way the
+// paper's experiments install their C UDAFs into Gigascope: no query
+// language extensions, just registered aggregates.
+//
+// The registered functions (all case-insensitive in queries):
+//
+//	prisamp(item, logw)   priority sampling with weight exp(logw) (§V-B);
+//	                      pass the forward-decay static log-weight, e.g.
+//	                      prisamp(srcIP, 2*ln(time % 60)) for g(n)=n²
+//	wrsamp(item, logw)    weighted reservoir sampling (Efraimidis–Spirakis)
+//	ressamp(item)         undecayed reservoir sampling (Vitter) — baseline
+//	aggsamp(item)         Aggarwal biased reservoir — exponential-decay
+//	                      baseline
+//	sshh(key, w)          weighted SpaceSaving heavy hitters (Theorem 2);
+//	                      w is the linear-domain weight (e.g. (time%60)*
+//	                      (time%60) for quadratic forward decay)
+//	unaryhh(key)          unary-optimised SpaceSaving — undecayed baseline
+//	swhh(key, ts, w)      sliding-window heavy hitters — backward baseline
+//	ehsum(ts, v)          backward-decayable sum over an Exponential
+//	                      Histogram (Cohen–Strauss) — the Figure 2 baseline
+//	fdquant(v, logw)      weighted q-digest quantiles (Theorem 3)
+//	fddistinct(key, logw) decayed count-distinct via the dominance-norm
+//	                      estimator (Theorem 4); returns the unnormalized
+//	                      dominance norm Σ_v max exp(logw)
+//
+// Sampling and heavy-hitter UDAFs return a string rendering of their result
+// (samples, or "key:count" pairs); ehsum returns the sliding-window sum and
+// is decayed at query time through the Config's age function.
+//
+// Config fixes the parameters (sample sizes, ε, window, decay for ehsum)
+// that GSQL's aggregate syntax does not carry per-call.
+package udaf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"forwarddecay/decay"
+	"forwarddecay/gsql"
+	"forwarddecay/sample"
+	"forwarddecay/sketch"
+	"forwarddecay/window"
+)
+
+// Config parameterizes the registered UDAFs.
+type Config struct {
+	// SampleSize is the k of the sampling UDAFs (default 100).
+	SampleSize int
+	// Epsilon is the accuracy of sshh, unaryhh, swhh and ehsum
+	// (default 0.01).
+	Epsilon float64
+	// Window is the sliding-window length for swhh and the horizon for
+	// ehsum, in timestamp units (default 60).
+	Window float64
+	// EHDecay is the backward decay applied by ehsum at bucket-close time
+	// (default sliding window over Window).
+	EHDecay decay.AgeFunc
+	// Phi is the heavy-hitter threshold used when rendering HH results
+	// (default 0.01).
+	Phi float64
+	// Seed seeds the randomized UDAFs.
+	Seed uint64
+	// QuantileU is the value domain of fdquant (default 65536); QuantilePhi
+	// the reported quantile (default 0.5).
+	QuantileU   uint64
+	QuantilePhi float64
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.SampleSize == 0 {
+		c.SampleSize = 100
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.01
+	}
+	if c.Window == 0 {
+		c.Window = 60
+	}
+	if c.EHDecay == nil {
+		c.EHDecay = decay.NewSlidingWindow(c.Window)
+	}
+	if c.Phi == 0 {
+		c.Phi = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.QuantileU == 0 {
+		c.QuantileU = 65536
+	}
+	if c.QuantilePhi == 0 {
+		c.QuantilePhi = 0.5
+	}
+	return c
+}
+
+// RegisterAll installs every UDAF into the engine.
+func RegisterAll(e *gsql.Engine, cfg Config) error {
+	cfg = cfg.withDefaults()
+	specs := []gsql.AggSpec{
+		{Name: "prisamp", MinArgs: 2, MaxArgs: 2,
+			New: func() gsql.Aggregator {
+				return &prisampAgg{s: sample.NewPriority[gsql.Value](cfg.SampleSize, cfg.Seed)}
+			}},
+		{Name: "wrsamp", MinArgs: 2, MaxArgs: 2,
+			New: func() gsql.Aggregator {
+				return &wrsampAgg{s: sample.NewWRS[gsql.Value](cfg.SampleSize, cfg.Seed)}
+			}},
+		{Name: "ressamp", MinArgs: 1, MaxArgs: 1,
+			New: func() gsql.Aggregator {
+				return &ressampAgg{s: sample.NewReservoir[gsql.Value](cfg.SampleSize, cfg.Seed)}
+			}},
+		{Name: "aggsamp", MinArgs: 1, MaxArgs: 1,
+			New: func() gsql.Aggregator {
+				return &aggsampAgg{s: sample.NewAggarwal[gsql.Value](cfg.SampleSize, cfg.Seed)}
+			}},
+		{Name: "sshh", MinArgs: 2, MaxArgs: 2, Mergeable: true,
+			New: func() gsql.Aggregator {
+				return &sshhAgg{s: sketch.NewSpaceSaving(cfg.Epsilon), phi: cfg.Phi}
+			}},
+		{Name: "unaryhh", MinArgs: 1, MaxArgs: 1,
+			New: func() gsql.Aggregator {
+				return &unaryhhAgg{s: sketch.NewStreamSummary(int(1 / cfg.Epsilon)), phi: cfg.Phi}
+			}},
+		{Name: "swhh", MinArgs: 3, MaxArgs: 3,
+			New: func() gsql.Aggregator {
+				return &swhhAgg{s: window.NewHeavyHitters(cfg.Window, cfg.Epsilon), phi: cfg.Phi}
+			}},
+		{Name: "ehsum", MinArgs: 2, MaxArgs: 2,
+			New: func() gsql.Aggregator {
+				return &ehsumAgg{s: sketch.NewExpHistogram(cfg.Epsilon, cfg.Window), f: cfg.EHDecay}
+			}},
+		{Name: "fdquant", MinArgs: 2, MaxArgs: 2,
+			New: func() gsql.Aggregator {
+				return &fdquantAgg{s: sketch.NewQDigest(cfg.QuantileU, cfg.Epsilon), phi: cfg.QuantilePhi}
+			}},
+		{Name: "fddistinct", MinArgs: 2, MaxArgs: 2, Mergeable: true,
+			New: func() gsql.Aggregator {
+				return &fddistinctAgg{s: sketch.NewDominance(1024, 1.05, 1024)}
+			}},
+	}
+	for _, s := range specs {
+		if err := e.RegisterUDAF(s); err != nil {
+			return fmt.Errorf("udaf: registering %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// renderSample joins sampled values compactly.
+func renderSample(items []gsql.Value) gsql.Value {
+	parts := make([]string, len(items))
+	for i, v := range items {
+		parts[i] = v.String()
+	}
+	sort.Strings(parts)
+	return gsql.Str(strings.Join(parts, ","))
+}
+
+// renderHH renders heavy hitters as "key:count" pairs in decreasing count
+// order.
+func renderHH(items []sketch.ItemCount) gsql.Value {
+	parts := make([]string, len(items))
+	for i, ic := range items {
+		parts[i] = fmt.Sprintf("%d:%.6g", ic.Key, ic.Count)
+	}
+	return gsql.Str(strings.Join(parts, ","))
+}
+
+type prisampAgg struct {
+	s *sample.Priority[gsql.Value]
+}
+
+func (a *prisampAgg) Step(args []gsql.Value) error {
+	a.s.Add(args[0], args[1].AsFloat())
+	return nil
+}
+
+func (a *prisampAgg) Final() gsql.Value {
+	ws := a.s.Sample(0)
+	items := make([]gsql.Value, len(ws))
+	for i, w := range ws {
+		items[i] = w.Item
+	}
+	return renderSample(items)
+}
+
+type wrsampAgg struct {
+	s *sample.WRS[gsql.Value]
+}
+
+func (a *wrsampAgg) Step(args []gsql.Value) error {
+	a.s.Add(args[0], args[1].AsFloat())
+	return nil
+}
+
+func (a *wrsampAgg) Final() gsql.Value { return renderSample(a.s.Sample()) }
+
+type ressampAgg struct {
+	s *sample.Reservoir[gsql.Value]
+}
+
+func (a *ressampAgg) Step(args []gsql.Value) error { a.s.Add(args[0]); return nil }
+func (a *ressampAgg) Final() gsql.Value            { return renderSample(a.s.Sample()) }
+
+type aggsampAgg struct {
+	s *sample.Aggarwal[gsql.Value]
+}
+
+func (a *aggsampAgg) Step(args []gsql.Value) error { a.s.Add(args[0]); return nil }
+func (a *aggsampAgg) Final() gsql.Value            { return renderSample(a.s.Sample()) }
+
+type sshhAgg struct {
+	s   *sketch.SpaceSaving
+	phi float64
+}
+
+func (a *sshhAgg) Step(args []gsql.Value) error {
+	a.s.Update(uint64(args[0].AsInt()), args[1].AsFloat())
+	return nil
+}
+
+func (a *sshhAgg) Final() gsql.Value { return renderHH(a.s.HeavyHitters(a.phi)) }
+
+func (a *sshhAgg) Merge(o gsql.Aggregator) error {
+	oa, ok := o.(*sshhAgg)
+	if !ok {
+		return fmt.Errorf("udaf: sshh: cannot merge %T", o)
+	}
+	a.s.Merge(oa.s)
+	return nil
+}
+
+type unaryhhAgg struct {
+	s   *sketch.StreamSummary
+	phi float64
+}
+
+func (a *unaryhhAgg) Step(args []gsql.Value) error {
+	a.s.Update(uint64(args[0].AsInt()))
+	return nil
+}
+
+func (a *unaryhhAgg) Final() gsql.Value { return renderHH(a.s.HeavyHitters(a.phi)) }
+
+type swhhAgg struct {
+	s    *window.HeavyHitters
+	phi  float64
+	last float64
+}
+
+func (a *swhhAgg) Step(args []gsql.Value) error {
+	ts := args[1].AsFloat()
+	a.s.Observe(uint64(args[0].AsInt()), ts, args[2].AsFloat())
+	if ts > a.last {
+		a.last = ts
+	}
+	return nil
+}
+
+func (a *swhhAgg) Final() gsql.Value { return renderHH(a.s.Query(a.last, a.phi)) }
+
+type ehsumAgg struct {
+	s    *sketch.ExpHistogram
+	f    decay.AgeFunc
+	last float64
+}
+
+func (a *ehsumAgg) Step(args []gsql.Value) error {
+	ts := args[0].AsFloat()
+	a.s.Insert(ts, args[1].AsFloat())
+	if ts > a.last {
+		a.last = ts
+	}
+	return nil
+}
+
+func (a *ehsumAgg) Final() gsql.Value { return gsql.Float(a.s.DecayedSum(a.f, a.last)) }
+
+type fdquantAgg struct {
+	s   *sketch.QDigest
+	phi float64
+}
+
+func (a *fdquantAgg) Step(args []gsql.Value) error {
+	lw := args[1].AsFloat()
+	// Static weights arrive in the log domain for symmetry with the
+	// samplers; small decayed queries stay in range, so exponentiate.
+	w := 1.0
+	if lw != 0 {
+		w = expSafe(lw)
+	}
+	a.s.Update(uint64(args[0].AsInt()), w)
+	return nil
+}
+
+func (a *fdquantAgg) Final() gsql.Value { return gsql.Int(int64(a.s.Quantile(a.phi))) }
+
+type fddistinctAgg struct {
+	s *sketch.Dominance
+}
+
+func (a *fddistinctAgg) Step(args []gsql.Value) error {
+	a.s.Update(uint64(args[0].AsInt()), args[1].AsFloat())
+	return nil
+}
+
+func (a *fddistinctAgg) Final() gsql.Value {
+	return gsql.Float(math.Exp(a.s.LogEstimate()))
+}
+
+func (a *fddistinctAgg) Merge(o gsql.Aggregator) error {
+	oa, ok := o.(*fddistinctAgg)
+	if !ok {
+		return fmt.Errorf("udaf: fddistinct: cannot merge %T", o)
+	}
+	a.s.Merge(oa.s)
+	return nil
+}
+
+// expSafe is a clamped exponential for UDAF weights.
+func expSafe(x float64) float64 {
+	if x > 300 {
+		x = 300
+	}
+	if x < -300 {
+		return 0
+	}
+	return math.Exp(x)
+}

@@ -1,0 +1,76 @@
+package window
+
+import (
+	"forwarddecay/decay"
+	"forwarddecay/sketch"
+)
+
+// BackwardSum maintains a sum that can be decayed at query time by any
+// backward decay function whose support lies within the configured horizon.
+// It is the Cohen–Strauss construction over an Exponential Histogram: the
+// histogram's buckets partition the recent past, and a decayed sum is the
+// bucket sums weighted by the decay function at the buckets' ages.
+//
+// Contrast with agg.Sum: the forward-decay aggregate stores one number and
+// fixes the decay function up front; BackwardSum stores an entire histogram
+// (see SizeBytes) but the function — sliding window, backward polynomial,
+// exponential, … — may vary per query.
+type BackwardSum struct {
+	eh *sketch.ExpHistogram
+}
+
+// NewBackwardSum returns a decayable sum with relative accuracy epsilon.
+// horizon bounds how far back queries may reach (items older than the
+// horizon are discarded); pass 0 to keep everything.
+func NewBackwardSum(epsilon, horizon float64) *BackwardSum {
+	return &BackwardSum{eh: sketch.NewExpHistogram(epsilon, horizon)}
+}
+
+// Observe records an item with timestamp ts (non-decreasing) and positive
+// value v.
+func (b *BackwardSum) Observe(ts, v float64) { b.eh.Insert(ts, v) }
+
+// Value returns the sum decayed by f at query time t:
+// ≈ Σᵢ vᵢ·f(t−tᵢ)/f(0).
+func (b *BackwardSum) Value(f decay.AgeFunc, t float64) float64 {
+	return b.eh.DecayedSum(f, t)
+}
+
+// WindowValue returns the sharp sliding-window sum over (t−w, t] for any
+// w within the horizon, using the histogram's native window estimate when
+// w equals the horizon and the Cohen–Strauss weighting otherwise.
+func (b *BackwardSum) WindowValue(w, t float64) float64 {
+	return b.eh.DecayedSum(decay.NewSlidingWindow(w), t)
+}
+
+// Buckets returns the number of histogram buckets currently held.
+func (b *BackwardSum) Buckets() int { return b.eh.Len() }
+
+// SizeBytes reports the memory footprint — the kilobytes-per-group cost of
+// query-time decay flexibility (Figure 2(d) of the paper).
+func (b *BackwardSum) SizeBytes() int { return b.eh.SizeBytes() }
+
+// BackwardCount is BackwardSum over unit values.
+type BackwardCount struct {
+	eh *sketch.ExpHistogram
+}
+
+// NewBackwardCount returns a decayable count with relative accuracy
+// epsilon over the given horizon (0 keeps everything).
+func NewBackwardCount(epsilon, horizon float64) *BackwardCount {
+	return &BackwardCount{eh: sketch.NewExpHistogram(epsilon, horizon)}
+}
+
+// Observe records an item with timestamp ts (non-decreasing).
+func (b *BackwardCount) Observe(ts float64) { b.eh.Insert(ts, 1) }
+
+// Value returns the count decayed by f at query time t.
+func (b *BackwardCount) Value(f decay.AgeFunc, t float64) float64 {
+	return b.eh.DecayedCount(f, t)
+}
+
+// Buckets returns the number of histogram buckets currently held.
+func (b *BackwardCount) Buckets() int { return b.eh.Len() }
+
+// SizeBytes reports the memory footprint.
+func (b *BackwardCount) SizeBytes() int { return b.eh.SizeBytes() }

@@ -1,0 +1,180 @@
+package window
+
+import (
+	"math"
+
+	"forwarddecay/decay"
+	"forwarddecay/sketch"
+)
+
+// Quantiles answers sliding-window and backward-decayed quantile queries
+// over the same dyadic block hierarchy as HeavyHitters, with a weighted
+// q-digest per block (the Arasu–Manku recipe instantiated with q-digests).
+// Each arrival updates one digest per level; queries merge a cover of the
+// window — the per-update and per-space multiplicative factors over the
+// single-digest forward-decay approach (agg.Quantiles) that §VII of the
+// paper describes.
+//
+// Timestamps must be non-decreasing (clamped otherwise). Not safe for
+// concurrent use.
+type Quantiles struct {
+	window float64
+	levels int
+	u      uint64
+	eps    float64
+	blks   [][]qtBlock
+	last   float64
+}
+
+type qtBlock struct {
+	idx        int64
+	start, end float64
+	qd         *sketch.QDigest
+}
+
+// NewQuantiles returns a windowed quantile structure over the value domain
+// [0, u) with rank error epsilon·W per window query. It panics unless
+// window > 0, u ≥ 2 and 0 < epsilon < 1.
+func NewQuantiles(window float64, u uint64, epsilon float64) *Quantiles {
+	if window <= 0 {
+		panic("window: Quantiles needs a positive window")
+	}
+	if !(epsilon > 0 && epsilon < 1) {
+		panic("window: Quantiles epsilon must be in (0,1)")
+	}
+	levels := int(math.Ceil(math.Log2(1/epsilon))) + 1
+	if levels < 1 {
+		levels = 1
+	}
+	return &Quantiles{window: window, levels: levels, u: u, eps: epsilon,
+		blks: make([][]qtBlock, levels)}
+}
+
+// Observe records value v at timestamp ts with the given positive weight.
+func (q *Quantiles) Observe(v uint64, ts, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	if ts < q.last {
+		ts = q.last
+	}
+	q.last = ts
+	for l := 0; l < q.levels; l++ {
+		d := q.window / float64(uint64(1)<<uint(l))
+		idx := int64(math.Floor(ts / d))
+		lv := q.blks[l]
+		if n := len(lv); n == 0 || lv[n-1].idx != idx {
+			q.expireLevel(l, ts)
+			q.blks[l] = append(q.blks[l], qtBlock{
+				idx:   idx,
+				start: float64(idx) * d,
+				end:   float64(idx+1) * d,
+				qd:    sketch.NewQDigest(q.u, q.eps/2),
+			})
+			lv = q.blks[l]
+		}
+		lv[len(lv)-1].qd.Update(v, weight)
+	}
+}
+
+func (q *Quantiles) expireLevel(l int, ts float64) {
+	cutoff := ts - 2*q.window
+	lv := q.blks[l]
+	i := 0
+	for i < len(lv) && lv[i].end < cutoff {
+		i++
+	}
+	if i > 0 {
+		q.blks[l] = append(lv[:0], lv[i:]...)
+	}
+}
+
+// Query returns the φ-quantile of the values in (t − window, t], covering
+// the window greedily with the coarsest aligned blocks.
+func (q *Quantiles) Query(t, phi float64) uint64 {
+	merged := sketch.NewQDigest(q.u, q.eps/2)
+	fine := q.window / float64(uint64(1)<<uint(q.levels-1))
+	p := t - q.window
+	for p < t-1e-9 {
+		placed := false
+		for l := 0; l < q.levels; l++ {
+			d := q.window / float64(uint64(1)<<uint(l))
+			idx := int64(math.Ceil((p - 1e-9) / d))
+			start := float64(idx) * d
+			if start-p < fine && start+d <= t+1e-9 {
+				if b := q.findBlock(l, idx); b != nil {
+					merged.Merge(b.qd)
+				}
+				p = start + d
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			idx := int64(math.Floor((p + 1e-9) / fine))
+			if b := q.findBlock(q.levels-1, idx); b != nil {
+				merged.Merge(b.qd)
+			}
+			p = float64(idx+1) * fine
+		}
+	}
+	return merged.Quantile(phi)
+}
+
+// DecayedQuery returns the φ-quantile under an arbitrary backward decay
+// function f at time t, scaling each finest block's digest by f at the
+// block's age midpoint before merging (the Cohen–Strauss combination).
+func (q *Quantiles) DecayedQuery(f decay.AgeFunc, t, phi float64) uint64 {
+	merged := sketch.NewQDigest(q.u, q.eps/2)
+	f0 := f.Eval(0)
+	fine := q.blks[q.levels-1]
+	for i := range fine {
+		b := &fine[i]
+		if b.end <= t-q.window || b.start > t {
+			continue
+		}
+		aNew, aOld := t-b.end, t-b.start
+		if aNew < 0 {
+			aNew = 0
+		}
+		w := (f.Eval(aNew) + f.Eval(aOld)) / 2 / f0
+		if w == 0 {
+			continue
+		}
+		cp := b.qd.Clone()
+		cp.Scale(w)
+		merged.Merge(cp)
+	}
+	return merged.Quantile(phi)
+}
+
+func (q *Quantiles) findBlock(l int, idx int64) *qtBlock {
+	lv := q.blks[l]
+	for i := range lv {
+		if lv[i].idx == idx {
+			return &lv[i]
+		}
+	}
+	return nil
+}
+
+// Blocks returns the number of retained blocks.
+func (q *Quantiles) Blocks() int {
+	n := 0
+	for _, lv := range q.blks {
+		n += len(lv)
+	}
+	return n
+}
+
+// SizeBytes reports the total footprint of all retained digests.
+func (q *Quantiles) SizeBytes() int {
+	s := 48
+	for _, lv := range q.blks {
+		for i := range lv {
+			lv[i].qd.Compress()
+			s += 48 + lv[i].qd.SizeBytes()
+		}
+	}
+	return s
+}

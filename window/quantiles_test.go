@@ -1,0 +1,155 @@
+package window
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"forwarddecay/decay"
+	"forwarddecay/internal/core"
+)
+
+type tv struct {
+	ts float64
+	v  uint64
+}
+
+func genValues(seed uint64, n int, rate float64, u uint64) []tv {
+	rng := core.NewRNG(seed)
+	out := make([]tv, n)
+	ts := 0.0
+	for i := range out {
+		ts += rng.ExpFloat64() / rate
+		out[i] = tv{ts, uint64(rng.Intn(int(u)))}
+	}
+	return out
+}
+
+// exactWindowQuantile computes the φ-quantile of in-window values.
+func exactWindowQuantile(items []tv, t, w, phi float64) uint64 {
+	var vals []uint64
+	for _, it := range items {
+		if it.ts > t-w && it.ts <= t {
+			vals = append(vals, it.v)
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if len(vals) == 0 {
+		return 0
+	}
+	idx := int(phi * float64(len(vals)-1))
+	return vals[idx]
+}
+
+func TestWindowQuantilesAccuracy(t *testing.T) {
+	const u, W, eps = 1 << 10, 60.0, 0.05
+	items := genValues(11, 50000, 200, u)
+	q := NewQuantiles(W, u, eps)
+	for _, it := range items {
+		q.Observe(it.v, it.ts, 1)
+	}
+	now := items[len(items)-1].ts
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		got := q.Query(now, phi)
+		want := exactWindowQuantile(items, now, W, phi)
+		// Values are uniform over [0,u): rank error ε·W translates to a
+		// value error of roughly ε·u plus block-boundary effects.
+		if math.Abs(float64(got)-float64(want)) > 5*eps*float64(u) {
+			t.Errorf("phi=%v: quantile %d, want %d ± %v", phi, got, want, 5*eps*float64(u))
+		}
+	}
+}
+
+func TestWindowQuantilesExpiry(t *testing.T) {
+	const u, W = 1 << 8, 10.0
+	q := NewQuantiles(W, u, 0.05)
+	// First regime: small values; second regime: large values. After the
+	// window passes, the quantiles must reflect only the second regime.
+	for ts := 0.0; ts < 20; ts += 0.01 {
+		q.Observe(10, ts, 1)
+	}
+	for ts := 20.0; ts < 40; ts += 0.01 {
+		q.Observe(200, ts, 1)
+	}
+	med := q.Query(40, 0.5)
+	if med < 150 {
+		t.Errorf("median %d still reflects expired regime", med)
+	}
+}
+
+func TestWindowQuantilesDecayedQuery(t *testing.T) {
+	const u, W = 1 << 9, 60.0
+	items := genValues(12, 40000, 150, u)
+	q := NewQuantiles(W, u, 0.05)
+	for _, it := range items {
+		q.Observe(it.v, it.ts, 1)
+	}
+	now := items[len(items)-1].ts
+	f := decay.NewAgeExp(0.05)
+	got := q.DecayedQuery(f, now, 0.5)
+	// Exact decayed median within the window horizon.
+	type wv struct {
+		v uint64
+		w float64
+	}
+	var ws []wv
+	var total float64
+	for _, it := range items {
+		a := now - it.ts
+		if a >= W {
+			continue
+		}
+		ws = append(ws, wv{it.v, f.Eval(a)})
+		total += f.Eval(a)
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].v < ws[j].v })
+	var cum float64
+	var want uint64
+	for _, x := range ws {
+		cum += x.w
+		if cum >= total/2 {
+			want = x.v
+			break
+		}
+	}
+	if math.Abs(float64(got)-float64(want)) > 0.15*float64(u) {
+		t.Errorf("decayed median %d, want %d", got, want)
+	}
+}
+
+func TestWindowQuantilesCostStructure(t *testing.T) {
+	const u, W = 1 << 10, 60.0
+	q := NewQuantiles(W, u, 0.02)
+	items := genValues(13, 30000, 300, u)
+	for _, it := range items {
+		q.Observe(it.v, it.ts, 1)
+	}
+	if q.Blocks() < q.levels {
+		t.Errorf("only %d blocks for %d levels", q.Blocks(), q.levels)
+	}
+	// The block hierarchy must dwarf a single forward-decay digest.
+	if q.SizeBytes() < 50_000 {
+		t.Errorf("windowed quantile state %d B suspiciously small", q.SizeBytes())
+	}
+}
+
+func TestWindowQuantilesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"window": func() { NewQuantiles(0, 16, 0.1) },
+		"eps":    func() { NewQuantiles(10, 16, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+	q := NewQuantiles(10, 16, 0.1)
+	q.Observe(1, 1, 0) // ignored
+	if q.Blocks() != 0 {
+		t.Error("zero-weight observe created blocks")
+	}
+}
