@@ -1,6 +1,8 @@
 package agg
 
 import (
+	"math"
+
 	"forwarddecay/decay"
 	"forwarddecay/internal/core"
 	"forwarddecay/sketch"
@@ -65,6 +67,12 @@ func (h *HeavyHitters) ObserveN(key uint64, ti, n float64) {
 }
 
 func (h *HeavyHitters) update(key uint64, lw, n float64) {
+	if math.IsInf(lw, -1) {
+		// Zero static weight (e.g. an observation at the landmark under
+		// polynomial decay) contributes nothing; folding it in would poison
+		// the summary with NaN via rel = −Inf − (−Inf).
+		return
+	}
 	if !h.started {
 		h.logScale = lw
 		h.started = true

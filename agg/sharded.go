@@ -1,0 +1,382 @@
+package agg
+
+import (
+	"runtime"
+
+	"forwarddecay/decay"
+	"forwarddecay/internal/core"
+)
+
+// This file provides thread-per-shard wrappers around the decayed
+// aggregates, mirroring the gsql parallel runtime's LFTA/HFTA split for
+// standalone use: each shard goroutine owns a private aggregate (the
+// low-level state), observations travel over batched bounded channels, and
+// queries merge the shard partials into a fresh aggregate (the high-level
+// combine) using the types' existing Merge support.
+//
+// Because forward-decay state is a function of the static weights only —
+// fixed at arrival, insensitive to order — the merged result matches a
+// serial aggregate over the same observations up to floating-point
+// summation order for Counter/Sum (≈1 ulp per merge) and up to the
+// documented merge bounds for the sketches. Key-routed sketches
+// (heavy hitters, distinct) place all occurrences of a key on one shard,
+// which keeps per-key error no worse than serial.
+//
+// The wrappers are single-producer: one goroutine calls Observe*/queries/
+// Close. The shard goroutines are internal.
+
+// ShardOptions configure a sharded aggregate wrapper.
+type ShardOptions struct {
+	// Shards is the number of worker goroutines (default GOMAXPROCS).
+	Shards int
+	// BatchSize is the number of observations shipped per channel send
+	// (default 512).
+	BatchSize int
+	// BufferedBatches bounds each worker's queue, providing backpressure
+	// (default 4).
+	BufferedBatches int
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 512
+	}
+	if o.BufferedBatches <= 0 {
+		o.BufferedBatches = 4
+	}
+	return o
+}
+
+// shardObs is one observation in flight: a key (ignored by keyless
+// aggregates), a timestamp and a value/weight.
+type shardObs struct {
+	key   uint64
+	ti, v float64
+}
+
+// obsMsg carries a batch and/or a barrier ack request to a worker.
+type obsMsg struct {
+	batch []shardObs
+	ack   chan struct{}
+}
+
+// obsWorker is one shard goroutine's channel set.
+type obsWorker struct {
+	work chan obsMsg
+	free chan []shardObs
+	done chan struct{}
+}
+
+// sharder implements the routing, batching and lifecycle shared by every
+// typed wrapper. apply is invoked on the owning shard's goroutine only.
+type sharder struct {
+	workers []obsWorker
+	pending [][]shardObs
+	opts    ShardOptions
+	byKey   bool
+	rr      int
+	closed  bool
+}
+
+// newSharder spawns the shard goroutines. apply(shard, obs) must touch only
+// shard-local state.
+func newSharder(opts ShardOptions, byKey bool, apply func(shard int, o shardObs)) *sharder {
+	opts = opts.withDefaults()
+	s := &sharder{
+		workers: make([]obsWorker, opts.Shards),
+		pending: make([][]shardObs, opts.Shards),
+		opts:    opts,
+		byKey:   byKey,
+	}
+	for i := range s.workers {
+		w := obsWorker{
+			work: make(chan obsMsg, opts.BufferedBatches),
+			free: make(chan []shardObs, opts.BufferedBatches),
+			done: make(chan struct{}),
+		}
+		s.workers[i] = w
+		go func(shard int, w obsWorker) {
+			defer close(w.done)
+			for msg := range w.work {
+				for _, o := range msg.batch {
+					apply(shard, o)
+				}
+				if msg.batch != nil {
+					select {
+					case w.free <- msg.batch[:0]:
+					default:
+					}
+				}
+				if msg.ack != nil {
+					msg.ack <- struct{}{}
+				}
+			}
+		}(i, w)
+	}
+	return s
+}
+
+// observe routes one observation. No-op after close.
+func (s *sharder) observe(o shardObs) {
+	if s.closed {
+		return
+	}
+	var shard int
+	if s.byKey {
+		shard = int(core.Mix64(o.key) % uint64(len(s.workers)))
+	} else {
+		shard = s.rr
+		s.rr++
+		if s.rr == len(s.workers) {
+			s.rr = 0
+		}
+	}
+	b := s.pending[shard]
+	if b == nil {
+		select {
+		case b = <-s.workers[shard].free:
+		default:
+			b = make([]shardObs, 0, s.opts.BatchSize)
+		}
+	}
+	b = append(b, o)
+	if len(b) >= s.opts.BatchSize {
+		s.workers[shard].work <- obsMsg{batch: b}
+		b = nil
+	}
+	s.pending[shard] = b
+}
+
+// sync ships all partial batches and waits for every worker to drain its
+// queue. On return the shard states are quiescent and safe for the caller
+// to read (the ack receive establishes the happens-before edge).
+func (s *sharder) sync() {
+	if s.closed {
+		return
+	}
+	acks := make([]chan struct{}, len(s.workers))
+	for i := range s.workers {
+		ack := make(chan struct{}, 1)
+		acks[i] = ack
+		s.workers[i].work <- obsMsg{batch: s.pending[i], ack: ack}
+		s.pending[i] = nil
+	}
+	for _, ack := range acks {
+		<-ack
+	}
+}
+
+// close drains and stops the workers. Idempotent.
+func (s *sharder) close() {
+	if s.closed {
+		return
+	}
+	s.sync()
+	s.closed = true
+	for i := range s.workers {
+		close(s.workers[i].work)
+		<-s.workers[i].done
+	}
+}
+
+// ShardedCounter distributes a decayed Counter across shard goroutines.
+// Queries merge the shard partials; results match a serial Counter up to
+// floating-point summation order.
+type ShardedCounter struct {
+	model  decay.Forward
+	shards []*Counter
+	s      *sharder
+}
+
+// NewShardedCounter returns a sharded decayed counter under the model.
+func NewShardedCounter(m decay.Forward, opts ShardOptions) *ShardedCounter {
+	c := &ShardedCounter{model: m}
+	opts = opts.withDefaults()
+	c.shards = make([]*Counter, opts.Shards)
+	for i := range c.shards {
+		c.shards[i] = NewCounter(m)
+	}
+	c.s = newSharder(opts, false, func(shard int, o shardObs) {
+		c.shards[shard].ObserveN(o.ti, o.v)
+	})
+	return c
+}
+
+// Observe records one item with timestamp ti.
+func (c *ShardedCounter) Observe(ti float64) { c.ObserveN(ti, 1) }
+
+// ObserveN records n simultaneous items with timestamp ti.
+func (c *ShardedCounter) ObserveN(ti, n float64) { c.s.observe(shardObs{ti: ti, v: n}) }
+
+// Snapshot drains the shards and returns their merged partial as a regular
+// Counter.
+func (c *ShardedCounter) Snapshot() *Counter {
+	c.s.sync()
+	m := NewCounter(c.model)
+	for _, sh := range c.shards {
+		if err := m.Merge(sh); err != nil {
+			panic("agg: sharded counter shards diverged: " + err.Error())
+		}
+	}
+	return m
+}
+
+// Value returns the decayed count at query time t.
+func (c *ShardedCounter) Value(t float64) float64 { return c.Snapshot().Value(t) }
+
+// Close stops the shard goroutines. Observe calls after Close are no-ops.
+func (c *ShardedCounter) Close() { c.s.close() }
+
+// ShardedSum distributes a decayed Sum (count/sum/average/variance) across
+// shard goroutines.
+type ShardedSum struct {
+	model  decay.Forward
+	shards []*Sum
+	s      *sharder
+}
+
+// NewShardedSum returns a sharded decayed sum aggregate under the model.
+func NewShardedSum(m decay.Forward, opts ShardOptions) *ShardedSum {
+	a := &ShardedSum{model: m}
+	opts = opts.withDefaults()
+	a.shards = make([]*Sum, opts.Shards)
+	for i := range a.shards {
+		a.shards[i] = NewSum(m)
+	}
+	a.s = newSharder(opts, false, func(shard int, o shardObs) {
+		a.shards[shard].Observe(o.ti, o.v)
+	})
+	return a
+}
+
+// Observe records an item with timestamp ti and value v.
+func (a *ShardedSum) Observe(ti, v float64) { a.s.observe(shardObs{ti: ti, v: v}) }
+
+// Snapshot drains the shards and returns their merged partial as a regular
+// Sum, from which Count/Value/Mean/Variance are available.
+func (a *ShardedSum) Snapshot() *Sum {
+	a.s.sync()
+	m := NewSum(a.model)
+	for _, sh := range a.shards {
+		if err := m.Merge(sh); err != nil {
+			panic("agg: sharded sum shards diverged: " + err.Error())
+		}
+	}
+	return m
+}
+
+// Value returns the decayed sum at query time t.
+func (a *ShardedSum) Value(t float64) float64 { return a.Snapshot().Value(t) }
+
+// Mean returns the decayed average.
+func (a *ShardedSum) Mean() float64 { return a.Snapshot().Mean() }
+
+// Close stops the shard goroutines. Observe calls after Close are no-ops.
+func (a *ShardedSum) Close() { a.s.close() }
+
+// ShardedHeavyHitters distributes a decayed heavy-hitter summary across
+// shard goroutines. Observations are routed by key, so each key's decayed
+// count lives whole on one shard and the merged summary's per-key error is
+// no worse than a serial summary of the same counter budget.
+type ShardedHeavyHitters struct {
+	model  decay.Forward
+	k      int
+	shards []*HeavyHitters
+	s      *sharder
+}
+
+// NewShardedHeavyHittersK returns a sharded φ-heavy-hitter summary with k
+// counters per shard (ε = 1/k per shard).
+func NewShardedHeavyHittersK(m decay.Forward, k int, opts ShardOptions) *ShardedHeavyHitters {
+	h := &ShardedHeavyHitters{model: m, k: k}
+	opts = opts.withDefaults()
+	h.shards = make([]*HeavyHitters, opts.Shards)
+	for i := range h.shards {
+		h.shards[i] = NewHeavyHittersK(m, k)
+	}
+	h.s = newSharder(opts, true, func(shard int, o shardObs) {
+		h.shards[shard].ObserveN(o.key, o.ti, o.v)
+	})
+	return h
+}
+
+// Observe records one occurrence of key at timestamp ti.
+func (h *ShardedHeavyHitters) Observe(key uint64, ti float64) { h.ObserveN(key, ti, 1) }
+
+// ObserveN records n simultaneous occurrences of key at timestamp ti.
+func (h *ShardedHeavyHitters) ObserveN(key uint64, ti, n float64) {
+	h.s.observe(shardObs{key: key, ti: ti, v: n})
+}
+
+// Snapshot drains the shards and returns their merged partial as a regular
+// HeavyHitters summary (k counters; merge bounds per HeavyHitters.Merge).
+func (h *ShardedHeavyHitters) Snapshot() *HeavyHitters {
+	h.s.sync()
+	m := NewHeavyHittersK(h.model, h.k)
+	for _, sh := range h.shards {
+		if err := m.Merge(sh); err != nil {
+			panic("agg: sharded heavy hitters shards diverged: " + err.Error())
+		}
+	}
+	return m
+}
+
+// Query returns the φ-heavy hitters at query time t.
+func (h *ShardedHeavyHitters) Query(t, phi float64) []Item { return h.Snapshot().Query(t, phi) }
+
+// Close stops the shard goroutines. Observe calls after Close are no-ops.
+func (h *ShardedHeavyHitters) Close() { h.s.close() }
+
+// ShardedDistinct distributes an approximate decayed distinct counter
+// across shard goroutines, routed by key. The layered-KMV merge is a set
+// union, so the merged estimate equals a serial sketch over the same keys.
+type ShardedDistinct struct {
+	model     decay.Forward
+	kmvSize   int
+	base      float64
+	maxLevels int
+	shards    []*Distinct
+	s         *sharder
+}
+
+// NewShardedDistinct returns a sharded approximate decayed distinct
+// counter; kmvSize/base/maxLevels as in NewDistinct.
+func NewShardedDistinct(m decay.Forward, kmvSize int, base float64, maxLevels int, opts ShardOptions) *ShardedDistinct {
+	d := &ShardedDistinct{model: m, kmvSize: kmvSize, base: base, maxLevels: maxLevels}
+	opts = opts.withDefaults()
+	d.shards = make([]*Distinct, opts.Shards)
+	for i := range d.shards {
+		d.shards[i] = NewDistinct(m, kmvSize, base, maxLevels)
+	}
+	d.s = newSharder(opts, true, func(shard int, o shardObs) {
+		d.shards[shard].Observe(o.key, o.ti)
+	})
+	return d
+}
+
+// Observe records one occurrence of key at timestamp ti.
+func (d *ShardedDistinct) Observe(key uint64, ti float64) {
+	d.s.observe(shardObs{key: key, ti: ti})
+}
+
+// Snapshot drains the shards and returns their merged partial as a regular
+// Distinct sketch.
+func (d *ShardedDistinct) Snapshot() *Distinct {
+	d.s.sync()
+	m := NewDistinct(d.model, d.kmvSize, d.base, d.maxLevels)
+	for _, sh := range d.shards {
+		if err := m.Merge(sh); err != nil {
+			panic("agg: sharded distinct shards diverged: " + err.Error())
+		}
+	}
+	return m
+}
+
+// Value returns the estimated decayed distinct count at query time t.
+func (d *ShardedDistinct) Value(t float64) float64 { return d.Snapshot().Value(t) }
+
+// Close stops the shard goroutines. Observe calls after Close are no-ops.
+func (d *ShardedDistinct) Close() { d.s.close() }

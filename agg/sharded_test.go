@@ -1,0 +1,156 @@
+package agg
+
+import (
+	"math"
+	"testing"
+
+	"forwarddecay/decay"
+	"forwarddecay/internal/core"
+)
+
+// shardedStream yields a deterministic skewed stream: key i%32 (key 3
+// boosted to dominate), timestamps climbing from the landmark.
+func shardedStream(n int) []shardObs {
+	rng := core.NewRNG(99)
+	out := make([]shardObs, n)
+	for i := range out {
+		key := rng.Uint64() % 32
+		if rng.Float64() < 0.4 {
+			key = 3 // heavy key
+		}
+		out[i] = shardObs{
+			key: key,
+			ti:  100 + float64(i)*0.01,
+			v:   1 + rng.Float64()*10,
+		}
+	}
+	return out
+}
+
+func relErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// TestShardedCounterSumMatchSerial: sharded Counter and Sum must agree with
+// their serial counterparts up to floating-point summation order.
+func TestShardedCounterSumMatchSerial(t *testing.T) {
+	for _, model := range []decay.Forward{
+		decay.NewForward(decay.NewPoly(2), 100),
+		decay.NewForward(decay.NewExp(0.05), 100),
+	} {
+		for _, shards := range []int{1, 2, 4} {
+			obs := shardedStream(20_000)
+			qt := 100 + float64(len(obs))*0.01
+
+			serialC := NewCounter(model)
+			serialS := NewSum(model)
+			sc := NewShardedCounter(model, ShardOptions{Shards: shards, BatchSize: 64})
+			ss := NewShardedSum(model, ShardOptions{Shards: shards, BatchSize: 64})
+			for _, o := range obs {
+				serialC.Observe(o.ti)
+				serialS.Observe(o.ti, o.v)
+				sc.Observe(o.ti)
+				ss.Observe(o.ti, o.v)
+			}
+
+			if e := relErr(sc.Value(qt), serialC.Value(qt)); e > 1e-9 {
+				t.Errorf("%s/%d shards: counter rel err %g", model.Func, shards, e)
+			}
+			snap := ss.Snapshot()
+			if e := relErr(snap.Value(qt), serialS.Value(qt)); e > 1e-9 {
+				t.Errorf("%s/%d shards: sum rel err %g", model.Func, shards, e)
+			}
+			if e := relErr(snap.Mean(), serialS.Mean()); e > 1e-9 {
+				t.Errorf("%s/%d shards: mean rel err %g", model.Func, shards, e)
+			}
+			if e := relErr(snap.Variance(), serialS.Variance()); e > 1e-6 {
+				t.Errorf("%s/%d shards: variance rel err %g", model.Func, shards, e)
+			}
+			if snap.N() != serialS.N() {
+				t.Errorf("%s/%d shards: N %d != %d", model.Func, shards, snap.N(), serialS.N())
+			}
+			sc.Close()
+			ss.Close()
+		}
+	}
+}
+
+// TestShardedHeavyHittersMatchSerial: key routing keeps each key whole on
+// one shard, so the dominant key and its estimate stay within the summary's
+// error bound of the serial answer.
+func TestShardedHeavyHittersMatchSerial(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(2), 100)
+	obs := shardedStream(30_000)
+	qt := 100 + float64(len(obs))*0.01
+
+	serial := NewHeavyHittersK(model, 64)
+	sharded := NewShardedHeavyHittersK(model, 64, ShardOptions{Shards: 4, BatchSize: 128})
+	defer sharded.Close()
+	for _, o := range obs {
+		serial.ObserveN(o.key, o.ti, o.v)
+		sharded.ObserveN(o.key, o.ti, o.v)
+	}
+
+	wantTop := serial.Top(qt, 1)
+	gotTop := sharded.Snapshot().Top(qt, 1)
+	if len(wantTop) == 0 || len(gotTop) == 0 || wantTop[0].Key != gotTop[0].Key {
+		t.Fatalf("top key mismatch: serial %v, sharded %v", wantTop, gotTop)
+	}
+	wantC, _ := serial.Estimate(3, qt)
+	gotC, gotE := sharded.Snapshot().Estimate(3, qt)
+	if math.Abs(gotC-wantC) > wantC*0.02+gotE {
+		t.Errorf("heavy key estimate: serial %g, sharded %g (err bound %g)", wantC, gotC, gotE)
+	}
+	hh := sharded.Query(qt, 0.3)
+	if len(hh) == 0 || hh[0].Key != 3 {
+		t.Errorf("0.3-heavy hitters = %v, want key 3 first", hh)
+	}
+}
+
+// TestShardedDistinctMatchSerial: the layered-KMV merge is a key-set union,
+// so the sharded estimate tracks the serial sketch closely.
+func TestShardedDistinctMatchSerial(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(1), 100)
+	obs := shardedStream(20_000)
+	qt := 100 + float64(len(obs))*0.01
+
+	serial := NewDistinct(model, 1024, 1.05, 1024)
+	sharded := NewShardedDistinct(model, 1024, 1.05, 1024, ShardOptions{Shards: 4})
+	defer sharded.Close()
+	exact := NewDistinctExact(model)
+	for _, o := range obs {
+		serial.Observe(o.key, o.ti)
+		sharded.Observe(o.key, o.ti)
+		exact.Observe(o.key, o.ti)
+	}
+
+	want := exact.Value(qt)
+	if e := relErr(sharded.Value(qt), want); e > 0.05 {
+		t.Errorf("sharded distinct rel err vs exact %g (sharded %g, exact %g, serial sketch %g)",
+			e, sharded.Value(qt), want, serial.Value(qt))
+	}
+}
+
+// TestShardedLifecycle: Close is idempotent, Observe after Close is a
+// no-op, and a snapshot taken after Close still reflects everything
+// observed before it.
+func TestShardedLifecycle(t *testing.T) {
+	model := decay.NewForward(decay.NewPoly(2), 0)
+	c := NewShardedCounter(model, ShardOptions{Shards: 2, BatchSize: 8})
+	for i := 0; i < 100; i++ {
+		c.Observe(float64(i))
+	}
+	before := c.Value(100)
+	c.Close()
+	c.Close() // idempotent
+	c.Observe(50)
+	if got := c.Value(100); got != before {
+		t.Errorf("observe after close changed value: %g -> %g", before, got)
+	}
+	if n := c.Snapshot().N(); n != 100 {
+		t.Errorf("N after close = %d, want 100", n)
+	}
+}

@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"forwarddecay/gsql"
+	"forwarddecay/netgen"
+	"forwarddecay/udaf"
+)
+
+// The parallel experiment measures the sharded LFTA/HFTA runtime
+// (gsql.StartParallel) against the serial executor on a forward-decay
+// aggregation query, across shard counts and group cardinalities. Each
+// shard is an independent low-level aggregator (the LFTA of the paper's
+// Gigascope setup); window close merges shard partials through
+// Aggregator.Merge (the HFTA combine). Scaling beyond one shard requires
+// scheduler parallelism: with GOMAXPROCS=1 the sharded numbers show pure
+// coordination overhead, which is itself worth tracking.
+
+func init() {
+	register(Experiment{
+		ID:    "parallel",
+		Title: "sharded LFTA/HFTA runtime: tuples/sec, serial vs N shards",
+		Run:   runParallel,
+	})
+}
+
+// parallelQuery is a multi-aggregate forward-decay query over a multi-column
+// group key, the shape the sharded runtime targets.
+const parallelQuery = `select tb, dstIP, destPort, count(*), sum(len),
+       sum(float(len)*(time % 60)*(time % 60))/3600
+  from TCP group by time/60 as tb, dstIP, destPort`
+
+// parallelTuples materializes n tuples with the given destination
+// cardinality (hosts) — the group-count knob.
+func parallelTuples(seed uint64, n, hosts int) []gsql.Tuple {
+	cfg := netgen.DefaultConfig(200_000, seed)
+	cfg.Hosts = hosts
+	g := netgen.New(cfg)
+	out := make([]gsql.Tuple, n)
+	for i := range out {
+		out[i] = netgen.Tuple(g.Next())
+	}
+	return out
+}
+
+// serialTuplesPerSec measures the serial executor's throughput (best of 2).
+func serialTuplesPerSec(st *gsql.Statement, tuples []gsql.Tuple) float64 {
+	best := math.Inf(1)
+	for rep := 0; rep < 2; rep++ {
+		run := st.Start(func(gsql.Tuple) error { return nil }, gsql.Options{})
+		ns := MeasureNsPerOp(len(tuples), func(i int) {
+			if err := run.Push(tuples[i]); err != nil {
+				panic(err)
+			}
+		})
+		if err := run.Close(); err != nil {
+			panic(err)
+		}
+		if ns < best {
+			best = ns
+		}
+	}
+	return 1e9 / best
+}
+
+// parallelTuplesPerSec measures the sharded runtime's end-to-end throughput
+// (best of 2), timing Push through Close so queued batches are paid for.
+func parallelTuplesPerSec(st *gsql.Statement, tuples []gsql.Tuple, shards int) float64 {
+	best := math.Inf(1)
+	for rep := 0; rep < 2; rep++ {
+		pr, err := st.StartParallel(func(gsql.Tuple) error { return nil },
+			gsql.ParallelOptions{Shards: shards})
+		if err != nil {
+			panic(err)
+		}
+		ns := MeasureNsPerOp(len(tuples), func(i int) {
+			if err := pr.Push(tuples[i]); err != nil {
+				panic(err)
+			}
+		})
+		closeNs := MeasureNsPerOp(1, func(int) {
+			if err := pr.Close(); err != nil {
+				panic(err)
+			}
+		})
+		total := ns + closeNs/float64(len(tuples))
+		if total < best {
+			best = total
+		}
+	}
+	return 1e9 / best
+}
+
+func runParallel(cfg RunConfig) []Table {
+	n := cfg.packets(400_000)
+	shardCounts := cfg.shardList()
+
+	t := Table{
+		ID:    "parallel",
+		Title: "sharded LFTA/HFTA runtime throughput (Mtuples/sec)",
+		Columns: append([]string{"groups/bucket", "serial"},
+			func() []string {
+				cols := make([]string, len(shardCounts))
+				for i, s := range shardCounts {
+					cols[i] = fmt.Sprintf("%d shards", s)
+				}
+				return cols
+			}()...),
+	}
+
+	e := newEngine(udaf.Config{})
+	st, err := e.Prepare(parallelQuery)
+	if err != nil {
+		panic(err)
+	}
+
+	for _, hosts := range []int{16, 1000, 20000} {
+		tuples := parallelTuples(cfg.Seed, n, hosts)
+		row := []string{fmt.Sprintf("~%d", hosts), fmt.Sprintf("%.2f", serialTuplesPerSec(st, tuples)/1e6)}
+		for _, s := range shardCounts {
+			row = append(row, fmt.Sprintf("%.2f", parallelTuplesPerSec(st, tuples, s)/1e6))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d tuples/cell, best of 2; GOMAXPROCS=%d, NumCPU=%d", n,
+			runtime.GOMAXPROCS(0), runtime.NumCPU()),
+		"each shard runs an independent low-level aggregator (LFTA); window close merges partials via Aggregator.Merge (HFTA)",
+		"speedup over serial requires GOMAXPROCS > 1; on a single core the shard columns measure routing+channel overhead")
+	return []Table{t}
+}

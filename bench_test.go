@@ -439,3 +439,41 @@ func BenchmarkHolisticForwardDecay(b *testing.B) {
 		}
 	})
 }
+
+// Sharded LFTA/HFTA runtime: end-to-end ingest throughput of
+// Statement.StartParallel vs the serial executor on a multi-group
+// forward-decay query. Speedup over serial requires GOMAXPROCS > 1; at
+// GOMAXPROCS=1 the shard variants expose routing + channel overhead.
+func BenchmarkParallelIngest(b *testing.B) {
+	tuples := benchTuples(200_000, 200_000)
+	const q = `select tb, dstIP, destPort, count(*), sum(len),
+	             sum(float(len)*(time % 60)*(time % 60))/3600
+	           from TCP group by time/60 as tb, dstIP, destPort`
+	b.Run("Serial", func(b *testing.B) {
+		runQueryBench(b, 0.1, q, tuples, gsql.Options{})
+	})
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("Shards=%d", shards), func(b *testing.B) {
+			e := benchEngine(b, 0.1)
+			st, err := e.Prepare(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr, err := st.StartParallel(func(gsql.Tuple) error { return nil },
+				gsql.ParallelOptions{Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pr.Push(tuples[i%len(tuples)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := pr.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -3,14 +3,16 @@
 //
 // Usage:
 //
-//	fdbench [-scale f] [-seed n] list
-//	fdbench [-scale f] [-seed n] all
-//	fdbench [-scale f] [-seed n] <experiment-id> [<experiment-id>...]
+//	fdbench [-scale f] [-seed n] [-shards n] list
+//	fdbench [-scale f] [-seed n] [-shards n] all
+//	fdbench [-scale f] [-seed n] [-shards n] <experiment-id> [<experiment-id>...]
 //
 // Experiment ids are the paper's figure numbers (fig1, fig2a…fig2d,
-// fig3a, fig3b, fig4a…fig4d, fig5) plus "examples" for the worked examples.
+// fig3a, fig3b, fig4a…fig4d, fig5) plus "examples" for the worked examples
+// and "parallel" for the sharded-runtime throughput sweep.
 // Scale 1.0 (the default) runs the full workloads; smaller values run
-// proportionally smaller ones.
+// proportionally smaller ones. -shards pins the parallel experiment to one
+// shard count instead of sweeping 1, 2, 4, 8.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full experiment)")
 	seed := flag.Uint64("seed", 20090329, "deterministic workload seed")
+	shards := flag.Int("shards", 0, "shard count for the parallel experiment (0 = sweep 1,2,4,8)")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
@@ -31,7 +34,7 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	cfg := bench.RunConfig{Scale: *scale, Seed: *seed}
+	cfg := bench.RunConfig{Scale: *scale, Seed: *seed, Shards: *shards}
 
 	switch args[0] {
 	case "list":

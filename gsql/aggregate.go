@@ -37,6 +37,22 @@ type AggSpec struct {
 	Mergeable bool
 }
 
+// mergeAggs folds the src partial aggregates into dst, slot by slot. Both
+// sides must come from the same plan; it is the HFTA-side combine step shared
+// by the two-level eviction path and the sharded parallel runtime.
+func mergeAggs(dst, src []Aggregator) error {
+	for i, a := range dst {
+		m, ok := a.(Merger)
+		if !ok {
+			return fmt.Errorf("gsql: aggregate %T does not support merging", a)
+		}
+		if err := m.Merge(src[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // builtinAggs returns the specs of the builtin aggregates.
 func builtinAggs() map[string]AggSpec {
 	mk := func(name string, min, max int, f func() Aggregator) AggSpec {

@@ -1,0 +1,55 @@
+package gsql
+
+import "testing"
+
+// TestPushSteadyStateAllocs guards the serial hot path's zero-allocation
+// property: once every group of the current bucket exists, Push must not
+// allocate — group values land in the reused scratch slice, aggregate
+// arguments in the reused args buffer, and map probes use the
+// string(keyBuf) non-allocating index form.
+func TestPushSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short harnesses")
+	}
+	e := mkEngine(t)
+	st, err := e.Prepare(`select tb, dstIP, count(*), sum(len), avg(float(len))
+	                        from TCP group by time/60 as tb, dstIP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"two-level", Options{}},
+		{"high-only", Options{DisableTwoLevel: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := st.Start(func(Tuple) error { return nil }, tc.opts)
+			// Warm up: materialize all 16 groups of the bucket so the
+			// steady state is pure probe + step.
+			tuples := make([]Tuple, 16)
+			for i := range tuples {
+				tuples[i] = pkt(30, int64(i), 80, int64(100+i))
+			}
+			for _, tp := range tuples {
+				if err := run.Push(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			i := 0
+			avg := testing.AllocsPerRun(1000, func() {
+				if err := run.Push(tuples[i%len(tuples)]); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			})
+			if avg != 0 {
+				t.Errorf("steady-state Push allocates %.2f objects/op, want 0", avg)
+			}
+			if err := run.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -38,6 +38,7 @@ type Run struct {
 
 	keyBuf []byte
 	args   []Value
+	gv     Tuple // scratch group values, reused across Push calls
 	rec    Tuple // scratch combined record
 
 	// stats
@@ -63,8 +64,9 @@ func newRun(p *plan, sink func(Tuple) error, opts Options) *Run {
 	r := &Run{
 		p:    p,
 		sink: sink,
-		high: make(map[string]*group),
-		args: make([]Value, 4),
+		high: make(map[string]*group, 256),
+		args: make([]Value, 0, 4),
+		gv:   make(Tuple, len(p.groupFns)),
 		rec:  make(Tuple, len(p.groupFns)+len(p.aggSpecs)),
 	}
 	r.twoLevel = p.mergeable && !opts.DisableTwoLevel && len(p.groupFns) > 0
@@ -97,9 +99,10 @@ func (r *Run) Push(t Tuple) error {
 		}
 	}
 
-	// Evaluate group-by expressions and detect bucket advancement.
-	ng := len(r.p.groupFns)
-	gv := make(Tuple, ng)
+	// Evaluate group-by expressions (into the reused scratch slice — the
+	// steady-state Push path performs no allocation) and detect bucket
+	// advancement.
+	gv := r.gv
 	r.keyBuf = r.keyBuf[:0]
 	for i, fn := range r.p.groupFns {
 		v, err := fn(t)
@@ -126,10 +129,12 @@ func (r *Run) Push(t Tuple) error {
 		// string is only materialized when a new group is inserted.
 		g := r.high[string(r.keyBuf)]
 		if g == nil {
-			g = &group{gv: gv, aggs: r.newAggs()}
+			g = &group{gv: append(Tuple(nil), gv...), aggs: newAggs(r.p)}
 			r.high[string(r.keyBuf)] = g
 		}
-		return r.step(g.aggs, t)
+		var err error
+		r.args, err = stepAggs(r.p, g.aggs, t, r.args)
+		return err
 	}
 
 	// Two-level: probe the fixed-size low table; evict the resident partial
@@ -147,50 +152,92 @@ func (r *Run) Push(t Tuple) error {
 		s.used = true
 		s.hash = h
 		s.key = append(s.key[:0], r.keyBuf...)
-		s.gv = gv
-		s.aggs = r.newAggs()
+		s.gv = append(s.gv[:0], gv...)
+		s.aggs = newAggs(r.p)
 	}
-	return r.step(s.aggs, t)
+	var err error
+	r.args, err = stepAggs(r.p, s.aggs, t, r.args)
+	return err
 }
 
-// newAggs instantiates one aggregator per slot.
-func (r *Run) newAggs() []Aggregator {
-	aggs := make([]Aggregator, len(r.p.aggSpecs))
-	for i, spec := range r.p.aggSpecs {
+// newAggs instantiates one aggregator per slot of the plan.
+func newAggs(p *plan) []Aggregator {
+	aggs := make([]Aggregator, len(p.aggSpecs))
+	for i, spec := range p.aggSpecs {
 		aggs[i] = spec.New()
 	}
 	return aggs
 }
 
-// step folds tuple t into each aggregator.
-func (r *Run) step(aggs []Aggregator, t Tuple) error {
+// stepAggs folds tuple t into each aggregator, reusing args as the argument
+// scratch buffer; the (possibly grown) buffer is returned for the caller to
+// keep.
+func stepAggs(p *plan, aggs []Aggregator, t Tuple, args []Value) ([]Value, error) {
 	for i, a := range aggs {
-		argFns := r.p.aggArgFns[i]
-		args := r.args[:0]
-		for _, fn := range argFns {
+		args = args[:0]
+		for _, fn := range p.aggArgFns[i] {
 			v, err := fn(t)
 			if err != nil {
-				return err
+				return args, err
 			}
 			args = append(args, v)
 		}
 		if err := a.Step(args); err != nil {
-			return err
+			return args, err
 		}
 	}
-	return nil
+	return args, nil
 }
 
-// evict merges a low-level partial into the high level.
+// evict merges a low-level partial into the high level. The slot's group
+// values and aggregators are handed off, never aliased, so the slot can be
+// refilled immediately.
 func (r *Run) evict(s *lowSlot) error {
 	r.evictions++
 	g := r.high[string(s.key)]
 	if g == nil {
 		r.high[string(s.key)] = &group{gv: s.gv, aggs: s.aggs}
+		s.gv, s.aggs = nil, nil
 		return nil
 	}
-	for i, a := range g.aggs {
-		if err := a.(Merger).Merge(s.aggs[i]); err != nil {
+	err := mergeAggs(g.aggs, s.aggs)
+	s.gv, s.aggs = nil, nil
+	return err
+}
+
+// emitGroups emits every group of high in deterministic (key-sorted) order
+// through sink, applying HAVING and the output projection. rec is the
+// caller's scratch combined record (groupVals ++ aggFinals).
+func emitGroups(p *plan, high map[string]*group, rec Tuple, sink func(Tuple) error) error {
+	keys := make([]string, 0, len(high))
+	for k := range high {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := high[k]
+		copy(rec, g.gv)
+		for i, a := range g.aggs {
+			rec[len(g.gv)+i] = a.Final()
+		}
+		if p.having != nil {
+			ok, err := p.having(rec)
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		out := make(Tuple, len(p.outFns))
+		for i, fn := range p.outFns {
+			v, err := fn(rec)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+		}
+		if err := sink(out); err != nil {
 			return err
 		}
 	}
@@ -207,46 +254,13 @@ func (r *Run) flush() error {
 					return err
 				}
 				r.low[i].used = false
-				r.low[i].aggs = nil
-				r.low[i].gv = nil
 			}
 		}
 	}
-	keys := make([]string, 0, len(r.high))
-	for k := range r.high {
-		keys = append(keys, k)
+	if err := emitGroups(r.p, r.high, r.rec, r.sink); err != nil {
+		return err
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		g := r.high[k]
-		copy(r.rec, g.gv)
-		for i, a := range g.aggs {
-			r.rec[len(g.gv)+i] = a.Final()
-		}
-		if r.p.having != nil {
-			ok, err := r.p.having(r.rec)
-			if err != nil {
-				return err
-			}
-			if !ok.Truthy() {
-				continue
-			}
-		}
-		out := make(Tuple, len(r.p.outFns))
-		for i, fn := range r.p.outFns {
-			v, err := fn(r.rec)
-			if err != nil {
-				return err
-			}
-			out[i] = v
-		}
-		if err := r.sink(out); err != nil {
-			return err
-		}
-	}
-	for k := range r.high {
-		delete(r.high, k)
-	}
+	clear(r.high)
 	return nil
 }
 

@@ -91,6 +91,19 @@ func (env *compileEnv) compile(e expr) (evalFn, error) {
 			}
 			args[i] = fn
 		}
+		if f.fn1 != nil {
+			// Unary fast path: no argument slice, no per-call allocation,
+			// and no captured mutable state (evaluators are shared across
+			// shard workers in the parallel runtime).
+			arg, fn1 := args[0], f.fn1
+			return func(rec Tuple) (Value, error) {
+				v, err := arg(rec)
+				if err != nil {
+					return Null, err
+				}
+				return fn1(v)
+			}, nil
+		}
 		return func(rec Tuple) (Value, error) {
 			vals := make([]Value, len(args))
 			for i, fn := range args {

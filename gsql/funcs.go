@@ -5,10 +5,14 @@ import (
 	"math"
 )
 
-// scalarFunc is a builtin scalar function.
+// scalarFunc is a builtin scalar function. Unary functions are expressed as
+// fn1 so the compiler can call them without materializing an argument slice
+// (the hot aggregation path evaluates these per tuple); fn covers every
+// other arity.
 type scalarFunc struct {
 	nargs int
 	fn    func(args []Value) (Value, error)
+	fn1   func(a Value) (Value, error)
 }
 
 // builtinFuncs are the scalar functions available in expressions. They
@@ -17,50 +21,55 @@ type scalarFunc struct {
 // "PRISAMP(srcIP, exp(time % 60))".
 var builtinFuncs = map[string]scalarFunc{
 	"exp": float1(math.Exp),
-	"ln": {1, func(a []Value) (Value, error) {
-		x := a[0].AsFloat()
+	"ln": unary(func(a Value) (Value, error) {
+		x := a.AsFloat()
 		if x <= 0 {
 			return Null, fmt.Errorf("gsql: ln of non-positive value %g", x)
 		}
 		return Float(math.Log(x)), nil
-	}},
-	"log2": {1, func(a []Value) (Value, error) {
-		x := a[0].AsFloat()
+	}),
+	"log2": unary(func(a Value) (Value, error) {
+		x := a.AsFloat()
 		if x <= 0 {
 			return Null, fmt.Errorf("gsql: log2 of non-positive value %g", x)
 		}
 		return Float(math.Log2(x)), nil
-	}},
-	"sqrt": {1, func(a []Value) (Value, error) {
-		x := a[0].AsFloat()
+	}),
+	"sqrt": unary(func(a Value) (Value, error) {
+		x := a.AsFloat()
 		if x < 0 {
 			return Null, fmt.Errorf("gsql: sqrt of negative value %g", x)
 		}
 		return Float(math.Sqrt(x)), nil
-	}},
-	"pow": {2, func(a []Value) (Value, error) {
+	}),
+	"pow": {nargs: 2, fn: func(a []Value) (Value, error) {
 		return Float(math.Pow(a[0].AsFloat(), a[1].AsFloat())), nil
 	}},
-	"abs": {1, func(a []Value) (Value, error) {
-		if a[0].T == TInt {
-			if a[0].I < 0 {
-				return Int(-a[0].I), nil
+	"abs": unary(func(a Value) (Value, error) {
+		if a.T == TInt {
+			if a.I < 0 {
+				return Int(-a.I), nil
 			}
-			return a[0], nil
+			return a, nil
 		}
-		return Float(math.Abs(a[0].AsFloat())), nil
-	}},
+		return Float(math.Abs(a.AsFloat())), nil
+	}),
 	"floor": float1(math.Floor),
 	"ceil":  float1(math.Ceil),
 	// float(x) forces float arithmetic where integer semantics would
 	// otherwise truncate.
-	"float": {1, func(a []Value) (Value, error) { return Float(a[0].AsFloat()), nil }},
+	"float": unary(func(a Value) (Value, error) { return Float(a.AsFloat()), nil }),
 	// int(x) truncates to integer.
-	"int": {1, func(a []Value) (Value, error) { return Int(a[0].AsInt()), nil }},
+	"int": unary(func(a Value) (Value, error) { return Int(a.AsInt()), nil }),
+}
+
+// unary wraps a single-argument function as a scalarFunc.
+func unary(f func(Value) (Value, error)) scalarFunc {
+	return scalarFunc{nargs: 1, fn1: f}
 }
 
 func float1(f func(float64) float64) scalarFunc {
-	return scalarFunc{1, func(a []Value) (Value, error) {
-		return Float(f(a[0].AsFloat())), nil
-	}}
+	return unary(func(a Value) (Value, error) {
+		return Float(f(a.AsFloat())), nil
+	})
 }

@@ -1,0 +1,454 @@
+package gsql
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+
+	"forwarddecay/internal/core"
+)
+
+// This file implements the sharded parallel runtime: the paper's two-level
+// LFTA/HFTA architecture spread across cores instead of across a cheap
+// low-level table and an expensive high-level one. N shard workers each run
+// an independent low-level executor over a hash partition of the group
+// space; on window close (or heartbeat, or Close) every shard's partial
+// aggregates are folded into a single high-level result via the existing
+// Aggregator.Merge path and emitted exactly as the serial Run would emit
+// them.
+//
+// Routing hashes the evaluated non-temporal group-by values, so every
+// logical group lives on exactly one shard and accumulates its tuples in
+// arrival order — the merged output is then bit-identical to the serial
+// path, including float aggregates and mergeable sketch UDAFs. Queries with
+// no non-temporal group columns (global aggregates, purely temporal
+// grouping) are routed round-robin instead; their per-group partials are
+// combined with Merge, whose float reassociation may differ from serial
+// evaluation in the last ulp (and whose sketch merges carry the documented
+// additive error bounds).
+
+// ParallelOptions configure a sharded parallel run.
+type ParallelOptions struct {
+	// Shards is the number of shard workers (goroutines); default
+	// runtime.GOMAXPROCS(0).
+	Shards int
+	// BatchSize is the number of tuples shipped to a shard per channel send;
+	// default 256.
+	BatchSize int
+	// BufferedBatches is the per-shard channel capacity in batches; the
+	// producer blocks once a shard falls this far behind (backpressure).
+	// Default 4.
+	BufferedBatches int
+}
+
+// withDefaults resolves zero fields to their defaults.
+func (o ParallelOptions) withDefaults() ParallelOptions {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 256
+	}
+	if o.BufferedBatches <= 0 {
+		o.BufferedBatches = 4
+	}
+	return o
+}
+
+// tupleBatch is one unit of work shipped to a shard: n tuples of fixed
+// width, stored flat so a batch is a single allocation (recycled via each
+// worker's free list).
+type tupleBatch struct {
+	vals []Value
+	n    int
+}
+
+// shardResult is a shard's reply to a drain request: its accumulated
+// partial groups (ownership transfers to the coordinator) and its sticky
+// error, if any.
+type shardResult struct {
+	groups map[string]*group
+	tuples uint64
+	err    error
+}
+
+// shardMsg is the single message type of a shard's work channel: a tuple
+// batch, a drain request, or both. FIFO channel order guarantees a drain
+// observes every batch sent before it.
+type shardMsg struct {
+	batch *tupleBatch
+	drain chan shardResult
+}
+
+// shardWorker is one low-level executor: it owns a partial-group table keyed
+// exactly like the serial high-level table and steps tuples into it.
+type shardWorker struct {
+	p     *plan
+	width int
+	work  chan shardMsg
+	free  chan *tupleBatch
+	done  chan struct{}
+
+	groups map[string]*group
+	keyBuf []byte
+	gv     Tuple
+	args   []Value
+	tuples uint64
+	err    error
+}
+
+// run is the worker goroutine body.
+func (w *shardWorker) run() {
+	defer close(w.done)
+	for msg := range w.work {
+		if b := msg.batch; b != nil {
+			if w.err == nil {
+				for i := 0; i < b.n; i++ {
+					t := Tuple(b.vals[i*w.width : (i+1)*w.width])
+					if err := w.step(t); err != nil {
+						w.err = err
+						break
+					}
+				}
+			}
+			select {
+			case w.free <- b:
+			default:
+			}
+		}
+		if msg.drain != nil {
+			msg.drain <- shardResult{groups: w.groups, tuples: w.tuples, err: w.err}
+			w.groups = make(map[string]*group, 256)
+		}
+	}
+}
+
+// step folds one tuple into the shard's partial-group table. It mirrors the
+// serial high-level path: same key encoding, same group-value capture, same
+// aggregator stepping.
+func (w *shardWorker) step(t Tuple) error {
+	w.tuples++
+	w.keyBuf = w.keyBuf[:0]
+	for i, fn := range w.p.groupFns {
+		v, err := fn(t)
+		if err != nil {
+			return err
+		}
+		w.gv[i] = v
+		w.keyBuf = v.appendKey(w.keyBuf)
+	}
+	g := w.groups[string(w.keyBuf)]
+	if g == nil {
+		g = &group{gv: append(Tuple(nil), w.gv...), aggs: newAggs(w.p)}
+		w.groups[string(w.keyBuf)] = g
+	}
+	var err error
+	w.args, err = stepAggs(w.p, g.aggs, t, w.args)
+	return err
+}
+
+// ParallelRun executes one prepared statement across shard workers: Push
+// tuples from a single producer goroutine, then Close. Output rows are
+// delivered to the sink — on the producer's goroutine — as time buckets
+// close, each bucket's groups in the same deterministic (key-sorted) order
+// as the serial Run.
+//
+// A ParallelRun is single-use. Push, Heartbeat and Close must be called from
+// one goroutine; Close must be called to release the shard workers.
+type ParallelRun struct {
+	p    *plan
+	sink func(Tuple) error
+	opts ParallelOptions
+
+	workers []*shardWorker
+	pending []*tupleBatch // per-shard batch being filled
+	width   int
+	hasKey  bool // at least one non-temporal group column → hash routing
+	rr      int  // round-robin cursor when !hasKey
+
+	bucketSet bool
+	bucket    Value
+
+	rec    Tuple
+	tuples uint64
+	err    error
+	closed bool
+}
+
+// StartParallel begins a sharded execution run delivering output rows to
+// sink. It fails if any of the statement's aggregates does not support
+// partial merging (Statement.Mergeable), since the shard partials could not
+// then be combined — the same precondition Gigascope imposes on its
+// LFTA/HFTA split.
+func (s *Statement) StartParallel(sink func(Tuple) error, opts ParallelOptions) (*ParallelRun, error) {
+	if !s.p.mergeable {
+		return nil, fmt.Errorf("gsql: query has a non-mergeable aggregate; sharded (LFTA/HFTA) execution requires every aggregate to support merging: %s", s.text)
+	}
+	o := opts.withDefaults()
+	pr := &ParallelRun{
+		p:       s.p,
+		sink:    sink,
+		opts:    o,
+		width:   len(s.p.schema.Cols),
+		rec:     make(Tuple, len(s.p.groupFns)+len(s.p.aggSpecs)),
+		workers: make([]*shardWorker, o.Shards),
+		pending: make([]*tupleBatch, o.Shards),
+	}
+	for i := range s.p.groupFns {
+		if i != s.p.temporalIdx {
+			pr.hasKey = true
+		}
+	}
+	for i := range pr.workers {
+		w := &shardWorker{
+			p:      s.p,
+			width:  pr.width,
+			work:   make(chan shardMsg, o.BufferedBatches),
+			free:   make(chan *tupleBatch, o.BufferedBatches+1),
+			done:   make(chan struct{}),
+			groups: make(map[string]*group, 256),
+			gv:     make(Tuple, len(s.p.groupFns)),
+			args:   make([]Value, 0, 4),
+		}
+		pr.workers[i] = w
+		go w.run()
+	}
+	return pr, nil
+}
+
+// hashValue mixes one group value into a routing hash. Unlike appendKey this
+// needs no buffer: collisions only co-locate two groups on a shard, they
+// never conflate them.
+func hashValue(seed uint64, v Value) uint64 {
+	var payload uint64
+	switch v.T {
+	case TString:
+		payload = core.HashString(v.S)
+	case TFloat:
+		payload = math.Float64bits(v.F)
+	default:
+		payload = uint64(v.I)
+	}
+	return core.Hash2(seed, payload^uint64(v.T)*0x9e3779b97f4a7c15)
+}
+
+// fail records the run's first error and returns it.
+func (pr *ParallelRun) fail(err error) error {
+	if pr.err == nil {
+		pr.err = err
+	}
+	return err
+}
+
+// errClosed reports use after Close.
+var errClosed = fmt.Errorf("gsql: ParallelRun used after Close")
+
+// Push routes one input tuple to its shard. The tuple's values are copied
+// into the outgoing batch, so the caller may reuse the backing slice
+// immediately. Errors raised inside shard workers (expression or aggregate
+// failures) surface at the next window flush or at Close.
+func (pr *ParallelRun) Push(t Tuple) error {
+	if pr.err != nil {
+		return pr.err
+	}
+	if pr.closed {
+		return errClosed
+	}
+	pr.tuples++
+	if len(t) != pr.width {
+		return pr.fail(fmt.Errorf("gsql: tuple has %d values, schema %s has %d columns", len(t), pr.p.schema.Name, pr.width))
+	}
+	if pr.p.where != nil {
+		ok, err := pr.p.where(t)
+		if err != nil {
+			return pr.fail(err)
+		}
+		if !ok.Truthy() {
+			return nil
+		}
+	}
+
+	// Evaluate the group-by expressions: the temporal one drives window
+	// close detection (flush points are identical to the serial Run's, so
+	// out-of-order inputs group and emit identically), the rest form the
+	// routing hash.
+	h := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	for i, fn := range pr.p.groupFns {
+		v, err := fn(t)
+		if err != nil {
+			return pr.fail(err)
+		}
+		if i == pr.p.temporalIdx {
+			if !pr.bucketSet {
+				pr.bucket, pr.bucketSet = v, true
+			} else if c, _ := compare(v, pr.bucket); c > 0 {
+				if err := pr.flushAll(); err != nil {
+					return pr.fail(err)
+				}
+				pr.bucket = v
+			}
+			continue
+		}
+		h = hashValue(h, v)
+	}
+	var shard int
+	if pr.hasKey {
+		shard = int(h % uint64(len(pr.workers)))
+	} else {
+		shard = pr.rr
+		pr.rr++
+		if pr.rr == len(pr.workers) {
+			pr.rr = 0
+		}
+	}
+	pr.enqueue(shard, t)
+	return nil
+}
+
+// enqueue copies t into the shard's pending batch, shipping the batch when
+// full. The bounded work channel provides backpressure: a shard more than
+// BufferedBatches behind blocks the producer.
+func (pr *ParallelRun) enqueue(shard int, t Tuple) {
+	b := pr.pending[shard]
+	if b == nil {
+		select {
+		case b = <-pr.workers[shard].free:
+			b.n = 0
+		default:
+			b = &tupleBatch{vals: make([]Value, pr.opts.BatchSize*pr.width)}
+		}
+		pr.pending[shard] = b
+	}
+	copy(b.vals[b.n*pr.width:(b.n+1)*pr.width], t)
+	b.n++
+	if b.n == pr.opts.BatchSize {
+		pr.workers[shard].work <- shardMsg{batch: b}
+		pr.pending[shard] = nil
+	}
+}
+
+// flushAll closes the current window: it ships every pending batch, drains
+// all shards (a barrier), merges their partial groups into one high-level
+// table — the HFTA combine, via Aggregator.Merge — and emits the result in
+// key-sorted order.
+func (pr *ParallelRun) flushAll() error {
+	for i, b := range pr.pending {
+		if b != nil && b.n > 0 {
+			pr.workers[i].work <- shardMsg{batch: b}
+		}
+		pr.pending[i] = nil
+	}
+	replies := make([]chan shardResult, len(pr.workers))
+	for i, w := range pr.workers {
+		replies[i] = make(chan shardResult, 1)
+		w.work <- shardMsg{drain: replies[i]}
+	}
+	var firstErr error
+	high := make(map[string]*group, 256)
+	for _, ch := range replies {
+		res := <-ch
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		for k, g := range res.groups {
+			if dst := high[k]; dst == nil {
+				high[k] = g
+			} else if err := mergeAggs(dst.aggs, g.aggs); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return emitGroups(pr.p, high, pr.rec, pr.sink)
+}
+
+// Heartbeat advances the temporal bucket without carrying data, exactly as
+// Run.Heartbeat does: closing (and emitting) any buckets older than the one
+// containing ts. It is ignored for non-temporal queries.
+func (pr *ParallelRun) Heartbeat(ts Value) error {
+	if pr.err != nil {
+		return pr.err
+	}
+	if pr.closed {
+		return errClosed
+	}
+	if pr.p.temporalIdx < 0 {
+		return nil
+	}
+	b, err := pr.p.temporalOf(ts)
+	if err != nil {
+		return pr.fail(err)
+	}
+	if !pr.bucketSet {
+		pr.bucket, pr.bucketSet = b, true
+		return nil
+	}
+	if c, _ := compare(b, pr.bucket); c > 0 {
+		if err := pr.flushAll(); err != nil {
+			return pr.fail(err)
+		}
+		pr.bucket = b
+	}
+	return nil
+}
+
+// Close flushes the final (still open) bucket and shuts the shard workers
+// down. It must be called exactly once; afterwards Push and Heartbeat fail.
+func (pr *ParallelRun) Close() error {
+	if pr.closed {
+		return pr.err
+	}
+	pr.closed = true
+	var flushErr error
+	if pr.err == nil {
+		flushErr = pr.flushAll()
+	}
+	for _, w := range pr.workers {
+		close(w.work)
+	}
+	for _, w := range pr.workers {
+		<-w.done
+	}
+	if flushErr != nil {
+		return pr.fail(flushErr)
+	}
+	return pr.err
+}
+
+// Shards returns the number of shard workers.
+func (pr *ParallelRun) Shards() int { return len(pr.workers) }
+
+// Stats reports the number of tuples pushed (before WHERE filtering), for
+// symmetry with Run.Stats.
+func (pr *ParallelRun) Stats() (tuples uint64) { return pr.tuples }
+
+// ExecuteParallel runs the statement over a finite tuple source under the
+// sharded runtime, collecting all output rows — the parallel counterpart of
+// Execute, for tests and examples. next returns the next tuple and false
+// when exhausted.
+func (s *Statement) ExecuteParallel(next func() (Tuple, bool), opts ParallelOptions) ([]Tuple, error) {
+	var out []Tuple
+	pr, err := s.StartParallel(func(row Tuple) error {
+		out = append(out, row)
+		return nil
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := next()
+		if !ok {
+			break
+		}
+		if err := pr.Push(t); err != nil {
+			pr.Close()
+			return out, err
+		}
+	}
+	if err := pr.Close(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

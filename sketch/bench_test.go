@@ -1,0 +1,65 @@
+package sketch
+
+import (
+	"testing"
+
+	"forwarddecay/internal/core"
+)
+
+// Baseline micro-benchmarks for the sketch hot paths.
+
+func benchKeys(n int, space uint64) []uint64 {
+	rng := core.NewRNG(7)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % space
+	}
+	return keys
+}
+
+func BenchmarkSpaceSavingUpdateUnary(b *testing.B) {
+	s := NewSpaceSavingK(256)
+	keys := benchKeys(4096, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(keys[i&4095], 1)
+	}
+}
+
+func BenchmarkSpaceSavingUpdateWeighted(b *testing.B) {
+	s := NewSpaceSavingK(256)
+	keys := benchKeys(4096, 10_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Update(keys[i&4095], 1+float64(i&15))
+	}
+}
+
+func BenchmarkSpaceSavingMerge(b *testing.B) {
+	mk := func(seed uint64) *SpaceSaving {
+		s := NewSpaceSavingK(256)
+		rng := core.NewRNG(seed)
+		for i := 0; i < 50_000; i++ {
+			s.Update(rng.Uint64()%10_000, 1)
+		}
+		return s
+	}
+	x, y := mk(1), mk(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Clone().Merge(y)
+	}
+}
+
+func BenchmarkKMVInsert(b *testing.B) {
+	s := NewKMV(1024)
+	keys := benchKeys(4096, 1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Insert(keys[i&4095])
+	}
+}
