@@ -11,6 +11,7 @@ import (
 // in constant space: one scaled sum plus the decay model. Arrival order is
 // irrelevant, and counters over the same model merge exactly.
 type Counter struct {
+	inputGuard
 	model decay.Forward
 	c     core.ScaledSum
 	n     uint64 // raw (undecayed) number of observations
@@ -30,6 +31,14 @@ func (c *Counter) Observe(ti float64) { c.ObserveN(ti, 1) }
 // ObserveN records n simultaneous items with timestamp ti (n may be
 // fractional; non-positive n is ignored).
 func (c *Counter) ObserveN(ti, n float64) {
+	if !IsFinite(ti) {
+		c.reject("Counter", "timestamp", ti)
+		return
+	}
+	if !IsFinite(n) {
+		c.reject("Counter", "value", n)
+		return
+	}
 	if n <= 0 {
 		return
 	}
@@ -87,6 +96,7 @@ func (e *notShiftableError) Error() string {
 // of Definition 5 (and the remark following it) are all available. Per
 // Theorem 1 it uses constant space for any forward decay function.
 type Sum struct {
+	inputGuard
 	model decay.Forward
 	c     core.ScaledSum // Σ g·1
 	s     core.ScaledSum // Σ g·v
@@ -102,8 +112,17 @@ func NewSum(m decay.Forward) *Sum {
 // Model returns the aggregate's decay model.
 func (s *Sum) Model() decay.Forward { return s.model }
 
-// Observe records an item with timestamp ti and value v.
+// Observe records an item with timestamp ti and value v. Non-finite inputs
+// are rejected (see Err) rather than folded into the decayed state.
 func (s *Sum) Observe(ti, v float64) {
+	if !IsFinite(ti) {
+		s.reject("Sum", "timestamp", ti)
+		return
+	}
+	if !IsFinite(v) {
+		s.reject("Sum", "value", v)
+		return
+	}
 	lw := s.model.LogStaticWeight(ti)
 	s.c.Add(lw, 1)
 	s.s.Add(lw, v)

@@ -13,6 +13,7 @@ import (
 // per distinct key — linear space, useful as a reference and for moderate
 // key cardinalities. For sublinear space use Distinct.
 type DistinctExact struct {
+	inputGuard
 	model decay.Forward
 	maxLW map[uint64]float64
 }
@@ -25,8 +26,13 @@ func NewDistinctExact(m decay.Forward) *DistinctExact {
 // Model returns the decay model.
 func (d *DistinctExact) Model() decay.Forward { return d.model }
 
-// Observe records one occurrence of key at timestamp ti.
+// Observe records one occurrence of key at timestamp ti. Non-finite
+// timestamps are rejected (see Err).
 func (d *DistinctExact) Observe(key uint64, ti float64) {
+	if !IsFinite(ti) {
+		d.reject("DistinctExact", "timestamp", ti)
+		return
+	}
 	lw := d.model.LogStaticWeight(ti)
 	if math.IsInf(lw, -1) {
 		return
@@ -69,6 +75,7 @@ func (d *DistinctExact) Merge(o *DistinctExact) error {
 // the Pavan–Tirthapura range-efficient F₀ algorithm the paper cites — see
 // DESIGN.md for the substitution argument).
 type Distinct struct {
+	inputGuard
 	model decay.Forward
 	dom   *sketch.Dominance
 }
@@ -84,8 +91,13 @@ func NewDistinct(m decay.Forward, kmvSize int, base float64, maxLevels int) *Dis
 // Model returns the decay model.
 func (d *Distinct) Model() decay.Forward { return d.model }
 
-// Observe records one occurrence of key at timestamp ti.
+// Observe records one occurrence of key at timestamp ti. Non-finite
+// timestamps are rejected (see Err).
 func (d *Distinct) Observe(key uint64, ti float64) {
+	if !IsFinite(ti) {
+		d.reject("Distinct", "timestamp", ti)
+		return
+	}
 	d.dom.Update(key, d.model.LogStaticWeight(ti))
 }
 

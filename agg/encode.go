@@ -303,7 +303,9 @@ func (d *DistinctExact) UnmarshalBinary(b []byte) error {
 	}
 	n := binary.LittleEndian.Uint64(rest)
 	rest = rest[8:]
-	if uint64(len(rest)) != n*16 {
+	// Guard the multiplication: a claimed n near 2⁶⁴/16 would wrap n*16
+	// and could both pass the length check and over-allocate the map.
+	if n > uint64(len(rest))/16 || uint64(len(rest)) != n*16 {
 		return fmt.Errorf("agg: malformed DistinctExact encoding")
 	}
 	maxLW := make(map[uint64]float64, n)

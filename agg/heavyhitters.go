@@ -29,6 +29,7 @@ type Item struct {
 // every counter is linearly rescaled (§VI-A). HeavyHitters is not safe for
 // concurrent use.
 type HeavyHitters struct {
+	inputGuard
 	model    decay.Forward
 	ss       *sketch.SpaceSaving
 	logScale float64
@@ -59,6 +60,14 @@ func (h *HeavyHitters) Observe(key uint64, ti float64) {
 // ObserveN records n simultaneous occurrences of key at timestamp ti (n may
 // be fractional, e.g. a byte count; non-positive n is ignored).
 func (h *HeavyHitters) ObserveN(key uint64, ti, n float64) {
+	if !IsFinite(ti) {
+		h.reject("HeavyHitters", "timestamp", ti)
+		return
+	}
+	if !IsFinite(n) {
+		h.reject("HeavyHitters", "value", n)
+		return
+	}
 	if n <= 0 {
 		return
 	}

@@ -14,6 +14,7 @@ import (
 // Comparisons are performed in the log domain on |v| with explicit sign
 // handling, so exponential decay over long streams cannot overflow.
 type extreme struct {
+	inputGuard
 	model decay.Forward
 	max   bool // true for Max, false for Min
 	set   bool
@@ -33,6 +34,14 @@ func NewMax(m decay.Forward) *Max { return &Max{extreme{model: m, max: true}} }
 
 // NewMin returns a decayed minimum aggregate under the given model.
 func NewMin(m decay.Forward) *Min { return &Min{extreme{model: m}} }
+
+// name returns the exported aggregate name for error reporting.
+func (e *extreme) name() string {
+	if e.max {
+		return "Max"
+	}
+	return "Min"
+}
 
 // logMag returns the log-magnitude of the decayed value and its sign:
 // sign·exp(mag) = g·v.
@@ -77,6 +86,14 @@ func (e *extreme) better(lw, v float64) bool {
 }
 
 func (e *extreme) observe(ti, v float64) {
+	if !IsFinite(ti) {
+		e.reject(e.name(), "timestamp", ti)
+		return
+	}
+	if !IsFinite(v) {
+		e.reject(e.name(), "value", v)
+		return
+	}
 	lw := e.model.LogStaticWeight(ti)
 	if math.IsInf(lw, -1) {
 		// Zero static weight: the decayed value is 0; it can still win
@@ -123,6 +140,9 @@ func (m *Max) Arg() (ti, v float64, ok bool) { return m.e.ti, m.e.v, m.e.set }
 // Merge folds another Max over the same model into this one.
 func (m *Max) Merge(o *Max) error { return m.e.merge(&o.e) }
 
+// Err returns the first rejected (non-finite) observation, or nil.
+func (m *Max) Err() error { return m.e.Err() }
+
 // Model returns the aggregate's decay model.
 func (m *Max) Model() decay.Forward { return m.e.model }
 
@@ -138,6 +158,9 @@ func (m *Min) Arg() (ti, v float64, ok bool) { return m.e.ti, m.e.v, m.e.set }
 
 // Merge folds another Min over the same model into this one.
 func (m *Min) Merge(o *Min) error { return m.e.merge(&o.e) }
+
+// Err returns the first rejected (non-finite) observation, or nil.
+func (m *Min) Err() error { return m.e.Err() }
 
 // Model returns the aggregate's decay model.
 func (m *Min) Model() decay.Forward { return m.e.model }

@@ -1,6 +1,8 @@
 package agg
 
 import (
+	"math"
+
 	"forwarddecay/decay"
 	"forwarddecay/internal/core"
 	"forwarddecay/sketch"
@@ -17,6 +19,7 @@ import (
 // φ·C, quantile queries do not depend on the query time at all — only rank
 // queries need a time to scale by. Quantiles is not safe for concurrent use.
 type Quantiles struct {
+	inputGuard
 	model    decay.Forward
 	qd       *sketch.QDigest
 	logScale float64
@@ -33,9 +36,19 @@ func NewQuantiles(m decay.Forward, u uint64, epsilon float64) *Quantiles {
 // Model returns the decay model.
 func (q *Quantiles) Model() decay.Forward { return q.model }
 
-// Observe records an item with value v and timestamp ti.
+// Observe records an item with value v and timestamp ti. Non-finite
+// timestamps are rejected (see Err) rather than folded into the digest.
 func (q *Quantiles) Observe(v uint64, ti float64) {
+	if !IsFinite(ti) {
+		q.reject("Quantiles", "timestamp", ti)
+		return
+	}
 	lw := q.model.LogStaticWeight(ti)
+	if math.IsInf(lw, -1) {
+		// Zero static weight contributes nothing; skip it so the first
+		// observation cannot pin logScale at -Inf and poison rescaling.
+		return
+	}
 	if !q.started {
 		q.logScale = lw
 		q.started = true

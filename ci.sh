@@ -1,9 +1,18 @@
 #!/bin/sh
-# CI check: build, vet, tests, and the race detector over the concurrent
-# code (the sharded gsql runtime and the agg shard wrappers).
+# CI check: build, vet, tests, the race detector over the concurrent code
+# (the sharded gsql runtime, the agg shard wrappers, and the fault-injection
+# suites), and a short fuzz smoke over every decoder and the query parser.
 set -eux
 
 go build ./...
 go vet ./...
 go test ./...
 go test -race ./...
+
+# Fuzz smoke: 10s per target. -run='^$' skips the unit tests (already run
+# above); -fuzzminimizetime caps the engine's per-input minimization, whose
+# 60s default dwarfs the budget and reads as a hang.
+go test -run='^$' -fuzz='^FuzzSketchDecode$' -fuzztime=10s -fuzzminimizetime=10x ./sketch/
+go test -run='^$' -fuzz='^FuzzAggDecode$' -fuzztime=10s -fuzzminimizetime=10x ./agg/
+go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
+go test -run='^$' -fuzz='^FuzzQuery$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/

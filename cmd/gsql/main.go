@@ -16,9 +16,23 @@
 //	-seed n         synthetic generator seed
 //	-no-split       disable two-level aggregation
 //	-limit n        print at most n rows (0 = all)
+//	-checkpoint f   write checkpoints of the run's state to file f
+//	-checkpoint-every n
+//	                checkpoint every n input tuples (with -checkpoint;
+//	                0 = only once, when the input ends)
+//	-restore f      resume from a checkpoint file written by -checkpoint
+//	                (same query and schema required); the stream replayed
+//	                after restoring continues the interrupted run
 //	-k, -eps, -phi, -window
 //	                UDAF parameters (sample size, accuracy, HH threshold,
 //	                window seconds)
+//
+// A kill-and-restore cycle is: run with -checkpoint state.fdc
+// -checkpoint-every 100000, interrupt it, then rerun the remaining input
+// with -restore state.fdc. Forward decay makes the resumed results match
+// an uninterrupted run over the tuples the checkpoint covered plus the
+// replayed remainder (§III: weights are fixed at arrival, so saved
+// partials never go stale).
 package main
 
 import (
@@ -39,6 +53,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "synthetic generator seed")
 	noSplit := flag.Bool("no-split", false, "disable two-level aggregation")
 	limit := flag.Int("limit", 0, "print at most n rows (0 = all)")
+	ckptFile := flag.String("checkpoint", "", "write checkpoints to this file")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint every n tuples (0 = once at end)")
+	restoreFile := flag.String("restore", "", "resume from this checkpoint file")
 	k := flag.Int("k", 100, "UDAF sample size")
 	eps := flag.Float64("eps", 0.01, "UDAF accuracy parameter")
 	phi := flag.Float64("phi", 0.01, "UDAF heavy-hitter threshold")
@@ -66,11 +83,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *ckptFile != "" {
+		if err := st.Checkpointable(); err != nil {
+			fatal(err)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "plan: %s\n", st.Describe())
 	fmt.Println(strings.Join(st.Columns(), "\t"))
 
 	printed := 0
-	run := st.Start(func(row gsql.Tuple) error {
+	sink := func(row gsql.Tuple) error {
 		if *limit > 0 && printed >= *limit {
 			return gsql.SinkStop()
 		}
@@ -81,9 +103,36 @@ func main() {
 		fmt.Println(strings.Join(parts, "\t"))
 		printed++
 		return nil
-	}, gsql.Options{DisableTwoLevel: *noSplit})
+	}
+	opts := gsql.Options{DisableTwoLevel: *noSplit}
 
-	push := func(p netgen.Packet) error { return run.Push(netgen.Tuple(p)) }
+	var run *gsql.Run
+	if *restoreFile != "" {
+		ckpt, err := os.ReadFile(*restoreFile)
+		if err != nil {
+			fatal(err)
+		}
+		if run, err = st.Restore(ckpt, sink, opts); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "restored %s (%d tuples already accounted)\n", *restoreFile, run.RuntimeStats().TuplesIn)
+	} else {
+		run = st.Start(sink, opts)
+	}
+
+	pushed := 0
+	push := func(p netgen.Packet) error {
+		if err := run.Push(netgen.Tuple(p)); err != nil {
+			return err
+		}
+		pushed++
+		if *ckptFile != "" && *ckptEvery > 0 && pushed%*ckptEvery == 0 {
+			if err := writeCheckpoint(run, *ckptFile); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 
 	if *trace != "" {
 		f, err := os.Open(*trace)
@@ -93,31 +142,54 @@ func main() {
 		err = netgen.StreamTrace(f, push)
 		f.Close()
 		if err != nil {
-			finish(run, err)
+			finish(run, err, *ckptFile)
 			return
 		}
 	} else {
 		g := netgen.New(netgen.DefaultConfig(*rate, *seed))
 		for i := 0; i < *packets; i++ {
 			if err := push(g.Next()); err != nil {
-				finish(run, err)
+				finish(run, err, *ckptFile)
 				return
 			}
 		}
 	}
-	finish(run, nil)
+	finish(run, nil, *ckptFile)
 }
 
-// finish closes the run, tolerating the sink-stop sentinel.
-func finish(run *gsql.Run, pushErr error) {
+// writeCheckpoint serializes the run's state and replaces file atomically
+// (write-then-rename), so an interrupt mid-write never corrupts the last
+// good checkpoint.
+func writeCheckpoint(run *gsql.Run, file string) error {
+	b, err := run.Checkpoint()
+	if err != nil {
+		return err
+	}
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, file)
+}
+
+// finish takes a final checkpoint if requested, closes the run (tolerating
+// the sink-stop sentinel) and reports the runtime counters.
+func finish(run *gsql.Run, pushErr error, ckptFile string) {
 	if pushErr != nil && pushErr.Error() != gsql.SinkStop().Error() {
 		fatal(pushErr)
+	}
+	if ckptFile != "" && pushErr == nil {
+		if err := writeCheckpoint(run, ckptFile); err != nil {
+			fatal(err)
+		}
 	}
 	if err := run.Close(); err != nil && err.Error() != gsql.SinkStop().Error() {
 		fatal(err)
 	}
 	tuples, evictions := run.Stats()
-	fmt.Fprintf(os.Stderr, "processed %d tuples, %d low-level evictions\n", tuples, evictions)
+	rs := run.RuntimeStats()
+	fmt.Fprintf(os.Stderr, "processed %d tuples, %d low-level evictions, %d windows, %d checkpoints\n",
+		tuples, evictions, rs.WindowsClosed, rs.Checkpoints)
 }
 
 func fatal(err error) {

@@ -9,15 +9,22 @@
 // Each site runs in its own goroutine, owns its aggregates exclusively, and
 // ships *serialized* partial state to the coordinator on demand, modelling
 // the network boundary: what crosses between goroutines is the same byte
-// encoding that would cross between machines.
+// encoding that would cross between machines. The coordinator is
+// fault-tolerant in the same spirit: per-site snapshot requests carry a
+// timeout and a bounded retry budget, and up to Config.MaxFailedSites
+// non-responsive or failing sites may be skipped, with the merged Summary
+// reporting exactly which partitions are missing.
 package distrib
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"forwarddecay/agg"
 	"forwarddecay/decay"
+	"forwarddecay/internal/faultinject"
 )
 
 // Observation is one keyed, timestamped, valued stream event.
@@ -29,6 +36,20 @@ type Observation struct {
 	Value float64
 	// Time is the event timestamp.
 	Time float64
+}
+
+// BadObservationError reports an observation rejected at the ingest
+// boundary: a NaN or ±Inf value or timestamp would poison the decayed
+// state of every later query on the site.
+type BadObservationError struct {
+	// Field names the offending Observation field ("Value" or "Time").
+	Field string
+	// X is the offending value.
+	X float64
+}
+
+func (e *BadObservationError) Error() string {
+	return fmt.Sprintf("distrib: non-finite observation %s %v rejected", e.Field, e.X)
 }
 
 // Config describes a cluster.
@@ -47,6 +68,18 @@ type Config struct {
 	QuantileEps float64
 	// Buffer is each site's input channel capacity (default 1024).
 	Buffer int
+
+	// SnapshotTimeout bounds how long Snapshot waits for any single site's
+	// reply (per attempt) before treating the site as failed; default 2s.
+	SnapshotTimeout time.Duration
+	// SnapshotRetries is how many additional attempts a failed site gets
+	// before Snapshot gives up on it; default 1.
+	SnapshotRetries int
+	// MaxFailedSites is the number of sites Snapshot tolerates losing: up to
+	// this many unresponsive or erroring sites are skipped, and the Summary
+	// lists them in MissingSites. Default 0: any site failure fails the
+	// snapshot.
+	MaxFailedSites int
 }
 
 // Summary is a merged, queryable snapshot of the whole cluster.
@@ -57,6 +90,11 @@ type Summary struct {
 	HH *agg.HeavyHitters
 	// Quantiles holds the merged quantile digest (nil unless enabled).
 	Quantiles *agg.Quantiles
+	// MissingSites lists the sites whose partitions are absent from the
+	// merge (each failed its snapshot within the coordinator's timeout and
+	// retry budget). Empty on a complete snapshot; never holds more than
+	// Config.MaxFailedSites entries.
+	MissingSites []int
 }
 
 // siteState is the serialized partial state a site ships on request.
@@ -99,6 +137,17 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 1024
 	}
+	if cfg.SnapshotTimeout <= 0 {
+		cfg.SnapshotTimeout = 2 * time.Second
+	}
+	if cfg.SnapshotRetries < 0 {
+		cfg.SnapshotRetries = 0
+	} else if cfg.SnapshotRetries == 0 {
+		cfg.SnapshotRetries = 1
+	}
+	if cfg.MaxFailedSites < 0 {
+		cfg.MaxFailedSites = 0
+	}
 	c := &Cluster{cfg: cfg}
 	for i := 0; i < cfg.Sites; i++ {
 		s := &site{
@@ -139,6 +188,15 @@ func (c *Cluster) runSite(s *site) {
 			qd.Observe(v, ob.Time)
 		}
 	}
+	answer := func() siteState {
+		// Fault-injection point for the failed-site experiments: an armed
+		// error or delay here models a site that crashes or stalls while
+		// serving a snapshot.
+		if err := faultinject.Hit("distrib.site.snapshot"); err != nil {
+			return siteState{err: err}
+		}
+		return marshalSite(sum, hh, qd)
+	}
 	for {
 		select {
 		case ob, ok := <-s.in:
@@ -155,7 +213,7 @@ func (c *Cluster) runSite(s *site) {
 				select {
 				case ob, ok := <-s.in:
 					if !ok {
-						reply <- marshalSite(sum, hh, qd)
+						reply <- answer()
 						close(s.done)
 						return
 					}
@@ -164,7 +222,7 @@ func (c *Cluster) runSite(s *site) {
 					drained = true
 				}
 			}
-			reply <- marshalSite(sum, hh, qd)
+			reply <- answer()
 		}
 	}
 }
@@ -190,40 +248,62 @@ func marshalSite(sum *agg.Sum, hh *agg.HeavyHitters, qd *agg.Quantiles) siteStat
 
 // Observe routes an observation to a site. Site indices wrap (negative
 // values included), so callers may pass any routing value — a counter, a
-// flow hash cast to int, etc.
-func (c *Cluster) Observe(siteIdx int, ob Observation) {
+// flow hash cast to int, etc. Observations carrying a NaN or ±Inf value or
+// timestamp are rejected with a *BadObservationError before reaching the
+// site, since a single non-finite weight would poison the site's decayed
+// state for every later snapshot.
+func (c *Cluster) Observe(siteIdx int, ob Observation) error {
+	if math.IsNaN(ob.Value) || math.IsInf(ob.Value, 0) {
+		return &BadObservationError{Field: "Value", X: ob.Value}
+	}
+	if math.IsNaN(ob.Time) || math.IsInf(ob.Time, 0) {
+		return &BadObservationError{Field: "Time", X: ob.Time}
+	}
 	i := siteIdx % len(c.sites)
 	if i < 0 {
 		i += len(c.sites)
 	}
 	c.sites[i].in <- ob
+	return nil
 }
 
 // Sites returns the number of sites.
 func (c *Cluster) Sites() int { return len(c.sites) }
 
-// Snapshot asks every site for its serialized partial state and merges the
-// decoded partials into a fresh Summary — exactly the distributed pattern
-// of §VI-B. It is safe to call concurrently with Observe; each site
-// snapshots at an event boundary.
-func (c *Cluster) Snapshot() (*Summary, error) {
-	states := make([]siteState, len(c.sites))
-	replies := make([]chan siteState, len(c.sites))
-	for i, s := range c.sites {
-		replies[i] = make(chan siteState, 1)
+// snapshotSite requests one site's serialized state, bounding each attempt
+// by the configured timeout and retrying failed attempts up to the retry
+// budget. A timed-out attempt leaves the request outstanding; the buffered
+// reply channel lets the site's late answer complete without blocking it.
+func (c *Cluster) snapshotSite(i int) siteState {
+	var last siteState
+	for attempt := 0; attempt <= c.cfg.SnapshotRetries; attempt++ {
+		reply := make(chan siteState, 1)
+		timer := time.NewTimer(c.cfg.SnapshotTimeout)
 		select {
-		case s.snap <- replies[i]:
-		case <-s.done:
-			return nil, fmt.Errorf("distrib: site %d already closed", i)
+		case c.sites[i].snap <- reply:
+		case <-c.sites[i].done:
+			timer.Stop()
+			return siteState{err: fmt.Errorf("distrib: site %d already closed", i)}
+		case <-timer.C:
+			last = siteState{err: fmt.Errorf("distrib: site %d snapshot request timed out after %v", i, c.cfg.SnapshotTimeout)}
+			continue
+		}
+		select {
+		case st := <-reply:
+			timer.Stop()
+			if st.err == nil {
+				return st
+			}
+			last = siteState{err: fmt.Errorf("distrib: site %d snapshot: %w", i, st.err)}
+		case <-timer.C:
+			last = siteState{err: fmt.Errorf("distrib: site %d snapshot reply timed out after %v", i, c.cfg.SnapshotTimeout)}
 		}
 	}
-	for i := range replies {
-		states[i] = <-replies[i]
-		if states[i].err != nil {
-			return nil, fmt.Errorf("distrib: site %d snapshot: %w", i, states[i].err)
-		}
-	}
+	return last
+}
 
+// newSummary allocates the coordinator-side merge target.
+func (c *Cluster) newSummary() *Summary {
 	out := &Summary{Sum: agg.NewSum(c.cfg.Model)}
 	if c.cfg.HHK > 0 {
 		out.HH = agg.NewHeavyHittersK(c.cfg.Model, c.cfg.HHK)
@@ -231,33 +311,78 @@ func (c *Cluster) Snapshot() (*Summary, error) {
 	if c.cfg.QuantileU > 0 {
 		out.Quantiles = agg.NewQuantiles(c.cfg.Model, c.cfg.QuantileU, c.cfg.QuantileEps)
 	}
-	for i, st := range states {
-		var sum agg.Sum
-		if err := sum.UnmarshalBinary(st.sum); err != nil {
-			return nil, fmt.Errorf("distrib: decoding site %d sum: %w", i, err)
-		}
-		if err := out.Sum.Merge(&sum); err != nil {
-			return nil, err
-		}
-		if out.HH != nil {
-			var hh agg.HeavyHitters
-			if err := hh.UnmarshalBinary(st.hh); err != nil {
-				return nil, fmt.Errorf("distrib: decoding site %d heavy hitters: %w", i, err)
-			}
-			if err := out.HH.Merge(&hh); err != nil {
-				return nil, err
-			}
-		}
-		if out.Quantiles != nil {
-			var qd agg.Quantiles
-			if err := qd.UnmarshalBinary(st.qd); err != nil {
-				return nil, fmt.Errorf("distrib: decoding site %d quantiles: %w", i, err)
-			}
-			if err := out.Quantiles.Merge(&qd); err != nil {
-				return nil, err
-			}
+	return out
+}
+
+// mergeSite decodes one site's serialized state and folds it into the
+// summary. Every decode and merge failure names the offending site: a site
+// shipping state under a different decay model or landmark is rejected
+// here, not silently blended in.
+func mergeSite(out *Summary, i int, st siteState) error {
+	// Decode every component before merging any, so a failed (skippable)
+	// site never leaves a partial contribution behind.
+	var sum agg.Sum
+	if err := sum.UnmarshalBinary(st.sum); err != nil {
+		return fmt.Errorf("distrib: decoding site %d sum: %w", i, err)
+	}
+	var hh agg.HeavyHitters
+	if out.HH != nil {
+		if err := hh.UnmarshalBinary(st.hh); err != nil {
+			return fmt.Errorf("distrib: decoding site %d heavy hitters: %w", i, err)
 		}
 	}
+	var qd agg.Quantiles
+	if out.Quantiles != nil {
+		if err := qd.UnmarshalBinary(st.qd); err != nil {
+			return fmt.Errorf("distrib: decoding site %d quantiles: %w", i, err)
+		}
+	}
+	if err := out.Sum.Merge(&sum); err != nil {
+		return fmt.Errorf("distrib: merging site %d sum: %w", i, err)
+	}
+	if out.HH != nil {
+		if err := out.HH.Merge(&hh); err != nil {
+			return fmt.Errorf("distrib: merging site %d heavy hitters: %w", i, err)
+		}
+	}
+	if out.Quantiles != nil {
+		if err := out.Quantiles.Merge(&qd); err != nil {
+			return fmt.Errorf("distrib: merging site %d quantiles: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot asks every site for its serialized partial state and merges the
+// decoded partials into a fresh Summary — exactly the distributed pattern
+// of §VI-B. It is safe to call concurrently with Observe; each site
+// snapshots at an event boundary.
+//
+// A site that fails to answer within the timeout and retry budget, or whose
+// state fails to decode or merge, is skipped when no more than
+// Config.MaxFailedSites sites have failed — the Summary then covers the
+// surviving partitions and MissingSites names the absent ones. Beyond that
+// tolerance, Snapshot returns the first failing site's error.
+func (c *Cluster) Snapshot() (*Summary, error) {
+	states := make([]siteState, len(c.sites))
+	for i := range c.sites {
+		states[i] = c.snapshotSite(i)
+	}
+	out := c.newSummary()
+	var missing []int
+	for i, st := range states {
+		err := st.err
+		if err == nil {
+			err = mergeSite(out, i, st)
+		}
+		if err != nil {
+			if len(missing) >= c.cfg.MaxFailedSites {
+				return nil, err
+			}
+			missing = append(missing, i)
+		}
+	}
+	out.MissingSites = missing
 	return out, nil
 }
 

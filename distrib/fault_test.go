@@ -1,0 +1,222 @@
+package distrib
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/internal/faultinject"
+)
+
+func faultCfg(sites int) Config {
+	return Config{
+		Sites:       sites,
+		Model:       decay.NewForward(decay.NewExp(0.01), 0),
+		HHK:         16,
+		QuantileU:   1 << 16,
+		QuantileEps: 0.05,
+	}
+}
+
+func feed(t *testing.T, c *Cluster, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ob := Observation{Key: uint64(i % 17), Value: float64(1 + i%7), Time: float64(i % 100)}
+		if err := c.Observe(i, ob); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestObserveRejectsNonFinite: NaN/±Inf values and timestamps are rejected
+// at the cluster ingest boundary with a typed error naming the field, and
+// never reach a site.
+func TestObserveRejectsNonFinite(t *testing.T) {
+	c, err := New(faultCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var bad *BadObservationError
+	err = c.Observe(0, Observation{Key: 1, Value: math.NaN(), Time: 1})
+	if !errors.As(err, &bad) || bad.Field != "Value" {
+		t.Fatalf("NaN value: %v", err)
+	}
+	err = c.Observe(0, Observation{Key: 1, Value: 1, Time: math.Inf(1)})
+	if !errors.As(err, &bad) || bad.Field != "Time" {
+		t.Fatalf("Inf time: %v", err)
+	}
+	// The cluster still snapshots cleanly with only good data merged.
+	feed(t, c, 100)
+	sum, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Sum.Count(100); got <= 0 || math.IsNaN(got) {
+		t.Fatalf("poisoned decayed count: %v", got)
+	}
+}
+
+// TestMergeRejectsMismatchedModel: a site shipping state marshaled under a
+// different landmark (or decay function) must be rejected at merge time
+// with an error naming the offending site — silently blending
+// incompatible decayed weights would corrupt the summary.
+func TestMergeRejectsMismatchedModel(t *testing.T) {
+	cfg := faultCfg(1)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Forge a site state marshaled under a different landmark.
+	other := agg.NewSum(decay.NewForward(decay.NewExp(0.01), 500))
+	other.Observe(510, 3)
+	forged, err := other.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hh := agg.NewHeavyHittersK(cfg.Model, cfg.HHK)
+	hhb, err := hh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qd := agg.NewQuantiles(cfg.Model, cfg.QuantileU, cfg.QuantileEps)
+	qdb, err := qd.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := c.newSummary()
+	mergeErr := mergeSite(out, 3, siteState{sum: forged, hh: hhb, qd: qdb})
+	if mergeErr == nil {
+		t.Fatal("mismatched landmark merged silently")
+	}
+	if !strings.Contains(mergeErr.Error(), "site 3") {
+		t.Fatalf("error does not name the offending site: %v", mergeErr)
+	}
+	// Atomicity: the failed site contributed nothing before the error.
+	if n := out.Sum.Count(600); n != 0 {
+		t.Fatalf("partial contribution from rejected site: count %v", n)
+	}
+}
+
+// TestSnapshotRetriesTransientFailure: with the default retry budget, a
+// site that fails exactly one snapshot attempt is retried and the snapshot
+// completes with no missing sites.
+func TestSnapshotRetriesTransientFailure(t *testing.T) {
+	defer faultinject.Reset()
+	c, err := New(faultCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed(t, c, 300)
+	faultinject.Set("distrib.site.snapshot", faultinject.Fault{ErrAt: 1})
+	sum, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("transient failure not retried: %v", err)
+	}
+	if len(sum.MissingSites) != 0 {
+		t.Fatalf("retry should have recovered the site, missing %v", sum.MissingSites)
+	}
+	if hits := faultinject.Hits("distrib.site.snapshot"); hits != 4 {
+		t.Fatalf("expected 3 site answers + 1 retry = 4 hits, got %d", hits)
+	}
+}
+
+// TestSnapshotSkipsFailedSiteWithinTolerance: a persistently failing site
+// is skipped when MaxFailedSites allows, and the Summary names exactly the
+// missing partition while covering the rest.
+func TestSnapshotSkipsFailedSiteWithinTolerance(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := faultCfg(3)
+	cfg.SnapshotRetries = -1 // no retries: first failure is final
+	cfg.MaxFailedSites = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed(t, c, 300)
+	// Site 0 answers first; make its every attempt fail.
+	faultinject.Set("distrib.site.snapshot", faultinject.Fault{ErrAt: 1})
+	sum, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("tolerated failure still failed snapshot: %v", err)
+	}
+	if len(sum.MissingSites) != 1 || sum.MissingSites[0] != 0 {
+		t.Fatalf("MissingSites = %v, want [0]", sum.MissingSites)
+	}
+	// The surviving partitions are still merged and queryable.
+	if got := sum.Sum.Count(100); got <= 0 {
+		t.Fatalf("surviving sites not merged: count %v", got)
+	}
+}
+
+// TestSnapshotFailsBeyondTolerance: more failing sites than MaxFailedSites
+// fails the whole snapshot with the failing site's error rather than
+// silently returning a hollow summary.
+func TestSnapshotFailsBeyondTolerance(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := faultCfg(3)
+	cfg.SnapshotRetries = -1
+	cfg.MaxFailedSites = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed(t, c, 90)
+	faultinject.Set("distrib.site.snapshot", faultinject.Fault{ErrEvery: 1}) // every attempt fails
+	if _, err := c.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded with every site failing")
+	} else if !strings.Contains(err.Error(), "site") {
+		t.Fatalf("error does not identify a site: %v", err)
+	}
+}
+
+// TestSnapshotTimeoutSkipsStalledSite: a site that stalls while serving a
+// snapshot is bounded by SnapshotTimeout per attempt and then skipped
+// within the failure tolerance — the coordinator never hangs on a dead
+// site.
+func TestSnapshotTimeoutSkipsStalledSite(t *testing.T) {
+	defer faultinject.Reset()
+	cfg := faultCfg(2)
+	cfg.SnapshotTimeout = 30 * time.Millisecond
+	cfg.SnapshotRetries = -1
+	cfg.MaxFailedSites = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	feed(t, c, 100)
+	faultinject.Set("distrib.site.snapshot", faultinject.Fault{DelayAt: 1, Delay: 300 * time.Millisecond})
+	start := time.Now()
+	sum, err := c.Snapshot()
+	if err != nil {
+		t.Fatalf("stalled site not skipped: %v", err)
+	}
+	if len(sum.MissingSites) != 1 {
+		t.Fatalf("MissingSites = %v, want one stalled site", sum.MissingSites)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("coordinator hung on stalled site: %v", el)
+	}
+	// The stalled site's late answer must not wedge it: it still serves
+	// the next snapshot (after its injected delay has elapsed).
+	faultinject.Reset()
+	time.Sleep(350 * time.Millisecond)
+	sum2, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum2.MissingSites) != 0 {
+		t.Fatalf("recovered site still missing: %v", sum2.MissingSites)
+	}
+}

@@ -74,6 +74,7 @@ func (e *Engine) Prepare(query string) (*Statement, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.fp = fingerprint(query, schema.Name)
 	return &Statement{p: p, text: query}, nil
 }
 

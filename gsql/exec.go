@@ -42,8 +42,11 @@ type Run struct {
 	rec    Tuple // scratch combined record
 
 	// stats
-	evictions uint64
-	tuples    uint64
+	evictions   uint64
+	tuples      uint64
+	windows     uint64
+	checkpoints uint64
+	restores    uint64
 }
 
 type lowSlot struct {
@@ -86,9 +89,13 @@ func newRun(p *plan, sink func(Tuple) error, opts Options) *Run {
 	return r
 }
 
-// Push processes one input tuple.
+// Push processes one input tuple. Tuples carrying NaN or ±Inf floats are
+// rejected with a *NonFiniteValueError before touching any group state.
 func (r *Run) Push(t Tuple) error {
 	r.tuples++
+	if err := checkTupleFinite(r.p.schema, t); err != nil {
+		return err
+	}
 	if r.p.where != nil {
 		ok, err := r.p.where(t)
 		if err != nil {
@@ -261,6 +268,7 @@ func (r *Run) flush() error {
 		return err
 	}
 	clear(r.high)
+	r.windows++
 	return nil
 }
 

@@ -1,0 +1,297 @@
+package gsql_test
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"forwarddecay/gsql"
+	"forwarddecay/internal/faultinject"
+)
+
+const faultQuery = `select tb, dstIP, count(*), sum(len), min(len), max(len)
+  from TCP group by time/60 as tb, dstIP`
+
+// window1Tuples builds n tuples that all land in time bucket 1
+// (time in [60,120)) across a handful of groups.
+func window1Tuples(n int) []gsql.Tuple {
+	out := make([]gsql.Tuple, n)
+	for i := range out {
+		out[i] = pkt2(int64(60+i%60), int64(i%5), 80, int64(100+i%37))
+	}
+	return out
+}
+
+// requireNoGoroutineLeak polls until the goroutine count returns to its
+// pre-test baseline (with slack for runtime background goroutines).
+func requireNoGoroutineLeak(t *testing.T, before int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// drainErrors collects everything currently sitting on the errors channel.
+func drainErrors(pr *gsql.ParallelRun) []error {
+	var out []error
+	for {
+		select {
+		case err := <-pr.Errors():
+			out = append(out, err)
+		default:
+			return out
+		}
+	}
+}
+
+// TestShardPanicFail: a panic inside a shard worker must not deadlock the
+// drain barrier. Under the default PanicFail policy the recovered panic
+// surfaces as a typed *ShardPanicError from the window flush, appears on
+// the Errors channel, is counted, and every worker goroutine still exits.
+func TestShardPanicFail(t *testing.T) {
+	defer faultinject.Reset()
+	e := parallelEngine(t)
+	st, err := e.Prepare(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	var rows []gsql.Tuple
+	pr, err := st.StartParallel(func(row gsql.Tuple) error { rows = append(rows, row); return nil },
+		gsql.ParallelOptions{Shards: 2, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set("gsql.shard.step", faultinject.Fault{PanicAt: 5})
+	var pushErr error
+	for _, tp := range window1Tuples(50) {
+		if pushErr = pr.Push(tp); pushErr != nil {
+			break
+		}
+	}
+	closeErr := pr.Close()
+	err = pushErr
+	if err == nil {
+		err = closeErr
+	}
+	var pe *gsql.ShardPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic did not surface as ShardPanicError: push=%v close=%v", pushErr, closeErr)
+	}
+	if pe.Shard < 0 || pe.Shard > 1 {
+		t.Fatalf("bad shard index in error: %d", pe.Shard)
+	}
+	found := false
+	for _, e := range drainErrors(pr) {
+		if errors.As(e, &pe) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ShardPanicError never appeared on the Errors channel")
+	}
+	if s := pr.RuntimeStats(); s.ShardPanics == 0 {
+		t.Fatalf("ShardPanics not counted: %+v", s)
+	}
+	requireNoGoroutineLeak(t, before)
+}
+
+// TestShardPanicRestartExactness: under PanicRestart a panicking shard is
+// restarted from the last checkpoint of the current window. With the
+// panic injected on the first tuple after the checkpoint, the closed
+// window's output must be exactly the serial output over the
+// pre-checkpoint tuples — only post-checkpoint data on the failed shard is
+// lost — and the run keeps accepting tuples afterwards.
+func TestShardPanicRestartExactness(t *testing.T) {
+	defer faultinject.Reset()
+	e := parallelEngine(t)
+	st, err := e.Prepare(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := window1Tuples(40)
+	want := serialRows(t, st, tuples, gsql.Options{})
+	if len(want) == 0 {
+		t.Fatal("workload produced no rows")
+	}
+
+	var rows []gsql.Tuple
+	pr, err := st.StartParallel(func(row gsql.Tuple) error { rows = append(rows, row); return nil },
+		gsql.ParallelOptions{Shards: 2, BatchSize: 4, OnPanic: gsql.PanicRestart})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range tuples {
+		if err := pr.Push(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := pr.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// The very next stepped tuple panics its shard mid-window.
+	faultinject.Set("gsql.shard.step", faultinject.Fault{PanicAt: 1})
+	if err := pr.Push(pkt2(119, 1, 80, 9_999)); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Heartbeat(gsql.Int(200)); err != nil {
+		t.Fatalf("window close after restart returned error: %v", err)
+	}
+	requireIdentical(t, want, rows, "restart window")
+
+	s := pr.RuntimeStats()
+	if s.ShardPanics != 1 || s.ShardRestarts != 1 {
+		t.Fatalf("panic/restart counters: %+v", s)
+	}
+	var pe *gsql.ShardPanicError
+	found := false
+	for _, e := range drainErrors(pr) {
+		if errors.As(e, &pe) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restart did not report the panic on the Errors channel")
+	}
+
+	// The run survives: the restarted shard accepts the next window.
+	faultinject.Reset()
+	mark := len(rows)
+	for i := 0; i < 20; i++ {
+		if err := pr.Push(pkt2(int64(240+i%30), int64(i%3), 80, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == mark {
+		t.Fatal("no rows emitted after shard restart")
+	}
+}
+
+// TestLoadSheddingDropNewest: with slow shards and OverloadDropNewest the
+// producer never blocks on a full shard queue — full batches are shed and
+// counted, and the run still completes cleanly.
+func TestLoadSheddingDropNewest(t *testing.T) {
+	defer faultinject.Reset()
+	e := parallelEngine(t)
+	st, err := e.Prepare(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultinject.Set("gsql.shard.step", faultinject.Fault{DelayEvery: 1, Delay: 2 * time.Millisecond})
+	var rows []gsql.Tuple
+	pr, err := st.StartParallel(func(row gsql.Tuple) error { rows = append(rows, row); return nil },
+		gsql.ParallelOptions{Shards: 1, BatchSize: 1, BufferedBatches: 1, Overload: gsql.OverloadDropNewest})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := window1Tuples(300)
+	for _, tp := range tuples {
+		if err := pr.Push(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Reset() // let the drain run at full speed
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := pr.RuntimeStats()
+	if s.TuplesShed == 0 || s.BatchesShed == 0 {
+		t.Fatalf("overloaded run shed nothing: %+v", s)
+	}
+	if s.TuplesIn != uint64(len(tuples)) {
+		t.Fatalf("TuplesIn = %d, want %d", s.TuplesIn, len(tuples))
+	}
+	if s.TuplesShed >= uint64(len(tuples)) {
+		t.Fatalf("everything was shed: %+v", s)
+	}
+	if len(rows) == 0 {
+		t.Fatal("shedding run emitted no rows at all")
+	}
+}
+
+// TestLoadSheddingBlock: the default OverloadBlock policy sheds nothing —
+// backpressure stalls the producer instead — so results are exactly the
+// serial results even with slow shards.
+func TestLoadSheddingBlock(t *testing.T) {
+	defer faultinject.Reset()
+	e := parallelEngine(t)
+	st, err := e.Prepare(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := window1Tuples(120)
+	want := serialRows(t, st, tuples, gsql.Options{})
+	faultinject.Set("gsql.shard.step", faultinject.Fault{DelayEvery: 4, Delay: time.Millisecond})
+	var rows []gsql.Tuple
+	pr, err := st.StartParallel(func(row gsql.Tuple) error { rows = append(rows, row); return nil },
+		gsql.ParallelOptions{Shards: 2, BatchSize: 1, BufferedBatches: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range tuples {
+		if err := pr.Push(tp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s := pr.RuntimeStats()
+	if s.TuplesShed != 0 || s.BatchesShed != 0 {
+		t.Fatalf("blocking policy shed data: %+v", s)
+	}
+	requireIdentical(t, want, rows, "blocked backpressure")
+}
+
+// TestPushRejectsNonFinite: NaN and ±Inf floats are rejected at the ingest
+// boundary of both runtimes with a typed error naming the column, and the
+// poisoned tuple contributes nothing.
+func TestPushRejectsNonFinite(t *testing.T) {
+	e := parallelEngine(t)
+	st, err := e.Prepare(faultQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := pkt2(70, 1, 80, 100)
+	bad[1] = gsql.Float(math.NaN()) // ftime column
+
+	run := st.Start(func(gsql.Tuple) error { return nil }, gsql.Options{})
+	err = run.Push(bad)
+	var nfe *gsql.NonFiniteValueError
+	if !errors.As(err, &nfe) {
+		t.Fatalf("serial Push accepted NaN: %v", err)
+	}
+	if nfe.Column != "ftime" {
+		t.Fatalf("error names column %q, want ftime", nfe.Column)
+	}
+
+	pr, err := st.StartParallel(func(gsql.Tuple) error { return nil }, gsql.ParallelOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := pkt2(70, 1, 80, 100)
+		b[1] = gsql.Float(x)
+		if err := pr.Push(b); !errors.As(err, &nfe) {
+			t.Fatalf("parallel Push accepted %v: %v", x, err)
+		}
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s := pr.RuntimeStats(); s.TuplesIn != 3 {
+		t.Fatalf("rejected tuples were counted oddly: %+v", s)
+	}
+}

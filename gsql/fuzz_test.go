@@ -1,0 +1,105 @@
+package gsql_test
+
+import (
+	"strings"
+	"testing"
+
+	"forwarddecay/gsql"
+)
+
+// FuzzCheckpointDecode drives the checkpoint decoder with arbitrary bytes.
+// Contract: corrupt input returns an error — never a panic, never a partial
+// run — and input that does decode yields a run that can push tuples and
+// close. Seeded with real checkpoints (empty, mid-window, sketch-bearing)
+// so the mutator reaches the group-entry and aggregate-blob paths behind
+// the integrity hash.
+func FuzzCheckpointDecode(f *testing.F) {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		f.Fatal(err)
+	}
+	st, err := e.Prepare(`select tb, dstIP, count(*), sum(len), avg(float(len)), min(len), max(len)
+	  from TCP group by time/60 as tb, dstIP`)
+	if err != nil {
+		f.Fatal(err)
+	}
+	nop := func(gsql.Tuple) error { return nil }
+
+	run := st.Start(nop, gsql.Options{})
+	ckpt0, err := run.Checkpoint() // empty-state checkpoint
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ckpt0)
+	for _, tp := range trace(3_000, 0, 41) {
+		if err := run.Push(tp); err != nil {
+			f.Fatal(err)
+		}
+	}
+	ckpt1, err := run.Checkpoint() // mid-window, populated
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(ckpt1)
+	f.Add([]byte{})
+	f.Add([]byte("FDC"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if r, err := st.Restore(data, nop, gsql.Options{}); err == nil {
+			if err := r.Push(pkt2(100, 1, 80, 50)); err != nil {
+				t.Fatalf("restored run rejects a valid tuple: %v", err)
+			}
+			if err := r.Close(); err != nil {
+				t.Fatalf("restored run fails to close: %v", err)
+			}
+		}
+		if pr, err := st.RestoreParallel(data, nop, gsql.ParallelOptions{Shards: 2, BatchSize: 4}); err == nil {
+			if err := pr.Push(pkt2(100, 1, 80, 50)); err != nil {
+				t.Fatalf("parallel restored run rejects a valid tuple: %v", err)
+			}
+			if err := pr.Close(); err != nil {
+				t.Fatalf("parallel restored run fails to close: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzQuery drives the lexer, parser and planner with arbitrary query
+// text: Prepare must reject garbage with an error, never panic, for any
+// byte sequence — including invalid UTF-8 and deeply nested expressions.
+func FuzzQuery(f *testing.F) {
+	seeds := []string{
+		`select tb, dstIP, count(*) from TCP group by time/60 as tb, dstIP`,
+		`select tb, dstIP, count(*), sum(len), avg(float(len)), min(len), max(len)
+		   from TCP group by time/60 as tb, dstIP having count(*) > 3`,
+		`select tb, proto, count(*) from TCP where len > 200 and proto = 6 group by time/60 as tb, proto`,
+		`select tb, sum(float(len)*(time % 60))/60 from TCP group by time/60 as tb`,
+		`select`, `select * from`, `((((((`, `select "unterminated`,
+		`select 1e309 from TCP group by time/60 as tb`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, query string) {
+		// Bound pathological inputs: the parser is recursive-descent, so a
+		// megabyte of '(' would legitimately exhaust the stack. Real queries
+		// are tiny; the contract is no panic on any plausible input size.
+		if len(query) > 4096 {
+			return
+		}
+		st, err := e.Prepare(query)
+		if err != nil {
+			if !strings.Contains(err.Error(), "gsql") {
+				t.Fatalf("error without package prefix: %v", err)
+			}
+			return
+		}
+		// A query that parses must plan a runnable statement.
+		run := st.Start(func(gsql.Tuple) error { return nil }, gsql.Options{})
+		_ = run.Close()
+	})
+}

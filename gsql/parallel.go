@@ -1,11 +1,14 @@
 package gsql
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 
 	"forwarddecay/internal/core"
+	"forwarddecay/internal/faultinject"
 )
 
 // This file implements the sharded parallel runtime: the paper's two-level
@@ -26,6 +29,40 @@ import (
 // combined with Merge, whose float reassociation may differ from serial
 // evaluation in the last ulp (and whose sketch merges carry the documented
 // additive error bounds).
+//
+// The runtime is fault-tolerant: shard workers recover panics (a panicking
+// shard never deadlocks the drain barrier), an overload policy can shed
+// load instead of blocking the producer, and the whole run checkpoints and
+// restores through the same format as the serial Run (see checkpoint.go).
+
+// OverloadPolicy selects what Push does when a shard's work queue is full.
+type OverloadPolicy uint8
+
+const (
+	// OverloadBlock blocks the producer until the shard catches up
+	// (backpressure; the default).
+	OverloadBlock OverloadPolicy = iota
+	// OverloadDropNewest drops the just-filled batch instead of blocking,
+	// counting the shed tuples in RuntimeStats. Results then undercount
+	// the dropped tuples — the classic load-shedding trade.
+	OverloadDropNewest
+)
+
+// PanicPolicy selects how a recovered shard panic affects the run.
+type PanicPolicy uint8
+
+const (
+	// PanicFail surfaces the panic as an error from the window flush and
+	// poisons the run (the default). The drain barrier still completes.
+	PanicFail PanicPolicy = iota
+	// PanicRestart isolates the failure: the panicked shard's partial
+	// window state is dropped and — when a checkpoint was taken in the
+	// current window — refilled from that checkpoint, the shard restarts
+	// clean for the next window, and the run continues. The panic is
+	// reported on Errors() and counted in RuntimeStats; the closed
+	// window's results may undercount the shard's post-checkpoint tuples.
+	PanicRestart
+)
 
 // ParallelOptions configure a sharded parallel run.
 type ParallelOptions struct {
@@ -36,9 +73,18 @@ type ParallelOptions struct {
 	// default 256.
 	BatchSize int
 	// BufferedBatches is the per-shard channel capacity in batches; the
-	// producer blocks once a shard falls this far behind (backpressure).
-	// Default 4.
+	// producer blocks (or sheds, per Overload) once a shard falls this far
+	// behind. Default 4.
 	BufferedBatches int
+	// Overload selects blocking backpressure or drop-newest shedding.
+	Overload OverloadPolicy
+	// OnPanic selects whether a recovered shard panic fails the run or
+	// restarts the shard.
+	OnPanic PanicPolicy
+	// ErrorBuffer is the capacity of the Errors() channel; default 16.
+	// When full, further error reports are dropped (the counters still
+	// advance).
+	ErrorBuffer int
 }
 
 // withDefaults resolves zero fields to their defaults.
@@ -51,6 +97,9 @@ func (o ParallelOptions) withDefaults() ParallelOptions {
 	}
 	if o.BufferedBatches <= 0 {
 		o.BufferedBatches = 4
+	}
+	if o.ErrorBuffer <= 0 {
+		o.ErrorBuffer = 16
 	}
 	return o
 }
@@ -68,26 +117,36 @@ type tupleBatch struct {
 // error, if any.
 type shardResult struct {
 	groups map[string]*group
-	tuples uint64
 	err    error
 }
 
+// shardSnap is a shard's reply to a snapshot request: its partial groups
+// serialized as checkpoint entries, taken without disturbing the shard.
+type shardSnap struct {
+	entries [][]byte
+	err     error
+}
+
 // shardMsg is the single message type of a shard's work channel: a tuple
-// batch, a drain request, or both. FIFO channel order guarantees a drain
-// observes every batch sent before it.
+// batch, a snapshot request, or a drain request. FIFO channel order
+// guarantees a snapshot or drain observes every batch sent before it.
 type shardMsg struct {
 	batch *tupleBatch
+	snap  chan shardSnap
 	drain chan shardResult
 }
 
 // shardWorker is one low-level executor: it owns a partial-group table keyed
 // exactly like the serial high-level table and steps tuples into it.
 type shardWorker struct {
-	p     *plan
-	width int
-	work  chan shardMsg
-	free  chan *tupleBatch
-	done  chan struct{}
+	idx    int
+	p      *plan
+	width  int
+	work   chan shardMsg
+	free   chan *tupleBatch
+	done   chan struct{}
+	stats  *runtimeCounters
+	report func(error)
 
 	groups map[string]*group
 	keyBuf []byte
@@ -97,36 +156,84 @@ type shardWorker struct {
 	err    error
 }
 
-// run is the worker goroutine body.
+// run is the worker goroutine body. Drain requests are always answered —
+// even after a batch panicked — so the coordinator's flush barrier can
+// never deadlock on a failed shard.
 func (w *shardWorker) run() {
 	defer close(w.done)
 	for msg := range w.work {
 		if b := msg.batch; b != nil {
-			if w.err == nil {
-				for i := 0; i < b.n; i++ {
-					t := Tuple(b.vals[i*w.width : (i+1)*w.width])
-					if err := w.step(t); err != nil {
-						w.err = err
-						break
-					}
-				}
-			}
+			w.process(b)
 			select {
 			case w.free <- b:
 			default:
 			}
 		}
+		if msg.snap != nil {
+			msg.snap <- w.snapshot()
+		}
 		if msg.drain != nil {
-			msg.drain <- shardResult{groups: w.groups, tuples: w.tuples, err: w.err}
+			msg.drain <- shardResult{groups: w.groups, err: w.err}
+			// The coordinator now owns the groups and the error; the shard
+			// restarts clean for the next window.
 			w.groups = make(map[string]*group, 256)
+			w.err = nil
 		}
 	}
+}
+
+// process steps one batch into the shard's tables, isolating panics: a
+// panicking tuple (bad UDAF, poisoned input) marks the shard failed for
+// this window but leaves the worker alive and answering drains.
+func (w *shardWorker) process(b *tupleBatch) {
+	if w.err != nil {
+		return
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.err = &ShardPanicError{Shard: w.idx, Value: rec, Stack: debug.Stack()}
+			w.stats.shardPanics.Add(1)
+			w.report(w.err)
+		}
+	}()
+	for i := 0; i < b.n; i++ {
+		t := Tuple(b.vals[i*w.width : (i+1)*w.width])
+		if err := w.step(t); err != nil {
+			w.err = err
+			return
+		}
+	}
+}
+
+// snapshot serializes the shard's partial groups as checkpoint entries.
+// Marshal-time panics (a corrupted UDAF) are isolated like step panics.
+func (w *shardWorker) snapshot() (out shardSnap) {
+	if w.err != nil {
+		return shardSnap{err: w.err}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			out = shardSnap{err: &ShardPanicError{Shard: w.idx, Value: rec, Stack: debug.Stack()}}
+		}
+	}()
+	entries := make([][]byte, 0, len(w.groups))
+	for _, g := range w.groups {
+		eb, err := appendGroupEntry(nil, w.p, g)
+		if err != nil {
+			return shardSnap{err: err}
+		}
+		entries = append(entries, eb)
+	}
+	return shardSnap{entries: entries}
 }
 
 // step folds one tuple into the shard's partial-group table. It mirrors the
 // serial high-level path: same key encoding, same group-value capture, same
 // aggregator stepping.
 func (w *shardWorker) step(t Tuple) error {
+	if err := faultinject.Hit("gsql.shard.step"); err != nil {
+		return err
+	}
 	w.tuples++
 	w.keyBuf = w.keyBuf[:0]
 	for i, fn := range w.p.groupFns {
@@ -147,14 +254,22 @@ func (w *shardWorker) step(t Tuple) error {
 	return err
 }
 
+// ckptEntry is one serialized partial group retained by the producer for
+// shard restart: the shard that held it and its checkpoint-entry bytes.
+type ckptEntry struct {
+	shard int
+	data  []byte
+}
+
 // ParallelRun executes one prepared statement across shard workers: Push
 // tuples from a single producer goroutine, then Close. Output rows are
 // delivered to the sink — on the producer's goroutine — as time buckets
 // close, each bucket's groups in the same deterministic (key-sorted) order
 // as the serial Run.
 //
-// A ParallelRun is single-use. Push, Heartbeat and Close must be called from
-// one goroutine; Close must be called to release the shard workers.
+// A ParallelRun is single-use. Push, Heartbeat, Checkpoint, RuntimeStats
+// and Close must be called from one goroutine; Close must be called to
+// release the shard workers. Errors() may be consumed from any goroutine.
 type ParallelRun struct {
 	p    *plan
 	sink func(Tuple) error
@@ -173,7 +288,20 @@ type ParallelRun struct {
 	tuples uint64
 	err    error
 	closed bool
+
+	stats runtimeCounters
+	errs  chan error
+
+	// gen counts closed windows; a retained checkpoint is only valid for
+	// shard restart while its generation matches.
+	gen         uint64
+	ckptGen     uint64
+	ckptEntries []ckptEntry
+	hasCkpt     bool
 }
+
+// routeSeed starts the group routing hash (shared by Push and restore).
+const routeSeed = uint64(0x51_7c_c1_b7_27_22_0a_95)
 
 // StartParallel begins a sharded execution run delivering output rows to
 // sink. It fails if any of the statement's aggregates does not support
@@ -181,6 +309,17 @@ type ParallelRun struct {
 // then be combined — the same precondition Gigascope imposes on its
 // LFTA/HFTA split.
 func (s *Statement) StartParallel(sink func(Tuple) error, opts ParallelOptions) (*ParallelRun, error) {
+	pr, err := s.newParallelRun(sink, opts)
+	if err != nil {
+		return nil, err
+	}
+	pr.launch()
+	return pr, nil
+}
+
+// newParallelRun builds the run and its workers without launching the
+// worker goroutines, so restore can seed shard state first.
+func (s *Statement) newParallelRun(sink func(Tuple) error, opts ParallelOptions) (*ParallelRun, error) {
 	if !s.p.mergeable {
 		return nil, fmt.Errorf("gsql: query has a non-mergeable aggregate; sharded (LFTA/HFTA) execution requires every aggregate to support merging: %s", s.text)
 	}
@@ -193,6 +332,7 @@ func (s *Statement) StartParallel(sink func(Tuple) error, opts ParallelOptions) 
 		rec:     make(Tuple, len(s.p.groupFns)+len(s.p.aggSpecs)),
 		workers: make([]*shardWorker, o.Shards),
 		pending: make([]*tupleBatch, o.Shards),
+		errs:    make(chan error, o.ErrorBuffer),
 	}
 	for i := range s.p.groupFns {
 		if i != s.p.temporalIdx {
@@ -200,20 +340,28 @@ func (s *Statement) StartParallel(sink func(Tuple) error, opts ParallelOptions) 
 		}
 	}
 	for i := range pr.workers {
-		w := &shardWorker{
+		pr.workers[i] = &shardWorker{
+			idx:    i,
 			p:      s.p,
 			width:  pr.width,
 			work:   make(chan shardMsg, o.BufferedBatches),
 			free:   make(chan *tupleBatch, o.BufferedBatches+1),
 			done:   make(chan struct{}),
+			stats:  &pr.stats,
+			report: pr.reportErr,
 			groups: make(map[string]*group, 256),
 			gv:     make(Tuple, len(s.p.groupFns)),
 			args:   make([]Value, 0, 4),
 		}
-		pr.workers[i] = w
-		go w.run()
 	}
 	return pr, nil
+}
+
+// launch starts the worker goroutines.
+func (pr *ParallelRun) launch() {
+	for _, w := range pr.workers {
+		go w.run()
+	}
 }
 
 // hashValue mixes one group value into a routing hash. Unlike appendKey this
@@ -232,6 +380,27 @@ func hashValue(seed uint64, v Value) uint64 {
 	return core.Hash2(seed, payload^uint64(v.T)*0x9e3779b97f4a7c15)
 }
 
+// routeGroup returns the shard a group with these evaluated group values
+// lives on — the same placement Push computes tuple by tuple.
+func (pr *ParallelRun) routeGroup(gv Tuple) int {
+	if !pr.hasKey {
+		shard := pr.rr
+		pr.rr++
+		if pr.rr == len(pr.workers) {
+			pr.rr = 0
+		}
+		return shard
+	}
+	h := routeSeed
+	for i, v := range gv {
+		if i == pr.p.temporalIdx {
+			continue
+		}
+		h = hashValue(h, v)
+	}
+	return int(h % uint64(len(pr.workers)))
+}
+
 // fail records the run's first error and returns it.
 func (pr *ParallelRun) fail(err error) error {
 	if pr.err == nil {
@@ -240,13 +409,30 @@ func (pr *ParallelRun) fail(err error) error {
 	return err
 }
 
+// reportErr publishes an error on the Errors channel without ever
+// blocking; when the consumer lags, reports are dropped (counters still
+// advance). Safe from any goroutine.
+func (pr *ParallelRun) reportErr(err error) {
+	select {
+	case pr.errs <- err:
+	default:
+	}
+}
+
+// Errors returns the run's asynchronous error channel: recovered shard
+// panics (and restart notices) are published here as they happen, in
+// addition to surfacing from the next flush under PanicFail. The channel
+// is never closed; drain it with non-blocking receives or a goroutine.
+func (pr *ParallelRun) Errors() <-chan error { return pr.errs }
+
 // errClosed reports use after Close.
 var errClosed = fmt.Errorf("gsql: ParallelRun used after Close")
 
 // Push routes one input tuple to its shard. The tuple's values are copied
 // into the outgoing batch, so the caller may reuse the backing slice
-// immediately. Errors raised inside shard workers (expression or aggregate
-// failures) surface at the next window flush or at Close.
+// immediately. Tuples carrying NaN or ±Inf floats are rejected with a
+// *NonFiniteValueError. Errors raised inside shard workers (expression or
+// aggregate failures) surface at the next window flush or at Close.
 func (pr *ParallelRun) Push(t Tuple) error {
 	if pr.err != nil {
 		return pr.err
@@ -257,6 +443,9 @@ func (pr *ParallelRun) Push(t Tuple) error {
 	pr.tuples++
 	if len(t) != pr.width {
 		return pr.fail(fmt.Errorf("gsql: tuple has %d values, schema %s has %d columns", len(t), pr.p.schema.Name, pr.width))
+	}
+	if err := checkTupleFinite(pr.p.schema, t); err != nil {
+		return err
 	}
 	if pr.p.where != nil {
 		ok, err := pr.p.where(t)
@@ -272,7 +461,7 @@ func (pr *ParallelRun) Push(t Tuple) error {
 	// close detection (flush points are identical to the serial Run's, so
 	// out-of-order inputs group and emit identically), the rest form the
 	// routing hash.
-	h := uint64(0x51_7c_c1_b7_27_22_0a_95)
+	h := routeSeed
 	for i, fn := range pr.p.groupFns {
 		v, err := fn(t)
 		if err != nil {
@@ -306,8 +495,10 @@ func (pr *ParallelRun) Push(t Tuple) error {
 }
 
 // enqueue copies t into the shard's pending batch, shipping the batch when
-// full. The bounded work channel provides backpressure: a shard more than
-// BufferedBatches behind blocks the producer.
+// full. Under OverloadBlock the bounded work channel provides backpressure:
+// a shard more than BufferedBatches behind blocks the producer. Under
+// OverloadDropNewest a full shard sheds the batch instead, counting the
+// dropped tuples.
 func (pr *ParallelRun) enqueue(shard int, t Tuple) {
 	b := pr.pending[shard]
 	if b == nil {
@@ -321,47 +512,239 @@ func (pr *ParallelRun) enqueue(shard int, t Tuple) {
 	}
 	copy(b.vals[b.n*pr.width:(b.n+1)*pr.width], t)
 	b.n++
-	if b.n == pr.opts.BatchSize {
-		pr.workers[shard].work <- shardMsg{batch: b}
-		pr.pending[shard] = nil
+	if b.n < pr.opts.BatchSize {
+		return
 	}
+	pr.pending[shard] = nil
+	w := pr.workers[shard]
+	if pr.opts.Overload == OverloadDropNewest {
+		select {
+		case w.work <- shardMsg{batch: b}:
+		default:
+			pr.stats.batchesShed.Add(1)
+			pr.stats.tuplesShed.Add(uint64(b.n))
+			select {
+			case w.free <- b:
+			default:
+			}
+		}
+		return
+	}
+	w.work <- shardMsg{batch: b}
 }
 
-// flushAll closes the current window: it ships every pending batch, drains
-// all shards (a barrier), merges their partial groups into one high-level
-// table — the HFTA combine, via Aggregator.Merge — and emits the result in
-// key-sorted order.
-func (pr *ParallelRun) flushAll() error {
+// shipPending flushes every partially filled batch to its shard
+// (blocking: these sends carry window-boundary and checkpoint semantics,
+// so they are never shed).
+func (pr *ParallelRun) shipPending() {
 	for i, b := range pr.pending {
 		if b != nil && b.n > 0 {
 			pr.workers[i].work <- shardMsg{batch: b}
 		}
 		pr.pending[i] = nil
 	}
+}
+
+// flushAll closes the current window: it ships every pending batch, drains
+// all shards (a barrier that always completes, panics included), merges
+// their partial groups into one high-level table — the HFTA combine, via
+// Aggregator.Merge — and emits the result in key-sorted order. Panicked
+// shards are handled per the PanicPolicy.
+func (pr *ParallelRun) flushAll() error {
+	pr.shipPending()
 	replies := make([]chan shardResult, len(pr.workers))
 	for i, w := range pr.workers {
 		replies[i] = make(chan shardResult, 1)
 		w.work <- shardMsg{drain: replies[i]}
 	}
+	results := make([]shardResult, len(pr.workers))
+	for i := range replies {
+		results[i] = <-replies[i]
+	}
+	gen := pr.gen
+	pr.gen++
+
 	var firstErr error
 	high := make(map[string]*group, 256)
-	for _, ch := range replies {
-		res := <-ch
-		if res.err != nil && firstErr == nil {
-			firstErr = res.err
-		}
-		for k, g := range res.groups {
-			if dst := high[k]; dst == nil {
-				high[k] = g
+	var keyBuf []byte
+
+	// The coordinator-side combine runs UDAF Merge/Final code, so it gets
+	// the same panic isolation as the shard workers.
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				err := &ShardPanicError{Shard: -1, Value: rec, Stack: debug.Stack()}
+				pr.stats.shardPanics.Add(1)
+				pr.reportErr(err)
+				if firstErr == nil {
+					firstErr = err
+				}
+			}
+		}()
+		addGroup := func(key string, g *group) {
+			if dst := high[key]; dst == nil {
+				high[key] = g
 			} else if err := mergeAggs(dst.aggs, g.aggs); err != nil && firstErr == nil {
 				firstErr = err
 			}
 		}
-	}
+		for i, res := range results {
+			var pe *ShardPanicError
+			if errors.As(res.err, &pe) && pr.opts.OnPanic == PanicRestart {
+				// Restart: discard the panicked shard's partial window and
+				// refill from the last checkpoint if it was taken in this
+				// window — only tuples since the checkpoint are lost.
+				pr.stats.shardRestarts.Add(1)
+				if pr.hasCkpt && pr.ckptGen == gen {
+					for _, en := range pr.ckptEntries {
+						if en.shard != i {
+							continue
+						}
+						d := &ckptDec{b: en.data}
+						g, err := readGroupEntry(d, pr.p)
+						if err != nil {
+							if firstErr == nil {
+								firstErr = err
+							}
+							continue
+						}
+						keyBuf = keyBuf[:0]
+						for _, v := range g.gv {
+							keyBuf = v.appendKey(keyBuf)
+						}
+						addGroup(string(keyBuf), g)
+					}
+				}
+				continue
+			}
+			if res.err != nil && firstErr == nil {
+				firstErr = res.err
+			}
+			for k, g := range res.groups {
+				addGroup(k, g)
+			}
+		}
+		if firstErr != nil {
+			return
+		}
+		firstErr = emitGroups(pr.p, high, pr.rec, pr.sink)
+	}()
 	if firstErr != nil {
 		return firstErr
 	}
-	return emitGroups(pr.p, high, pr.rec, pr.sink)
+	pr.stats.windowsClosed.Add(1)
+	return nil
+}
+
+// Checkpoint serializes the run's full state — open window bucket and
+// every shard's partial groups — without disturbing execution; pushing may
+// continue afterwards. The bytes restore through Statement.Restore (serial)
+// or Statement.RestoreParallel at any shard count. The producer also
+// retains the checkpoint in decoded form: under PanicRestart, a shard that
+// panics later in the same window is refilled from it.
+func (pr *ParallelRun) Checkpoint() ([]byte, error) {
+	if pr.closed {
+		return nil, errClosed
+	}
+	if pr.err != nil {
+		return nil, pr.err
+	}
+	if err := checkpointable(pr.p); err != nil {
+		return nil, err
+	}
+	pr.shipPending()
+	replies := make([]chan shardSnap, len(pr.workers))
+	for i, w := range pr.workers {
+		replies[i] = make(chan shardSnap, 1)
+		w.work <- shardMsg{snap: replies[i]}
+	}
+	var entries []ckptEntry
+	var firstErr error
+	for i := range replies {
+		res := <-replies[i]
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		for _, eb := range res.entries {
+			entries = append(entries, ckptEntry{shard: i, data: eb})
+		}
+	}
+	if firstErr != nil {
+		// A failed shard makes the snapshot incomplete; the failure will
+		// also surface at the next flush. Do not poison the run here.
+		return nil, firstErr
+	}
+	b := appendCkptHeader(nil, pr.p, pr.bucketSet, pr.bucket, pr.tuples)
+	b = ckU64(b, uint64(len(entries)))
+	for _, en := range entries {
+		b = append(b, en.data...)
+	}
+	pr.ckptEntries, pr.ckptGen, pr.hasCkpt = entries, pr.gen, true
+	pr.stats.checkpoints.Add(1)
+	return sealCkpt(b), nil
+}
+
+// RestoreParallel resumes a run from a checkpoint taken by Run.Checkpoint
+// or ParallelRun.Checkpoint on the same statement, at any shard count:
+// partial groups are routed to the shards their future tuples will hash
+// to, the open window bucket is reinstated, and pushing the remainder of
+// the stream yields the same results as an uninterrupted run (exact for
+// the builtin aggregates, within documented error bounds for sketch
+// UDAFs). Corrupt input returns an error and never a partial run.
+func (s *Statement) RestoreParallel(ckpt []byte, sink func(Tuple) error, opts ParallelOptions) (*ParallelRun, error) {
+	body, err := unsealCkpt(ckpt)
+	if err != nil {
+		return nil, err
+	}
+	pr, err := s.newParallelRun(sink, opts)
+	if err != nil {
+		return nil, err
+	}
+	d := &ckptDec{b: body}
+	bucketSet, bucket, tuples, err := readCkptHeader(d, s.p)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if min := uint64(len(s.p.groupFns) + 8*len(s.p.aggSpecs)); min > 0 && n > uint64(len(d.b))/min {
+		return nil, fmt.Errorf("gsql: checkpoint claims %d groups but only %d bytes remain", n, len(d.b))
+	}
+	var entries []ckptEntry
+	var keyBuf []byte
+	for i := uint64(0); i < n; i++ {
+		before := d.b
+		g, err := readGroupEntry(d, s.p)
+		if err != nil {
+			return nil, err
+		}
+		raw := before[:len(before)-len(d.b)]
+		shard := pr.routeGroup(g.gv)
+		w := pr.workers[shard]
+		keyBuf = keyBuf[:0]
+		for _, v := range g.gv {
+			keyBuf = v.appendKey(keyBuf)
+		}
+		if dst := w.groups[string(keyBuf)]; dst == nil {
+			w.groups[string(keyBuf)] = g
+		} else if err := mergeAggs(dst.aggs, g.aggs); err != nil {
+			return nil, err
+		}
+		entries = append(entries, ckptEntry{shard: shard, data: raw})
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("gsql: %d trailing bytes in checkpoint", len(d.b))
+	}
+	pr.bucketSet, pr.bucket, pr.tuples = bucketSet, bucket, tuples
+	pr.ckptEntries, pr.ckptGen, pr.hasCkpt = entries, 0, true
+	pr.stats.restores.Add(1)
+	pr.launch()
+	return pr, nil
 }
 
 // Heartbeat advances the temporal bucket without carrying data, exactly as
@@ -423,6 +806,14 @@ func (pr *ParallelRun) Shards() int { return len(pr.workers) }
 // Stats reports the number of tuples pushed (before WHERE filtering), for
 // symmetry with Run.Stats.
 func (pr *ParallelRun) Stats() (tuples uint64) { return pr.tuples }
+
+// RuntimeStats snapshots the run's fault-tolerance counters. Like Push it
+// belongs to the producer goroutine (or any goroutine after Close).
+func (pr *ParallelRun) RuntimeStats() RuntimeStats {
+	s := pr.stats.snapshot()
+	s.TuplesIn = pr.tuples
+	return s
+}
 
 // ExecuteParallel runs the statement over a finite tuple source under the
 // sharded runtime, collecting all output rows — the parallel counterpart of

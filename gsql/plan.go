@@ -29,6 +29,10 @@ type plan struct {
 	outFns   []evalFn
 	outNames []string
 	having   evalFn // nil if absent
+
+	// fp fingerprints the (query text, schema) pair for checkpoint
+	// compatibility checks; set by Prepare.
+	fp uint64
 }
 
 // buildPlan analyzes and compiles a parsed query.

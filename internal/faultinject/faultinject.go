@@ -1,0 +1,156 @@
+// Package faultinject provides deterministic, seeded fault injection for
+// the runtime's robustness tests: panic at the Nth hit of a named point,
+// return an error at the Nth hit, delay a hit, or corrupt a checkpoint
+// byte. The package is internal — only this repository's tests can arm it —
+// and when nothing is armed every instrumentation point reduces to a single
+// atomic load, so the production paths carry no measurable cost and no
+// behavioral change.
+//
+// Instrumented code calls Hit(point) at a fault point; tests arm faults
+// with Set and disarm them with Reset. All scheduling is by deterministic
+// hit counts (and, for probabilistic faults, a seeded counter-based draw),
+// never by wall-clock or global randomness, so every failure a test
+// provokes is exactly reproducible.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forwarddecay/internal/core"
+)
+
+// Fault describes what should happen at a named instrumentation point.
+// Hit counts are 1-based; a zero field disables that behavior.
+type Fault struct {
+	// PanicAt panics on the Nth hit of the point.
+	PanicAt uint64
+	// ErrAt returns Err on the Nth hit of the point. ErrEvery returns Err
+	// on every ErrEvery-th hit instead (1 = every hit, for persistent
+	// failures).
+	ErrAt    uint64
+	ErrEvery uint64
+	// Err is the error returned at ErrAt/ErrEvery (a generic error if nil).
+	Err error
+	// DelayAt sleeps Delay on the Nth hit. DelayEvery sleeps Delay on
+	// every DelayEvery-th hit instead (for sustained slowness).
+	DelayAt    uint64
+	Delay      time.Duration
+	DelayEvery uint64
+	// PanicProb panics on each hit with this probability, drawn
+	// deterministically from Seed and the hit count.
+	PanicProb float64
+	// Seed seeds the per-hit draw for PanicProb.
+	Seed uint64
+}
+
+// armed holds a fault and its hit counter.
+type armed struct {
+	f    Fault
+	hits atomic.Uint64
+}
+
+var (
+	enabled atomic.Bool
+	mu      sync.Mutex
+	points  atomic.Value // map[string]*armed, replaced wholesale under mu
+)
+
+// Set arms (or replaces) the fault at a named point. The hit counter
+// restarts from zero.
+func Set(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	next := map[string]*armed{}
+	if cur, _ := points.Load().(map[string]*armed); cur != nil {
+		for k, v := range cur {
+			next[k] = v
+		}
+	}
+	next[point] = &armed{f: f}
+	points.Store(next)
+	enabled.Store(true)
+}
+
+// Reset disarms every fault point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	enabled.Store(false)
+	points.Store(map[string]*armed{})
+}
+
+// Hits reports how many times a point has been hit since it was armed.
+func Hits(point string) uint64 {
+	cur, _ := points.Load().(map[string]*armed)
+	if a := cur[point]; a != nil {
+		return a.hits.Load()
+	}
+	return 0
+}
+
+// PanicError is the value passed to panic by an injected panic, so
+// recovery sites can recognize synthetic failures in tests.
+type PanicError struct{ Point string }
+
+func (e PanicError) Error() string { return "faultinject: injected panic at " + e.Point }
+
+// Hit is called by instrumented production code at a named fault point. It
+// returns nil (after a single atomic load) unless a test has armed a fault
+// there, in which case it panics, sleeps, or returns the armed error
+// according to the fault's schedule.
+func Hit(point string) error {
+	if !enabled.Load() {
+		return nil
+	}
+	cur, _ := points.Load().(map[string]*armed)
+	a := cur[point]
+	if a == nil {
+		return nil
+	}
+	n := a.hits.Add(1)
+	f := &a.f
+	if f.Delay > 0 {
+		if n == f.DelayAt || (f.DelayEvery > 0 && n%f.DelayEvery == 0) {
+			time.Sleep(f.Delay)
+		}
+	}
+	if n == f.PanicAt {
+		panic(PanicError{Point: point})
+	}
+	if f.PanicProb > 0 {
+		// Counter-based deterministic draw: same seed, same hit, same fate.
+		if core.U64ToUnit(core.Hash2(f.Seed, n)) < f.PanicProb {
+			panic(PanicError{Point: point})
+		}
+	}
+	if n == f.ErrAt || (f.ErrEvery > 0 && n%f.ErrEvery == 0) {
+		if f.Err != nil {
+			return f.Err
+		}
+		return fmt.Errorf("faultinject: injected error at %s (hit %d)", point, n)
+	}
+	return nil
+}
+
+// CorruptByte returns a copy of data with one byte deterministically
+// flipped: the position and XOR mask both derive from seed, and the mask is
+// never zero, so the copy always differs from the input. It is the tests'
+// tool for exercising corrupt-checkpoint handling. Empty input is returned
+// unchanged.
+func CorruptByte(data []byte, seed uint64) []byte {
+	out := append([]byte(nil), data...)
+	if len(out) == 0 {
+		return out
+	}
+	h := core.Mix64(seed)
+	pos := int(h % uint64(len(out)))
+	mask := byte(h >> 32)
+	if mask == 0 {
+		mask = 0xa5
+	}
+	out[pos] ^= mask
+	return out
+}

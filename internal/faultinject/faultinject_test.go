@@ -1,0 +1,118 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedHitIsFree(t *testing.T) {
+	Reset()
+	for i := 0; i < 100; i++ {
+		if err := Hit("nowhere"); err != nil {
+			t.Fatalf("disarmed Hit returned %v", err)
+		}
+	}
+}
+
+func TestPanicAtNthHit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("p", Fault{PanicAt: 3})
+	for i := 1; i <= 2; i++ {
+		if err := Hit("p"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		r := recover()
+		pe, ok := r.(PanicError)
+		if !ok || pe.Point != "p" {
+			t.Fatalf("recovered %v, want PanicError at p", r)
+		}
+		if got := Hits("p"); got != 3 {
+			t.Fatalf("hits = %d, want 3", got)
+		}
+	}()
+	Hit("p")
+	t.Fatal("third hit did not panic")
+}
+
+func TestErrAtNthHit(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	sentinel := errors.New("boom")
+	Set("e", Fault{ErrAt: 2, Err: sentinel})
+	if err := Hit("e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit("e"); !errors.Is(err, sentinel) {
+		t.Fatalf("second hit: %v, want sentinel", err)
+	}
+	if err := Hit("e"); err != nil {
+		t.Fatalf("third hit: %v, want nil", err)
+	}
+}
+
+func TestDelayAt(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Set("d", Fault{DelayAt: 1, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	Hit("d")
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("delayed hit took only %v", elapsed)
+	}
+	start = time.Now()
+	Hit("d")
+	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
+		t.Fatalf("undelayed hit took %v", elapsed)
+	}
+}
+
+func TestPanicProbDeterministic(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	run := func() (panics int) {
+		Set("pp", Fault{PanicProb: 0.3, Seed: 42})
+		for i := 0; i < 200; i++ {
+			func() {
+				defer func() {
+					if recover() != nil {
+						panics++
+					}
+				}()
+				Hit("pp")
+			}()
+		}
+		return panics
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed produced %d then %d panics", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("prob 0.3 produced %d/200 panics", a)
+	}
+}
+
+func TestCorruptByte(t *testing.T) {
+	data := []byte("hello checkpoint bytes")
+	for seed := uint64(0); seed < 64; seed++ {
+		out := CorruptByte(data, seed)
+		if len(out) != len(data) {
+			t.Fatalf("seed %d: length changed", seed)
+		}
+		if bytes.Equal(out, data) {
+			t.Fatalf("seed %d: corruption was a no-op", seed)
+		}
+		again := CorruptByte(data, seed)
+		if !bytes.Equal(out, again) {
+			t.Fatalf("seed %d: corruption not deterministic", seed)
+		}
+	}
+	if got := CorruptByte(nil, 1); len(got) != 0 {
+		t.Fatal("corrupting empty input grew it")
+	}
+}

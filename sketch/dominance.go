@@ -2,6 +2,7 @@ package sketch
 
 import (
 	"math"
+	"sort"
 
 	"forwarddecay/internal/core"
 )
@@ -117,13 +118,21 @@ func (d *Dominance) LogEstimate() float64 {
 	if d.empty {
 		return math.Inf(-1)
 	}
-	// ln Σ_l coeff_l · D_l via log-sum-exp.
-	acc := math.Inf(-1)
-	for l := d.lo; l <= d.hi; l++ {
-		kmv := d.levels[l]
-		if kmv == nil || kmv.Len() == 0 {
+	// ln Σ_l coeff_l · D_l via log-sum-exp. Iterating the populated levels
+	// (not the [lo,hi] span) keeps this O(stored levels) even when the
+	// span is sparse; sorting keeps the float accumulation order — and so
+	// the estimate — bit-stable across encode/decode round trips.
+	ls := make([]int, 0, len(d.levels))
+	for l, kmv := range d.levels {
+		if kmv == nil || kmv.Len() == 0 || l < d.lo || l > d.hi {
 			continue
 		}
+		ls = append(ls, l)
+	}
+	sort.Ints(ls)
+	acc := math.Inf(-1)
+	for _, l := range ls {
+		kmv := d.levels[l]
 		est := kmv.Estimate()
 		var logCoeff float64
 		if l == d.lo {

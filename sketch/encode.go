@@ -73,6 +73,17 @@ func expectTag(d *dec, want byte) error {
 	return nil
 }
 
+// fits guards element counts against the bytes actually remaining: a
+// decoder must never allocate for more elements than the input could hold,
+// or a short corrupt prefix claiming 2³⁰ entries would over-allocate
+// gigabytes before any per-element read fails.
+func (d *dec) fits(n uint64, itemBytes int) error {
+	if n > uint64(len(d.b))/uint64(itemBytes) {
+		return fmt.Errorf("sketch: encoding claims %d elements but only %d bytes remain", n, len(d.b))
+	}
+	return nil
+}
+
 // MarshalBinary encodes the summary.
 func (s *SpaceSaving) MarshalBinary() ([]byte, error) {
 	e := &enc{}
@@ -112,6 +123,9 @@ func (s *SpaceSaving) UnmarshalBinary(b []byte) error {
 	}
 	if n > k {
 		return fmt.Errorf("sketch: SpaceSaving encoding has %d entries for k=%d", n, k)
+	}
+	if err := d.fits(n, 24); err != nil {
+		return err
 	}
 	entries := make([]ssEntry, n)
 	for i := range entries {
@@ -180,6 +194,9 @@ func (q *QDigest) UnmarshalBinary(b []byte) error {
 	if n > 1<<28 {
 		return fmt.Errorf("sketch: implausible QDigest node count %d", n)
 	}
+	if err := d.fits(n, 16); err != nil {
+		return err
+	}
 	nodes := make(map[uint64]float64, n)
 	maxID := uint64(2) << logU
 	for i := uint64(0); i < n; i++ {
@@ -239,7 +256,12 @@ func (s *KMV) UnmarshalBinary(b []byte) error {
 	if n > k {
 		return fmt.Errorf("sketch: KMV encoding holds %d hashes for k=%d", n, k)
 	}
-	fresh := NewKMV(int(k))
+	if err := d.fits(n, 8); err != nil {
+		return err
+	}
+	// Presize by n (bounded by the input length), not k: a forged k within
+	// the plausibility bound could still demand a gigabyte map hint.
+	fresh := &KMV{k: int(k), mem: make(map[uint64]struct{}, n)}
 	for i := uint64(0); i < n; i++ {
 		h, err := d.u64()
 		if err != nil {
@@ -291,6 +313,9 @@ func (m *MisraGries) UnmarshalBinary(b []byte) error {
 	}
 	if n > k {
 		return fmt.Errorf("sketch: MisraGries encoding has %d counters for k=%d", n, k)
+	}
+	if err := d.fits(n, 16); err != nil {
+		return err
 	}
 	counters := make(map[uint64]float64, n)
 	for i := uint64(0); i < n; i++ {
@@ -383,8 +408,13 @@ func (d *Dominance) UnmarshalBinary(b []byte) error {
 		if err != nil {
 			return err
 		}
-		if hi < lo || n > maxLevels {
+		// Update prunes so that hi-lo+1 ≤ maxLevels; a forged wider span
+		// would make the LogEstimate level scan run for ~2^63 iterations.
+		if hi < lo || uint64(hi-lo)+1 > maxLevels || n > maxLevels {
 			return fmt.Errorf("sketch: inconsistent Dominance encoding")
+		}
+		if err := r.fits(n, 16); err != nil {
+			return err
 		}
 		out.lo, out.hi, out.empty = int(lo), int(hi), false
 		for i := uint64(0); i < n; i++ {

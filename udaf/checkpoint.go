@@ -1,0 +1,23 @@
+package udaf
+
+// Checkpoint support for the mergeable sketch UDAFs: gsql checkpoints a
+// group's aggregate partials through encoding.BinaryMarshaler /
+// BinaryUnmarshaler (gsql.CheckpointAggregator), and the sketches already
+// define versioned encodings for the distributed merge path — the UDAFs
+// just delegate to them. The sketch encodings embed the decay parameters,
+// so a restored partial refuses to merge with state from a different
+// model. Restored sketch state is bit-identical to the state that was
+// saved; query answers therefore stay within the same error bounds an
+// uninterrupted run would have.
+//
+// The sampler UDAFs (prisamp, wrsamp, ressamp, aggsamp) keep randomized
+// heap state and are deliberately not checkpointable; a statement using
+// them reports that through Statement.Checkpointable.
+
+func (a *sshhAgg) MarshalBinary() ([]byte, error) { return a.s.MarshalBinary() }
+
+func (a *sshhAgg) UnmarshalBinary(b []byte) error { return a.s.UnmarshalBinary(b) }
+
+func (a *fddistinctAgg) MarshalBinary() ([]byte, error) { return a.s.MarshalBinary() }
+
+func (a *fddistinctAgg) UnmarshalBinary(b []byte) error { return a.s.UnmarshalBinary(b) }

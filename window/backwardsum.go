@@ -1,6 +1,8 @@
 package window
 
 import (
+	"math"
+
 	"forwarddecay/decay"
 	"forwarddecay/sketch"
 )
@@ -27,8 +29,14 @@ func NewBackwardSum(epsilon, horizon float64) *BackwardSum {
 }
 
 // Observe records an item with timestamp ts (non-decreasing) and positive
-// value v.
-func (b *BackwardSum) Observe(ts, v float64) { b.eh.Insert(ts, v) }
+// value v. Non-finite timestamps and values are rejected (dropped): either
+// would permanently corrupt the histogram's bucket bounds or sums.
+func (b *BackwardSum) Observe(ts, v float64) {
+	if math.IsNaN(ts) || math.IsInf(ts, 0) || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	b.eh.Insert(ts, v)
+}
 
 // Value returns the sum decayed by f at query time t:
 // ≈ Σᵢ vᵢ·f(t−tᵢ)/f(0).
@@ -61,8 +69,14 @@ func NewBackwardCount(epsilon, horizon float64) *BackwardCount {
 	return &BackwardCount{eh: sketch.NewExpHistogram(epsilon, horizon)}
 }
 
-// Observe records an item with timestamp ts (non-decreasing).
-func (b *BackwardCount) Observe(ts float64) { b.eh.Insert(ts, 1) }
+// Observe records an item with timestamp ts (non-decreasing). Non-finite
+// timestamps are rejected (dropped).
+func (b *BackwardCount) Observe(ts float64) {
+	if math.IsNaN(ts) || math.IsInf(ts, 0) {
+		return
+	}
+	b.eh.Insert(ts, 1)
+}
 
 // Value returns the count decayed by f at query time t.
 func (b *BackwardCount) Value(f decay.AgeFunc, t float64) float64 {

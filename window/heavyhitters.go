@@ -65,7 +65,10 @@ func (h *HeavyHitters) Levels() int { return h.levels }
 // Observe records one occurrence of key at timestamp ts with the given
 // positive weight (1 for counting, bytes for volume queries).
 func (h *HeavyHitters) Observe(key uint64, ts, weight float64) {
-	if weight <= 0 {
+	// Reject non-finite inputs outright: a NaN timestamp would stick in
+	// h.last and clamp every later arrival, and a non-finite weight would
+	// poison the block summaries and the window total.
+	if !(weight > 0) || math.IsInf(weight, 0) || math.IsNaN(ts) || math.IsInf(ts, 0) {
 		return
 	}
 	if ts < h.last {

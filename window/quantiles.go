@@ -52,7 +52,10 @@ func NewQuantiles(window float64, u uint64, epsilon float64) *Quantiles {
 
 // Observe records value v at timestamp ts with the given positive weight.
 func (q *Quantiles) Observe(v uint64, ts, weight float64) {
-	if weight <= 0 {
+	// Reject non-finite inputs outright: a NaN timestamp would stick in
+	// q.last and clamp every later arrival, and a non-finite weight would
+	// poison every digest the value touches.
+	if !(weight > 0) || math.IsInf(weight, 0) || math.IsNaN(ts) || math.IsInf(ts, 0) {
 		return
 	}
 	if ts < q.last {
