@@ -1,6 +1,7 @@
-// Command gsql executes GSQL queries over synthesized packet streams or
-// saved traces, printing result rows as time buckets close — a miniature of
-// the Gigascope workflow the forward-decay paper evaluates in.
+// Command gsql executes GSQL queries over synthesized packet streams,
+// saved traces, or live socket feeds, printing result rows as time buckets
+// close — a miniature of the Gigascope workflow the forward-decay paper
+// evaluates in.
 //
 // Usage:
 //
@@ -11,6 +12,15 @@
 // Flags:
 //
 //	-trace file     replay a trace written by tracegen (default: synthesize)
+//	-listen addr    serve the ingest wire protocol on addr (host:port, or
+//	                unix:/path) instead of reading packets locally; clients
+//	                connect with tracegen -stream
+//	-drain-timeout d
+//	                bound on draining in-flight frames at shutdown (with
+//	                -listen; default 5s)
+//	-heartbeat d    synthesize a heartbeat after d of input silence so open
+//	                time buckets still close while the source idles
+//	                (both local and -listen input; 0 = off)
 //	-rate r         synthetic packet rate (default 100000)
 //	-packets n      synthetic packet count (default 1000000)
 //	-seed n         synthetic generator seed
@@ -33,21 +43,35 @@
 // an uninterrupted run over the tuples the checkpoint covered plus the
 // replayed remainder (§III: weights are fixed at arrival, so saved
 // partials never go stale).
+//
+// The live equivalent: `gsql -listen :9999 -checkpoint state.fdc` serves
+// a reconnecting tracegen -stream client; SIGTERM drains in-flight frames
+// and writes a final checkpoint, and restarting with the same flags plus
+// -restore state.fdc resumes exactly where the drain left off — the client
+// resends everything unacknowledged.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"forwarddecay/gsql"
+	"forwarddecay/ingest"
 	"forwarddecay/netgen"
 	"forwarddecay/udaf"
 )
 
 func main() {
 	trace := flag.String("trace", "", "trace file to replay (default: synthesize)")
+	listen := flag.String("listen", "", "serve the ingest protocol on this address (host:port or unix:/path)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "bound on draining in-flight frames at shutdown (with -listen)")
+	heartbeat := flag.Duration("heartbeat", 0, "synthesize a heartbeat after this much input silence (0 = off)")
 	rate := flag.Float64("rate", 100_000, "synthetic packet rate (pkt/s)")
 	packets := flag.Int("packets", 1_000_000, "synthetic packet count")
 	seed := flag.Uint64("seed", 1, "synthetic generator seed")
@@ -66,6 +90,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: gsql [flags] '<query>'")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *listen != "" && *trace != "" {
+		fatal(fmt.Errorf("-listen and -trace are mutually exclusive"))
 	}
 	query := flag.Arg(0)
 
@@ -120,6 +147,11 @@ func main() {
 		run = st.Start(sink, opts)
 	}
 
+	if *listen != "" {
+		serve(run, *listen, *drainTimeout, *heartbeat, *ckptFile, *ckptEvery, *restoreFile)
+		return
+	}
+
 	pushed := 0
 	push := func(p netgen.Packet) error {
 		if err := run.Push(netgen.Tuple(p)); err != nil {
@@ -134,27 +166,192 @@ func main() {
 		return nil
 	}
 
+	var produce func(emit func(netgen.Packet) error) error
 	if *trace != "" {
-		f, err := os.Open(*trace)
-		if err != nil {
-			fatal(err)
-		}
-		err = netgen.StreamTrace(f, push)
-		f.Close()
-		if err != nil {
-			finish(run, err, *ckptFile)
-			return
+		produce = func(emit func(netgen.Packet) error) error {
+			f, err := os.Open(*trace)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return netgen.StreamTrace(f, emit)
 		}
 	} else {
-		g := netgen.New(netgen.DefaultConfig(*rate, *seed))
-		for i := 0; i < *packets; i++ {
-			if err := push(g.Next()); err != nil {
-				finish(run, err, *ckptFile)
-				return
+		produce = func(emit func(netgen.Packet) error) error {
+			g := netgen.New(netgen.DefaultConfig(*rate, *seed))
+			for i := 0; i < *packets; i++ {
+				if err := emit(g.Next()); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	finish(run, drive(run, push, produce, *heartbeat), *ckptFile)
+}
+
+// drive feeds packets from produce into push. With a positive heartbeat
+// interval the producer runs on its own goroutine and input silence longer
+// than the interval synthesizes a heartbeat — stream time advanced by the
+// idle wall-clock span — so open time buckets close even when the source
+// stalls.
+func drive(run *gsql.Run, push func(netgen.Packet) error, produce func(func(netgen.Packet) error) error, heartbeat time.Duration) error {
+	if heartbeat <= 0 {
+		return produce(push)
+	}
+	pkts := make(chan netgen.Packet, 256)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- produce(func(p netgen.Packet) error {
+			pkts <- p
+			return nil
+		})
+		close(pkts)
+	}()
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+	var lastTS float64
+	seen := false
+	lastActivity := time.Now()
+	for {
+		select {
+		case p, ok := <-pkts:
+			if !ok {
+				return <-errc
+			}
+			if err := push(p); err != nil {
+				go func() {
+					for range pkts {
+					}
+				}()
+				<-errc
+				return err
+			}
+			if !seen || p.Time > lastTS {
+				lastTS, seen = p.Time, true
+			}
+			lastActivity = time.Now()
+		case <-ticker.C:
+			if !seen || time.Since(lastActivity) < heartbeat {
+				continue
+			}
+			ts := lastTS + time.Since(lastActivity).Seconds()
+			if err := run.Heartbeat(gsql.Int(int64(ts))); err != nil {
+				return err
 			}
 		}
 	}
-	finish(run, nil, *ckptFile)
+}
+
+// serve runs the socket ingest path: an ingest.Listener feeds the run
+// until SIGINT/SIGTERM, then in-flight frames are drained and — when
+// -checkpoint is set — a final checkpoint written. The run is deliberately
+// NOT closed after a final checkpoint: closing would emit the open bucket,
+// and a successor restored from the checkpoint would then emit it again.
+func serve(run *gsql.Run, addr string, drainTimeout, heartbeat time.Duration, ckptFile string, ckptEvery int, restoreFile string) {
+	network, address := ingest.SplitAddr(addr)
+	// lref lets the checkpoint hook reach the listener's session table; the
+	// hook can fire from the pump before Listen has returned the value.
+	var lref atomic.Pointer[ingest.Listener]
+	cfg := ingest.Config{
+		Sink:              run,
+		HeartbeatInterval: heartbeat,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if ckptFile != "" {
+		cfg.Checkpoint = func() error {
+			if err := writeCheckpoint(run, ckptFile); err != nil {
+				return err
+			}
+			if l := lref.Load(); l != nil {
+				return writeSessions(l, ckptFile+".sessions")
+			}
+			return nil
+		}
+		if ckptEvery > 0 {
+			cfg.CheckpointEvery = uint64(ckptEvery)
+		}
+	}
+	if restoreFile != "" {
+		sess, err := readSessions(restoreFile + ".sessions")
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Sessions = sess
+	}
+	l, err := ingest.Listen(network, address, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	lref.Store(l)
+	fmt.Fprintf(os.Stderr, "listening on %s %s\n", network, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintf(os.Stderr, "draining (timeout %v)...\n", drainTimeout)
+	if err := l.Shutdown(drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "gsql:", err)
+	}
+
+	rs := l.RuntimeStats()
+	if ckptFile != "" {
+		if err := writeCheckpoint(run, ckptFile); err != nil {
+			fatal(err)
+		}
+		if err := writeSessions(l, ckptFile+".sessions"); err != nil {
+			fatal(err)
+		}
+	} else if err := run.Close(); err != nil && err.Error() != gsql.SinkStop().Error() {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"processed %d tuples, %d windows; ingest: %d frames, %d quarantined, %d duplicates dropped, %d reconnects, %d heartbeats synthesized\n",
+		rs.TuplesIn, rs.WindowsClosed, rs.FramesAccepted, rs.FramesQuarantined,
+		rs.DuplicatesDropped, rs.Reconnects, rs.HeartbeatsSynthesized)
+}
+
+// writeSessions persists the listener's session table (session id →
+// applied sequence) next to the checkpoint, so a restored successor can
+// recognize resent frames the drain already applied instead of
+// double-counting them.
+func writeSessions(l *ingest.Listener, file string) error {
+	var sb strings.Builder
+	for id, applied := range l.Sessions() {
+		fmt.Fprintf(&sb, "%d %d\n", id, applied)
+	}
+	tmp := file + ".tmp"
+	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, file)
+}
+
+// readSessions loads a session table written by writeSessions; a missing
+// file is an empty table, not an error (first run, or a file-input
+// checkpoint).
+func readSessions(file string) (map[uint64]uint64, error) {
+	b, err := os.ReadFile(file)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint64]uint64)
+	for _, line := range strings.Split(string(b), "\n") {
+		if line == "" {
+			continue
+		}
+		var id, applied uint64
+		if _, err := fmt.Sscanf(line, "%d %d", &id, &applied); err != nil {
+			return nil, fmt.Errorf("sessions file %s: bad line %q", file, line)
+		}
+		out[id] = applied
+	}
+	return out, nil
 }
 
 // writeCheckpoint serializes the run's state and replaces file atomically

@@ -1,22 +1,32 @@
 // Command tracegen synthesizes network packet traces in the repository's
-// binary trace format, for replay through cmd/gsql and offline analysis.
+// binary trace format, for replay through cmd/gsql and offline analysis —
+// or streams them live over the ingest wire protocol to a gsql -listen
+// server, paced to the trace's own packet rate.
 //
 // Usage:
 //
 //	tracegen -out trace.bin [-rate 100000] [-packets 1000000] [-seed 1]
 //	         [-hosts 20000] [-zipf 1.1] [-tcp 0.85] [-ooo 0]
+//	tracegen -stream host:port [-rate 1000] [-packets 10000] ...
+//
+// Exactly one of -out and -stream is required. Streaming reconnects with
+// backoff and resends unacknowledged frames, so killing and restarting the
+// server mid-stream loses nothing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"forwarddecay/ingest"
 	"forwarddecay/netgen"
 )
 
 func main() {
-	out := flag.String("out", "", "output trace file (required)")
+	out := flag.String("out", "", "output trace file")
+	stream := flag.String("stream", "", "stream to a gsql -listen address (host:port or unix:/path)")
 	rate := flag.Float64("rate", 100_000, "packet rate (pkt/s)")
 	packets := flag.Int("packets", 1_000_000, "number of packets")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -26,7 +36,8 @@ func main() {
 	ooo := flag.Int("ooo", 0, "out-of-order shuffle buffer size (0 = in order)")
 	flag.Parse()
 
-	if *out == "" {
+	if (*out == "") == (*stream == "") {
+		fmt.Fprintln(os.Stderr, "tracegen: exactly one of -out and -stream is required")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -38,6 +49,11 @@ func main() {
 
 	g := netgen.New(cfg)
 	pkts := g.Take(make([]netgen.Packet, 0, *packets), *packets)
+
+	if *stream != "" {
+		streamTrace(pkts, *stream, *seed)
+		return
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {
@@ -53,6 +69,46 @@ func main() {
 	last := pkts[len(pkts)-1].Time
 	fmt.Printf("wrote %d packets spanning %.1f s (%.0f pkt/s) to %s\n",
 		len(pkts), last, float64(len(pkts))/last, *out)
+}
+
+// streamTrace replays pkts over the ingest protocol, pacing transmission
+// so wall-clock time tracks stream time (the -rate flag therefore sets the
+// live packets-per-second too). Flushes are time-driven so a slow trace
+// still reaches the server promptly.
+func streamTrace(pkts []netgen.Packet, addr string, seed uint64) {
+	network, address := ingest.SplitAddr(addr)
+	d := ingest.Dial(network, address, ingest.DialerConfig{
+		Seed: seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	start := pkts[0].Time
+	wall := time.Now()
+	lastFlush := wall
+	for i, p := range pkts {
+		if err := d.Send(p); err != nil {
+			fatal(err)
+		}
+		if i%512 == 511 {
+			target := wall.Add(time.Duration((p.Time - start) * float64(time.Second)))
+			if s := time.Until(target); s > 0 {
+				time.Sleep(s)
+			}
+		}
+		if time.Since(lastFlush) > 200*time.Millisecond {
+			if err := d.Flush(); err != nil {
+				fatal(err)
+			}
+			lastFlush = time.Now()
+		}
+	}
+	if err := d.Close(); err != nil {
+		fatal(err)
+	}
+	st := d.Stats()
+	fmt.Printf("streamed %d packets in %d frames to %s (%d reconnects, %d frames resent)\n",
+		st.PacketsSent, st.FramesSent, addr, st.Reconnects, st.FramesResent)
 }
 
 func fatal(err error) {

@@ -30,6 +30,27 @@ type RuntimeStats struct {
 	WindowsClosed uint64
 	// Evictions counts low-level table evictions (serial two-level path).
 	Evictions uint64
+
+	// Ingest counters, populated by a network ingest front-end (the ingest
+	// package's Listener merges them into the run's snapshot); always zero
+	// for runs fed in-process.
+
+	// FramesAccepted counts wire frames decoded, deduplicated and applied.
+	FramesAccepted uint64
+	// FramesQuarantined counts malformed frames diverted to the dead-letter
+	// ring instead of being applied (or crashing the server).
+	FramesQuarantined uint64
+	// DuplicatesDropped counts frames discarded because their sequence
+	// number was already applied (reconnect replays, duplicated deliveries).
+	DuplicatesDropped uint64
+	// Reconnects counts sessions re-attached by a returning client.
+	Reconnects uint64
+	// HeartbeatsSynthesized counts wall-clock heartbeats the ingest server
+	// generated on idle connections to keep time buckets closing.
+	HeartbeatsSynthesized uint64
+	// TuplesRejected counts tuples inside accepted frames that the run
+	// refused (e.g. non-finite values); the rest of the frame still applies.
+	TuplesRejected uint64
 }
 
 // runtimeCounters is the mutable, concurrency-safe backing store for

@@ -1,0 +1,101 @@
+package ingest_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"forwarddecay/gsql"
+	"forwarddecay/ingest"
+)
+
+// sendRaw opens a fresh connection, writes raw bytes, and closes — the
+// shape of every malformed-peer interaction.
+func sendRaw(t *testing.T, addr string, b []byte) {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(b); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+}
+
+// waitQuarantined polls until the listener has quarantined want frames.
+func waitQuarantined(t *testing.T, l *ingest.Listener, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.RuntimeStats().FramesQuarantined < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantined %d frames, want %d", l.RuntimeStats().FramesQuarantined, want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestDeadLetterRing: every class of malformed frame lands in the bounded
+// quarantine ring as a typed FrameError — the listener never crashes and
+// never grows the ring past its capacity.
+func TestDeadLetterRing(t *testing.T) {
+	st := prepare(t)
+	run := st.Start(func(gsql.Tuple) error { return nil }, gsql.Options{})
+	l, err := ingest.Listen("tcp", "127.0.0.1:0", ingest.Config{
+		Sink:        run,
+		DeadLetters: 3, // smaller than the number of faults below
+		MaxFrame:    1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Shutdown(time.Second)
+	addr := l.Addr().String()
+
+	// 1. Bad checksum: a sealed frame with one body byte flipped.
+	bad := ingest.AppendAck(nil, 9)
+	bad[len(bad)-1] ^= 0xff
+	sendRaw(t, addr, bad)
+	waitQuarantined(t, l, 1)
+
+	// 2. Truncated: a header promising 100 body bytes, delivering 10.
+	trunc := binary.LittleEndian.AppendUint32(nil, 100)
+	trunc = binary.LittleEndian.AppendUint64(trunc, 0)
+	trunc = append(trunc, make([]byte, 10)...)
+	sendRaw(t, addr, trunc)
+	waitQuarantined(t, l, 2)
+
+	// 3. Too large: a length prefix beyond MaxFrame.
+	huge := binary.LittleEndian.AppendUint32(nil, 1<<20)
+	huge = binary.LittleEndian.AppendUint64(huge, 0)
+	sendRaw(t, addr, huge)
+	waitQuarantined(t, l, 3)
+
+	// 4. Data before hello: a perfectly valid data frame on a fresh
+	// connection that never introduced a session.
+	orphan := ingest.AppendData(nil, 1, genPackets(3, 1))
+	sendRaw(t, addr, orphan)
+	waitQuarantined(t, l, 4)
+
+	letters, total := l.DeadLetters()
+	if total != 4 {
+		t.Fatalf("total quarantined = %d, want 4", total)
+	}
+	if len(letters) != 3 {
+		t.Fatalf("ring holds %d letters, want its capacity 3", len(letters))
+	}
+	// The ring keeps the newest three: truncated, too-large, no-session.
+	wantKinds := []ingest.FrameErrorKind{ingest.FrameTruncated, ingest.FrameTooLarge, ingest.FrameNoSession}
+	for i, dl := range letters {
+		if dl.Err == nil || dl.Err.Kind != wantKinds[i] {
+			t.Fatalf("letter %d = %v, want kind %v", i, dl.Err, wantKinds[i])
+		}
+		if dl.Remote == "" || dl.When.IsZero() {
+			t.Fatalf("letter %d missing provenance: %+v", i, dl)
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,647 @@
+package ingest
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forwarddecay/gsql"
+	"forwarddecay/metrics"
+	"forwarddecay/netgen"
+)
+
+// Sink is the run a Listener feeds. Both *gsql.Run and *gsql.ParallelRun
+// satisfy it; all calls are made from the listener's single pump goroutine,
+// matching the runs' single-producer contract.
+type Sink interface {
+	Push(gsql.Tuple) error
+	Heartbeat(gsql.Value) error
+}
+
+// runtimeStatser is optionally implemented by sinks (both gsql runtimes
+// implement it); after the pump stops, the listener folds the sink's
+// counters into its own snapshot.
+type runtimeStatser interface {
+	RuntimeStats() gsql.RuntimeStats
+}
+
+// Config parameterizes a Listener. The zero value of every field is a
+// usable default except Sink, which is required.
+type Config struct {
+	// Sink receives tuples and heartbeats. Required.
+	Sink Sink
+	// Queue is the intake queue capacity in frames (default 64). Readers
+	// enqueue decoded frames here; the pump applies them to the sink.
+	Queue int
+	// Overload selects what a reader does when the intake queue is full:
+	// OverloadBlock (default) blocks the reader — backpressure through TCP
+	// flow control all the way to the client; OverloadDropNewest sheds the
+	// frame, counts it in TuplesShed/BatchesShed, and acknowledges it so
+	// the client does not stall or resend intentionally-dropped data.
+	Overload gsql.OverloadPolicy
+	// MaxFrame bounds accepted frame bodies (default DefaultMaxFrame).
+	MaxFrame int
+	// DeadLetters is the capacity of the quarantine ring (default 32).
+	DeadLetters int
+	// HeartbeatInterval, when positive, synthesizes a heartbeat whenever no
+	// frame has arrived for that long: stream time is advanced by the idle
+	// wall-clock duration so open windows still close during silence.
+	HeartbeatInterval time.Duration
+	// CheckpointEvery, with Checkpoint set, invokes the checkpoint hook
+	// every that many applied tuples.
+	CheckpointEvery uint64
+	// Checkpoint is called from the pump goroutine (safe with respect to
+	// the sink) after every CheckpointEvery tuples. Errors are sticky and
+	// stop the listener.
+	Checkpoint func() error
+	// Sessions seeds the session table (session id → highest applied
+	// sequence) from a previous listener's Sessions() snapshot. Restoring
+	// it alongside the sink's checkpoint is what makes kill-and-recover
+	// exact: a frame the old process applied whose ack was lost will be
+	// resent by the client, recognized as a duplicate, and dropped instead
+	// of double-counted.
+	Sessions map[uint64]uint64
+	// Logf, when set, receives diagnostic messages (reconnects,
+	// quarantines, shutdown progress).
+	Logf func(format string, args ...any)
+}
+
+// DeadLetter is one quarantined frame.
+type DeadLetter struct {
+	// Err is the typed decode error.
+	Err *FrameError
+	// Remote is the peer address the frame arrived from.
+	Remote string
+	// When is the wall-clock quarantine time.
+	When time.Time
+}
+
+// session is the per-client-session dedup and ack state. Both fields are
+// atomic: after an ack timeout a client may reconnect while the abandoned
+// connection's reader is still draining, so two readers can briefly serve
+// one session. The CAS in serveConn admits each sequence number exactly
+// once regardless.
+type session struct {
+	id      uint64
+	nextSeq atomic.Uint64 // next sequence number a reader will accept
+	applied atomic.Uint64 // highest sequence applied (or shed) by the pump
+}
+
+// item is one unit of intake-queue work.
+type item struct {
+	conn *serverConn
+	sess *session
+	seq  uint64
+	pkts []netgen.Packet
+	hb   float64
+	isHB bool
+}
+
+// serverConn wraps one accepted connection with a write lock shared by the
+// reader (hello-acks, duplicate re-acks) and the pump (applied acks).
+type serverConn struct {
+	c  net.Conn
+	mu sync.Mutex
+}
+
+// writeAck sends a cumulative ack; errors are ignored (a dead peer will
+// reconnect and learn the applied sequence from the hello-ack).
+func (sc *serverConn) writeAck(seq uint64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	b := AppendAck(nil, seq)
+	sc.c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	sc.c.Write(b)
+	sc.c.SetWriteDeadline(time.Time{})
+}
+
+// Listener serves the ingest protocol and feeds a gsql run. Create with
+// Listen, stop with Shutdown.
+type Listener struct {
+	cfg Config
+	nl  net.Listener
+
+	queue   chan item
+	readers sync.WaitGroup
+	pumped  chan struct{} // closed when the pump exits
+
+	mu       sync.Mutex
+	conns    map[*serverConn]struct{}
+	sessions map[uint64]*session
+	dead     []DeadLetter // quarantine ring
+	deadNext int          // ring cursor
+	deadN    uint64       // total quarantined (may exceed ring size)
+	closing  bool
+	err      error
+
+	// counters (atomics: bumped from readers and pump, read from anywhere)
+	framesAccepted  atomic.Uint64
+	duplicates      atomic.Uint64
+	reconnects      atomic.Uint64
+	heartbeatsSynth atomic.Uint64
+	tuplesIn        atomic.Uint64
+	tuplesRejected  atomic.Uint64
+	tuplesShed      atomic.Uint64
+	batchesShed     atomic.Uint64
+	pumpStopped     atomic.Bool
+
+	// frameGaps tracks the decayed distribution of wall-clock gaps between
+	// applied data frames — a forward-decay reservoir watching the feed's
+	// own health.
+	frameGaps *metrics.Reservoir
+	lastFrame time.Time
+	gapMu     sync.Mutex
+}
+
+// SplitAddr parses "unix:/path" or "[tcp:]host:port" into a (network,
+// address) pair for Listen and Dial.
+func SplitAddr(addr string) (network, address string) {
+	if rest, ok := strings.CutPrefix(addr, "unix:"); ok {
+		return "unix", rest
+	}
+	if rest, ok := strings.CutPrefix(addr, "tcp:"); ok {
+		return "tcp", rest
+	}
+	return "tcp", addr
+}
+
+// Listen starts serving the ingest protocol on the given network ("tcp" or
+// "unix") and address, feeding cfg.Sink until Shutdown.
+func Listen(network, address string, cfg Config) (*Listener, error) {
+	if cfg.Sink == nil {
+		return nil, fmt.Errorf("ingest: Config.Sink is required")
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 64
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.DeadLetters <= 0 {
+		cfg.DeadLetters = 32
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	nl, err := net.Listen(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	l := &Listener{
+		cfg:       cfg,
+		nl:        nl,
+		queue:     make(chan item, cfg.Queue),
+		pumped:    make(chan struct{}),
+		conns:     make(map[*serverConn]struct{}),
+		sessions:  make(map[uint64]*session),
+		frameGaps: metrics.NewReservoir(256, 30*time.Second),
+	}
+	for id, applied := range cfg.Sessions {
+		s := &session{id: id}
+		s.applied.Store(applied)
+		s.nextSeq.Store(applied + 1)
+		l.sessions[id] = s
+	}
+	go l.acceptLoop()
+	go l.pump()
+	return l, nil
+}
+
+// Addr returns the bound address (useful with ":0" listeners).
+func (l *Listener) Addr() net.Addr { return l.nl.Addr() }
+
+// Err returns the listener's sticky error: a sink or checkpoint failure
+// that stopped the pump. Frame-level problems are never sticky — they land
+// in the dead-letter ring instead.
+func (l *Listener) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// fail records the first sticky error.
+func (l *Listener) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+	l.cfg.Logf("ingest: pump failed: %v", err)
+}
+
+// DeadLetters returns the quarantined frames currently in the ring
+// (oldest first) and the total number quarantined since start.
+func (l *Listener) DeadLetters() ([]DeadLetter, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]DeadLetter, 0, len(l.dead))
+	if len(l.dead) == l.cfg.DeadLetters {
+		out = append(out, l.dead[l.deadNext:]...)
+	}
+	out = append(out, l.dead[:l.deadNext]...)
+	return out, l.deadN
+}
+
+// quarantine records a malformed frame in the bounded dead-letter ring.
+func (l *Listener) quarantine(fe *FrameError, remote string) {
+	l.mu.Lock()
+	dl := DeadLetter{Err: fe, Remote: remote, When: time.Now()}
+	if len(l.dead) < l.cfg.DeadLetters {
+		l.dead = append(l.dead, dl)
+		l.deadNext = len(l.dead) % l.cfg.DeadLetters
+	} else {
+		l.dead[l.deadNext] = dl
+		l.deadNext = (l.deadNext + 1) % l.cfg.DeadLetters
+	}
+	l.deadN++
+	l.mu.Unlock()
+	l.cfg.Logf("ingest: quarantined frame from %s: %v", remote, fe)
+}
+
+// RuntimeStats snapshots the ingest counters. After Shutdown it also folds
+// in the sink's own RuntimeStats (tuples, windows, checkpoints); while the
+// pump is live only the listener-owned counters are populated, since the
+// sink belongs to the pump goroutine.
+func (l *Listener) RuntimeStats() gsql.RuntimeStats {
+	var s gsql.RuntimeStats
+	if l.pumpStopped.Load() {
+		if rs, ok := l.cfg.Sink.(runtimeStatser); ok {
+			s = rs.RuntimeStats()
+		}
+	}
+	s.FramesAccepted = l.framesAccepted.Load()
+	s.FramesQuarantined = l.deadTotal()
+	s.DuplicatesDropped = l.duplicates.Load()
+	s.Reconnects = l.reconnects.Load()
+	s.HeartbeatsSynthesized = l.heartbeatsSynth.Load()
+	s.TuplesRejected = l.tuplesRejected.Load()
+	s.TuplesShed += l.tuplesShed.Load()
+	s.BatchesShed += l.batchesShed.Load()
+	if s.TuplesIn == 0 {
+		s.TuplesIn = l.tuplesIn.Load()
+	}
+	return s
+}
+
+func (l *Listener) deadTotal() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.deadN
+}
+
+// FrameGapSnapshot returns the decayed distribution of wall-clock gaps (in
+// seconds) between applied data frames — recent silence dominates, old
+// silence fades, per the paper's own decay model.
+func (l *Listener) FrameGapSnapshot() metrics.Snapshot { return l.frameGaps.Snapshot() }
+
+// observeGap feeds the inter-frame gap reservoir.
+func (l *Listener) observeGap() {
+	now := time.Now()
+	l.gapMu.Lock()
+	if !l.lastFrame.IsZero() {
+		gap := now.Sub(l.lastFrame).Seconds()
+		l.gapMu.Unlock()
+		l.frameGaps.Update(gap)
+		l.gapMu.Lock()
+	}
+	l.lastFrame = now
+	l.gapMu.Unlock()
+}
+
+// acceptLoop admits connections until the net listener closes.
+func (l *Listener) acceptLoop() {
+	for {
+		c, err := l.nl.Accept()
+		if err != nil {
+			return // Shutdown closed the listener
+		}
+		sc := &serverConn{c: c}
+		l.mu.Lock()
+		if l.closing {
+			l.mu.Unlock()
+			c.Close()
+			return
+		}
+		l.conns[sc] = struct{}{}
+		l.readers.Add(1)
+		l.mu.Unlock()
+		go l.serveConn(sc)
+	}
+}
+
+// dropConn unregisters and closes a connection.
+func (l *Listener) dropConn(sc *serverConn) {
+	l.mu.Lock()
+	delete(l.conns, sc)
+	l.mu.Unlock()
+	sc.c.Close()
+}
+
+// getSession finds or creates the session, counting re-attachments.
+func (l *Listener) getSession(id uint64) *session {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if s, ok := l.sessions[id]; ok {
+		l.reconnects.Add(1)
+		return s
+	}
+	s := &session{id: id}
+	s.nextSeq.Store(1)
+	l.sessions[id] = s
+	return s
+}
+
+// Sessions snapshots the session table (session id → highest applied
+// sequence number). Persist it next to the sink's checkpoint and hand it
+// to the successor listener's Config.Sessions; it is stable once Shutdown
+// has returned.
+func (l *Listener) Sessions() map[uint64]uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[uint64]uint64, len(l.sessions))
+	for id, s := range l.sessions {
+		out[id] = s.applied.Load()
+	}
+	return out
+}
+
+// serveConn reads frames off one connection until error, Bye, or
+// shutdown. Any malformed frame is quarantined and the connection closed:
+// framing past a corrupt frame cannot be trusted, and the client's resend
+// protocol converts the close into a retry of everything unacknowledged.
+func (l *Listener) serveConn(sc *serverConn) {
+	defer l.readers.Done()
+	defer l.dropConn(sc)
+	remote := sc.c.RemoteAddr().String()
+	fr := NewFrameReader(sc.c, l.cfg.MaxFrame)
+	var sess *session
+	for {
+		f, err := fr.ReadFrame()
+		if err != nil {
+			if fe, ok := err.(*FrameError); ok {
+				l.quarantine(fe, remote)
+			}
+			return // EOF, I/O error, or malformed frame: drop the conn
+		}
+		switch f.Type {
+		case FrameHello:
+			sess = l.getSession(f.Session)
+			sc.writeAck(sess.applied.Load())
+		case FrameData:
+			if sess == nil {
+				l.quarantine(frameErrf(FrameNoSession, "seq %d from %s", f.Seq, remote), remote)
+				return
+			}
+			if !l.admitData(sc, sess, f, remote) {
+				return
+			}
+		case FrameHeartbeat:
+			l.enqueue(item{conn: sc, isHB: true, hb: f.TS})
+		case FrameBye:
+			return
+		case FrameAck:
+			// Acks are server→client only; a client echoing one is harmless.
+		}
+	}
+}
+
+// admitData runs the sequence-number admission for one data frame,
+// reporting whether the connection may continue. The CAS admits each
+// sequence exactly once even when a stale reader races a reconnected one.
+func (l *Listener) admitData(sc *serverConn, sess *session, f Frame, remote string) bool {
+	for {
+		next := sess.nextSeq.Load()
+		switch {
+		case f.Seq < next:
+			// Duplicate delivery (resend overlap or a duplicated wire
+			// frame): drop it, but re-ack so the client can prune.
+			l.duplicates.Add(1)
+			sc.writeAck(sess.applied.Load())
+			return true
+		case f.Seq > next:
+			if next == 1 && sess.applied.Load() == 0 && sess.nextSeq.CompareAndSwap(1, f.Seq) {
+				// A session this listener has never seen data for, resuming
+				// above 1: a client outliving a server restarted without
+				// restored state. Adopt its resend point — the pruned
+				// frames are unrecoverable either way, and rejecting would
+				// wedge the client in a reconnect loop.
+				continue
+			}
+			// A gap means a frame vanished without the connection
+			// dropping — the resend protocol can only repair it from the
+			// last ack, so force the client around that path.
+			l.quarantine(frameErrf(FrameBadSequence, "seq %d, expected %d", f.Seq, next), remote)
+			return false
+		default:
+			if !sess.nextSeq.CompareAndSwap(next, f.Seq+1) {
+				continue // lost a race; re-evaluate
+			}
+			l.enqueue(item{conn: sc, sess: sess, seq: f.Seq, pkts: f.Packets})
+			return true
+		}
+	}
+}
+
+// enqueue applies the overload policy at the intake boundary.
+func (l *Listener) enqueue(it item) {
+	if l.cfg.Overload == gsql.OverloadDropNewest && !it.isHB {
+		select {
+		case l.queue <- it:
+		default:
+			// Shed: count it, and ack it so the client neither stalls nor
+			// resends data the policy chose to drop.
+			l.batchesShed.Add(1)
+			l.tuplesShed.Add(uint64(len(it.pkts)))
+			if it.sess != nil {
+				advanceApplied(it.sess, it.seq)
+				it.conn.writeAck(it.sess.applied.Load())
+			}
+		}
+		return
+	}
+	l.queue <- it
+}
+
+// advanceApplied raises sess.applied to seq (monotonically).
+func advanceApplied(sess *session, seq uint64) {
+	for {
+		cur := sess.applied.Load()
+		if seq <= cur || sess.applied.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// pump is the single consumer of the intake queue: it applies frames to
+// the sink in arrival order, acknowledges them, synthesizes heartbeats on
+// idle, and triggers periodic checkpoints. It exits when the queue is
+// closed (Shutdown) after draining every queued frame.
+func (l *Listener) pump() {
+	defer close(l.pumped)
+	defer l.pumpStopped.Store(true)
+
+	var ticker *time.Ticker
+	var tick <-chan time.Time
+	if l.cfg.HeartbeatInterval > 0 {
+		ticker = time.NewTicker(l.cfg.HeartbeatInterval)
+		tick = ticker.C
+		defer ticker.Stop()
+	}
+
+	tup := make(gsql.Tuple, 8)
+	var lastTS float64    // latest stream time seen
+	var lastTSSet bool
+	lastActivity := time.Now()
+	var sinceCkpt uint64
+	var failed bool
+
+	apply := func(it item) {
+		if failed {
+			// The sink is poisoned; keep draining (and acking) so clients
+			// and readers do not hang on a stalled queue.
+			if it.sess != nil {
+				advanceApplied(it.sess, it.seq)
+				it.conn.writeAck(it.sess.applied.Load())
+			}
+			return
+		}
+		if it.isHB {
+			if lastTSSet && it.hb <= lastTS {
+				return
+			}
+			lastTS, lastTSSet = it.hb, true
+			lastActivity = time.Now()
+			if err := l.cfg.Sink.Heartbeat(gsql.Int(int64(it.hb))); err != nil {
+				l.fail(err)
+				failed = true
+			}
+			return
+		}
+		l.observeGap()
+		for _, p := range it.pkts {
+			netgen.AppendTuple(tup, p)
+			l.tuplesIn.Add(1)
+			if err := l.cfg.Sink.Push(tup); err != nil {
+				var nfe *gsql.NonFiniteValueError
+				if gsqlAsNonFinite(err, &nfe) {
+					// One poisoned tuple does not poison the frame.
+					l.tuplesRejected.Add(1)
+					continue
+				}
+				l.fail(err)
+				failed = true
+				break
+			}
+			sinceCkpt++
+			if p.Time > lastTS || !lastTSSet {
+				lastTS, lastTSSet = p.Time, true
+			}
+		}
+		lastActivity = time.Now()
+		l.framesAccepted.Add(1)
+		advanceApplied(it.sess, it.seq)
+		it.conn.writeAck(it.sess.applied.Load())
+		if !failed && l.cfg.Checkpoint != nil && l.cfg.CheckpointEvery > 0 && sinceCkpt >= l.cfg.CheckpointEvery {
+			sinceCkpt = 0
+			if err := l.cfg.Checkpoint(); err != nil {
+				l.fail(err)
+				failed = true
+			}
+		}
+	}
+
+	for {
+		select {
+		case it, ok := <-l.queue:
+			if !ok {
+				return
+			}
+			apply(it)
+		case <-tick:
+			if failed || !lastTSSet {
+				continue
+			}
+			idle := time.Since(lastActivity)
+			if idle < l.cfg.HeartbeatInterval {
+				continue
+			}
+			// Advance stream time by the idle wall-clock span so the open
+			// bucket closes even though no client is talking.
+			ts := lastTS + idle.Seconds()
+			l.heartbeatsSynth.Add(1)
+			if err := l.cfg.Sink.Heartbeat(gsql.Int(int64(ts))); err != nil {
+				l.fail(err)
+				failed = true
+			}
+		}
+	}
+}
+
+// gsqlAsNonFinite reports whether err is a *gsql.NonFiniteValueError,
+// filling target — a tiny errors.As specialization kept explicit for the
+// hot path.
+func gsqlAsNonFinite(err error, target **gsql.NonFiniteValueError) bool {
+	if e, ok := err.(*gsql.NonFiniteValueError); ok {
+		*target = e
+		return true
+	}
+	return false
+}
+
+// Shutdown drains the listener to a quiescent sink: it stops accepting,
+// closes every live connection, waits for the readers to finish flushing
+// decoded frames into the queue, then waits for the pump to apply (and
+// acknowledge) everything queued. After Shutdown returns nil the sink is
+// exclusively the caller's: safe to checkpoint, close, or discard. The
+// timeout bounds the whole drain; on expiry the listener is torn down
+// anyway and an error returned (frames still queued are lost to this
+// process — a reconnecting client will resend them to its successor).
+func (l *Listener) Shutdown(timeout time.Duration) error {
+	l.mu.Lock()
+	if l.closing {
+		l.mu.Unlock()
+		<-l.pumped
+		return l.Err()
+	}
+	l.closing = true
+	conns := make([]*serverConn, 0, len(l.conns))
+	for sc := range l.conns {
+		conns = append(conns, sc)
+	}
+	l.mu.Unlock()
+
+	l.nl.Close()
+	// Closing the conns makes every reader's next ReadFrame fail; readers
+	// blocked enqueuing finish their send first (the pump keeps draining).
+	for _, sc := range conns {
+		sc.c.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		l.readers.Wait()
+		close(l.queue) // the pump drains buffered items, then exits
+		close(done)
+	}()
+
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case <-done:
+	case <-deadline:
+		return fmt.Errorf("ingest: drain timed out after %v with readers still active", timeout)
+	}
+	select {
+	case <-l.pumped:
+	case <-deadline:
+		return fmt.Errorf("ingest: drain timed out after %v with frames still queued", timeout)
+	}
+	return l.Err()
+}

@@ -1,0 +1,206 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forwarddecay/internal/core"
+)
+
+// ProxyOp is one deterministic fault a Proxy applies to a client→server
+// frame.
+type ProxyOp uint8
+
+const (
+	// OpCut drops the frame and severs both connections — the client sees
+	// a reset mid-stream and must reconnect and resend.
+	OpCut ProxyOp = iota
+	// OpCorrupt flips one body byte (seed-chosen) before forwarding, so the
+	// server's checksum rejects the frame and quarantines it.
+	OpCorrupt
+	// OpDuplicate forwards the frame twice — the server's sequence dedup
+	// must drop the second copy.
+	OpDuplicate
+	// OpDelay stalls the frame by Rule.Delay before forwarding.
+	OpDelay
+	// OpPartialCut writes half the frame, then severs both connections —
+	// the server sees a truncated frame and quarantines it.
+	OpPartialCut
+)
+
+// Rule schedules one fault at a cumulative client→server frame index
+// (1-based, counted across all connections through the proxy, Hello frames
+// included). Each rule fires at most once.
+type Rule struct {
+	// Frame is the 1-based cumulative frame index the rule fires on.
+	Frame uint64
+	// Op is the fault to apply.
+	Op ProxyOp
+	// Delay is the stall for OpDelay.
+	Delay time.Duration
+}
+
+// Proxy is a deterministic fault-injecting TCP proxy for the ingest wire
+// protocol. It is frame-aware on the client→server path: bytes are
+// reassembled into whole frames (by length prefix — checksums are NOT
+// verified, so corrupt frames pass through to the server under test) and
+// counted, and scheduled Rules fire on exact frame indices. The
+// server→client path is piped verbatim. Connections are served one at a
+// time, matching the single-client ingest tests; each accepted client gets
+// a fresh upstream connection.
+type Proxy struct {
+	ln       net.Listener
+	upstream string
+	rules    map[uint64]Rule
+	seed     uint64
+
+	frames atomic.Uint64 // cumulative client→server frames forwarded or faulted
+
+	mu     sync.Mutex
+	closed bool
+	conns  []net.Conn
+}
+
+// NewProxy starts a proxy listening on a fresh localhost port, forwarding
+// to upstream. The seed drives OpCorrupt's byte choice.
+func NewProxy(upstream string, seed uint64, rules []Rule) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, upstream: upstream, rules: make(map[uint64]Rule, len(rules)), seed: seed}
+	for _, r := range rules {
+		p.rules[r.Frame] = r
+	}
+	go p.serve()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what the client should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Frames returns the cumulative number of client→server frames seen.
+func (p *Proxy) Frames() uint64 { return p.frames.Load() }
+
+// Close stops the proxy and severs every live connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := p.conns
+	p.conns = nil
+	p.mu.Unlock()
+	p.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// track registers live connections for Close; returns false when closing.
+func (p *Proxy) track(cs ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns = append(p.conns, cs...)
+	return true
+}
+
+// serve accepts clients sequentially, bridging each to a fresh upstream.
+func (p *Proxy) serve() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.DialTimeout("tcp", p.upstream, 2*time.Second)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		if !p.track(client, server) {
+			client.Close()
+			server.Close()
+			return
+		}
+		p.bridge(client, server)
+	}
+}
+
+// bridge runs one client/upstream pair to completion: verbatim pipe
+// downstream, frame-aware fault injection upstream.
+func (p *Proxy) bridge(client, server net.Conn) {
+	done := make(chan struct{})
+	go func() {
+		io.Copy(client, server) // server→client: verbatim
+		client.Close()
+		close(done)
+	}()
+	p.pumpFrames(client, server)
+	client.Close()
+	server.Close()
+	<-done
+}
+
+// pumpFrames reassembles client→server frames and applies scheduled rules.
+func (p *Proxy) pumpFrames(client, server net.Conn) {
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(client, hdr[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(hdr[:4])
+		if n > 1<<24 {
+			return // nonsense length; give up rather than allocate wildly
+		}
+		frame := make([]byte, 12+n)
+		copy(frame, hdr[:])
+		if _, err := io.ReadFull(client, frame[12:]); err != nil {
+			return
+		}
+		idx := p.frames.Add(1)
+		rule, ok := p.rules[idx]
+		if !ok {
+			if _, err := server.Write(frame); err != nil {
+				return
+			}
+			continue
+		}
+		switch rule.Op {
+		case OpCut:
+			client.Close()
+			server.Close()
+			return
+		case OpCorrupt:
+			// Flip one body byte, header untouched: the checksum must fail.
+			if n > 0 {
+				off := 12 + int(core.Mix64(p.seed^idx)%uint64(n))
+				frame[off] ^= 0xff
+			}
+			if _, err := server.Write(frame); err != nil {
+				return
+			}
+		case OpDuplicate:
+			if _, err := server.Write(frame); err != nil {
+				return
+			}
+			if _, err := server.Write(frame); err != nil {
+				return
+			}
+		case OpDelay:
+			time.Sleep(rule.Delay)
+			if _, err := server.Write(frame); err != nil {
+				return
+			}
+		case OpPartialCut:
+			server.Write(frame[:len(frame)/2])
+			client.Close()
+			server.Close()
+			return
+		}
+	}
+}

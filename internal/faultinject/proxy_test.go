@@ -1,0 +1,165 @@
+package faultinject_test
+
+import (
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"forwarddecay/ingest"
+	"forwarddecay/internal/faultinject"
+)
+
+// captureServer accepts connections sequentially and records every byte
+// received, per connection.
+type captureServer struct {
+	ln net.Listener
+	mu sync.Mutex
+	bb [][]byte
+}
+
+func newCaptureServer(t *testing.T) *captureServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &captureServer{ln: ln}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.bb = append(s.bb, nil)
+			idx := len(s.bb) - 1
+			s.mu.Unlock()
+			buf := make([]byte, 4096)
+			for {
+				n, err := c.Read(buf)
+				if n > 0 {
+					s.mu.Lock()
+					s.bb[idx] = append(s.bb[idx], buf[:n]...)
+					s.mu.Unlock()
+				}
+				if err != nil {
+					c.Close()
+					break
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *captureServer) conns() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, len(s.bb))
+	for i, b := range s.bb {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// waitFor polls cond for up to 5 seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestProxyFaultDeterminism: frames pass through verbatim until the
+// scheduled index; OpCorrupt flips exactly one body byte; OpCut severs the
+// client at exactly the scheduled frame; frame counting continues across
+// reconnections.
+func TestProxyFaultDeterminism(t *testing.T) {
+	upstream := newCaptureServer(t)
+	proxy, err := faultinject.NewProxy(upstream.ln.Addr().String(), 7, []faultinject.Rule{
+		{Frame: 2, Op: faultinject.OpCorrupt},
+		{Frame: 3, Op: faultinject.OpDuplicate},
+		{Frame: 4, Op: faultinject.OpCut},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	f1 := ingest.AppendHello(nil, 1)
+	f2 := ingest.AppendAck(nil, 2) // stand-in frames; the proxy is payload-agnostic
+	f3 := ingest.AppendAck(nil, 3)
+	f4 := ingest.AppendAck(nil, 4)
+
+	c, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range [][]byte{f1, f2, f3, f4} {
+		if _, err := c.Write(f); err != nil {
+			t.Fatalf("write through proxy: %v", err)
+		}
+	}
+	// Frame 4 hits OpCut: the proxy severs us, visible as EOF/reset.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil || err == io.EOF && false {
+		t.Fatal("expected the proxy to sever the connection at frame 4")
+	}
+	c.Close()
+	waitFor(t, func() bool { return proxy.Frames() >= 4 })
+
+	want := len(f1) + len(f2) + 2*len(f3) // f4 dropped by the cut
+	waitFor(t, func() bool {
+		cc := upstream.conns()
+		return len(cc) == 1 && len(cc[0]) == want
+	})
+	got := upstream.conns()[0]
+
+	// f1 passed verbatim.
+	if string(got[:len(f1)]) != string(f1) {
+		t.Fatal("frame 1 was altered in transit")
+	}
+	// f2 arrived with its header intact and exactly one body byte flipped.
+	g2 := got[len(f1) : len(f1)+len(f2)]
+	if string(g2[:12]) != string(f2[:12]) {
+		t.Fatal("OpCorrupt touched the frame header")
+	}
+	diff := 0
+	for i := 12; i < len(f2); i++ {
+		if g2[i] != f2[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("OpCorrupt flipped %d body bytes, want exactly 1", diff)
+	}
+	// f3 arrived twice, bit-identical.
+	g3 := got[len(f1)+len(f2):]
+	if string(g3[:len(f3)]) != string(f3) || string(g3[len(f3):]) != string(f3) {
+		t.Fatal("OpDuplicate did not forward two identical copies")
+	}
+
+	// A reconnect gets a fresh upstream connection and the frame counter
+	// keeps counting (frame 5 has no rule: verbatim).
+	c2, err := net.Dial("tcp", proxy.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Write(f1); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		cc := upstream.conns()
+		return len(cc) == 2 && len(cc[1]) == len(f1)
+	})
+	if proxy.Frames() != 5 {
+		t.Fatalf("proxy counted %d frames, want 5 across both connections", proxy.Frames())
+	}
+}

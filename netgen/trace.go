@@ -11,8 +11,37 @@ import (
 // traceMagic identifies the binary trace format written by WriteTrace.
 const traceMagic = 0x46445452 // "FDTR"
 
-// packetRecordSize is the on-disk size of one packet record.
-const packetRecordSize = 8 + 4 + 4 + 2 + 2 + 1 + 2
+// PacketRecordSize is the encoded size of one packet record — the unit
+// shared by the trace format and the ingest wire protocol.
+const PacketRecordSize = 8 + 4 + 4 + 2 + 2 + 1 + 2
+
+// AppendPacketRecord appends the little-endian fixed-size encoding of p
+// (PacketRecordSize bytes) to dst and returns the extended slice.
+func AppendPacketRecord(dst []byte, p Packet) []byte {
+	var rec [PacketRecordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(p.Time))
+	binary.LittleEndian.PutUint32(rec[8:12], p.SrcIP)
+	binary.LittleEndian.PutUint32(rec[12:16], p.DstIP)
+	binary.LittleEndian.PutUint16(rec[16:18], p.SrcPort)
+	binary.LittleEndian.PutUint16(rec[18:20], p.DstPort)
+	rec[20] = p.Proto
+	binary.LittleEndian.PutUint16(rec[21:23], p.Len)
+	return append(dst, rec[:]...)
+}
+
+// DecodePacketRecord decodes one packet record. b must hold at least
+// PacketRecordSize bytes (the caller owns framing).
+func DecodePacketRecord(b []byte) Packet {
+	return Packet{
+		Time:    math.Float64frombits(binary.LittleEndian.Uint64(b[0:8])),
+		SrcIP:   binary.LittleEndian.Uint32(b[8:12]),
+		DstIP:   binary.LittleEndian.Uint32(b[12:16]),
+		SrcPort: binary.LittleEndian.Uint16(b[16:18]),
+		DstPort: binary.LittleEndian.Uint16(b[18:20]),
+		Proto:   b[20],
+		Len:     binary.LittleEndian.Uint16(b[21:23]),
+	}
+}
 
 // WriteTrace writes packets to w in the repository's compact binary trace
 // format (little-endian fixed-size records behind a magic/count header).
@@ -24,16 +53,10 @@ func WriteTrace(w io.Writer, pkts []Packet) error {
 	if _, err := bw.Write(hdr[:]); err != nil {
 		return fmt.Errorf("netgen: writing trace header: %w", err)
 	}
-	var rec [packetRecordSize]byte
+	rec := make([]byte, 0, PacketRecordSize)
 	for _, p := range pkts {
-		binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(p.Time))
-		binary.LittleEndian.PutUint32(rec[8:12], p.SrcIP)
-		binary.LittleEndian.PutUint32(rec[12:16], p.DstIP)
-		binary.LittleEndian.PutUint16(rec[16:18], p.SrcPort)
-		binary.LittleEndian.PutUint16(rec[18:20], p.DstPort)
-		rec[20] = p.Proto
-		binary.LittleEndian.PutUint16(rec[21:23], p.Len)
-		if _, err := bw.Write(rec[:]); err != nil {
+		rec = AppendPacketRecord(rec[:0], p)
+		if _, err := bw.Write(rec); err != nil {
 			return fmt.Errorf("netgen: writing trace record: %w", err)
 		}
 	}
@@ -55,20 +78,12 @@ func ReadTrace(r io.Reader) ([]Packet, error) {
 		return nil, fmt.Errorf("netgen: implausible trace length %d", n)
 	}
 	pkts := make([]Packet, 0, n)
-	var rec [packetRecordSize]byte
+	var rec [PacketRecordSize]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("netgen: reading trace record %d: %w", i, err)
 		}
-		pkts = append(pkts, Packet{
-			Time:    math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
-			SrcIP:   binary.LittleEndian.Uint32(rec[8:12]),
-			DstIP:   binary.LittleEndian.Uint32(rec[12:16]),
-			SrcPort: binary.LittleEndian.Uint16(rec[16:18]),
-			DstPort: binary.LittleEndian.Uint16(rec[18:20]),
-			Proto:   rec[20],
-			Len:     binary.LittleEndian.Uint16(rec[21:23]),
-		})
+		pkts = append(pkts, DecodePacketRecord(rec[:]))
 	}
 	return pkts, nil
 }
@@ -87,21 +102,12 @@ func StreamTrace(r io.Reader, fn func(Packet) error) error {
 		return fmt.Errorf("netgen: not a trace file (bad magic)")
 	}
 	n := binary.LittleEndian.Uint64(hdr[4:12])
-	var rec [packetRecordSize]byte
+	var rec [PacketRecordSize]byte
 	for i := uint64(0); i < n; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return fmt.Errorf("netgen: reading trace record %d: %w", i, err)
 		}
-		p := Packet{
-			Time:    math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8])),
-			SrcIP:   binary.LittleEndian.Uint32(rec[8:12]),
-			DstIP:   binary.LittleEndian.Uint32(rec[12:16]),
-			SrcPort: binary.LittleEndian.Uint16(rec[16:18]),
-			DstPort: binary.LittleEndian.Uint16(rec[18:20]),
-			Proto:   rec[20],
-			Len:     binary.LittleEndian.Uint16(rec[21:23]),
-		}
-		if err := fn(p); err != nil {
+		if err := fn(DecodePacketRecord(rec[:])); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,82 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"forwarddecay/decay"
+)
+
+// meanTS returns the mean sampled timestamp.
+func meanTS(sample []float64) float64 {
+	var sum float64
+	for _, v := range sample {
+		sum += v
+	}
+	return sum / float64(len(sample))
+}
+
+// TestAggarwalIndexBiasUnderReordering pins the documented failure mode of
+// the Aggarwal baseline: because its bias is in arrival INDEX, not
+// timestamp, reversing the delivery order of the very same records flips
+// which end of the time axis the sample concentrates on. ForwardWRS over
+// an exponential model weighs each record by its own timestamp, so its
+// sample is statistically the same under any arrival order (Corollary 1).
+// This is the Figure 3 contrast, made mechanical.
+func TestAggarwalIndexBiasUnderReordering(t *testing.T) {
+	const (
+		n = 20000
+		c = 1000 // Aggarwal capacity → index bias rate ≈ 1/c
+	)
+	// Records are their own timestamps: 0..n-1 stream seconds.
+	inOrder := make([]float64, n)
+	for i := range inOrder {
+		inOrder[i] = float64(i)
+	}
+	reversed := make([]float64, n)
+	for i := range reversed {
+		reversed[i] = float64(n - 1 - i)
+	}
+
+	runAggarwal := func(stream []float64) float64 {
+		s := NewAggarwal[float64](c, 42)
+		for _, ts := range stream {
+			s.Add(ts)
+		}
+		return meanTS(s.Sample())
+	}
+	// An exponential bias with rate 1/c over the last arrivals should
+	// concentrate the sample near the END of the delivery order. In
+	// timestamp terms that is correct for in-order delivery and exactly
+	// wrong for reversed delivery.
+	aggIn := runAggarwal(inOrder)
+	aggRev := runAggarwal(reversed)
+	if aggIn < 0.7*n {
+		t.Fatalf("Aggarwal in-order mean timestamp = %.0f, want > %.0f (recent-biased)", aggIn, 0.7*n)
+	}
+	if aggRev > 0.3*n {
+		t.Fatalf("Aggarwal reversed mean timestamp = %.0f, want < %.0f: the index bias should (wrongly) favor old timestamps delivered last", aggRev, 0.3*n)
+	}
+
+	// ForwardWRS with a comparable exponential decay (half-life n/20
+	// stream seconds) biases by timestamp, so both orders agree.
+	model := decay.NewForward(decay.Exp{Alpha: math.Ln2 / (n / 20.0)}, 0)
+	runForward := func(stream []float64) float64 {
+		f := NewForwardWRS[float64](model, c, 42)
+		for _, ts := range stream {
+			f.Observe(ts, ts)
+		}
+		return meanTS(f.Sample())
+	}
+	fwdIn := runForward(inOrder)
+	fwdRev := runForward(reversed)
+	if fwdIn < 0.6*n {
+		t.Fatalf("ForwardWRS in-order mean timestamp = %.0f, want > %.0f (recent-biased)", fwdIn, 0.6*n)
+	}
+	if fwdRev < 0.6*n {
+		t.Fatalf("ForwardWRS reversed mean timestamp = %.0f, want > %.0f: forward decay must bias by timestamp regardless of arrival order", fwdRev, 0.6*n)
+	}
+	if d := math.Abs(fwdIn - fwdRev); d > 0.1*n {
+		t.Fatalf("ForwardWRS order sensitivity: in-order mean %.0f vs reversed mean %.0f differ by %.0f (> %.0f)", fwdIn, fwdRev, d, 0.1*n)
+	}
+}

@@ -157,7 +157,19 @@ func (s *SkipReservoir[T]) N() uint64 { return s.n }
 // *arrival index*. Each arriving item is inserted; with probability
 // fill = len/c it replaces a random victim, otherwise the reservoir grows.
 //
-// Its limitations motivate the forward-decay approach: the decay rate is
+// Aggarwal is INDEX-biased, not time-biased: an item's survival
+// probability depends only on how many items arrived after it, never on
+// its timestamp. On an in-order stream the two coincide, but on any
+// out-of-order stream they diverge — an old record delivered late is
+// treated as the newest thing in the world, and a fresh record delivered
+// early decays as if it were ancient. In the extreme, feeding a stream in
+// reverse timestamp order makes the sample concentrate on the OLDEST
+// timestamps. TestAggarwalIndexBiasUnderReordering pins this failure mode
+// against ForwardWRS, which weighs each item by its own timestamp
+// (§III: w(ti) is fixed at arrival) and is therefore arrival-order
+// insensitive.
+//
+// These limitations motivate the forward-decay approach: the decay rate is
 // tied to arrival counts rather than timestamps, only exponential decay is
 // supported, and out-of-order arrivals are biased incorrectly.
 type Aggarwal[T any] struct {
