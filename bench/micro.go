@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"testing"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/gsql"
+	"forwarddecay/ingest"
+	"forwarddecay/internal/core"
+	"forwarddecay/netgen"
+	"forwarddecay/sketch"
+)
+
+// Micro-benchmark suite for the per-tuple hot paths, runnable outside the
+// test harness via testing.Benchmark so `fdbench -bench-json` can emit
+// machine-readable numbers for the ci.sh regression gate. Each entry mirrors
+// the workload of the same-named Benchmark* function in the package's
+// _test.go file (the test-file versions remain the authoritative copies for
+// `go test -bench`); names and shapes must stay in sync so results are
+// comparable against the committed BENCH_*.json baselines.
+
+// MicroResult is one benchmark measurement in the BENCH_*.json schema.
+type MicroResult struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// MicroBench is one runnable hot-path benchmark.
+type MicroBench struct {
+	Package string
+	Name    string
+	F       func(b *testing.B)
+}
+
+func microModel() decay.Forward { return decay.NewForward(decay.NewPoly(2), 0) }
+
+func microKeys(n int, space uint64, seed uint64) []uint64 {
+	rng := core.NewRNG(seed)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64() % space
+	}
+	return keys
+}
+
+func microPackets(n int, seed uint64) []netgen.Packet {
+	cfg := netgen.DefaultConfig(5000, seed)
+	cfg.Hosts = 50
+	g := netgen.New(cfg)
+	return g.Take(make([]netgen.Packet, 0, n), n)
+}
+
+// microTuples builds the benchmark packet-tuple cycle: 16 groups in one
+// time bucket, matching benchTuples in gsql/bench_test.go.
+func microTuples() []gsql.Tuple {
+	tuples := make([]gsql.Tuple, 64)
+	for i := range tuples {
+		tuples[i] = gsql.Tuple{
+			gsql.Int(30), gsql.Float(30), gsql.Int(100), gsql.Int(int64(i % 16)),
+			gsql.Int(4242), gsql.Int(80), gsql.Int(6), gsql.Int(100 + int64(i)),
+		}
+	}
+	return tuples
+}
+
+func microStatement(query string) *gsql.Statement {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		panic(err)
+	}
+	st, err := e.Prepare(query)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// MicroBenchmarks returns the hot-path suite the regression gate watches.
+func MicroBenchmarks() []MicroBench {
+	return []MicroBench{
+		{"forwarddecay/agg", "BenchmarkCounterObserve", func(b *testing.B) {
+			c := agg.NewCounter(microModel())
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Observe(1 + float64(i)*1e-6)
+			}
+			_ = c.Value(float64(b.N))
+		}},
+		{"forwarddecay/agg", "BenchmarkCounterObserveExp", func(b *testing.B) {
+			c := agg.NewCounter(decay.NewForward(decay.NewExp(0.1), 0))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Observe(float64(i) * 1e-3)
+			}
+			_ = c.Value(float64(b.N) * 1e-3)
+		}},
+		{"forwarddecay/agg", "BenchmarkSumObserve", func(b *testing.B) {
+			s := agg.NewSum(microModel())
+			rng := core.NewRNG(1)
+			vals := make([]float64, 1024)
+			for i := range vals {
+				vals[i] = rng.Float64() * 100
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Observe(1+float64(i)*1e-6, vals[i&1023])
+			}
+			_ = s.Value(float64(b.N))
+		}},
+		{"forwarddecay/agg", "BenchmarkHeavyHittersObserve", func(b *testing.B) {
+			h := agg.NewHeavyHittersK(microModel(), 256)
+			keys := microKeys(4096, 10_000, 2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Observe(keys[i&4095], 1+float64(i)*1e-6)
+			}
+		}},
+		{"forwarddecay/sketch", "BenchmarkSpaceSavingUpdateUnary", func(b *testing.B) {
+			s := sketch.NewSpaceSavingK(256)
+			keys := microKeys(4096, 10_000, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(keys[i&4095], 1)
+			}
+		}},
+		{"forwarddecay/sketch", "BenchmarkSpaceSavingUpdateWeighted", func(b *testing.B) {
+			s := sketch.NewSpaceSavingK(256)
+			keys := microKeys(4096, 10_000, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Update(keys[i&4095], 1+float64(i&15))
+			}
+		}},
+		{"forwarddecay/sketch", "BenchmarkSpaceSavingMerge", func(b *testing.B) {
+			mk := func(seed uint64) *sketch.SpaceSaving {
+				s := sketch.NewSpaceSavingK(256)
+				rng := core.NewRNG(seed)
+				for i := 0; i < 50_000; i++ {
+					s.Update(rng.Uint64()%10_000, 1)
+				}
+				return s
+			}
+			x, y := mk(1), mk(2)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x.Clone().Merge(y)
+			}
+		}},
+		{"forwarddecay/sketch", "BenchmarkKMVInsert", func(b *testing.B) {
+			s := sketch.NewKMV(1024)
+			keys := microKeys(4096, 1_000_000, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Insert(keys[i&4095])
+			}
+		}},
+		{"forwarddecay/sketch", "BenchmarkQDigestUpdate", func(b *testing.B) {
+			q := sketch.NewQDigest(1<<16, 0.01)
+			vals := microKeys(4096, 1<<16, 9)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Update(vals[i&4095], 1+float64(i&15))
+			}
+		}},
+		{"forwarddecay/sketch", "BenchmarkQDigestCompress", func(b *testing.B) {
+			q := sketch.NewQDigest(1<<16, 0.01)
+			rng := core.NewRNG(10)
+			for i := 0; i < 200_000; i++ {
+				q.Update(rng.Uint64()%(1<<16), 1)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Compress()
+			}
+		}},
+		{"forwarddecay/gsql", "BenchmarkExecPush", func(b *testing.B) {
+			st := microStatement(`select tb, dstIP, count(*), sum(len), avg(float(len))
+				from TCP
+				where len > 0 and destPort = 80
+				group by time/60 as tb, dstIP`)
+			run := st.Start(func(gsql.Tuple) error { return nil }, gsql.Options{})
+			tuples := microTuples()
+			for _, t := range tuples { // materialize all groups
+				if err := run.Push(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run.Push(tuples[i&63]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := run.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"forwarddecay/gsql", "BenchmarkExprPredicate", func(b *testing.B) {
+			st := microStatement(`select tb, count(*) from TCP
+				where len*8 > 256 and destPort = 80 and time % 60 < 59
+				group by time/60 as tb`)
+			where := st.WherePredicate()
+			tuples := microTuples()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := where(tuples[i&63]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"forwarddecay/ingest", "BenchmarkFrameDecode", func(b *testing.B) {
+			pkts := microPackets(256, 3)
+			var wire []byte
+			const frames = 16
+			for i := 0; i < frames; i++ {
+				wire = ingest.AppendData(wire, uint64(i+1), pkts)
+			}
+			r := bytes.NewReader(wire)
+			fr := ingest.NewFrameReader(r, 0)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wire) / frames))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := fr.ReadFrame()
+				if err == io.EOF {
+					r.Reset(wire)
+					fr = ingest.NewFrameReader(r, 0)
+					continue
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				ingest.RecycleFrame(f)
+			}
+		}},
+		{"forwarddecay/ingest", "BenchmarkFrameDecodeBuffer", func(b *testing.B) {
+			pkts := microPackets(256, 5)
+			wire := ingest.AppendData(nil, 1, pkts)
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wire)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, _, err := ingest.DecodeFrame(wire, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ingest.RecycleFrame(f)
+			}
+		}},
+	}
+}
+
+// RunMicro executes the suite and returns one result per benchmark.
+// benchtime accepts the `go test -benchtime` syntax ("1s", "300ms", "100x");
+// empty keeps the testing package default of 1s. progress, if non-nil, is
+// called before each benchmark starts.
+func RunMicro(benchtime string, progress func(pkg, name string)) ([]MicroResult, error) {
+	testing.Init()
+	if benchtime != "" {
+		if err := flag.Set("test.benchtime", benchtime); err != nil {
+			return nil, err
+		}
+	}
+	var out []MicroResult
+	for _, mb := range MicroBenchmarks() {
+		if progress != nil {
+			progress(mb.Package, mb.Name)
+		}
+		r := testing.Benchmark(mb.F)
+		out = append(out, MicroResult{
+			Package:     mb.Package,
+			Name:        mb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+	}
+	return out, nil
+}

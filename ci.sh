@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI check: build, vet, tests, the race detector over the concurrent code
 # (the sharded gsql runtime, the agg shard wrappers, and the fault-injection
-# suites), and a short fuzz smoke over every decoder and the query parser.
+# suites), a short fuzz smoke over every decoder and the query parser, and a
+# perf-regression gate over the hot-path micro-benchmarks.
 set -eux
 
 go build ./...
@@ -17,3 +18,10 @@ go test -run='^$' -fuzz='^FuzzAggDecode$' -fuzztime=10s -fuzzminimizetime=10x ./
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzQuery$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x ./ingest/
+
+# Perf gate: re-measure the hot-path micro-benchmarks and fail if any shared
+# benchmark runs >25% slower (ns/op) than the committed baseline. 300ms per
+# benchmark keeps the smoke cheap; the committed BENCH_*.json snapshots are
+# regenerated with the default -benchtime 1s. The JSON goes to stdout, so
+# discard it here — the comparison table prints on stderr.
+go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_BASELINE.json > /dev/null

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"forwarddecay/bench"
+)
+
+// benchReport is the BENCH_*.json envelope. BENCH_BASELINE.json set the
+// schema; -bench-json emits the same shape so files are diffable across PRs.
+type benchReport struct {
+	Description string              `json:"description"`
+	Command     string              `json:"command"`
+	Environment benchEnvironment    `json:"environment"`
+	Benchmarks  []bench.MicroResult `json:"benchmarks"`
+}
+
+type benchEnvironment struct {
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPU        string `json:"cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Note       string `json:"note"`
+}
+
+// regressionLimit is the ns/op ratio above which the gate fails: a hot-path
+// benchmark may not run more than 25% slower than the committed baseline.
+const regressionLimit = 1.25
+
+// runBenchJSON runs the micro suite, writes the JSON report to stdout, and
+// (when a baseline file is given) fails on >25% ns/op regressions.
+func runBenchJSON(baselinePath, benchtime, description string) error {
+	results, err := bench.RunMicro(benchtime, func(pkg, name string) {
+		fmt.Fprintf(os.Stderr, "bench %s %s\n", pkg, name)
+	})
+	if err != nil {
+		return err
+	}
+	report := benchReport{
+		Description: description,
+		Command:     fmt.Sprintf("fdbench -bench-json -benchtime %s", benchtime),
+		Environment: benchEnvironment{
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPU:        cpuModel(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Note:       "single-core container: sharded variants measure routing+channel overhead, not parallel speedup",
+		},
+		Benchmarks: results,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		return err
+	}
+	if baselinePath == "" {
+		return nil
+	}
+	return compareBaseline(baselinePath, results)
+}
+
+// compareBaseline checks every measured benchmark that also appears in the
+// baseline file and reports the delta; any ns/op ratio above regressionLimit
+// fails the gate. Benchmarks present only on one side are ignored — the
+// baseline keeps entries (e.g. sharded sweeps) the micro suite does not
+// re-measure.
+func compareBaseline(path string, results []bench.MicroResult) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	baseline := make(map[string]bench.MicroResult, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseline[b.Package+"."+b.Name] = b
+	}
+	var regressions []string
+	fmt.Fprintf(os.Stderr, "\n%-24s %-36s %12s %12s %8s\n", "package", "benchmark", "base ns/op", "now ns/op", "delta")
+	for _, r := range results {
+		b, ok := baseline[r.Package+"."+r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		mark := ""
+		if ratio > regressionLimit {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s.%s: %.1f ns/op vs baseline %.1f (%+.0f%%)",
+					r.Package, r.Name, r.NsPerOp, b.NsPerOp, (ratio-1)*100))
+		}
+		fmt.Fprintf(os.Stderr, "%-24s %-36s %12.1f %12.1f %+7.0f%%%s\n",
+			r.Package, r.Name, b.NsPerOp, r.NsPerOp, (ratio-1)*100, mark)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("perf gate: %d benchmark(s) regressed >%d%% vs %s:\n  %s",
+			len(regressions), int((regressionLimit-1)*100), path, strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(os.Stderr, "\nperf gate: no benchmark regressed >%d%% vs %s\n", int((regressionLimit-1)*100), path)
+	return nil
+}
+
+// cpuModel best-effort reads the CPU model string for the report header.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}

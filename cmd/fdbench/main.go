@@ -13,6 +13,15 @@
 // Scale 1.0 (the default) runs the full workloads; smaller values run
 // proportionally smaller ones. -shards pins the parallel experiment to one
 // shard count instead of sweeping 1, 2, 4, 8.
+//
+// A separate mode backs the ci.sh perf-regression gate:
+//
+//	fdbench -bench-json [-benchtime d] [-baseline BENCH_BASELINE.json]
+//
+// runs the hot-path micro-benchmark suite (bench.MicroBenchmarks), writes a
+// BENCH_*.json report to stdout, and — when -baseline is given — exits
+// non-zero if any shared benchmark runs >25% slower (ns/op) than the
+// committed baseline.
 package main
 
 import (
@@ -27,9 +36,20 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = full experiment)")
 	seed := flag.Uint64("seed", 20090329, "deterministic workload seed")
 	shards := flag.Int("shards", 0, "shard count for the parallel experiment (0 = sweep 1,2,4,8)")
+	benchJSON := flag.Bool("bench-json", false, "run the hot-path micro-benchmark suite and emit BENCH_*.json on stdout")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark run time for -bench-json (go test -benchtime syntax)")
+	baseline := flag.String("baseline", "", "baseline BENCH_*.json for -bench-json; exit non-zero on >25% ns/op regression")
+	benchDesc := flag.String("bench-desc", "Hot-path micro-benchmarks emitted by fdbench -bench-json for the ci.sh perf-regression gate.", "description field for the -bench-json report")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
+	if *benchJSON {
+		if err := runBenchJSON(*baseline, *benchtime, *benchDesc); err != nil {
+			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
@@ -72,6 +92,10 @@ commands:
   list            list experiment ids
   all             run every experiment
   <id> [...]      run specific experiments (e.g. fig2a fig5 examples)
+
+modes:
+  -bench-json     run the hot-path micro-benchmarks, print BENCH_*.json;
+                  with -baseline, fail on >25%% ns/op regression
 
 flags:
 `)

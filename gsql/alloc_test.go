@@ -2,6 +2,37 @@ package gsql
 
 import "testing"
 
+// TestCompiledExprSteadyStateAllocs guards the compiled-expression tuple
+// path in isolation: a predicate mixing type-specialized comparisons,
+// arithmetic and boolean connectives must evaluate with zero allocations.
+func TestCompiledExprSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short harnesses")
+	}
+	e := mkEngine(t)
+	st, err := e.Prepare(`select tb, count(*) from TCP
+	                        where len*8 > 256 and destPort = 80 and time % 60 < 59
+	                        group by time/60 as tb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	where := st.p.where
+	tuples := make([]Tuple, 16)
+	for i := range tuples {
+		tuples[i] = pkt(30, int64(i), 80, int64(100+i))
+	}
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		if _, err := where(tuples[i%len(tuples)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("compiled predicate allocates %.2f objects/op, want 0", avg)
+	}
+}
+
 // TestPushSteadyStateAllocs guards the serial hot path's zero-allocation
 // property: once every group of the current bucket exists, Push must not
 // allocate — group values land in the reused scratch slice, aggregate

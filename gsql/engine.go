@@ -56,6 +56,17 @@ type Statement struct {
 	text string
 }
 
+// WherePredicate returns the statement's compiled WHERE evaluator, or nil
+// when the query has no filter. The perf-regression gate (fdbench
+// -bench-json) uses it to time predicate evaluation in isolation from the
+// rest of the Push cycle.
+func (st *Statement) WherePredicate() func(Tuple) (Value, error) {
+	if st.p.where == nil {
+		return nil
+	}
+	return st.p.where
+}
+
 // Prepare parses, plans and compiles a query.
 func (e *Engine) Prepare(query string) (*Statement, error) {
 	isAgg := func(name string) bool {

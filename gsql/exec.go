@@ -110,20 +110,19 @@ func (r *Run) Push(t Tuple) error {
 	// steady-state Push path performs no allocation) and detect bucket
 	// advancement.
 	gv := r.gv
-	r.keyBuf = r.keyBuf[:0]
 	for i, fn := range r.p.groupFns {
 		v, err := fn(t)
 		if err != nil {
 			return err
 		}
 		gv[i] = v
-		r.keyBuf = v.appendKey(r.keyBuf)
 	}
+	r.keyBuf = r.p.keyAppend(r.keyBuf[:0], gv)
 	if ti := r.p.temporalIdx; ti >= 0 {
 		b := gv[ti]
 		if !r.bucketSet {
 			r.bucket, r.bucketSet = b, true
-		} else if c, _ := compare(b, r.bucket); c > 0 {
+		} else if r.p.bucketAfter(b, r.bucket) {
 			if err := r.flush(); err != nil {
 				return err
 			}
@@ -178,18 +177,34 @@ func newAggs(p *plan) []Aggregator {
 
 // stepAggs folds tuple t into each aggregator, reusing args as the argument
 // scratch buffer; the (possibly grown) buffer is returned for the caller to
-// keep.
+// keep. The common arities (count(*) with none, sum/avg/udaf with one) skip
+// the general argument loop.
 func stepAggs(p *plan, aggs []Aggregator, t Tuple, args []Value) ([]Value, error) {
 	for i, a := range aggs {
-		args = args[:0]
-		for _, fn := range p.aggArgFns[i] {
-			v, err := fn(t)
-			if err != nil {
-				return args, err
+		fns := p.aggArgFns[i]
+		var err error
+		switch len(fns) {
+		case 0:
+			err = a.Step(nil)
+		case 1:
+			v, e := fns[0](t)
+			if e != nil {
+				return args, e
 			}
-			args = append(args, v)
+			args = append(args[:0], v)
+			err = a.Step(args)
+		default:
+			args = args[:0]
+			for _, fn := range fns {
+				v, e := fn(t)
+				if e != nil {
+					return args, e
+				}
+				args = append(args, v)
+			}
+			err = a.Step(args)
 		}
-		if err := a.Step(args); err != nil {
+		if err != nil {
 			return args, err
 		}
 	}
@@ -291,7 +306,7 @@ func (r *Run) Heartbeat(ts Value) error {
 		r.bucket, r.bucketSet = b, true
 		return nil
 	}
-	if c, _ := compare(b, r.bucket); c > 0 {
+	if r.p.bucketAfter(b, r.bucket) {
 		if err := r.flush(); err != nil {
 			return err
 		}

@@ -8,11 +8,18 @@ import (
 // scalarFunc is a builtin scalar function. Unary functions are expressed as
 // fn1 so the compiler can call them without materializing an argument slice
 // (the hot aggregation path evaluates these per tuple); fn covers every
-// other arity.
+// other arity. ret declares the statically known result type (TNull when it
+// depends on the inputs), which the compiler uses to specialize enclosing
+// expressions.
 type scalarFunc struct {
 	nargs int
 	fn    func(args []Value) (Value, error)
 	fn1   func(a Value) (Value, error)
+	ret   Type
+	// spec, if non-nil, builds an evaluator specialized to a statically
+	// known argument type, bypassing the fn1 indirection and any runtime
+	// type switch; returning nil declines the specialization.
+	spec func(argType Type, arg evalFn) evalFn
 }
 
 // builtinFuncs are the scalar functions available in expressions. They
@@ -21,28 +28,28 @@ type scalarFunc struct {
 // "PRISAMP(srcIP, exp(time % 60))".
 var builtinFuncs = map[string]scalarFunc{
 	"exp": float1(math.Exp),
-	"ln": unary(func(a Value) (Value, error) {
+	"ln": unaryT(TFloat, func(a Value) (Value, error) {
 		x := a.AsFloat()
 		if x <= 0 {
 			return Null, fmt.Errorf("gsql: ln of non-positive value %g", x)
 		}
 		return Float(math.Log(x)), nil
 	}),
-	"log2": unary(func(a Value) (Value, error) {
+	"log2": unaryT(TFloat, func(a Value) (Value, error) {
 		x := a.AsFloat()
 		if x <= 0 {
 			return Null, fmt.Errorf("gsql: log2 of non-positive value %g", x)
 		}
 		return Float(math.Log2(x)), nil
 	}),
-	"sqrt": unary(func(a Value) (Value, error) {
+	"sqrt": unaryT(TFloat, func(a Value) (Value, error) {
 		x := a.AsFloat()
 		if x < 0 {
 			return Null, fmt.Errorf("gsql: sqrt of negative value %g", x)
 		}
 		return Float(math.Sqrt(x)), nil
 	}),
-	"pow": {nargs: 2, fn: func(a []Value) (Value, error) {
+	"pow": {nargs: 2, ret: TFloat, fn: func(a []Value) (Value, error) {
 		return Float(math.Pow(a[0].AsFloat(), a[1].AsFloat())), nil
 	}},
 	"abs": unary(func(a Value) (Value, error) {
@@ -58,18 +65,72 @@ var builtinFuncs = map[string]scalarFunc{
 	"ceil":  float1(math.Ceil),
 	// float(x) forces float arithmetic where integer semantics would
 	// otherwise truncate.
-	"float": unary(func(a Value) (Value, error) { return Float(a.AsFloat()), nil }),
+	"float": {nargs: 1, ret: TFloat,
+		fn1:  func(a Value) (Value, error) { return Float(a.AsFloat()), nil },
+		spec: specConvert(TFloat)},
 	// int(x) truncates to integer.
-	"int": unary(func(a Value) (Value, error) { return Int(a.AsInt()), nil }),
+	"int": {nargs: 1, ret: TInt,
+		fn1:  func(a Value) (Value, error) { return Int(a.AsInt()), nil },
+		spec: specConvert(TInt)},
 }
 
-// unary wraps a single-argument function as a scalarFunc.
+// specConvert builds the static specializer for the float()/int() numeric
+// conversions: when the argument type is known the conversion compiles to a
+// direct field load, with semantics identical to AsFloat/AsInt.
+func specConvert(to Type) func(argType Type, arg evalFn) evalFn {
+	return func(argType Type, arg evalFn) evalFn {
+		switch {
+		case to == TFloat && argType == TFloat:
+			return func(rec Tuple) (Value, error) {
+				v, err := arg(rec)
+				if err != nil {
+					return Null, err
+				}
+				return Float(v.F), nil
+			}
+		case to == TFloat && (argType == TInt || argType == TBool):
+			return func(rec Tuple) (Value, error) {
+				v, err := arg(rec)
+				if err != nil {
+					return Null, err
+				}
+				return Float(float64(v.I)), nil
+			}
+		case to == TInt && (argType == TInt || argType == TBool):
+			return func(rec Tuple) (Value, error) {
+				v, err := arg(rec)
+				if err != nil {
+					return Null, err
+				}
+				return Int(v.I), nil
+			}
+		case to == TInt && argType == TFloat:
+			return func(rec Tuple) (Value, error) {
+				v, err := arg(rec)
+				if err != nil {
+					return Null, err
+				}
+				return Int(int64(v.F)), nil
+			}
+		}
+		return nil
+	}
+}
+
+// unary wraps a single-argument function as a scalarFunc whose result type
+// depends on the input (ret stays TNull = unknown).
 func unary(f func(Value) (Value, error)) scalarFunc {
 	return scalarFunc{nargs: 1, fn1: f}
 }
 
+// unaryT wraps a single-argument function with a statically known result
+// type.
+func unaryT(ret Type, f func(Value) (Value, error)) scalarFunc {
+	return scalarFunc{nargs: 1, fn1: f, ret: ret}
+}
+
 func float1(f func(float64) float64) scalarFunc {
-	return unary(func(a Value) (Value, error) {
+	return unaryT(TFloat, func(a Value) (Value, error) {
 		return Float(f(a.AsFloat())), nil
 	})
 }

@@ -235,15 +235,14 @@ func (w *shardWorker) step(t Tuple) error {
 		return err
 	}
 	w.tuples++
-	w.keyBuf = w.keyBuf[:0]
 	for i, fn := range w.p.groupFns {
 		v, err := fn(t)
 		if err != nil {
 			return err
 		}
 		w.gv[i] = v
-		w.keyBuf = v.appendKey(w.keyBuf)
 	}
+	w.keyBuf = w.p.keyAppend(w.keyBuf[:0], w.gv)
 	g := w.groups[string(w.keyBuf)]
 	if g == nil {
 		g = &group{gv: append(Tuple(nil), w.gv...), aggs: newAggs(w.p)}
@@ -470,7 +469,7 @@ func (pr *ParallelRun) Push(t Tuple) error {
 		if i == pr.p.temporalIdx {
 			if !pr.bucketSet {
 				pr.bucket, pr.bucketSet = v, true
-			} else if c, _ := compare(v, pr.bucket); c > 0 {
+			} else if pr.p.bucketAfter(v, pr.bucket) {
 				if err := pr.flushAll(); err != nil {
 					return pr.fail(err)
 				}
@@ -768,7 +767,7 @@ func (pr *ParallelRun) Heartbeat(ts Value) error {
 		pr.bucket, pr.bucketSet = b, true
 		return nil
 	}
-	if c, _ := compare(b, pr.bucket); c > 0 {
+	if pr.p.bucketAfter(b, pr.bucket) {
 		if err := pr.flushAll(); err != nil {
 			return pr.fail(err)
 		}

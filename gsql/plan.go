@@ -25,6 +25,13 @@ type plan struct {
 	aggArgFns [][]evalFn
 	mergeable bool // all aggregates mergeable → two-level split possible
 
+	// keyAppend appends the canonical byte key of a group-value tuple,
+	// specialized at plan time over the statically inferred group types.
+	keyAppend func(dst []byte, gv Tuple) []byte
+	// bucketAfter reports whether bucket value b is strictly later than cur,
+	// specialized to the temporal expression's static type.
+	bucketAfter func(b, cur Value) bool
+
 	// Output expressions over the combined record groupVals ++ aggFinals.
 	outFns   []evalFn
 	outNames []string
@@ -41,7 +48,13 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 
 	tupleEnv := &compileEnv{
 		resolve: func(name string) int { return schema.ColumnIndex(name) },
-		funcs:   builtinFuncs,
+		colType: func(name string) Type {
+			if i := schema.ColumnIndex(name); i >= 0 {
+				return schema.Cols[i].Type
+			}
+			return TNull
+		},
+		funcs: builtinFuncs,
 	}
 
 	// WHERE clause: tuple-level, no aggregates.
@@ -59,6 +72,7 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 	// Group-by expressions: tuple-level; record canonical keys and aliases
 	// for matching select items, and find the temporal expression.
 	groupKeyToIdx := map[string]int{}
+	groupTypes := make([]Type, 0, len(q.group))
 	for i, g := range q.group {
 		if hasAgg(g.e) {
 			return nil, fmt.Errorf("gsql: aggregates are not allowed in GROUP BY")
@@ -68,6 +82,7 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 			return nil, err
 		}
 		p.groupFns = append(p.groupFns, fn)
+		groupTypes = append(groupTypes, tupleEnv.staticType(g.e))
 		groupKeyToIdx[exprKey(g.e)] = i
 		if g.alias != "" {
 			groupKeyToIdx[g.alias] = i
@@ -77,6 +92,16 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 				p.temporalIdx = i
 				p.temporalCol = col
 			}
+		}
+	}
+	p.keyAppend = buildKeyAppender(groupTypes)
+	p.bucketAfter = func(b, cur Value) bool { c, _ := compare(b, cur); return c > 0 }
+	if p.temporalIdx >= 0 {
+		switch groupTypes[p.temporalIdx] {
+		case TInt:
+			p.bucketAfter = func(b, cur Value) bool { return b.I > cur.I }
+		case TFloat:
+			p.bucketAfter = func(b, cur Value) bool { return b.F > cur.F }
 		}
 	}
 

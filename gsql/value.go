@@ -150,6 +150,38 @@ func (v Value) appendKey(dst []byte) []byte {
 	return dst
 }
 
+// buildKeyAppender returns a closure appending the canonical group-key
+// encoding of a group-value tuple to dst, byte-identical to calling
+// appendKey per value. When every group expression is statically numeric
+// the encoding is a fixed 9 bytes per value, written without per-value
+// dynamic dispatch; otherwise it falls back to the generic per-value loop.
+func buildKeyAppender(types []Type) func(dst []byte, gv Tuple) []byte {
+	for _, t := range types {
+		if t != TInt && t != TBool && t != TFloat {
+			return func(dst []byte, gv Tuple) []byte {
+				for _, v := range gv {
+					dst = v.appendKey(dst)
+				}
+				return dst
+			}
+		}
+	}
+	return func(dst []byte, gv Tuple) []byte {
+		for i := range gv {
+			v := &gv[i]
+			var u uint64
+			if v.T == TFloat {
+				u = math.Float64bits(v.F)
+			} else {
+				u = uint64(v.I)
+			}
+			dst = append(dst, byte(v.T), byte(u), byte(u>>8), byte(u>>16),
+				byte(u>>24), byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+		}
+		return dst
+	}
+}
+
 // numericBinop applies an arithmetic operator with C-like promotion: two
 // integers yield an integer (truncating division, Go's % semantics), any
 // float operand promotes to float.

@@ -1,0 +1,38 @@
+package ingest_test
+
+import (
+	"testing"
+
+	"forwarddecay/ingest"
+)
+
+// TestDecodeRecycleSteadyStateAllocs pins the decode-pool property: a
+// decode → consume → RecycleFrame cycle must not allocate once the pool is
+// warm — the packet slice and its pool box circulate instead of churning.
+func TestDecodeRecycleSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short harnesses")
+	}
+	wire := ingest.AppendData(nil, 1, genPackets(128, 9))
+	// Warm the pool.
+	for i := 0; i < 4; i++ {
+		f, _, err := ingest.DecodeFrame(wire, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingest.RecycleFrame(f)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		f, _, err := ingest.DecodeFrame(wire, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(f.Packets) != 128 {
+			t.Fatalf("decoded %d packets, want 128", len(f.Packets))
+		}
+		ingest.RecycleFrame(f)
+	})
+	if avg != 0 {
+		t.Errorf("decode+recycle cycle allocates %.2f objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,60 @@
+package ingest_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"forwarddecay/ingest"
+	"forwarddecay/netgen"
+)
+
+// BenchmarkFrameDecode measures the per-frame decode path a sustained
+// -listen run exercises: header read, checksum, payload parse, packet-slice
+// materialization. The ci.sh gate watches its allocs/op — the packet
+// buffers come from a pool, so steady-state decoding must not churn
+// per-frame slices.
+func BenchmarkFrameDecode(b *testing.B) {
+	pkts := genPackets(256, 3)
+	var wire []byte
+	const frames = 16
+	for i := 0; i < frames; i++ {
+		wire = ingest.AppendData(wire, uint64(i+1), pkts)
+	}
+	r := bytes.NewReader(wire)
+	fr := ingest.NewFrameReader(r, 0)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire) / frames))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := fr.ReadFrame()
+		if err == io.EOF {
+			r.Reset(wire)
+			fr = ingest.NewFrameReader(r, 0)
+			continue
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		ingest.RecycleFrame(f)
+	}
+}
+
+// BenchmarkFrameDecodeBuffer measures the buffer-based DecodeFrame used by
+// trace tooling.
+func BenchmarkFrameDecodeBuffer(b *testing.B) {
+	pkts := genPackets(256, 5)
+	wire := ingest.AppendData(nil, 1, pkts)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, _, err := ingest.DecodeFrame(wire, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ingest.RecycleFrame(f)
+	}
+}
+
+var _ = netgen.Packet{}

@@ -393,6 +393,7 @@ func (l *Listener) serveConn(sc *serverConn) {
 		case FrameData:
 			if sess == nil {
 				l.quarantine(frameErrf(FrameNoSession, "seq %d from %s", f.Seq, remote), remote)
+				recyclePackets(f.Packets)
 				return
 			}
 			if !l.admitData(sc, sess, f, remote) {
@@ -420,6 +421,7 @@ func (l *Listener) admitData(sc *serverConn, sess *session, f Frame, remote stri
 			// frame): drop it, but re-ack so the client can prune.
 			l.duplicates.Add(1)
 			sc.writeAck(sess.applied.Load())
+			recyclePackets(f.Packets)
 			return true
 		case f.Seq > next:
 			if next == 1 && sess.applied.Load() == 0 && sess.nextSeq.CompareAndSwap(1, f.Seq) {
@@ -434,6 +436,7 @@ func (l *Listener) admitData(sc *serverConn, sess *session, f Frame, remote stri
 			// dropping — the resend protocol can only repair it from the
 			// last ack, so force the client around that path.
 			l.quarantine(frameErrf(FrameBadSequence, "seq %d, expected %d", f.Seq, next), remote)
+			recyclePackets(f.Packets)
 			return false
 		default:
 			if !sess.nextSeq.CompareAndSwap(next, f.Seq+1) {
@@ -459,6 +462,7 @@ func (l *Listener) enqueue(it item) {
 				advanceApplied(it.sess, it.seq)
 				it.conn.writeAck(it.sess.applied.Load())
 			}
+			recyclePackets(it.pkts)
 		}
 		return
 	}
@@ -492,7 +496,7 @@ func (l *Listener) pump() {
 	}
 
 	tup := make(gsql.Tuple, 8)
-	var lastTS float64    // latest stream time seen
+	var lastTS float64 // latest stream time seen
 	var lastTSSet bool
 	lastActivity := time.Now()
 	var sinceCkpt uint64
@@ -560,6 +564,9 @@ func (l *Listener) pump() {
 				return
 			}
 			apply(it)
+			// The packets were copied into tuples (or intentionally
+			// dropped); their buffer goes back to the decode pool.
+			recyclePackets(it.pkts)
 		case <-tick:
 			if failed || !lastTSSet {
 				continue

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"forwarddecay/internal/core"
 	"forwarddecay/netgen"
@@ -224,7 +225,55 @@ func AppendFrame(dst []byte, f Frame) []byte {
 	}
 }
 
+// RecycleFrame returns a data frame's packet buffer to the decode pool.
+// Call it once the frame's packets have been fully consumed; the slice must
+// not be referenced afterwards. Recycling is optional — an unrecycled frame
+// is simply garbage-collected — and safe only once per decoded frame.
+func RecycleFrame(f Frame) { recyclePackets(f.Packets) }
+
 // --- decoding ----------------------------------------------------------
+
+// packetPool recycles the packet slices materialized by data-frame decoding;
+// wrapperPool recycles the *[]Packet boxes so Put itself does not allocate.
+// Together they make steady-state decode+recycle cycles allocation-free:
+// the slice storage and its box circulate between the two pools.
+var (
+	packetPool  sync.Pool // holds *[]netgen.Packet with usable capacity
+	wrapperPool sync.Pool // holds empty *[]netgen.Packet boxes
+)
+
+// getPacketBuf returns a packet slice of length n, reusing pooled storage
+// when its capacity suffices.
+func getPacketBuf(n int) []netgen.Packet {
+	v := packetPool.Get()
+	if v == nil {
+		return make([]netgen.Packet, n)
+	}
+	p := v.(*[]netgen.Packet)
+	buf := *p
+	*p = nil
+	wrapperPool.Put(p)
+	if cap(buf) < n {
+		return make([]netgen.Packet, n)
+	}
+	return buf[:n]
+}
+
+// recyclePackets is the pool return path behind RecycleFrame (no-op for
+// slices without capacity).
+func recyclePackets(pkts []netgen.Packet) {
+	if cap(pkts) == 0 {
+		return
+	}
+	var p *[]netgen.Packet
+	if v := wrapperPool.Get(); v != nil {
+		p = v.(*[]netgen.Packet)
+	} else {
+		p = new([]netgen.Packet)
+	}
+	*p = pkts[:0]
+	packetPool.Put(p)
+}
 
 // parseBody decodes a checksum-verified frame body.
 func parseBody(body []byte) (Frame, error) {
@@ -254,10 +303,11 @@ func parseBody(body []byte) (Frame, error) {
 		if seq == 0 {
 			return Frame{}, frameErrf(FrameBadPayload, "data frame with sequence 0")
 		}
-		pkts := make([]netgen.Packet, n)
+		pkts := getPacketBuf(int(n))
 		for i := range pkts {
 			pkts[i] = netgen.DecodePacketRecord(recs[i*netgen.PacketRecordSize:])
 			if ts := pkts[i].Time; math.IsNaN(ts) || math.IsInf(ts, 0) {
+				recyclePackets(pkts)
 				return Frame{}, frameErrf(FrameBadPayload, "packet %d has non-finite timestamp %v", i, ts)
 			}
 		}

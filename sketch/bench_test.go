@@ -54,6 +54,33 @@ func BenchmarkSpaceSavingMerge(b *testing.B) {
 	}
 }
 
+func BenchmarkQDigestUpdate(b *testing.B) {
+	q := NewQDigest(1<<16, 0.01)
+	rng := core.NewRNG(9)
+	vals := make([]uint64, 4096)
+	for i := range vals {
+		vals[i] = rng.Uint64() % (1 << 16)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Update(vals[i&4095], 1+float64(i&15))
+	}
+}
+
+func BenchmarkQDigestCompress(b *testing.B) {
+	q := NewQDigest(1<<16, 0.01)
+	rng := core.NewRNG(10)
+	for i := 0; i < 200_000; i++ {
+		q.Update(rng.Uint64()%(1<<16), 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Compress()
+	}
+}
+
 func BenchmarkKMVInsert(b *testing.B) {
 	s := NewKMV(1024)
 	keys := benchKeys(4096, 1_000_000)

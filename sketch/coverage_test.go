@@ -60,7 +60,7 @@ func TestSpaceSavingTopAndClone(t *testing.T) {
 	}
 	cp := ss.Clone()
 	cp.Update(9, 100)
-	if _, ok := ss.pos[9]; ok {
+	if _, ok := ss.idx.get(9); ok {
 		t.Error("Clone shares state with original")
 	}
 	if est, _ := cp.Estimate(5); est != 5 {

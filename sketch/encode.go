@@ -145,8 +145,7 @@ func (s *SpaceSaving) UnmarshalBinary(b []byte) error {
 	s.k = int(k)
 	s.total = total
 	s.entries = entries
-	s.pos = make(map[uint64]int, n)
-	s.heapify()
+	s.rebuildIndex()
 	return nil
 }
 

@@ -22,6 +22,8 @@ type QDigest struct {
 	nodes map[uint64]float64 // heap-numbered tree node → weight
 	total float64
 	dirty float64 // weight added since the last compression
+
+	scratch []uint64 // reusable id buffer for Compress
 }
 
 // NewQDigest returns a digest over the value domain [0, u) with target rank
@@ -79,20 +81,40 @@ func (q *QDigest) sizeBound() int { return 3 * q.k * int(q.logU+1) }
 
 // Compress restores the q-digest invariant, merging under-full sibling
 // pairs into their parents bottom-up. It runs in time linear in the number
-// of stored nodes (plus sorting) and is called automatically; callers only
-// need it directly before serializing or measuring size.
+// of stored nodes — the bottom-up order comes from a counting sort over the
+// 64 possible tree levels into a reusable scratch buffer, not a comparison
+// sort — and allocates nothing once the scratch is warm. It is called
+// automatically; callers only need it directly before serializing or
+// measuring size.
 func (q *QDigest) Compress() {
 	if len(q.nodes) == 0 {
 		q.dirty = 0
 		return
 	}
 	thresh := q.total / float64(q.k)
-	ids := make([]uint64, 0, len(q.nodes))
-	for id := range q.nodes {
-		ids = append(ids, id)
+	// A merge decision touches only a sibling pair and their parent, so
+	// decisions within one level are independent: any child-before-parent
+	// order yields the same node set as the old full descending-id sort.
+	// Bucket the ids by level (= bit length), deepest level first.
+	if cap(q.scratch) < len(q.nodes) {
+		q.scratch = make([]uint64, 0, 2*len(q.nodes))
 	}
-	// Descending id order visits children before parents.
-	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+	ids := q.scratch[:len(q.nodes)]
+	var start [65]int
+	for id := range q.nodes {
+		start[bits.Len64(id)]++
+	}
+	pos := 0
+	for l := 64; l >= 1; l-- {
+		c := start[l]
+		start[l] = pos
+		pos += c
+	}
+	for id := range q.nodes {
+		l := bits.Len64(id)
+		ids[start[l]] = id
+		start[l]++
+	}
 	for _, id := range ids {
 		if id <= 1 {
 			continue
@@ -109,6 +131,7 @@ func (q *QDigest) Compress() {
 			delete(q.nodes, id^1)
 		}
 	}
+	q.scratch = ids[:0]
 	q.dirty = 0
 }
 
@@ -226,5 +249,5 @@ func (q *QDigest) Clone() *QDigest {
 }
 
 // SizeBytes estimates the in-memory footprint after compression
-// (~48 B per map slot).
-func (q *QDigest) SizeBytes() int { return 48 + len(q.nodes)*48 }
+// (~48 B per map slot plus the compaction scratch buffer).
+func (q *QDigest) SizeBytes() int { return 64 + len(q.nodes)*48 + cap(q.scratch)*8 }

@@ -15,8 +15,8 @@ func qconf(seed int64, n int) *quick.Config {
 
 // TestQuickSpaceSavingInvariants property-tests the structural invariants
 // of the weighted SpaceSaving summary on random weighted streams: total
-// conservation, the min-heap property, estimate ≥ truth for monitored keys,
-// and the W/k error bound.
+// conservation, the lazy-min candidate invariants, estimate ≥ truth for
+// monitored keys, and the W/k error bound.
 func TestQuickSpaceSavingInvariants(t *testing.T) {
 	f := func(seed uint64, kRaw uint8) bool {
 		k := 2 + int(kRaw)%30
@@ -34,9 +34,36 @@ func TestQuickSpaceSavingInvariants(t *testing.T) {
 		if !almostEqF(ss.Total(), total, 1e-9) {
 			return false
 		}
-		// Heap property over the internal slice.
-		for i := 1; i < len(ss.entries); i++ {
-			if ss.entries[(i-1)/2].count > ss.entries[i].count+1e-12 {
+		// Min-window invariants: the candidate heap (once built) satisfies
+		// the heap order on recorded counts with recorded ≤ live, holds no
+		// duplicate entry, and every entry outside the window has live
+		// count ≥ thresh.
+		if ss.winOK {
+			seen := make(map[int32]bool, len(ss.win))
+			for i, c := range ss.win {
+				if seen[c.idx] || c.count > ss.entries[c.idx].count+1e-12 {
+					return false
+				}
+				seen[c.idx] = true
+				if i > 0 && ss.win[(i-1)/4].count > c.count {
+					return false
+				}
+			}
+			for i := range ss.entries {
+				if !seen[int32(i)] && ss.entries[i].count < ss.thresh-1e-12 {
+					return false
+				}
+			}
+		}
+		// minPos must return a true minimum.
+		if len(ss.entries) > 0 {
+			min := ss.entries[0].count
+			for _, e := range ss.entries {
+				if e.count < min {
+					min = e.count
+				}
+			}
+			if got := ss.entries[ss.minPos()].count; got != min {
 				return false
 			}
 		}

@@ -1,0 +1,251 @@
+package sketch
+
+import (
+	"sort"
+	"testing"
+
+	"forwarddecay/internal/core"
+)
+
+// Differential tests: the O(1)-amortised lazy-min SpaceSaving kernel against
+// the preserved heap implementation (ssheap_oracle_test.go), and the
+// counting-sort q-digest compaction against the old comparison-sort order.
+//
+// On streams with continuous random weights, count ties (and therefore
+// ambiguous eviction choices) occur with probability zero, so the two
+// SpaceSaving implementations must agree bit-for-bit: same monitored keys,
+// same counts, same error terms, same totals. Streams engineered to tie are
+// checked against the Def. 7 / Theorem 2 bounds instead, which both
+// implementations must satisfy regardless of tie-breaking.
+
+// assertSSEqualOracle compares the kernel and the oracle key-for-key over
+// the probe space and on the derived queries.
+func assertSSEqualOracle(t *testing.T, tag string, ss *SpaceSaving, h *heapSpaceSaving, keySpace uint64) {
+	t.Helper()
+	if ss.Total() != h.Total() {
+		t.Fatalf("%s: Total %v != oracle %v", tag, ss.Total(), h.Total())
+	}
+	if ss.Len() != h.Len() {
+		t.Fatalf("%s: Len %d != oracle %d", tag, ss.Len(), h.Len())
+	}
+	if ss.ErrorBound() != h.ErrorBound() {
+		t.Fatalf("%s: ErrorBound %v != oracle %v", tag, ss.ErrorBound(), h.ErrorBound())
+	}
+	for key := uint64(0); key < keySpace; key++ {
+		c1, e1 := ss.Estimate(key)
+		c2, e2 := h.Estimate(key)
+		if c1 != c2 || e1 != e2 {
+			t.Fatalf("%s: Estimate(%d) = (%v,%v), oracle (%v,%v)", tag, key, c1, e1, c2, e2)
+		}
+	}
+	hh1 := ss.HeavyHitters(0.01)
+	hh2 := h.HeavyHitters(0.01)
+	if len(hh1) != len(hh2) {
+		t.Fatalf("%s: HeavyHitters %d items, oracle %d", tag, len(hh1), len(hh2))
+	}
+	for i := range hh1 {
+		if hh1[i] != hh2[i] {
+			t.Fatalf("%s: HeavyHitters[%d] = %+v, oracle %+v", tag, i, hh1[i], hh2[i])
+		}
+	}
+}
+
+// TestSpaceSavingDifferentialStreams drives both implementations through
+// adversarial weighted streams — constant eviction churn, skew, revival of
+// evicted keys, growing weights — asserting exact agreement throughout.
+func TestSpaceSavingDifferentialStreams(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		keys uint64
+		n    int
+		gen  func(rng *core.RNG, i int) (uint64, float64)
+	}{
+		{"churn", 16, 400, 4000, func(rng *core.RNG, i int) (uint64, float64) {
+			// Key space ≫ k: nearly every update beyond warmup evicts.
+			return uint64(rng.Intn(400)), 0.5 + rng.Float64()
+		}},
+		{"skew", 16, 200, 4000, func(rng *core.RNG, i int) (uint64, float64) {
+			// Favor small keys: heavy hitters emerge while the tail churns.
+			a, b := rng.Intn(200), rng.Intn(200)
+			if b < a {
+				a = b
+			}
+			return uint64(a), 0.5 + rng.Float64()
+		}},
+		{"revive", 8, 64, 3000, func(rng *core.RNG, i int) (uint64, float64) {
+			// Alternate between disjoint key ranges so evicted keys return,
+			// stressing the revived-entry path of the lazy min-window.
+			base := uint64(0)
+			if (i/200)%2 == 1 {
+				base = 32
+			}
+			return base + uint64(rng.Intn(32)), 0.5 + rng.Float64()
+		}},
+		{"growing", 32, 300, 3000, func(rng *core.RNG, i int) (uint64, float64) {
+			// Weights grow over time (forward decay's g(t) shape): late
+			// arrivals always displace, keeping the min-window hot.
+			return uint64(rng.Intn(300)), (0.5 + rng.Float64()) * (1 + float64(i)/200)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := core.NewRNG(0xD1FF + uint64(tc.k))
+			ss := NewSpaceSavingK(tc.k)
+			h := newHeapSpaceSavingK(tc.k)
+			for i := 0; i < tc.n; i++ {
+				key, w := tc.gen(rng, i)
+				ss.Update(key, w)
+				h.Update(key, w)
+				if (i+1)%500 == 0 {
+					assertSSEqualOracle(t, tc.name, ss, h, tc.keys)
+				}
+			}
+			assertSSEqualOracle(t, tc.name, ss, h, tc.keys)
+		})
+	}
+}
+
+// TestSpaceSavingDifferentialScaleMerge interleaves updates with Scale and
+// repeated Merge calls (exercising the reused merge scratch), asserting
+// exact agreement with the oracle after every phase.
+func TestSpaceSavingDifferentialScaleMerge(t *testing.T) {
+	const k, keys = 12, 150
+	rng := core.NewRNG(0x5CA1E)
+	ssA, ssB := NewSpaceSavingK(k), NewSpaceSavingK(k)
+	hA, hB := newHeapSpaceSavingK(k), newHeapSpaceSavingK(k)
+	feed := func(ss *SpaceSaving, h *heapSpaceSaving, n int) {
+		for i := 0; i < n; i++ {
+			key := uint64(rng.Intn(keys))
+			w := 0.5 + rng.Float64()
+			ss.Update(key, w)
+			h.Update(key, w)
+		}
+	}
+	for round := 0; round < 6; round++ {
+		feed(ssA, hA, 300)
+		feed(ssB, hB, 300)
+		// Landmark rescale on A (§VI-A of the paper).
+		f := 0.5 + rng.Float64()/2
+		ssA.Scale(f)
+		hA.Scale(f)
+		assertSSEqualOracle(t, "post-scale", ssA, hA, keys)
+		// Merge B into A; B keeps streaming afterwards.
+		ssA.Merge(ssB)
+		hA.Merge(hB)
+		assertSSEqualOracle(t, "post-merge", ssA, hA, keys)
+		// Updates after a merge exercise the rebuilt index and window.
+		feed(ssA, hA, 200)
+		assertSSEqualOracle(t, "post-merge-update", ssA, hA, keys)
+	}
+}
+
+// TestSpaceSavingTiedStreamBounds uses unit weights (maximal count ties, so
+// eviction choices are ambiguous and the implementations may diverge) and
+// checks that the kernel and the oracle each independently satisfy the
+// Def. 7 / Theorem 2 guarantees: truth ≤ estimate ≤ truth + W/k, with the
+// reported per-key error and the global bound never exceeding W/k.
+func TestSpaceSavingTiedStreamBounds(t *testing.T) {
+	const k, keys, n = 10, 120, 5000
+	rng := core.NewRNG(0x71E5)
+	ss := NewSpaceSavingK(k)
+	h := newHeapSpaceSavingK(k)
+	exact := map[uint64]float64{}
+	var total float64
+	for i := 0; i < n; i++ {
+		key := uint64(rng.Intn(keys))
+		ss.Update(key, 1)
+		h.Update(key, 1)
+		exact[key]++
+		total++
+	}
+	if ss.Total() != h.Total() || ss.Total() != total {
+		t.Fatalf("totals: kernel %v, oracle %v, exact %v", ss.Total(), h.Total(), total)
+	}
+	bound := total/float64(k) + 1e-9
+	for key, truth := range exact {
+		for _, impl := range []struct {
+			name     string
+			est, err float64
+		}{
+			{"kernel", firstOf(ss.Estimate(key)), secondOf(ss.Estimate(key))},
+			{"oracle", firstOf(h.Estimate(key)), secondOf(h.Estimate(key))},
+		} {
+			if impl.est+1e-9 < truth || impl.est > truth+bound {
+				t.Fatalf("%s Estimate(%d) = %v outside [%v, %v]", impl.name, key, impl.est, truth, truth+bound)
+			}
+			if impl.err > bound {
+				t.Fatalf("%s err(%d) = %v > W/k = %v", impl.name, key, impl.err, bound)
+			}
+		}
+	}
+	if ss.ErrorBound() > bound || h.ErrorBound() > bound {
+		t.Fatalf("ErrorBound kernel %v / oracle %v exceed W/k %v", ss.ErrorBound(), h.ErrorBound(), bound)
+	}
+}
+
+func firstOf(a, _ float64) float64  { return a }
+func secondOf(_, b float64) float64 { return b }
+
+// oracleCompress is the pre-optimisation q-digest compaction: ids sorted
+// descending with a comparison sort, then the same bottom-up sibling-merge
+// loop. Kept as the differential oracle for the counting-sort compaction.
+func oracleCompress(q *QDigest) {
+	if len(q.nodes) == 0 {
+		q.dirty = 0
+		return
+	}
+	thresh := q.total / float64(q.k)
+	ids := make([]uint64, 0, len(q.nodes))
+	for id := range q.nodes {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] > ids[j] })
+	for _, id := range ids {
+		if id <= 1 {
+			continue
+		}
+		c, ok := q.nodes[id]
+		if !ok {
+			continue
+		}
+		sib := q.nodes[id^1]
+		par := q.nodes[id>>1]
+		if c+sib+par <= thresh {
+			q.nodes[id>>1] = par + c + sib
+			delete(q.nodes, id)
+			delete(q.nodes, id^1)
+		}
+	}
+	q.dirty = 0
+}
+
+// TestQDigestCompressMatchesOracle: on identical digests, the counting-sort
+// compaction and the old descending-id compaction must produce the same node
+// set with the same weights (within-level merge decisions are independent,
+// so every child-before-parent order converges to one result).
+func TestQDigestCompressMatchesOracle(t *testing.T) {
+	for _, seed := range []uint64{3, 17, 99} {
+		rng := core.NewRNG(seed)
+		q := NewQDigest(1<<12, 0.08)
+		for i := 0; i < 4000; i++ {
+			q.Update(uint64(rng.Intn(1<<12)), 0.5+rng.Float64())
+			if (i+1)%800 == 0 {
+				a, b := q.Clone(), q.Clone()
+				a.Compress()
+				oracleCompress(b)
+				if len(a.nodes) != len(b.nodes) {
+					t.Fatalf("seed %d step %d: %d nodes vs oracle %d", seed, i, len(a.nodes), len(b.nodes))
+				}
+				for id, w := range a.nodes {
+					if bw, ok := b.nodes[id]; !ok || bw != w {
+						t.Fatalf("seed %d step %d: node %d = %v, oracle %v (present=%v)", seed, i, id, w, bw, ok)
+					}
+				}
+				if a.Total() != b.Total() {
+					t.Fatalf("seed %d: totals diverge %v vs %v", seed, a.Total(), b.Total())
+				}
+			}
+		}
+	}
+}

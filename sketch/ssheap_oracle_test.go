@@ -1,0 +1,198 @@
+package sketch
+
+import "sort"
+
+// heapSpaceSaving is the pre-optimisation min-heap implementation of the
+// weighted SpaceSaving summary, preserved verbatim as a differential oracle:
+// the O(1)-amortised lazy-min kernel must agree with it on every stream
+// whose eviction choices are deterministic (no count ties at eviction time),
+// and must satisfy the same Def. 7 / Theorem 2 invariants everywhere else.
+type heapSpaceSaving struct {
+	k       int
+	entries []ssEntry      // min-heap on count
+	pos     map[uint64]int // key → index in entries
+	total   float64
+}
+
+func newHeapSpaceSavingK(k int) *heapSpaceSaving {
+	if k < 1 {
+		panic("sketch: SpaceSaving needs at least one counter")
+	}
+	return &heapSpaceSaving{
+		k:       k,
+		entries: make([]ssEntry, 0, k),
+		pos:     make(map[uint64]int, k),
+	}
+}
+
+func (s *heapSpaceSaving) Total() float64 { return s.total }
+func (s *heapSpaceSaving) Len() int       { return len(s.entries) }
+
+func (s *heapSpaceSaving) Update(key uint64, w float64) {
+	if w <= 0 {
+		return
+	}
+	s.total += w
+	if i, ok := s.pos[key]; ok {
+		s.entries[i].count += w
+		s.siftDown(i)
+		return
+	}
+	if len(s.entries) < s.k {
+		s.entries = append(s.entries, ssEntry{key: key, count: w})
+		s.pos[key] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+		return
+	}
+	min := &s.entries[0]
+	delete(s.pos, min.key)
+	min.err = min.count
+	min.count += w
+	min.key = key
+	s.pos[key] = 0
+	s.siftDown(0)
+}
+
+func (s *heapSpaceSaving) Estimate(key uint64) (count, err float64) {
+	if i, ok := s.pos[key]; ok {
+		return s.entries[i].count, s.entries[i].err
+	}
+	if len(s.entries) < s.k || len(s.entries) == 0 {
+		return 0, 0
+	}
+	m := s.entries[0].count
+	return m, m
+}
+
+func (s *heapSpaceSaving) ErrorBound() float64 {
+	if len(s.entries) < s.k || len(s.entries) == 0 {
+		return 0
+	}
+	return s.entries[0].count
+}
+
+func (s *heapSpaceSaving) HeavyHitters(phi float64) []ItemCount {
+	thresh := phi * s.total
+	var out []ItemCount
+	for _, e := range s.entries {
+		if e.count >= thresh {
+			out = append(out, ItemCount{Key: e.key, Count: e.count, Err: e.err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+func (s *heapSpaceSaving) Scale(f float64) {
+	if f < 0 {
+		panic("sketch: negative scale")
+	}
+	for i := range s.entries {
+		s.entries[i].count *= f
+		s.entries[i].err *= f
+	}
+	s.total *= f
+}
+
+func (s *heapSpaceSaving) Merge(o *heapSpaceSaving) {
+	if o == nil || len(o.entries) == 0 {
+		return
+	}
+	type ce struct{ count, err float64 }
+	union := make(map[uint64]ce, len(s.entries)+len(o.entries))
+	sMin, oMin := 0.0, 0.0
+	if len(s.entries) == s.k {
+		sMin = s.entries[0].count
+	}
+	if len(o.entries) == o.k {
+		oMin = o.entries[0].count
+	}
+	for _, e := range s.entries {
+		union[e.key] = ce{e.count, e.err}
+	}
+	for _, e := range o.entries {
+		if c, ok := union[e.key]; ok {
+			union[e.key] = ce{c.count + e.count, c.err + e.err}
+		} else {
+			union[e.key] = ce{e.count + sMin, e.err + sMin}
+		}
+	}
+	for k, c := range union {
+		if _, inO := o.pos[k]; !inO {
+			union[k] = ce{c.count + oMin, c.err + oMin}
+		}
+	}
+	all := make([]ssEntry, 0, len(union))
+	for k, c := range union {
+		all = append(all, ssEntry{key: k, count: c.count, err: c.err})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].count > all[j].count })
+	if len(all) > s.k {
+		all = all[:s.k]
+	}
+	s.entries = all
+	s.pos = make(map[uint64]int, len(all))
+	s.heapify()
+	s.total += o.total
+}
+
+func (s *heapSpaceSaving) Clone() *heapSpaceSaving {
+	c := &heapSpaceSaving{
+		k:       s.k,
+		entries: append([]ssEntry(nil), s.entries...),
+		pos:     make(map[uint64]int, len(s.pos)),
+		total:   s.total,
+	}
+	for k, v := range s.pos {
+		c.pos[k] = v
+	}
+	return c
+}
+
+func (s *heapSpaceSaving) heapify() {
+	for i := range s.entries {
+		s.pos[s.entries[i].key] = i
+	}
+	for i := len(s.entries)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+func (s *heapSpaceSaving) siftUp(i int) {
+	e := s.entries
+	for i > 0 {
+		p := (i - 1) / 2
+		if e[p].count <= e[i].count {
+			break
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *heapSpaceSaving) siftDown(i int) {
+	e := s.entries
+	n := len(e)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && e[l].count < e[m].count {
+			m = l
+		}
+		if r < n && e[r].count < e[m].count {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		s.swap(i, m)
+		i = m
+	}
+}
+
+func (s *heapSpaceSaving) swap(i, j int) {
+	e := s.entries
+	e[i], e[j] = e[j], e[i]
+	s.pos[e[i].key] = i
+	s.pos[e[j].key] = j
+}
