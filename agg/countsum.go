@@ -80,16 +80,14 @@ func (c *Counter) ShiftLandmark(newL float64) error {
 }
 
 func errNotShiftable(m decay.Forward) error {
-	return &notShiftableError{m}
+	return &decay.NotShiftableError{Func: m.Func.String()}
 }
 
-// notShiftableError reports an attempted landmark shift on a decay function
-// that does not support it.
-type notShiftableError struct{ m decay.Forward }
-
-func (e *notShiftableError) Error() string {
-	return "agg: decay function " + e.m.Func.String() + " does not support landmark shifting"
-}
+// NotShiftableError is the typed error every ShiftLandmark method returns
+// when the decay function lacks the shift property (anything but exponential
+// decay). It aliases the decay package's exported type so errors.As matches
+// at either level.
+type NotShiftableError = decay.NotShiftableError
 
 // Sum maintains the decayed sum S = Σᵢ g(tᵢ−L)·vᵢ/g(t−L) and the decayed
 // sum of squares, from which the decayed count, sum, average and variance

@@ -46,8 +46,11 @@ func (d *DistinctExact) Observe(key uint64, ti float64) {
 func (d *DistinctExact) Value(t float64) float64 {
 	logNorm := d.model.LogNormalizer(t)
 	var s core.KahanSum
-	for _, lw := range d.maxLW {
-		s.Add(core.ExpClamped(lw - logNorm))
+	// Accumulate in key order: map iteration order would otherwise make the
+	// float sum run-to-run nondeterministic, breaking bit-exact comparisons
+	// across restarts and epoch rollovers.
+	for _, k := range sortedKeys(d.maxLW) {
+		s.Add(core.ExpClamped(d.maxLW[k] - logNorm))
 	}
 	return s.Value()
 }

@@ -54,34 +54,34 @@ func readModel(b []byte) (decay.Forward, []byte, error) {
 	return m, b[n:], nil
 }
 
-// appendScaled appends a scaled sum's raw state.
+// appendScaled appends a scaled sum's full state: emptiness, raw sum, Kahan
+// compensation and log scale. Carrying the compensation keeps a restored
+// accumulator bit-identical to the saved one, which the crash-restore and
+// epoch-rollover equivalence suites rely on.
 func appendScaled(b []byte, s *core.ScaledSum) []byte {
-	sum, scale := s.Raw()
+	sum, comp, scale, nonEmpty := s.State()
 	empty := byte(0)
-	if s.Empty() {
+	if !nonEmpty {
 		empty = 1
 	}
 	b = append(b, empty)
 	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(sum))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(comp))
 	return binary.LittleEndian.AppendUint64(b, math.Float64bits(scale))
 }
 
-// readScaled consumes a scaled sum's raw state.
+// readScaled consumes a scaled sum's state.
 func readScaled(b []byte) (core.ScaledSum, []byte, error) {
-	if len(b) < 17 {
+	if len(b) < 25 {
 		return core.ScaledSum{}, nil, fmt.Errorf("agg: truncated encoding")
 	}
 	empty := b[0]
 	sum := math.Float64frombits(binary.LittleEndian.Uint64(b[1:]))
-	scale := math.Float64frombits(binary.LittleEndian.Uint64(b[9:]))
-	b = b[17:]
+	comp := math.Float64frombits(binary.LittleEndian.Uint64(b[9:]))
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(b[17:]))
+	b = b[25:]
 	var s core.ScaledSum
-	if empty == 0 && sum != 0 {
-		// Reconstruct by adding the single equivalent term sum·e^scale.
-		s.Add(scale, sum)
-	} else if empty == 0 {
-		s.Add(scale, 0) // preserves non-emptiness semantics via no-op; value 0
-	}
+	s.Restore(sum, comp, scale, empty == 0)
 	return s, b, nil
 }
 
@@ -281,9 +281,11 @@ func (d *DistinctExact) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	b = binary.LittleEndian.AppendUint64(b, uint64(len(d.maxLW)))
-	for k, lw := range d.maxLW {
+	// Encode in key order so identical state always produces identical
+	// bytes (checkpoint comparisons depend on it).
+	for _, k := range sortedKeys(d.maxLW) {
 		b = binary.LittleEndian.AppendUint64(b, k)
-		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(lw))
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(d.maxLW[k]))
 	}
 	return b, nil
 }

@@ -89,7 +89,7 @@ func (h *HeavyHitters) update(key uint64, lw, n float64) {
 	rel := lw - h.logScale
 	if rel > core.MaxSafeExp {
 		// Rebase: linear rescaling pass over the counters (§VI-A).
-		h.ss.Scale(core.ExpClamped(-rel))
+		mustScale(h.ss.Scale(posFactor(core.ExpClamped(-rel))))
 		h.logScale = lw
 		rel = 0
 	}
@@ -149,12 +149,12 @@ func (h *HeavyHitters) Merge(o *HeavyHitters) error {
 	other := o.ss
 	if o.logScale != h.logScale {
 		if o.logScale > h.logScale {
-			h.ss.Scale(core.ExpClamped(h.logScale - o.logScale))
+			mustScale(h.ss.Scale(posFactor(core.ExpClamped(h.logScale - o.logScale))))
 			h.logScale = o.logScale
 		}
 		// Scale a copy of the other side onto our scale.
 		cp := o.ss.Clone()
-		cp.Scale(core.ExpClamped(o.logScale - h.logScale))
+		mustScale(cp.Scale(posFactor(core.ExpClamped(o.logScale - h.logScale))))
 		other = cp
 	}
 	h.ss.Merge(other)

@@ -55,7 +55,7 @@ func (q *Quantiles) Observe(v uint64, ti float64) {
 	}
 	rel := lw - q.logScale
 	if rel > core.MaxSafeExp {
-		q.qd.Scale(core.ExpClamped(-rel))
+		mustScale(q.qd.Scale(posFactor(core.ExpClamped(-rel))))
 		q.logScale = lw
 		rel = 0
 	}
@@ -90,14 +90,14 @@ func (q *Quantiles) Merge(o *Quantiles) error {
 		q.started = true
 	}
 	if o.logScale > q.logScale {
-		q.qd.Scale(core.ExpClamped(q.logScale - o.logScale))
+		mustScale(q.qd.Scale(posFactor(core.ExpClamped(q.logScale - o.logScale))))
 		q.logScale = o.logScale
 	}
 	if o.logScale < q.logScale {
 		// Scale a copy of the other digest onto our scale (its weights
 		// shrink, never overflow).
 		cp := o.qd.Clone()
-		cp.Scale(core.ExpClamped(o.logScale - q.logScale))
+		mustScale(cp.Scale(posFactor(core.ExpClamped(o.logScale - q.logScale))))
 		q.qd.Merge(cp)
 		return nil
 	}

@@ -1,0 +1,137 @@
+package agg
+
+import (
+	"math"
+	"sort"
+)
+
+// Landmark shifting for the full aggregate surface (epoch rollover, §VI-A).
+//
+// Counter and Sum (and through Sum, the average and variance) shift by
+// adjusting the log scale of their compensated accumulators — see
+// countsum.go. The aggregates here extend the same exact rebasing to the
+// sketch-backed and witness-based summaries: under exponential decay every
+// static log-weight changes by the same additive constant when the landmark
+// moves, so a summary that already keeps its linear-domain state under a
+// floating log scale (HeavyHitters, Quantiles) shifts by adjusting only the
+// scale, a witness aggregate (Max, Min) shifts the stored witness weight,
+// and the distinct counters shift per-key or through the dominance sketch's
+// frame offset. No linear-domain multiplication happens anywhere on these
+// paths, which is what makes rollover bit-exact.
+//
+// Every method returns *NotShiftableError for decay functions without the
+// shift property (monomials, landmark windows — Lemma 1 of the paper).
+
+// shiftLandmark rebases a witness aggregate: the stored witness's log static
+// weight moves by the same constant as every other item's, so comparisons
+// against future arrivals stay consistent.
+func (e *extreme) shiftLandmark(newL float64) error {
+	m, logShift, ok := e.model.Shifted(newL)
+	if !ok {
+		return errNotShiftable(e.model)
+	}
+	e.model = m
+	if e.set {
+		e.lw += logShift
+	}
+	return nil
+}
+
+// ShiftLandmark rebases the aggregate onto a new landmark (exponential
+// decay only); queried values are unchanged.
+func (m *Max) ShiftLandmark(newL float64) error { return m.e.shiftLandmark(newL) }
+
+// ShiftLandmark rebases the aggregate onto a new landmark (exponential
+// decay only); queried values are unchanged.
+func (m *Min) ShiftLandmark(newL float64) error { return m.e.shiftLandmark(newL) }
+
+// ShiftLandmark rebases the summary onto a new landmark (exponential decay
+// only). The SpaceSaving counters are untouched — only the floating log
+// scale moves — so the shift is exact and O(1).
+func (h *HeavyHitters) ShiftLandmark(newL float64) error {
+	m, logShift, ok := h.model.Shifted(newL)
+	if !ok {
+		return errNotShiftable(h.model)
+	}
+	h.model = m
+	if h.started {
+		h.logScale += logShift
+	}
+	return nil
+}
+
+// ShiftLandmark rebases the summary onto a new landmark (exponential decay
+// only). The q-digest weights are untouched — only the floating log scale
+// moves — so the shift is exact and O(1).
+func (q *Quantiles) ShiftLandmark(newL float64) error {
+	m, logShift, ok := q.model.Shifted(newL)
+	if !ok {
+		return errNotShiftable(q.model)
+	}
+	q.model = m
+	if q.started {
+		q.logScale += logShift
+	}
+	return nil
+}
+
+// ShiftLandmark rebases the exact distinct counter onto a new landmark
+// (exponential decay only): every stored per-key maximum log weight moves by
+// the same constant, preserving all per-key maxima exactly.
+func (d *DistinctExact) ShiftLandmark(newL float64) error {
+	m, logShift, ok := d.model.Shifted(newL)
+	if !ok {
+		return errNotShiftable(d.model)
+	}
+	d.model = m
+	for k := range d.maxLW {
+		d.maxLW[k] += logShift
+	}
+	return nil
+}
+
+// ShiftLandmark rebases the approximate distinct counter onto a new
+// landmark (exponential decay only) through the dominance sketch's frame
+// offset: level membership is computed in the sketch's birth frame, so the
+// shift is exact and O(1) regardless of how many times it is applied.
+func (d *Distinct) ShiftLandmark(newL float64) error {
+	m, logShift, ok := d.model.Shifted(newL)
+	if !ok {
+		return errNotShiftable(d.model)
+	}
+	d.model = m
+	d.dom.ShiftLog(logShift)
+	return nil
+}
+
+// posFactor clamps a log-domain rescale factor to the smallest positive
+// float so the sketches' Scale guard (which rejects non-positive factors)
+// accepts legitimate deep-underflow rebasing: a factor that underflowed to 0
+// means every existing count is negligible at the new scale, and scaling by
+// a subnormal flushes them to (effectively) zero just the same.
+func posFactor(f float64) float64 {
+	if f <= 0 {
+		return math.SmallestNonzeroFloat64
+	}
+	return f
+}
+
+// mustScale panics on a sketch Scale error. The agg call sites pass factors
+// that are finite and positive by construction (posFactor), so an error here
+// is a programming bug, not an input condition.
+func mustScale(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// sortedKeys returns the map's keys in increasing order, for deterministic
+// iteration where float accumulation order matters.
+func sortedKeys(m map[uint64]float64) []uint64 {
+	ks := make([]uint64, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}

@@ -1,0 +1,151 @@
+package agg
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"forwarddecay/decay"
+)
+
+// Shift-invariance for the sketch-backed and witness aggregates: under
+// exponential decay a landmark move is a pure log-domain translation, so
+// every queried answer must be unchanged — exactly for the per-key and
+// witness state, within float tolerance only where a query path itself
+// exponentiates differently in the two frames.
+
+func shiftTestModel() decay.Forward {
+	return decay.NewForward(decay.NewExp(0.05), 0)
+}
+
+func TestMinMaxShiftInvariance(t *testing.T) {
+	m := shiftTestModel()
+	mx, mxRef := NewMax(m), NewMax(m)
+	mn, mnRef := NewMin(m), NewMin(m)
+	for i := 0; i < 500; i++ {
+		ts, v := float64(i), float64((i*37)%229)
+		mx.Observe(ts, v)
+		mxRef.Observe(ts, v)
+		mn.Observe(ts, v)
+		mnRef.Observe(ts, v)
+		if i == 250 {
+			if err := mx.ShiftLandmark(200); err != nil {
+				t.Fatal(err)
+			}
+			if err := mn.ShiftLandmark(200); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if got, want := mx.Value(500), mxRef.Value(500); got != want {
+		t.Errorf("Max after shift %v, unshifted %v", got, want)
+	}
+	if got, want := mn.Value(500), mnRef.Value(500); got != want {
+		t.Errorf("Min after shift %v, unshifted %v", got, want)
+	}
+}
+
+func TestHeavyHittersShiftInvariance(t *testing.T) {
+	m := shiftTestModel()
+	h, ref := NewHeavyHittersK(m, 32), NewHeavyHittersK(m, 32)
+	for i := 0; i < 2000; i++ {
+		ts, key := float64(i)/10, uint64(i%11*i%11) // skewed keys
+		h.Observe(key, ts)
+		ref.Observe(key, ts)
+		if i%400 == 399 {
+			if err := h.ShiftLandmark(ts - 5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	now := 200.0
+	got, want := h.Query(now, 0.05), ref.Query(now, 0.05)
+	if len(got) != len(want) {
+		t.Fatalf("shifted summary reports %d heavy hitters, unshifted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("item %d: key %d vs %d", i, got[i].Key, want[i].Key)
+		}
+		if math.Abs(got[i].Count-want[i].Count) > 1e-9*want[i].Count {
+			t.Errorf("key %d: count %v vs %v", got[i].Key, got[i].Count, want[i].Count)
+		}
+	}
+}
+
+func TestQuantilesShiftInvariance(t *testing.T) {
+	m := shiftTestModel()
+	q, ref := NewQuantiles(m, 1024, 0.01), NewQuantiles(m, 1024, 0.01)
+	for i := 0; i < 3000; i++ {
+		ts, v := float64(i)/20, uint64((i*i)%1024)
+		q.Observe(v, ts)
+		ref.Observe(v, ts)
+		if i%700 == 699 {
+			if err := q.ShiftLandmark(ts - 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got, want := q.Quantile(phi), ref.Quantile(phi); got != want {
+			t.Errorf("quantile %v: shifted %d, unshifted %d", phi, got, want)
+		}
+	}
+	now := 150.0
+	if got, want := q.DecayedCount(now), ref.DecayedCount(now); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("decayed count %v vs %v", got, want)
+	}
+}
+
+func TestDistinctShiftInvariance(t *testing.T) {
+	m := shiftTestModel()
+	de, deRef := NewDistinctExact(m), NewDistinctExact(m)
+	da, daRef := NewDistinct(m, 64, 1.05, 256), NewDistinct(m, 64, 1.05, 256)
+	for i := 0; i < 1500; i++ {
+		ts, key := float64(i)/10, uint64(i%97)
+		de.Observe(key, ts)
+		deRef.Observe(key, ts)
+		da.Observe(key, ts)
+		daRef.Observe(key, ts)
+		if i%500 == 499 {
+			if err := de.ShiftLandmark(ts - 2); err != nil {
+				t.Fatal(err)
+			}
+			if err := da.ShiftLandmark(ts - 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	now := 150.0
+	if got, want := de.Value(now), deRef.Value(now); math.Abs(got-want) > 1e-9*want {
+		t.Errorf("DistinctExact after shifts %v, unshifted %v", got, want)
+	}
+	// The dominance sketch shifts only a frame offset, so the estimate is
+	// bit-identical, not merely close.
+	if got, want := da.Value(now), daRef.Value(now); got != want {
+		t.Errorf("Distinct after shifts %v, unshifted %v", got, want)
+	}
+}
+
+// TestShiftRejectsNonShiftableTyped: every aggregate must refuse a landmark
+// shift under polynomial decay (Lemma 1) with the matchable typed error.
+func TestShiftRejectsNonShiftableTyped(t *testing.T) {
+	m := decay.NewForward(decay.NewPoly(2), 0)
+	shifters := map[string]interface{ ShiftLandmark(float64) error }{
+		"Counter":       NewCounter(m),
+		"Sum":           NewSum(m),
+		"Max":           NewMax(m),
+		"Min":           NewMin(m),
+		"HeavyHitters":  NewHeavyHittersK(m, 8),
+		"Quantiles":     NewQuantiles(m, 256, 0.05),
+		"DistinctExact": NewDistinctExact(m),
+		"Distinct":      NewDistinct(m, 8, 1.1, 64),
+	}
+	for name, s := range shifters {
+		err := s.ShiftLandmark(10)
+		var nse *decay.NotShiftableError
+		if !errors.As(err, &nse) {
+			t.Errorf("%s.ShiftLandmark under poly decay returned %v, want *decay.NotShiftableError", name, err)
+		}
+	}
+}

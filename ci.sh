@@ -10,6 +10,11 @@ go vet ./...
 go test ./...
 go test -race ./...
 
+# Epoch-rollover chaos soak, short mode: a simulated two-day stream with
+# hourly landmark rolls plus injected crashes/corruptions must match the
+# fault-free never-rolling oracle (the full 30-day tape runs without -short).
+go test -run Soak -short -count=1 ./gsql/
+
 # Fuzz smoke: 10s per target. -run='^$' skips the unit tests (already run
 # above); -fuzzminimizetime caps the engine's per-input minimization, whose
 # 60s default dwarfs the budget and reads as a hang.
@@ -18,6 +23,7 @@ go test -run='^$' -fuzz='^FuzzAggDecode$' -fuzztime=10s -fuzzminimizetime=10x ./
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzQuery$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x ./ingest/
+go test -run='^$' -fuzz='^FuzzDecayUnmarshal$' -fuzztime=10s -fuzzminimizetime=10x ./decay/
 
 # Perf gate: re-measure the hot-path micro-benchmarks and fail if any shared
 # benchmark runs >25% slower (ns/op) than the committed baseline. 300ms per

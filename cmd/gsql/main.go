@@ -36,6 +36,14 @@
 //	-k, -eps, -phi, -window
 //	                UDAF parameters (sample size, accuracy, HH threshold,
 //	                window seconds)
+//	-epoch-alpha a  exponential forward-decay rate: enables the fd* decayed
+//	                aggregates (fdcount, fdsum, fdhh, ...) with landmark 0
+//	-epoch-every s  roll the decay landmark forward every s stream seconds
+//	                (requires -epoch-alpha); keeps week-long runs from
+//	                overflowing by rebasing all decayed state in place
+//	-epoch-max-logw w
+//	                overflow-sentinel threshold on the log normalizer
+//	                (default 250); crossing it forces an immediate rollover
 //
 // A kill-and-restore cycle is: run with -checkpoint state.fdc
 // -checkpoint-every 100000, interrupt it, then rerun the remaining input
@@ -61,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"forwarddecay/decay"
 	"forwarddecay/gsql"
 	"forwarddecay/ingest"
 	"forwarddecay/netgen"
@@ -84,6 +93,9 @@ func main() {
 	eps := flag.Float64("eps", 0.01, "UDAF accuracy parameter")
 	phi := flag.Float64("phi", 0.01, "UDAF heavy-hitter threshold")
 	win := flag.Float64("window", 60, "UDAF window seconds")
+	epochAlpha := flag.Float64("epoch-alpha", 0, "exponential decay rate for the fd* aggregates (0 = disabled)")
+	epochEvery := flag.Float64("epoch-every", 0, "roll the decay landmark every n stream seconds (requires -epoch-alpha)")
+	epochMaxLogW := flag.Float64("epoch-max-logw", 0, "overflow-sentinel threshold on the log normalizer (0 = default)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -96,13 +108,30 @@ func main() {
 	}
 	query := flag.Arg(0)
 
+	if *epochEvery > 0 && *epochAlpha <= 0 {
+		fatal(fmt.Errorf("-epoch-every needs -epoch-alpha to define the decay model"))
+	}
+	ucfg := udaf.Config{SampleSize: *k, Epsilon: *eps, Phi: *phi, Window: *win, Seed: *seed}
+	var epoch *gsql.EpochConfig
+	if *epochAlpha > 0 {
+		model := decay.NewForward(decay.NewExp(*epochAlpha), 0)
+		ucfg.Decay = model
+		if *epochEvery > 0 {
+			epoch = &gsql.EpochConfig{
+				Model:        model,
+				Every:        *epochEvery,
+				MaxLogWeight: *epochMaxLogW,
+				// The packet schema's ftime column carries stream time.
+				Time: func(t gsql.Tuple) (float64, bool) { return t[1].AsFloat(), true },
+			}
+		}
+	}
+
 	e := gsql.NewEngine()
 	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
 		fatal(err)
 	}
-	if err := udaf.RegisterAll(e, udaf.Config{
-		SampleSize: *k, Epsilon: *eps, Phi: *phi, Window: *win, Seed: *seed,
-	}); err != nil {
+	if err := udaf.RegisterAll(e, ucfg); err != nil {
 		fatal(err)
 	}
 
@@ -131,7 +160,7 @@ func main() {
 		printed++
 		return nil
 	}
-	opts := gsql.Options{DisableTwoLevel: *noSplit}
+	opts := gsql.Options{DisableTwoLevel: *noSplit, Epoch: epoch}
 
 	var run *gsql.Run
 	if *restoreFile != "" {
@@ -308,9 +337,10 @@ func serve(run *gsql.Run, addr string, drainTimeout, heartbeat time.Duration, ck
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr,
-		"processed %d tuples, %d windows; ingest: %d frames, %d quarantined, %d duplicates dropped, %d reconnects, %d heartbeats synthesized\n",
+		"processed %d tuples, %d windows; ingest: %d frames, %d quarantined, %d duplicates dropped, %d reconnects, %d heartbeats synthesized; epoch: %d rollovers, %d sentinel trips\n",
 		rs.TuplesIn, rs.WindowsClosed, rs.FramesAccepted, rs.FramesQuarantined,
-		rs.DuplicatesDropped, rs.Reconnects, rs.HeartbeatsSynthesized)
+		rs.DuplicatesDropped, rs.Reconnects, rs.HeartbeatsSynthesized,
+		rs.EpochRollovers, rs.SentinelTrips)
 }
 
 // writeSessions persists the listener's session table (session id →
@@ -385,8 +415,8 @@ func finish(run *gsql.Run, pushErr error, ckptFile string) {
 	}
 	tuples, evictions := run.Stats()
 	rs := run.RuntimeStats()
-	fmt.Fprintf(os.Stderr, "processed %d tuples, %d low-level evictions, %d windows, %d checkpoints\n",
-		tuples, evictions, rs.WindowsClosed, rs.Checkpoints)
+	fmt.Fprintf(os.Stderr, "processed %d tuples, %d low-level evictions, %d windows, %d checkpoints, %d epoch rollovers, %d sentinel trips\n",
+		tuples, evictions, rs.WindowsClosed, rs.Checkpoints, rs.EpochRollovers, rs.SentinelTrips)
 }
 
 func fatal(err error) {

@@ -27,7 +27,10 @@
 // (the rest of this repository uses seconds).
 package decay
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Model is the common interface of forward and backward decay: it reports
 // the decayed weight of an item with timestamp ti at query time t.
@@ -64,6 +67,20 @@ type LandmarkShifter interface {
 	// LogShift returns the additive log-domain constant for shifting the
 	// landmark forward by delta, and whether the function supports shifting.
 	LogShift(delta float64) (logScale float64, ok bool)
+}
+
+// NotShiftableError reports an attempt to shift the landmark of a decay
+// function that does not support it. Only exponential decay satisfies
+// ln g(n−δ) = ln g(n) + c for a constant c; monomials (Lemma 1) and
+// landmark windows do not, so epoch rollover must reject them with a typed,
+// errors.As-matchable error rather than silently corrupting state.
+type NotShiftableError struct {
+	// Func describes the offending decay function (its String()).
+	Func string
+}
+
+func (e *NotShiftableError) Error() string {
+	return fmt.Sprintf("decay: function %s does not support landmark shifting", e.Func)
 }
 
 // Forward is a forward decay model: a weight function g together with a

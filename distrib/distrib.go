@@ -105,11 +105,25 @@ type siteState struct {
 	err error
 }
 
+// siteEpochReq is one leg of the two-phase epoch rollover. The site drains
+// its queue, validates the shift, and answers prepared; it then pauses —
+// ingesting nothing — until the coordinator's commit/abort decision, so no
+// observation is ever aggregated while the cluster's sites straddle two
+// landmarks. All three channels are buffered so neither side can deadlock
+// the other on a timeout.
+type siteEpochReq struct {
+	newL     float64
+	prepared chan error
+	commit   chan bool
+	done     chan error
+}
+
 // site is one ingestion worker.
 type site struct {
-	in   chan Observation
-	snap chan chan siteState
-	done chan struct{}
+	in    chan Observation
+	snap  chan chan siteState
+	epoch chan *siteEpochReq
+	done  chan struct{}
 }
 
 // Cluster is a running set of sites plus the coordinator-side merge logic.
@@ -121,6 +135,13 @@ type Cluster struct {
 	wg     sync.WaitGroup
 	closed bool
 	mu     sync.Mutex
+
+	// opMu serializes coordinator operations (Snapshot, RollEpoch) and
+	// guards model, the cluster's current decay frame: a snapshot can never
+	// observe the cluster mid-rollover, so merges are either entirely in the
+	// old frame or entirely in the new one.
+	opMu  sync.Mutex
+	model decay.Forward
 }
 
 // New starts a cluster. It returns an error for invalid configurations.
@@ -148,12 +169,13 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxFailedSites < 0 {
 		cfg.MaxFailedSites = 0
 	}
-	c := &Cluster{cfg: cfg}
+	c := &Cluster{cfg: cfg, model: cfg.Model}
 	for i := 0; i < cfg.Sites; i++ {
 		s := &site{
-			in:   make(chan Observation, cfg.Buffer),
-			snap: make(chan chan siteState),
-			done: make(chan struct{}),
+			in:    make(chan Observation, cfg.Buffer),
+			snap:  make(chan chan siteState),
+			epoch: make(chan *siteEpochReq),
+			done:  make(chan struct{}),
 		}
 		c.sites = append(c.sites, s)
 		c.wg.Add(1)
@@ -188,7 +210,14 @@ func (c *Cluster) runSite(s *site) {
 			qd.Observe(v, ob.Time)
 		}
 	}
+	// siteErr is the site's sticky failure: a failed or faulted epoch commit
+	// leaves the site's frame indeterminate, so it refuses every later
+	// snapshot rather than ship state that might straddle landmarks.
+	var siteErr error
 	answer := func() siteState {
+		if siteErr != nil {
+			return siteState{err: siteErr}
+		}
 		// Fault-injection point for the failed-site experiments: an armed
 		// error or delay here models a site that crashes or stalls while
 		// serving a snapshot.
@@ -196,6 +225,22 @@ func (c *Cluster) runSite(s *site) {
 			return siteState{err: err}
 		}
 		return marshalSite(sum, hh, qd)
+	}
+	// drain consumes everything already queued, so snapshots and epoch
+	// proposals observe every delivered observation. It reports false when
+	// the input channel closed.
+	drain := func() bool {
+		for {
+			select {
+			case ob, ok := <-s.in:
+				if !ok {
+					return false
+				}
+				process(ob)
+			default:
+				return true
+			}
+		}
 	}
 	for {
 		select {
@@ -206,23 +251,49 @@ func (c *Cluster) runSite(s *site) {
 			}
 			process(ob)
 		case reply := <-s.snap:
-			// Drain everything already queued before answering, so a
-			// snapshot taken after ingestion quiesces reflects every
-			// delivered observation.
-			for drained := false; !drained; {
-				select {
-				case ob, ok := <-s.in:
-					if !ok {
-						reply <- answer()
-						close(s.done)
-						return
-					}
-					process(ob)
-				default:
-					drained = true
-				}
+			if !drain() {
+				reply <- answer()
+				close(s.done)
+				return
 			}
 			reply <- answer()
+		case req := <-s.epoch:
+			// Phase 1: quiesce and validate, then pause for the decision.
+			if !drain() {
+				req.prepared <- fmt.Errorf("distrib: site closed during epoch prepare")
+				close(s.done)
+				return
+			}
+			if siteErr != nil {
+				req.prepared <- siteErr
+				break
+			}
+			if _, _, ok := sum.Model().Shifted(req.newL); !ok {
+				req.prepared <- &decay.NotShiftableError{Func: sum.Model().Func.String()}
+				break
+			}
+			req.prepared <- nil
+			if !<-req.commit {
+				break
+			}
+			// Phase 2: apply. A fault or shift failure here is sticky — the
+			// site's state may straddle landmarks, so it quarantines itself.
+			if err := faultinject.Hit("distrib.site.epoch.commit"); err != nil {
+				siteErr = fmt.Errorf("distrib: epoch commit fault: %w", err)
+				req.done <- siteErr
+				break
+			}
+			err := sum.ShiftLandmark(req.newL)
+			if err == nil && hh != nil {
+				err = hh.ShiftLandmark(req.newL)
+			}
+			if err == nil && qd != nil {
+				err = qd.ShiftLandmark(req.newL)
+			}
+			if err != nil {
+				siteErr = err
+			}
+			req.done <- err
 		}
 	}
 }
@@ -302,14 +373,15 @@ func (c *Cluster) snapshotSite(i int) siteState {
 	return last
 }
 
-// newSummary allocates the coordinator-side merge target.
+// newSummary allocates the coordinator-side merge target in the cluster's
+// current decay frame (the caller holds opMu).
 func (c *Cluster) newSummary() *Summary {
-	out := &Summary{Sum: agg.NewSum(c.cfg.Model)}
+	out := &Summary{Sum: agg.NewSum(c.model)}
 	if c.cfg.HHK > 0 {
-		out.HH = agg.NewHeavyHittersK(c.cfg.Model, c.cfg.HHK)
+		out.HH = agg.NewHeavyHittersK(c.model, c.cfg.HHK)
 	}
 	if c.cfg.QuantileU > 0 {
-		out.Quantiles = agg.NewQuantiles(c.cfg.Model, c.cfg.QuantileU, c.cfg.QuantileEps)
+		out.Quantiles = agg.NewQuantiles(c.model, c.cfg.QuantileU, c.cfg.QuantileEps)
 	}
 	return out
 }
@@ -364,6 +436,14 @@ func mergeSite(out *Summary, i int, st siteState) error {
 // surviving partitions and MissingSites names the absent ones. Beyond that
 // tolerance, Snapshot returns the first failing site's error.
 func (c *Cluster) Snapshot() (*Summary, error) {
+	// Serialize against RollEpoch: a snapshot observes the cluster either
+	// entirely before a rollover or entirely after it. A site whose commit
+	// failed mid-roll reports a sticky error and is refused (or skipped
+	// under MaxFailedSites) — mismatched landmarks are additionally caught
+	// by the model check inside every Merge, so partial states from
+	// different frames can never blend silently.
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
 	states := make([]siteState, len(c.sites))
 	for i := range c.sites {
 		states[i] = c.snapshotSite(i)
@@ -384,6 +464,101 @@ func (c *Cluster) Snapshot() (*Summary, error) {
 	}
 	out.MissingSites = missing
 	return out, nil
+}
+
+// Model returns the cluster's current decay model: the configured function
+// on the landmark most recently committed by RollEpoch.
+func (c *Cluster) Model() decay.Forward {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	return c.model
+}
+
+// RollEpoch advances every site's landmark to newL in two phases, the
+// distributed leg of the epoch-rollover protocol. Phase one (propose) asks
+// each site to quiesce — drain its queued observations, validate the shift,
+// and pause awaiting a decision; phase two (commit) applies the exact
+// landmark shift at every site. If any site refuses or times out during the
+// proposal, every prepared site is aborted and the cluster stays entirely in
+// the old frame. A failure during commit leaves that site quarantined (it
+// refuses all later snapshots) while the rest of the cluster completes the
+// roll; the error is returned.
+//
+// Safe to call concurrently with Observe; serialized against Snapshot.
+func (c *Cluster) RollEpoch(newL float64) error {
+	if math.IsNaN(newL) || math.IsInf(newL, 0) {
+		return fmt.Errorf("distrib: non-finite landmark %v rejected", newL)
+	}
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	if _, _, ok := c.model.Shifted(newL); !ok {
+		return &decay.NotShiftableError{Func: c.model.Func.String()}
+	}
+	reqs := make([]*siteEpochReq, len(c.sites))
+	// abort releases every site that received the proposal; the buffered
+	// commit channel means even a site that answers late unblocks cleanly.
+	abort := func(cause error) error {
+		for _, req := range reqs {
+			if req != nil {
+				req.commit <- false
+			}
+		}
+		return cause
+	}
+	// Phase 1: propose to every site.
+	for i, s := range c.sites {
+		req := &siteEpochReq{
+			newL:     newL,
+			prepared: make(chan error, 1),
+			commit:   make(chan bool, 1),
+			done:     make(chan error, 1),
+		}
+		timer := time.NewTimer(c.cfg.SnapshotTimeout)
+		select {
+		case s.epoch <- req:
+		case <-s.done:
+			timer.Stop()
+			return abort(fmt.Errorf("distrib: site %d already closed", i))
+		case <-timer.C:
+			return abort(fmt.Errorf("distrib: site %d epoch proposal timed out after %v", i, c.cfg.SnapshotTimeout))
+		}
+		reqs[i] = req
+		select {
+		case err := <-req.prepared:
+			timer.Stop()
+			if err != nil {
+				return abort(fmt.Errorf("distrib: site %d refused epoch: %w", i, err))
+			}
+		case <-timer.C:
+			return abort(fmt.Errorf("distrib: site %d epoch prepare timed out after %v", i, c.cfg.SnapshotTimeout))
+		}
+	}
+	// Phase 2: commit everywhere. Every site is paused at a quiesced state,
+	// so the shifts apply to frozen frames.
+	for _, req := range reqs {
+		req.commit <- true
+	}
+	var firstErr error
+	for i, req := range reqs {
+		timer := time.NewTimer(c.cfg.SnapshotTimeout)
+		select {
+		case err := <-req.done:
+			timer.Stop()
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("distrib: site %d epoch commit failed (site quarantined): %w", i, err)
+			}
+		case <-timer.C:
+			if firstErr == nil {
+				firstErr = fmt.Errorf("distrib: site %d epoch commit timed out after %v", i, c.cfg.SnapshotTimeout)
+			}
+		}
+	}
+	// The coordinator's frame advances with the committed sites; a failed
+	// site is quarantined rather than left silently mergeable.
+	if m, _, ok := c.model.Shifted(newL); ok {
+		c.model = m
+	}
+	return firstErr
 }
 
 // Close drains and stops all sites. Observe must not be called after (or

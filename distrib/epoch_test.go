@@ -1,0 +1,208 @@
+package distrib
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/internal/faultinject"
+)
+
+// TestRollEpochExactAcrossSites rolls the cluster's landmark several times
+// mid-stream and checks the merged snapshot still matches a single-node
+// oracle that never rolled: the two-phase shift must be invisible to every
+// decayed answer.
+func TestRollEpochExactAcrossSites(t *testing.T) {
+	model := decay.NewForward(decay.NewExp(0.05), 0)
+	cl, err := New(Config{Sites: 3, Model: model, HHK: 64, QuantileU: 1024, QuantileEps: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	oracle := agg.NewSum(model)
+	oracleHH := agg.NewHeavyHittersK(model, 64)
+
+	feed := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ts := float64(i)
+			ob := Observation{Key: uint64(i % 7), Value: float64(10 + i%13), Time: ts}
+			if err := cl.Observe(i%3, ob); err != nil {
+				t.Fatal(err)
+			}
+			oracle.Observe(ob.Time, ob.Value)
+			oracleHH.Observe(ob.Key, ob.Time)
+		}
+	}
+	feed(0, 400)
+	if err := cl.RollEpoch(300); err != nil {
+		t.Fatalf("first roll: %v", err)
+	}
+	feed(400, 800)
+	if err := cl.RollEpoch(700); err != nil {
+		t.Fatalf("second roll: %v", err)
+	}
+	feed(800, 1000)
+
+	if got := cl.Model().Landmark; got != 700 {
+		t.Fatalf("coordinator landmark = %v after rolls, want 700", got)
+	}
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm := snap.Sum.Model().Landmark; lm != 700 {
+		t.Fatalf("snapshot merged in landmark-%v frame, want 700", lm)
+	}
+	now := 1000.0
+	if !almostEq(snap.Sum.Value(now), oracle.Value(now), 1e-9) {
+		t.Errorf("rolled cluster sum %v, never-rolled oracle %v", snap.Sum.Value(now), oracle.Value(now))
+	}
+	if !almostEq(snap.Sum.Mean(), oracle.Mean(), 1e-9) {
+		t.Errorf("rolled cluster mean %v, oracle %v", snap.Sum.Mean(), oracle.Mean())
+	}
+	if !almostEq(snap.Sum.Variance(), oracle.Variance(), 1e-6) {
+		t.Errorf("rolled cluster variance %v, oracle %v", snap.Sum.Variance(), oracle.Variance())
+	}
+	merged := map[uint64]bool{}
+	for _, it := range snap.HH.Query(now, 0.01) {
+		merged[it.Key] = true
+	}
+	for _, it := range oracleHH.Query(now, 0.02) {
+		if !merged[it.Key] {
+			t.Errorf("rolled cluster lost heavy hitter %d", it.Key)
+		}
+	}
+}
+
+// TestRollEpochRejectsNonShiftable verifies a cluster on a polynomial decay
+// model refuses to roll — before any site is disturbed — with the typed
+// error, and stays fully serviceable afterwards.
+func TestRollEpochRejectsNonShiftable(t *testing.T) {
+	cl, err := New(Config{Sites: 2, Model: decay.NewForward(decay.NewPoly(2), 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 100; i++ {
+		if err := cl.Observe(i%2, Observation{Value: 1, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err = cl.RollEpoch(50)
+	var nse *decay.NotShiftableError
+	if !errors.As(err, &nse) {
+		t.Fatalf("RollEpoch on poly decay returned %v, want *decay.NotShiftableError", err)
+	}
+	if lm := cl.Model().Landmark; lm != 0 {
+		t.Fatalf("refused roll moved the landmark to %v", lm)
+	}
+	if _, err := cl.Snapshot(); err != nil {
+		t.Fatalf("snapshot after refused roll: %v", err)
+	}
+}
+
+// TestRollEpochRejectsNonFinite checks NaN and ±Inf landmarks are refused
+// at the coordinator boundary.
+func TestRollEpochRejectsNonFinite(t *testing.T) {
+	cl, err := New(Config{Sites: 1, Model: decay.NewForward(decay.NewExp(0.1), 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := cl.RollEpoch(bad); err == nil {
+			t.Errorf("RollEpoch(%v) accepted", bad)
+		}
+	}
+}
+
+// TestRollEpochCommitFaultQuarantines arms the commit fault point on one
+// site: the roll reports the failure, the faulted site refuses later
+// snapshots (its frame is indeterminate, so merging it could silently mix
+// landmarks), and a tolerance-configured snapshot lists it as missing while
+// the committed sites answer in the new frame.
+func TestRollEpochCommitFaultQuarantines(t *testing.T) {
+	defer faultinject.Reset()
+	cl, err := New(Config{
+		Sites: 3, Model: decay.NewForward(decay.NewExp(0.05), 0),
+		MaxFailedSites: 1, SnapshotTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 300; i++ {
+		if err := cl.Observe(i%3, Observation{Value: 1, Time: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	faultinject.Set("distrib.site.epoch.commit", faultinject.Fault{ErrAt: 1})
+	err = cl.RollEpoch(200)
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("RollEpoch with commit fault returned %v, want quarantine error", err)
+	}
+	if lm := cl.Model().Landmark; lm != 200 {
+		t.Fatalf("committed sites rolled but coordinator landmark = %v", lm)
+	}
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot after quarantine (tolerance 1): %v", err)
+	}
+	if len(snap.MissingSites) != 1 {
+		t.Fatalf("MissingSites = %v, want exactly the quarantined site", snap.MissingSites)
+	}
+	if lm := snap.Sum.Model().Landmark; lm != 200 {
+		t.Fatalf("partial snapshot merged in landmark-%v frame, want 200", lm)
+	}
+}
+
+// TestRollEpochConcurrentWithObserve hammers Observe from a writer while
+// the coordinator rolls repeatedly: the quiesce protocol must never mix
+// frames, so the final snapshot equals a single-node oracle over exactly
+// the observations delivered.
+func TestRollEpochConcurrentWithObserve(t *testing.T) {
+	model := decay.NewForward(decay.NewExp(0.02), 0)
+	cl, err := New(Config{Sites: 4, Model: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	oracle := agg.NewSum(model)
+
+	const n = 5000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			ob := Observation{Value: float64(1 + i%9), Time: float64(i) / 10}
+			if err := cl.Observe(i%4, ob); err != nil {
+				t.Error(err)
+				return
+			}
+			oracle.Observe(ob.Time, ob.Value)
+		}
+	}()
+	for l := 50.0; l <= 400; l += 50 {
+		if err := cl.RollEpoch(l); err != nil {
+			t.Fatalf("RollEpoch(%v): %v", l, err)
+		}
+	}
+	wg.Wait()
+	snap, err := cl.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := float64(n) / 10
+	if !almostEq(snap.Sum.Value(now), oracle.Value(now), 1e-9) {
+		t.Errorf("cluster sum %v after concurrent rolls, oracle %v", snap.Sum.Value(now), oracle.Value(now))
+	}
+	if c := snap.Sum.Count(now); !almostEq(c, oracle.Count(now), 1e-9) {
+		t.Errorf("cluster count %v after concurrent rolls, oracle %v", c, oracle.Count(now))
+	}
+}

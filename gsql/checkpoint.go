@@ -30,6 +30,7 @@ import (
 //	u64 group-expression count, u64 aggregate-slot count
 //	u8 bucketSet, value bucket (present iff bucketSet)
 //	u64 tuples pushed
+//	u8 epochSet, u64 epoch + f64 landmark (present iff epochSet; version 2)
 //	u64 entry count, then per entry:
 //	    group values (one encoded Value per group expression)
 //	    per aggregate slot: u64 length + aggregator MarshalBinary bytes
@@ -39,13 +40,20 @@ import (
 // appear in several entries (serial low/high tables, or one per shard) and
 // restore folds duplicates together with Aggregator.Merge.
 //
+// Version 2 stamps the epoch supervisor's state — rollover count and
+// current landmark — after the tuple count. On restore the stamp both
+// reinstates the supervisor and cross-checks the entries: every restored
+// aggregate that reports its landmark must agree with the header, so a
+// checkpoint whose header and aggregate frames diverge (hand-edited, or
+// spliced across epochs) is refused rather than merged across landmarks.
+//
 // The trailing integrity hash makes corruption detection total: length
 // prefixes and tags catch structural damage, but a flipped byte inside a
 // float payload would otherwise decode into silently wrong state. Restore
 // verifies the hash before looking at anything else.
 
 // ckptMagic prefixes every checkpoint; the fourth byte is the version.
-var ckptMagic = [4]byte{'F', 'D', 'C', 1}
+var ckptMagic = [4]byte{'F', 'D', 'C', 2}
 
 // Tags for the builtin aggregator encodings.
 const (
@@ -243,9 +251,20 @@ func readGroupEntry(d *ckptDec, p *plan) (*group, error) {
 
 // --- header ------------------------------------------------------------
 
+// ckptHeader is the decoded checkpoint preamble.
+type ckptHeader struct {
+	bucketSet bool
+	bucket    Value
+	tuples    uint64
+	epochSet  bool
+	epoch     uint64
+	landmark  float64
+}
+
 // appendCkptHeader writes the checkpoint preamble shared by the serial and
-// sharded paths.
-func appendCkptHeader(b []byte, p *plan, bucketSet bool, bucket Value, tuples uint64) []byte {
+// sharded paths; ep (nil when the run has no epoch supervisor) stamps the
+// rollover count and current landmark.
+func appendCkptHeader(b []byte, p *plan, bucketSet bool, bucket Value, tuples uint64, ep *epochState) []byte {
 	b = append(b, ckptMagic[:]...)
 	b = ckU64(b, p.fp)
 	b = ckU64(b, uint64(len(p.groupFns)))
@@ -256,53 +275,81 @@ func appendCkptHeader(b []byte, p *plan, bucketSet bool, bucket Value, tuples ui
 	} else {
 		b = append(b, 0)
 	}
-	return ckU64(b, tuples)
+	b = ckU64(b, tuples)
+	if ep != nil {
+		b = append(b, 1)
+		b = ckU64(b, ep.epoch)
+		return ckU64(b, math.Float64bits(ep.model.Landmark))
+	}
+	return append(b, 0)
 }
 
 // readCkptHeader validates the preamble against the restoring plan.
-func readCkptHeader(d *ckptDec, p *plan) (bucketSet bool, bucket Value, tuples uint64, err error) {
+func readCkptHeader(d *ckptDec, p *plan) (h ckptHeader, err error) {
 	if len(d.b) < 4 || d.b[0] != ckptMagic[0] || d.b[1] != ckptMagic[1] || d.b[2] != ckptMagic[2] {
-		return false, Null, 0, fmt.Errorf("gsql: not a checkpoint (bad magic)")
+		return h, fmt.Errorf("gsql: not a checkpoint (bad magic)")
 	}
 	if d.b[3] != ckptMagic[3] {
-		return false, Null, 0, fmt.Errorf("gsql: unsupported checkpoint version %d", d.b[3])
+		return h, fmt.Errorf("gsql: unsupported checkpoint version %d", d.b[3])
 	}
 	d.b = d.b[4:]
 	fp, err := d.u64()
 	if err != nil {
-		return false, Null, 0, err
+		return h, err
 	}
 	if fp != p.fp {
-		return false, Null, 0, fmt.Errorf("gsql: checkpoint was taken by a different statement or schema")
+		return h, fmt.Errorf("gsql: checkpoint was taken by a different statement or schema")
 	}
 	ng, err := d.u64()
 	if err != nil {
-		return false, Null, 0, err
+		return h, err
 	}
 	na, err := d.u64()
 	if err != nil {
-		return false, Null, 0, err
+		return h, err
 	}
 	if ng != uint64(len(p.groupFns)) || na != uint64(len(p.aggSpecs)) {
-		return false, Null, 0, fmt.Errorf("gsql: checkpoint shape (%d groups, %d aggregates) does not match plan (%d, %d)",
+		return h, fmt.Errorf("gsql: checkpoint shape (%d groups, %d aggregates) does not match plan (%d, %d)",
 			ng, na, len(p.groupFns), len(p.aggSpecs))
 	}
 	bs, err := d.u8()
 	if err != nil {
-		return false, Null, 0, err
+		return h, err
 	}
 	if bs > 1 {
-		return false, Null, 0, fmt.Errorf("gsql: corrupt checkpoint bucket flag 0x%02x", bs)
+		return h, fmt.Errorf("gsql: corrupt checkpoint bucket flag 0x%02x", bs)
 	}
 	if bs == 1 {
-		if bucket, err = d.value(); err != nil {
-			return false, Null, 0, err
+		if h.bucket, err = d.value(); err != nil {
+			return h, err
 		}
+		h.bucketSet = true
 	}
-	if tuples, err = d.u64(); err != nil {
-		return false, Null, 0, err
+	if h.tuples, err = d.u64(); err != nil {
+		return h, err
 	}
-	return bs == 1, bucket, tuples, nil
+	es, err := d.u8()
+	if err != nil {
+		return h, err
+	}
+	if es > 1 {
+		return h, fmt.Errorf("gsql: corrupt checkpoint epoch flag 0x%02x", es)
+	}
+	if es == 1 {
+		if h.epoch, err = d.u64(); err != nil {
+			return h, err
+		}
+		lm, err := d.u64()
+		if err != nil {
+			return h, err
+		}
+		h.landmark = math.Float64frombits(lm)
+		if math.IsNaN(h.landmark) || math.IsInf(h.landmark, 0) {
+			return h, fmt.Errorf("gsql: checkpoint stamps non-finite landmark %v", h.landmark)
+		}
+		h.epochSet = true
+	}
+	return h, nil
 }
 
 // --- serial Run --------------------------------------------------------
@@ -315,7 +362,7 @@ func (r *Run) Checkpoint() ([]byte, error) {
 	if err := checkpointable(r.p); err != nil {
 		return nil, err
 	}
-	b := appendCkptHeader(nil, r.p, r.bucketSet, r.bucket, r.tuples)
+	b := appendCkptHeader(nil, r.p, r.bucketSet, r.bucket, r.tuples, r.ep)
 	n := uint64(len(r.high))
 	for i := range r.low {
 		if r.low[i].used {
@@ -353,8 +400,11 @@ func (s *Statement) Restore(ckpt []byte, sink func(Tuple) error, opts Options) (
 		return nil, err
 	}
 	r := newRun(s.p, sink, opts)
+	if r.epErr != nil {
+		return nil, r.epErr
+	}
 	d := &ckptDec{b: body}
-	bucketSet, bucket, tuples, err := readCkptHeader(d, s.p)
+	h, err := readCkptHeader(d, s.p)
 	if err != nil {
 		return nil, err
 	}
@@ -373,6 +423,9 @@ func (s *Statement) Restore(ckpt []byte, sink func(Tuple) error, opts Options) (
 		if err != nil {
 			return nil, err
 		}
+		if err := verifyLandmark(g.aggs, h.epochSet, h.landmark); err != nil {
+			return nil, err
+		}
 		keyBuf = keyBuf[:0]
 		for _, v := range g.gv {
 			keyBuf = v.appendKey(keyBuf)
@@ -386,7 +439,15 @@ func (s *Statement) Restore(ckpt []byte, sink func(Tuple) error, opts Options) (
 	if len(d.b) != 0 {
 		return nil, fmt.Errorf("gsql: %d trailing bytes in checkpoint", len(d.b))
 	}
-	r.bucketSet, r.bucket, r.tuples = bucketSet, bucket, tuples
+	r.bucketSet, r.bucket, r.tuples = h.bucketSet, h.bucket, h.tuples
+	if h.epochSet {
+		// Groups born after the restore must join the stamped frame, not the
+		// factories' baseline landmark.
+		r.curL, r.landmarkSet = h.landmark, true
+		if r.ep != nil {
+			r.ep.restoreFrom(h.epoch, h.landmark)
+		}
+	}
 	r.restores++
 	return r, nil
 }

@@ -17,6 +17,10 @@ type Options struct {
 	// LowLevelSlots is the size of the low-level hash table (power of two;
 	// default 4096).
 	LowLevelSlots int
+	// Epoch enables the epoch-rollover supervisor: periodic and
+	// overflow-triggered landmark advancement across every live aggregate.
+	// Nil leaves the landmark fixed for the run's lifetime.
+	Epoch *EpochConfig
 }
 
 // Run executes one prepared statement over a stream: Push tuples, then
@@ -35,6 +39,14 @@ type Run struct {
 
 	bucketSet bool
 	bucket    Value
+
+	ep    *epochState
+	epErr error
+	// curL is the landmark groups must be born onto once a rollover (or an
+	// epoch-stamped restore) has moved the run off the aggregate factories'
+	// baseline; landmarkSet gates it so unrolled runs pay nothing.
+	curL        float64
+	landmarkSet bool
 
 	keyBuf []byte
 	args   []Value
@@ -72,6 +84,7 @@ func newRun(p *plan, sink func(Tuple) error, opts Options) *Run {
 		gv:   make(Tuple, len(p.groupFns)),
 		rec:  make(Tuple, len(p.groupFns)+len(p.aggSpecs)),
 	}
+	r.ep, r.epErr = newEpochState(opts.Epoch)
 	r.twoLevel = p.mergeable && !opts.DisableTwoLevel && len(p.groupFns) > 0
 	if r.twoLevel {
 		n := opts.LowLevelSlots
@@ -95,6 +108,15 @@ func (r *Run) Push(t Tuple) error {
 	r.tuples++
 	if err := checkTupleFinite(r.p.schema, t); err != nil {
 		return err
+	}
+	// The epoch check runs before the tuple is folded in, so the tuple that
+	// crosses a period boundary is already aggregated in the new frame.
+	if r.ep != nil {
+		if err := r.maybeRoll(t); err != nil {
+			return err
+		}
+	} else if r.epErr != nil {
+		return r.epErr
 	}
 	if r.p.where != nil {
 		ok, err := r.p.where(t)
@@ -135,7 +157,11 @@ func (r *Run) Push(t Tuple) error {
 		// string is only materialized when a new group is inserted.
 		g := r.high[string(r.keyBuf)]
 		if g == nil {
-			g = &group{gv: append(Tuple(nil), gv...), aggs: newAggs(r.p)}
+			aggs, err := r.newGroupAggs()
+			if err != nil {
+				return err
+			}
+			g = &group{gv: append(Tuple(nil), gv...), aggs: aggs}
 			r.high[string(r.keyBuf)] = g
 		}
 		var err error
@@ -155,11 +181,15 @@ func (r *Run) Push(t Tuple) error {
 		s.used = false
 	}
 	if !s.used {
+		aggs, err := r.newGroupAggs()
+		if err != nil {
+			return err
+		}
 		s.used = true
 		s.hash = h
 		s.key = append(s.key[:0], r.keyBuf...)
 		s.gv = append(s.gv[:0], gv...)
-		s.aggs = newAggs(r.p)
+		s.aggs = aggs
 	}
 	var err error
 	r.args, err = stepAggs(r.p, s.aggs, t, r.args)
@@ -294,6 +324,13 @@ func (r *Run) flush() error {
 // units as the temporal group-by expression's source column (e.g. seconds
 // for `group by time/60`); it is ignored for non-temporal queries.
 func (r *Run) Heartbeat(ts Value) error {
+	if r.ep != nil {
+		if err := r.epochHeartbeat(ts); err != nil {
+			return err
+		}
+	} else if r.epErr != nil {
+		return r.epErr
+	}
 	ti := r.p.temporalIdx
 	if ti < 0 {
 		return nil

@@ -85,6 +85,11 @@ type ParallelOptions struct {
 	// When full, further error reports are dropped (the counters still
 	// advance).
 	ErrorBuffer int
+	// Epoch enables the epoch-rollover supervisor, as Options.Epoch does for
+	// the serial Run. Rollovers quiesce the shards: pending batches ship
+	// first, then every shard applies the landmark shift at the same point
+	// of its tuple sequence before any later tuple is stepped.
+	Epoch *EpochConfig
 }
 
 // withDefaults resolves zero fields to their defaults.
@@ -128,12 +133,22 @@ type shardSnap struct {
 }
 
 // shardMsg is the single message type of a shard's work channel: a tuple
-// batch, a snapshot request, or a drain request. FIFO channel order
-// guarantees a snapshot or drain observes every batch sent before it.
+// batch, a snapshot request, a drain request, or an epoch (landmark shift)
+// request. FIFO channel order guarantees a snapshot, drain or epoch request
+// observes every batch sent before it — the epoch barrier that keeps shard
+// rollovers aligned with the serial run's tuple interleaving.
 type shardMsg struct {
 	batch *tupleBatch
 	snap  chan shardSnap
 	drain chan shardResult
+	epoch *epochReq
+}
+
+// epochReq asks a shard to roll every partial group onto a new landmark and
+// reply when done (nil, or the first shift error).
+type epochReq struct {
+	newL  float64
+	reply chan error
 }
 
 // shardWorker is one low-level executor: it owns a partial-group table keyed
@@ -154,6 +169,13 @@ type shardWorker struct {
 	args   []Value
 	tuples uint64
 	err    error
+
+	// curL is the landmark newborn groups must be rebased onto after a
+	// rollover (or an epoch-stamped restore); landmarkSet gates the shift so
+	// unrolled runs pay nothing. It survives drains and shard restarts: the
+	// frame outlives any one window's groups.
+	curL        float64
+	landmarkSet bool
 }
 
 // run is the worker goroutine body. Drain requests are always answered —
@@ -171,6 +193,9 @@ func (w *shardWorker) run() {
 		}
 		if msg.snap != nil {
 			msg.snap <- w.snapshot()
+		}
+		if msg.epoch != nil {
+			msg.epoch.reply <- w.shift(msg.epoch.newL)
 		}
 		if msg.drain != nil {
 			msg.drain <- shardResult{groups: w.groups, err: w.err}
@@ -227,6 +252,35 @@ func (w *shardWorker) snapshot() (out shardSnap) {
 	return shardSnap{entries: entries}
 }
 
+// shift rolls every partial group onto a new landmark. A failed shard skips
+// the shift (its groups are already condemned, and will be discarded or
+// surfaced by the drain per the panic policy); a panic mid-shift marks the
+// shard failed the same way a stepping panic does, so a partially shifted
+// table can never reach the merge.
+func (w *shardWorker) shift(newL float64) (err error) {
+	// Track the frame even when this shard's window is already condemned:
+	// after the failed groups are drained away, replacements must still be
+	// born onto the rolled landmark.
+	w.curL, w.landmarkSet = newL, true
+	if w.err != nil {
+		return nil
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			w.err = &ShardPanicError{Shard: w.idx, Value: rec, Stack: debug.Stack()}
+			w.stats.shardPanics.Add(1)
+			w.report(w.err)
+			err = nil
+		}
+	}()
+	for _, g := range w.groups {
+		if e := shiftAggs(g.aggs, newL); e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
 // step folds one tuple into the shard's partial-group table. It mirrors the
 // serial high-level path: same key encoding, same group-value capture, same
 // aggregator stepping.
@@ -245,7 +299,13 @@ func (w *shardWorker) step(t Tuple) error {
 	w.keyBuf = w.p.keyAppend(w.keyBuf[:0], w.gv)
 	g := w.groups[string(w.keyBuf)]
 	if g == nil {
-		g = &group{gv: append(Tuple(nil), w.gv...), aggs: newAggs(w.p)}
+		aggs := newAggs(w.p)
+		if w.landmarkSet {
+			if err := shiftAggs(aggs, w.curL); err != nil {
+				return err
+			}
+		}
+		g = &group{gv: append(Tuple(nil), w.gv...), aggs: aggs}
 		w.groups[string(w.keyBuf)] = g
 	}
 	var err error
@@ -282,6 +342,8 @@ type ParallelRun struct {
 
 	bucketSet bool
 	bucket    Value
+
+	ep *epochState
 
 	rec    Tuple
 	tuples uint64
@@ -333,6 +395,11 @@ func (s *Statement) newParallelRun(sink func(Tuple) error, opts ParallelOptions)
 		pending: make([]*tupleBatch, o.Shards),
 		errs:    make(chan error, o.ErrorBuffer),
 	}
+	ep, err := newEpochState(o.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	pr.ep = ep
 	for i := range s.p.groupFns {
 		if i != s.p.temporalIdx {
 			pr.hasKey = true
@@ -446,6 +513,17 @@ func (pr *ParallelRun) Push(t Tuple) error {
 	if err := checkTupleFinite(pr.p.schema, t); err != nil {
 		return err
 	}
+	// As in the serial path, the epoch check precedes stepping so the tuple
+	// crossing a period boundary lands in the new frame on every shard.
+	if pr.ep != nil {
+		if ts, ok := pr.ep.time(t); ok {
+			if newL, roll := pr.ep.observe(ts); roll {
+				if err := pr.rollTo(newL); err != nil {
+					return pr.fail(err)
+				}
+			}
+		}
+	}
 	if pr.p.where != nil {
 		ok, err := pr.p.where(t)
 		if err != nil {
@@ -530,6 +608,53 @@ func (pr *ParallelRun) enqueue(shard int, t Tuple) {
 		return
 	}
 	w.work <- shardMsg{batch: b}
+}
+
+// rollTo performs a coordinated rollover: ship pending batches, send every
+// shard an epoch request (a barrier riding the FIFO work channels — each
+// shard shifts after exactly the tuples pushed before the roll), await all
+// replies, then advance the supervisor. A shift error (an aggregate whose
+// decay function cannot shift) poisons the run.
+func (pr *ParallelRun) rollTo(newL float64) error {
+	// A retained checkpoint serialized state in the old frame; refilling a
+	// restarted shard from it after the roll would merge across mismatched
+	// landmarks. Invalidate it.
+	pr.ckptEntries, pr.hasCkpt = nil, false
+	pr.shipPending()
+	replies := make([]chan error, len(pr.workers))
+	for i, w := range pr.workers {
+		replies[i] = make(chan error, 1)
+		w.work <- shardMsg{epoch: &epochReq{newL: newL, reply: replies[i]}}
+	}
+	var firstErr error
+	for i := range replies {
+		if err := <-replies[i]; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	if pr.ep != nil {
+		pr.ep.advanced(newL)
+	}
+	return nil
+}
+
+// ShiftLandmark rolls every live aggregate on every shard onto a new
+// landmark — the runtime-wide rollover, callable directly in addition to the
+// epoch supervisor's automatic rolls.
+func (pr *ParallelRun) ShiftLandmark(newL float64) error {
+	if pr.err != nil {
+		return pr.err
+	}
+	if pr.closed {
+		return errClosed
+	}
+	if err := pr.rollTo(newL); err != nil {
+		return pr.fail(err)
+	}
+	return nil
 }
 
 // shipPending flushes every partially filled batch to its shard
@@ -676,7 +801,7 @@ func (pr *ParallelRun) Checkpoint() ([]byte, error) {
 		// also surface at the next flush. Do not poison the run here.
 		return nil, firstErr
 	}
-	b := appendCkptHeader(nil, pr.p, pr.bucketSet, pr.bucket, pr.tuples)
+	b := appendCkptHeader(nil, pr.p, pr.bucketSet, pr.bucket, pr.tuples, pr.ep)
 	b = ckU64(b, uint64(len(entries)))
 	for _, en := range entries {
 		b = append(b, en.data...)
@@ -703,7 +828,7 @@ func (s *Statement) RestoreParallel(ckpt []byte, sink func(Tuple) error, opts Pa
 		return nil, err
 	}
 	d := &ckptDec{b: body}
-	bucketSet, bucket, tuples, err := readCkptHeader(d, s.p)
+	h, err := readCkptHeader(d, s.p)
 	if err != nil {
 		return nil, err
 	}
@@ -720,6 +845,9 @@ func (s *Statement) RestoreParallel(ckpt []byte, sink func(Tuple) error, opts Pa
 		before := d.b
 		g, err := readGroupEntry(d, s.p)
 		if err != nil {
+			return nil, err
+		}
+		if err := verifyLandmark(g.aggs, h.epochSet, h.landmark); err != nil {
 			return nil, err
 		}
 		raw := before[:len(before)-len(d.b)]
@@ -739,7 +867,15 @@ func (s *Statement) RestoreParallel(ckpt []byte, sink func(Tuple) error, opts Pa
 	if len(d.b) != 0 {
 		return nil, fmt.Errorf("gsql: %d trailing bytes in checkpoint", len(d.b))
 	}
-	pr.bucketSet, pr.bucket, pr.tuples = bucketSet, bucket, tuples
+	pr.bucketSet, pr.bucket, pr.tuples = h.bucketSet, h.bucket, h.tuples
+	if h.epochSet {
+		for _, w := range pr.workers {
+			w.curL, w.landmarkSet = h.landmark, true
+		}
+		if pr.ep != nil {
+			pr.ep.restoreFrom(h.epoch, h.landmark)
+		}
+	}
 	pr.ckptEntries, pr.ckptGen, pr.hasCkpt = entries, 0, true
 	pr.stats.restores.Add(1)
 	pr.launch()
@@ -755,6 +891,13 @@ func (pr *ParallelRun) Heartbeat(ts Value) error {
 	}
 	if pr.closed {
 		return errClosed
+	}
+	if pr.ep != nil {
+		if newL, roll := pr.ep.observe(ts.AsFloat()); roll {
+			if err := pr.rollTo(newL); err != nil {
+				return pr.fail(err)
+			}
+		}
 	}
 	if pr.p.temporalIdx < 0 {
 		return nil
@@ -811,6 +954,10 @@ func (pr *ParallelRun) Stats() (tuples uint64) { return pr.tuples }
 func (pr *ParallelRun) RuntimeStats() RuntimeStats {
 	s := pr.stats.snapshot()
 	s.TuplesIn = pr.tuples
+	if pr.ep != nil {
+		s.EpochRollovers = pr.ep.rolls
+		s.SentinelTrips = pr.ep.trips
+	}
 	return s
 }
 

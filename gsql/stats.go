@@ -30,6 +30,12 @@ type RuntimeStats struct {
 	WindowsClosed uint64
 	// Evictions counts low-level table evictions (serial two-level path).
 	Evictions uint64
+	// EpochRollovers counts landmark rollovers applied by this run (epoch
+	// supervisor and direct ShiftLandmark calls); SentinelTrips counts
+	// overflow-sentinel threshold crossings (each crossing counted once, even
+	// in monitor-only mode where no roll follows).
+	EpochRollovers uint64
+	SentinelTrips  uint64
 
 	// Ingest counters, populated by a network ingest front-end (the ingest
 	// package's Listener merges them into the run's snapshot); always zero
@@ -84,13 +90,18 @@ func (c *runtimeCounters) snapshot() RuntimeStats {
 
 // RuntimeStats snapshots the serial run's counters.
 func (r *Run) RuntimeStats() RuntimeStats {
-	return RuntimeStats{
+	st := RuntimeStats{
 		TuplesIn:      r.tuples,
 		Checkpoints:   r.checkpoints,
 		Restores:      r.restores,
 		WindowsClosed: r.windows,
 		Evictions:     r.evictions,
 	}
+	if r.ep != nil {
+		st.EpochRollovers = r.ep.rolls
+		st.SentinelTrips = r.ep.trips
+	}
+	return st
 }
 
 // NonFiniteValueError reports a NaN or ±Inf float in a posted tuple. Such

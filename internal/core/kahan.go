@@ -40,6 +40,13 @@ func (k *KahanSum) Scale(f float64) {
 // Reset clears the accumulator to the empty sum.
 func (k *KahanSum) Reset() { k.sum, k.c = 0, 0 }
 
+// State exposes the raw accumulator and compensation terms so codecs can
+// round-trip a sum bit-for-bit; Value() alone loses the compensation.
+func (k *KahanSum) State() (sum, comp float64) { return k.sum, k.c }
+
+// SetState restores an accumulator captured with State.
+func (k *KahanSum) SetState(sum, comp float64) { k.sum, k.c = sum, comp }
+
 // Merge folds another compensated sum into this one.
 func (k *KahanSum) Merge(o *KahanSum) {
 	k.Add(o.sum)

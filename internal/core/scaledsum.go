@@ -96,3 +96,19 @@ func (s *ScaledSum) Shift(delta float64) {
 
 // Empty reports whether nothing has been accumulated.
 func (s *ScaledSum) Empty() bool { return !s.nonEmpty }
+
+// State exposes the full representation — raw sum, Kahan compensation and
+// log scale — so checkpoint codecs can round-trip the accumulator
+// bit-for-bit. Reconstructing from Raw() alone drops the compensation and
+// breaks exact crash-restore equivalence.
+func (s *ScaledSum) State() (sum, comp, logScale float64, nonEmpty bool) {
+	sum, comp = s.sum.State()
+	return sum, comp, s.logScale, s.nonEmpty
+}
+
+// Restore reinstates an accumulator captured with State.
+func (s *ScaledSum) Restore(sum, comp, logScale float64, nonEmpty bool) {
+	s.sum.SetState(sum, comp)
+	s.logScale = logScale
+	s.nonEmpty = nonEmpty
+}

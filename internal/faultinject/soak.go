@@ -1,0 +1,154 @@
+package faultinject
+
+// Deterministic chaos-soak schedules. A soak test replays a simulated
+// multi-week stream against a runtime while interleaving faults — crashes,
+// corrupt checkpoints, heartbeats, restores — and compares the result against
+// a fault-free oracle fed the identical event sequence. Everything is a pure
+// function of the seed, so a failing soak replays bit-for-bit.
+//
+// The scheduler lives here (and not in the runtime packages that consume it)
+// so the same event tape can drive the serial gsql runtime, the sharded
+// runtime, and the distributed coordinator without import cycles:
+// faultinject imports nothing from this repository.
+
+import "sort"
+
+// SoakOp is the kind of one scheduled soak event.
+type SoakOp uint8
+
+const (
+	// SoakTuple delivers one stream tuple (Key, Val at time T).
+	SoakTuple SoakOp = iota
+	// SoakHeartbeat advances stream time without data.
+	SoakHeartbeat
+	// SoakCheckpoint snapshots the subject runtime's state.
+	SoakCheckpoint
+	// SoakCrash kills the subject runtime; the harness restores it from the
+	// latest checkpoint and replays the tuples delivered since.
+	SoakCrash
+	// SoakCorrupt hands the harness a corrupted copy of the latest
+	// checkpoint, which a restore must refuse (the original stays good).
+	SoakCorrupt
+)
+
+// String names the op for failure messages.
+func (op SoakOp) String() string {
+	switch op {
+	case SoakTuple:
+		return "tuple"
+	case SoakHeartbeat:
+		return "heartbeat"
+	case SoakCheckpoint:
+		return "checkpoint"
+	case SoakCrash:
+		return "crash"
+	case SoakCorrupt:
+		return "corrupt"
+	default:
+		return "unknown"
+	}
+}
+
+// SoakEvent is one scheduled event of a soak run.
+type SoakEvent struct {
+	Op SoakOp
+	// T is the event's stream time (meaningful for every op; fault ops fire
+	// between the tuples around them).
+	T float64
+	// Key and Val carry the payload of SoakTuple events.
+	Key uint64
+	Val float64
+}
+
+// SoakConfig parameterizes a generated schedule. All periods are in stream
+// time; zero disables the corresponding event kind (except MeanGap, which is
+// required).
+type SoakConfig struct {
+	// Seed makes the schedule (gaps, keys, values) deterministic.
+	Seed uint64
+	// Start is the stream time of the first tuple.
+	Start float64
+	// Duration is the total simulated span; events stop at Start+Duration.
+	Duration float64
+	// MeanGap is the average spacing between tuples. Gaps are integers in
+	// [1, 2·MeanGap) so timestamps stay exact in float64 — soak oracles can
+	// then compare bit-for-bit.
+	MeanGap float64
+	// Keys is the number of distinct tuple keys (default 16).
+	Keys int
+	// HeartbeatEvery inserts a heartbeat at this period.
+	HeartbeatEvery float64
+	// CheckpointEvery inserts a checkpoint at this period.
+	CheckpointEvery float64
+	// CrashEvery inserts a crash/restore at this period (the harness decides
+	// what a crash means for the runtime under test).
+	CrashEvery float64
+	// CorruptEvery inserts a corrupt-checkpoint probe at this period.
+	CorruptEvery float64
+}
+
+// soakRNG is splitmix64 — the repository's standard deterministic generator.
+type soakRNG uint64
+
+func (r *soakRNG) next() uint64 {
+	*r += 0x9e3779b97f4a7c15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SoakSchedule generates the full event tape for a configuration: tuples at
+// pseudo-random integer gaps interleaved — in deterministic order — with the
+// configured periodic fault events. Events are sorted by time; fault events
+// scheduled at the same instant fire in a fixed order (heartbeat, checkpoint,
+// corrupt, crash) before the next tuple.
+func SoakSchedule(cfg SoakConfig) []SoakEvent {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 16
+	}
+	if cfg.MeanGap < 1 {
+		cfg.MeanGap = 1
+	}
+	rng := soakRNG(cfg.Seed)
+	end := cfg.Start + cfg.Duration
+
+	var events []SoakEvent
+	// Periodic fault events first, one series per enabled kind. They are
+	// generated in a fixed kind order so equal-time events tie-break
+	// deterministically under the stable sort below.
+	periodic := []struct {
+		op    SoakOp
+		every float64
+	}{
+		{SoakHeartbeat, cfg.HeartbeatEvery},
+		{SoakCheckpoint, cfg.CheckpointEvery},
+		{SoakCorrupt, cfg.CorruptEvery},
+		{SoakCrash, cfg.CrashEvery},
+	}
+	for _, p := range periodic {
+		if p.every <= 0 {
+			continue
+		}
+		for t := cfg.Start + p.every; t < end; t += p.every {
+			events = append(events, SoakEvent{Op: p.op, T: t})
+		}
+	}
+	// Tuple tape: integer gaps in [1, 2·MeanGap), keys and values from the
+	// same generator.
+	span := uint64(2*cfg.MeanGap) - 1
+	if span < 1 {
+		span = 1
+	}
+	for t := cfg.Start; t < end; {
+		key := rng.next() % uint64(cfg.Keys)
+		val := float64(1 + rng.next()%1000)
+		events = append(events, SoakEvent{Op: SoakTuple, T: t, Key: key, Val: val})
+		t += float64(1 + rng.next()%span)
+	}
+	// A stable sort preserves generation order among equal-time events, so
+	// fault kinds fire in the fixed order above before tuples at the same
+	// instant.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return events
+}

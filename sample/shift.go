@@ -1,0 +1,85 @@
+package sample
+
+import "forwarddecay/decay"
+
+// Landmark shifting for the samplers (epoch rollover). Under exponential
+// decay a landmark move changes every log static weight by the same additive
+// constant delta, so each sampler rebases in place:
+//
+//   - WR keeps only the running total weight, whose log scale shifts;
+//   - WRS keys are ln(−ln u) − ln w, so each key moves by −delta and each
+//     stored weight by +delta — a uniform translation that preserves the
+//     heap order, hence the retained sample, exactly;
+//   - Priority priorities are ln w − ln u, so keys and weights both move by
+//     +delta, again order-preserving.
+//
+// Repeated shifts therefore never change which items are sampled; only the
+// stored log quantities are translated (each translation is one float add
+// per entry, so round-off does not compound structurally).
+
+// ShiftLog adds delta to the log weight of every accumulated item.
+func (s *WR[T]) ShiftLog(delta float64) { s.w.Shift(delta) }
+
+// ShiftLog adds delta to the log weight of every retained item, translating
+// the selection keys accordingly. The retained sample is unchanged.
+func (s *WRS[T]) ShiftLog(delta float64) {
+	for i := range s.h {
+		s.h[i].logW += delta
+		s.h[i].logKey -= delta
+	}
+}
+
+// ShiftLog adds delta to the log weight of every retained item, translating
+// the priorities accordingly. The retained sample and threshold entry are
+// unchanged.
+func (s *Priority[T]) ShiftLog(delta float64) {
+	for i := range s.h {
+		s.h[i].logW += delta
+		s.h[i].logQ += delta
+	}
+}
+
+// shiftModel factors the common model handling of the Forward* samplers.
+func shiftModel(m decay.Forward, newL float64) (decay.Forward, float64, error) {
+	shifted, logShift, ok := m.Shifted(newL)
+	if !ok {
+		return m, 0, &decay.NotShiftableError{Func: m.Func.String()}
+	}
+	return shifted, logShift, nil
+}
+
+// ShiftLandmark rebases the sampler onto a new landmark (exponential decay
+// only); the sampled distribution is unchanged.
+func (f *ForwardWR[T]) ShiftLandmark(newL float64) error {
+	m, d, err := shiftModel(f.model, newL)
+	if err != nil {
+		return err
+	}
+	f.model = m
+	f.s.ShiftLog(d)
+	return nil
+}
+
+// ShiftLandmark rebases the sampler onto a new landmark (exponential decay
+// only); the retained sample is unchanged.
+func (f *ForwardWRS[T]) ShiftLandmark(newL float64) error {
+	m, d, err := shiftModel(f.model, newL)
+	if err != nil {
+		return err
+	}
+	f.model = m
+	f.s.ShiftLog(d)
+	return nil
+}
+
+// ShiftLandmark rebases the sampler onto a new landmark (exponential decay
+// only); the retained sample and its weight estimates are unchanged.
+func (f *ForwardPriority[T]) ShiftLandmark(newL float64) error {
+	m, d, err := shiftModel(f.model, newL)
+	if err != nil {
+		return err
+	}
+	f.model = m
+	f.s.ShiftLog(d)
+	return nil
+}

@@ -1,0 +1,115 @@
+package sample
+
+import (
+	"errors"
+	"testing"
+
+	"forwarddecay/decay"
+)
+
+// Landmark-shift tests for the forward samplers: under exponential decay the
+// rebase is a uniform translation of log keys, priorities and weights, so the
+// retained sample — and every later sampling decision — is identical to a
+// sampler that never shifted. The samplers are deterministic given a seed,
+// which lets these tests demand exact sample equality.
+
+func sampleShiftModel() decay.Forward {
+	return decay.NewForward(decay.NewExp(0.02), 0)
+}
+
+func TestForwardWRSShiftPreservesSample(t *testing.T) {
+	m := sampleShiftModel()
+	s, ref := NewForwardWRS[int](m, 20, 7), NewForwardWRS[int](m, 20, 7)
+	for i := 0; i < 2000; i++ {
+		ts := float64(i) / 4
+		s.Observe(i, ts)
+		ref.Observe(i, ts)
+		if i%300 == 299 {
+			if err := s.ShiftLandmark(ts - 10); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, want := s.Sample(), ref.Sample()
+	if len(got) != len(want) {
+		t.Fatalf("shifted sampler retains %d items, unshifted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: shifted %v, unshifted %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestForwardPriorityShiftPreservesSample(t *testing.T) {
+	m := sampleShiftModel()
+	s, ref := NewForwardPriority[int](m, 20, 11), NewForwardPriority[int](m, 20, 11)
+	for i := 0; i < 2000; i++ {
+		ts := float64(i) / 4
+		s.Observe(i, ts)
+		ref.Observe(i, ts)
+		if i%450 == 449 {
+			if err := s.ShiftLandmark(ts - 25); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	now := 500.0
+	got, want := s.Sample(now), ref.Sample(now)
+	if len(got) != len(want) {
+		t.Fatalf("shifted sampler retains %d items, unshifted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Item != want[i].Item {
+			t.Fatalf("item %d: shifted %v, unshifted %v", i, got[i].Item, want[i].Item)
+		}
+		// Weight estimates exponentiate translated log quantities, so they
+		// agree to float rounding (the retained set itself is exact).
+		if d := got[i].Weight - want[i].Weight; d > 1e-12*want[i].Weight || d < -1e-12*want[i].Weight {
+			t.Fatalf("item %d weight: shifted %v, unshifted %v", i, got[i].Weight, want[i].Weight)
+		}
+	}
+}
+
+func TestForwardWRShiftPreservesSample(t *testing.T) {
+	m := sampleShiftModel()
+	s, ref := NewForwardWR[int](m, 15, 3), NewForwardWR[int](m, 15, 3)
+	for i := 0; i < 1000; i++ {
+		ts := float64(i) / 2
+		s.Observe(i, ts)
+		ref.Observe(i, ts)
+		if i == 600 {
+			if err := s.ShiftLandmark(250); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got, want := s.Sample(), ref.Sample()
+	if len(got) != len(want) {
+		t.Fatalf("shifted sampler holds %d slots, unshifted %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d: shifted %v, unshifted %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSamplerShiftRejectsNonShiftableTyped: the samplers refuse landmark
+// shifts under polynomial decay with the matchable typed error, leaving the
+// sampler untouched.
+func TestSamplerShiftRejectsNonShiftableTyped(t *testing.T) {
+	m := decay.NewForward(decay.NewPoly(2), 0)
+	shifters := map[string]interface{ ShiftLandmark(float64) error }{
+		"ForwardWR":       NewForwardWR[int](m, 10, 1),
+		"ForwardWRS":      NewForwardWRS[int](m, 10, 1),
+		"ForwardPriority": NewForwardPriority[int](m, 10, 1),
+	}
+	for name, s := range shifters {
+		err := s.ShiftLandmark(10)
+		var nse *decay.NotShiftableError
+		if !errors.As(err, &nse) {
+			t.Errorf("%s.ShiftLandmark under poly decay returned %v, want *decay.NotShiftableError", name, err)
+		}
+	}
+}

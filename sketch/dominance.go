@@ -34,6 +34,13 @@ type Dominance struct {
 	levels    map[int]*KMV
 	lo, hi    int
 	empty     bool
+	// logShift is the frame offset between external log weights and the
+	// internal (birth-frame) weights the levels are bucketed by: an update
+	// with external weight w is stored at level floor((w−logShift)/logBase),
+	// and LogEstimate adds logShift back. ShiftLog moves only this offset,
+	// so landmark shifts under exponential decay never re-bucket anything —
+	// the shift is exact no matter how many times it is applied.
+	logShift float64
 }
 
 // NewDominance returns an estimator with per-level KMV size k, level ratio
@@ -64,7 +71,7 @@ func (d *Dominance) Update(key uint64, logW float64) {
 	if math.IsInf(logW, -1) || math.IsNaN(logW) {
 		return
 	}
-	l := int(math.Floor(logW / d.logBase))
+	l := int(math.Floor((logW - d.logShift) / d.logBase))
 	if d.empty {
 		d.lo, d.hi = l, l
 		d.empty = false
@@ -144,8 +151,16 @@ func (d *Dominance) LogEstimate() float64 {
 		acc = core.LogSumExp(acc, logCoeff+math.Log(est))
 	}
 	// Center the discretization bias: the layered sum underestimates by a
-	// factor between 1 and base; multiply by √base.
-	return acc + d.logBase/2
+	// factor between 1 and base; multiply by √base. logShift converts the
+	// internal birth-frame estimate back to the external frame.
+	return acc + d.logBase/2 + d.logShift
+}
+
+// ShiftLog adds a constant to every stored log weight — the landmark-shift
+// rebase for exponential forward decay. Only the frame offset moves; level
+// contents are untouched, so the operation is O(1) and exact.
+func (d *Dominance) ShiftLog(delta float64) {
+	d.logShift += delta
 }
 
 // Estimate returns the estimated dominance norm in the linear domain.
@@ -162,14 +177,25 @@ func (d *Dominance) Merge(o *Dominance) {
 	if math.Abs(o.logBase-d.logBase) > 1e-12 {
 		panic("sketch: merging Dominance sketches with different bases")
 	}
+	// When the two sketches were landmark-shifted by different amounts their
+	// birth frames differ; translate o's levels into this sketch's frame by
+	// the rounded whole-level offset. After a uniform rollover both sides
+	// carry the same logShift and off is 0; a fractional residue (shifts that
+	// are not whole levels) costs at most half a level of discretization —
+	// within the sketch's existing base-factor error.
+	off := 0
+	if o.logShift != d.logShift {
+		off = int(math.Round((o.logShift - d.logShift) / d.logBase))
+	}
+	olo, ohi := o.lo+off, o.hi+off
 	if d.empty {
-		d.lo, d.hi, d.empty = o.lo, o.hi, false
+		d.lo, d.hi, d.empty = olo, ohi, false
 	}
-	if o.hi > d.hi {
-		d.hi = o.hi
+	if ohi > d.hi {
+		d.hi = ohi
 	}
-	if o.lo < d.lo && d.hi-o.lo+1 <= d.maxLevels {
-		d.extendDown(o.lo)
+	if olo < d.lo && d.hi-olo+1 <= d.maxLevels {
+		d.extendDown(olo)
 	}
 	if nlo := d.hi - d.maxLevels + 1; nlo > d.lo {
 		for j := d.lo; j < nlo; j++ {
@@ -183,12 +209,12 @@ func (d *Dominance) Merge(o *Dominance) {
 	for j := d.lo; j <= d.hi; j++ {
 		var src *KMV
 		switch {
-		case j < o.lo:
+		case j < olo:
 			src = oLowest
-		case j > o.hi:
+		case j > ohi:
 			src = nil
 		default:
-			src = o.levels[j]
+			src = o.levels[j-off]
 		}
 		if src == nil || src.Len() == 0 {
 			continue

@@ -344,6 +344,7 @@ func (d *Dominance) MarshalBinary() ([]byte, error) {
 	e.f64(d.logBase)
 	e.u64(uint64(d.k))
 	e.u64(uint64(d.maxLevels))
+	e.f64(d.logShift)
 	if d.empty {
 		e.u8(0)
 		return e.b, nil
@@ -388,12 +389,19 @@ func (d *Dominance) UnmarshalBinary(b []byte) error {
 	if k < 3 || maxLevels < 2 || k > 1<<30 || maxLevels > 1<<24 {
 		return fmt.Errorf("sketch: implausible Dominance parameters")
 	}
+	logShift, err := r.f64()
+	if err != nil {
+		return err
+	}
+	if math.IsNaN(logShift) || math.IsInf(logShift, 0) {
+		return fmt.Errorf("sketch: non-finite Dominance frame offset")
+	}
 	nonEmpty, err := r.u8()
 	if err != nil {
 		return err
 	}
 	out := &Dominance{logBase: logBase, k: int(k), maxLevels: int(maxLevels),
-		levels: make(map[int]*KMV), empty: true}
+		levels: make(map[int]*KMV), empty: true, logShift: logShift}
 	if nonEmpty == 1 {
 		lo, err := r.i64()
 		if err != nil {

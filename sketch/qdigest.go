@@ -208,17 +208,19 @@ func (q *QDigest) span(id uint64) (lo, hi uint64) {
 	return lo, hi
 }
 
-// Scale multiplies every stored weight and the total by f ≥ 0 (landmark
-// rescaling, §VI-A of the paper).
-func (q *QDigest) Scale(f float64) {
-	if f < 0 {
-		panic("sketch: negative scale")
+// Scale multiplies every stored weight and the total by f (landmark
+// rescaling, §VI-A of the paper). The factor must be finite and positive;
+// anything else returns *ScaleError and leaves the digest untouched.
+func (q *QDigest) Scale(f float64) error {
+	if err := checkScale("QDigest", f); err != nil {
+		return err
 	}
 	for id := range q.nodes {
 		q.nodes[id] *= f
 	}
 	q.total *= f
 	q.dirty *= f
+	return nil
 }
 
 // Merge folds another digest over the same domain into this one by adding

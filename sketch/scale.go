@@ -1,0 +1,31 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScaleError reports a rejected rescale factor. SpaceSaving.Scale and
+// QDigest.Scale refuse NaN, ±Inf and non-positive factors: a non-finite
+// factor would poison every counter in one call, and a non-positive one
+// erases the summary — neither is ever a meaningful landmark rebase, so both
+// indicate a bug (or overflowed arithmetic) in the caller.
+type ScaleError struct {
+	// Sketch names the summary type whose Scale was called.
+	Sketch string
+	// Factor is the rejected value.
+	Factor float64
+}
+
+func (e *ScaleError) Error() string {
+	return fmt.Sprintf("sketch: %s.Scale factor %g is not a finite positive number", e.Sketch, e.Factor)
+}
+
+// checkScale validates a rescale factor, returning *ScaleError when it is
+// unusable.
+func checkScale(sketch string, f float64) error {
+	if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return &ScaleError{Sketch: sketch, Factor: f}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package sketch
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// Scale-guard tests: SpaceSaving.Scale and QDigest.Scale must refuse any
+// factor that is not a finite positive number with the typed *ScaleError —
+// a NaN or Inf factor poisons every counter in one call, and a non-positive
+// one erases the summary, so both indicate caller arithmetic gone wrong
+// (typically an overflowed linear-domain weight during a landmark rebase).
+
+var badScaleFactors = []float64{
+	math.NaN(), math.Inf(1), math.Inf(-1), 0, -1, -math.SmallestNonzeroFloat64,
+}
+
+func TestSpaceSavingScaleGuard(t *testing.T) {
+	s := NewSpaceSavingK(8)
+	for k := uint64(0); k < 20; k++ {
+		s.Update(k%5, 1)
+	}
+	before, _ := s.Estimate(2)
+	for _, f := range badScaleFactors {
+		err := s.Scale(f)
+		var se *ScaleError
+		if !errors.As(err, &se) {
+			t.Fatalf("Scale(%v) returned %v, want *ScaleError", f, err)
+		}
+		if se.Sketch != "SpaceSaving" || se.Factor != f && !(math.IsNaN(se.Factor) && math.IsNaN(f)) {
+			t.Fatalf("Scale(%v) error carries %q/%v", f, se.Sketch, se.Factor)
+		}
+		if after, _ := s.Estimate(2); after != before {
+			t.Fatalf("rejected Scale(%v) still altered counts: %v -> %v", f, before, after)
+		}
+	}
+	if err := s.Scale(0.5); err != nil {
+		t.Fatalf("Scale(0.5) rejected: %v", err)
+	}
+	if after, _ := s.Estimate(2); after != before/2 {
+		t.Fatalf("Scale(0.5) gave %v, want %v", after, before/2)
+	}
+}
+
+func TestQDigestScaleGuard(t *testing.T) {
+	q := NewQDigest(256, 0.05)
+	for i := uint64(0); i < 100; i++ {
+		q.Update(i%64, 1)
+	}
+	before := q.Total()
+	for _, f := range badScaleFactors {
+		err := q.Scale(f)
+		var se *ScaleError
+		if !errors.As(err, &se) {
+			t.Fatalf("Scale(%v) returned %v, want *ScaleError", f, err)
+		}
+		if se.Sketch != "QDigest" {
+			t.Fatalf("Scale(%v) error names sketch %q", f, se.Sketch)
+		}
+		if q.Total() != before {
+			t.Fatalf("rejected Scale(%v) still altered total weight", f)
+		}
+	}
+	if err := q.Scale(0.25); err != nil {
+		t.Fatalf("Scale(0.25) rejected: %v", err)
+	}
+	if got := q.Total(); math.Abs(got-before/4) > 1e-9*before {
+		t.Fatalf("Scale(0.25) gave weight %v, want %v", got, before/4)
+	}
+}
+
+// TestDominanceShiftLogExact: the dominance sketch's landmark shift moves
+// only its frame offset, so estimates translate exactly (multiplying by
+// e^delta in the linear domain) and repeated shifts cancel bit-for-bit.
+func TestDominanceShiftLogExact(t *testing.T) {
+	d := NewDominance(64, 1.05, 256)
+	for i := uint64(0); i < 500; i++ {
+		d.Update(i%113, float64(i%50)/10)
+	}
+	before := d.LogEstimate()
+	d.ShiftLog(3.25)
+	if got := d.LogEstimate(); got != before+3.25 {
+		t.Fatalf("LogEstimate after ShiftLog(3.25) = %v, want %v", got, before+3.25)
+	}
+	d.ShiftLog(-3.25)
+	if got := d.LogEstimate(); got != before {
+		t.Fatalf("round-trip shift drifted: %v vs %v", got, before)
+	}
+	// Shifts commute with merging: a sketch merged from shifted halves must
+	// agree with shifting the merged whole.
+	a, b := NewDominance(64, 1.05, 256), NewDominance(64, 1.05, 256)
+	for i := uint64(0); i < 300; i++ {
+		a.Update(i, float64(i%30)/10)
+		b.Update(i+1000, float64(i%40)/10)
+	}
+	a.ShiftLog(1.5)
+	b.ShiftLog(1.5)
+	whole := NewDominance(64, 1.05, 256)
+	for i := uint64(0); i < 300; i++ {
+		whole.Update(i, float64(i%30)/10)
+		whole.Update(i+1000, float64(i%40)/10)
+	}
+	whole.ShiftLog(1.5)
+	a.Merge(b)
+	if got, want := a.LogEstimate(), whole.LogEstimate(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("merge of shifted halves %v, shifted whole %v", got, want)
+	}
+}

@@ -323,12 +323,15 @@ func (s *SpaceSaving) Top(n int) []ItemCount {
 	return out
 }
 
-// Scale multiplies every counter, error bound and the total by f ≥ 0. It is
+// Scale multiplies every counter, error bound and the total by f. It is
 // the linear rescaling pass of §VI-A of the paper, used when rebasing
-// exponential forward decay onto a new landmark.
-func (s *SpaceSaving) Scale(f float64) {
-	if f < 0 {
-		panic("sketch: negative scale")
+// exponential forward decay onto a new landmark. The factor must be finite
+// and positive: NaN or ±Inf would poison every counter at once, and a
+// non-positive factor erases the summary, so both return *ScaleError and
+// leave the state untouched.
+func (s *SpaceSaving) Scale(f float64) error {
+	if err := checkScale("SpaceSaving", f); err != nil {
+		return err
 	}
 	for i := range s.entries {
 		s.entries[i].count *= f
@@ -343,6 +346,7 @@ func (s *SpaceSaving) Scale(f float64) {
 		s.thresh *= f
 	}
 	s.total *= f
+	return nil
 }
 
 // Merge folds another summary into this one (the other is left unchanged).

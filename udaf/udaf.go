@@ -67,6 +67,13 @@ type Config struct {
 	// the reported quantile (default 0.5).
 	QuantileU   uint64
 	QuantilePhi float64
+	// Decay, when its Func is set, additionally registers the epoch-aware
+	// fd* aggregate family (fdcount, fdsum, fdavg, fdvar, fdmin, fdmax,
+	// fdhh, fdpct, fdcard, fdprisamp, fdwrsamp — see epoch.go): these take
+	// raw timestamps, carry the model internally, and support runtime-wide
+	// landmark rollover via gsql's epoch supervisor. Leaving it unset keeps
+	// the registration surface exactly as before.
+	Decay decay.Forward
 }
 
 // withDefaults fills unset fields.
@@ -142,6 +149,9 @@ func RegisterAll(e *gsql.Engine, cfg Config) error {
 			New: func() gsql.Aggregator {
 				return &fddistinctAgg{s: sketch.NewDominance(1024, 1.05, 1024)}
 			}},
+	}
+	if cfg.Decay.Func != nil {
+		specs = append(specs, epochSpecs(cfg)...)
 	}
 	for _, s := range specs {
 		if err := e.RegisterUDAF(s); err != nil {

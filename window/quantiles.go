@@ -145,7 +145,11 @@ func (q *Quantiles) DecayedQuery(f decay.AgeFunc, t, phi float64) uint64 {
 			continue
 		}
 		cp := b.qd.Clone()
-		cp.Scale(w)
+		if err := cp.Scale(w); err != nil {
+			// w is finite and positive here (zero weights were skipped
+			// above, and age functions are positive), so this cannot fail.
+			panic(err)
+		}
 		merged.Merge(cp)
 	}
 	return merged.Quantile(phi)
