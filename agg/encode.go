@@ -116,6 +116,7 @@ func (c *Counter) UnmarshalBinary(b []byte) error {
 	c.model = m
 	c.c = s
 	c.n = binary.LittleEndian.Uint64(rest)
+	c.memo.invalidate() // cached weight may belong to a different model
 	return nil
 }
 
@@ -158,6 +159,7 @@ func (s *Sum) UnmarshalBinary(b []byte) error {
 	s.model = m
 	s.c, s.s, s.s2 = c, sv, s2
 	s.n = binary.LittleEndian.Uint64(rest)
+	s.memo.invalidate() // cached weight may belong to a different model
 	return nil
 }
 

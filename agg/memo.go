@@ -1,0 +1,32 @@
+package agg
+
+import "forwarddecay/decay"
+
+// logWeightMemo is a one-slot cache of model.LogStaticWeight(ti), the
+// per-observation log decay weight. LogStaticWeight is a pure function of
+// (ti, model), so replaying the cached value for a repeated timestamp is
+// bit-for-bit identical to recomputing it; streaming inputs arrive in
+// timestamp runs (every tuple of a packet batch, often a whole frame,
+// shares one arrival time), which makes a single slot enough to amortize
+// the weight computation across the run.
+//
+// The cache is derived state: it must be invalidated whenever the model
+// changes (ShiftLandmark, checkpoint restore) and is never serialized.
+type logWeightMemo struct {
+	ti float64
+	lw float64
+	ok bool
+}
+
+// weight returns model.LogStaticWeight(ti), cached across consecutive
+// calls with the same ti.
+func (m *logWeightMemo) weight(model decay.Forward, ti float64) float64 {
+	if m.ok && m.ti == ti {
+		return m.lw
+	}
+	m.ti, m.lw, m.ok = ti, model.LogStaticWeight(ti), true
+	return m.lw
+}
+
+// invalidate drops the cached weight; the next weight call recomputes.
+func (m *logWeightMemo) invalidate() { m.ok = false }

@@ -29,5 +29,9 @@ go test -run='^$' -fuzz='^FuzzDecayUnmarshal$' -fuzztime=10s -fuzzminimizetime=1
 # benchmark runs >25% slower (ns/op) than the committed baseline. 300ms per
 # benchmark keeps the smoke cheap; the committed BENCH_*.json snapshots are
 # regenerated with the default -benchtime 1s. The JSON goes to stdout, so
-# discard it here — the comparison table prints on stderr.
+# discard it here — the comparison table prints on stderr. BENCH_PR6.json
+# extends the baseline set with the columnar batch kernels (ExecPushBatch,
+# PredicateBatch, WeighBatch); benchmarks present on only one side are
+# ignored, so the older snapshot keeps gating the scalar paths.
 go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_BASELINE.json > /dev/null
+go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_PR6.json > /dev/null

@@ -31,6 +31,13 @@ type benchEnvironment struct {
 // benchmark may not run more than 25% slower than the committed baseline.
 const regressionLimit = 1.25
 
+// gateRetries is how many times an apparently-regressed benchmark is
+// re-measured before the gate fails it. The gate keeps the best (minimum)
+// ns/op across attempts: min-of-N estimates the true cost of the code, and a
+// genuine regression stays above the limit on every attempt, while a one-off
+// scheduler spike on the single-core CI box does not.
+const gateRetries = 2
+
 // runBenchJSON runs the micro suite, writes the JSON report to stdout, and
 // (when a baseline file is given) fails on >25% ns/op regressions.
 func runBenchJSON(baselinePath, benchtime, description string) error {
@@ -87,6 +94,19 @@ func compareBaseline(path string, results []bench.MicroResult) error {
 		b, ok := baseline[r.Package+"."+r.Name]
 		if !ok || b.NsPerOp <= 0 {
 			continue
+		}
+		// Retry apparent regressions and keep the best observation: a real
+		// slowdown persists across attempts, a scheduler spike does not.
+		for retry := 0; r.NsPerOp/b.NsPerOp > regressionLimit && retry < gateRetries; retry++ {
+			again, ok := bench.MeasureOne(r.Package, r.Name)
+			if !ok {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "retry %s.%s: %.1f ns/op (was %.1f)\n",
+				r.Package, r.Name, again.NsPerOp, r.NsPerOp)
+			if again.NsPerOp < r.NsPerOp {
+				r.NsPerOp = again.NsPerOp
+			}
 		}
 		ratio := r.NsPerOp / b.NsPerOp
 		mark := ""

@@ -21,6 +21,9 @@
 //	-heartbeat d    synthesize a heartbeat after d of input silence so open
 //	                time buckets still close while the source idles
 //	                (both local and -listen input; 0 = off)
+//	-batch          execute via the columnar batch path (default on); with
+//	                -batch=false every tuple goes through the scalar Push
+//	                path — the differential lever for batch-vs-scalar runs
 //	-rate r         synthetic packet rate (default 100000)
 //	-packets n      synthetic packet count (default 1000000)
 //	-seed n         synthetic generator seed
@@ -81,6 +84,7 @@ func main() {
 	listen := flag.String("listen", "", "serve the ingest protocol on this address (host:port or unix:/path)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "bound on draining in-flight frames at shutdown (with -listen)")
 	heartbeat := flag.Duration("heartbeat", 0, "synthesize a heartbeat after this much input silence (0 = off)")
+	batchMode := flag.Bool("batch", true, "execute via the columnar batch path (-batch=false forces scalar pushes)")
 	rate := flag.Float64("rate", 100_000, "synthetic packet rate (pkt/s)")
 	packets := flag.Int("packets", 1_000_000, "synthetic packet count")
 	seed := flag.Uint64("seed", 1, "synthetic generator seed")
@@ -121,8 +125,11 @@ func main() {
 				Model:        model,
 				Every:        *epochEvery,
 				MaxLogWeight: *epochMaxLogW,
-				// The packet schema's ftime column carries stream time.
-				Time: func(t gsql.Tuple) (float64, bool) { return t[1].AsFloat(), true },
+				// The packet schema's ftime column carries stream time; the
+				// column name lets the batch path read it straight off the
+				// column vector instead of materializing rows.
+				Time:       func(t gsql.Tuple) (float64, bool) { return t[1].AsFloat(), true },
+				TimeColumn: "ftime",
 			}
 		}
 	}
@@ -177,22 +184,58 @@ func main() {
 	}
 
 	if *listen != "" {
-		serve(run, *listen, *drainTimeout, *heartbeat, *ckptFile, *ckptEvery, *restoreFile)
+		serve(run, *listen, *drainTimeout, *heartbeat, !*batchMode, *ckptFile, *ckptEvery, *restoreFile)
 		return
 	}
 
-	pushed := 0
-	push := func(p netgen.Packet) error {
-		if err := run.Push(netgen.Tuple(p)); err != nil {
-			return err
-		}
-		pushed++
-		if *ckptFile != "" && *ckptEvery > 0 && pushed%*ckptEvery == 0 {
-			if err := writeCheckpoint(run, *ckptFile); err != nil {
-				return err
-			}
+	sinceCkpt := 0
+	maybeCkpt := func() error {
+		if *ckptFile != "" && *ckptEvery > 0 && sinceCkpt >= *ckptEvery {
+			sinceCkpt = 0
+			return writeCheckpoint(run, *ckptFile)
 		}
 		return nil
+	}
+	var push func(p netgen.Packet) error
+	flush := func() error { return nil }
+	if *batchMode {
+		// Columnar drive: buffer packets and push 256 at a time. Heartbeats,
+		// checkpoints and the end of input all flush first, so stream time
+		// never overtakes buffered data and checkpoint cuts land at batch
+		// boundaries.
+		bb, err := gsql.NewBatch(gsql.PacketSchema("TCP"))
+		if err != nil {
+			fatal(err)
+		}
+		buf := make([]netgen.Packet, 0, 256)
+		flush = func() error {
+			if len(buf) == 0 {
+				return nil
+			}
+			netgen.FillBatch(bb, buf)
+			n := len(buf)
+			buf = buf[:0]
+			if _, err := run.PushBatch(bb); err != nil {
+				return err
+			}
+			sinceCkpt += n
+			return maybeCkpt()
+		}
+		push = func(p netgen.Packet) error {
+			buf = append(buf, p)
+			if len(buf) == cap(buf) {
+				return flush()
+			}
+			return nil
+		}
+	} else {
+		push = func(p netgen.Packet) error {
+			if err := run.Push(netgen.Tuple(p)); err != nil {
+				return err
+			}
+			sinceCkpt++
+			return maybeCkpt()
+		}
 	}
 
 	var produce func(emit func(netgen.Packet) error) error
@@ -216,17 +259,21 @@ func main() {
 			return nil
 		}
 	}
-	finish(run, drive(run, push, produce, *heartbeat), *ckptFile)
+	finish(run, drive(run, push, flush, produce, *heartbeat), *ckptFile)
 }
 
-// drive feeds packets from produce into push. With a positive heartbeat
+// drive feeds packets from produce into push, flushing any batch buffer at
+// the end of input and before every heartbeat. With a positive heartbeat
 // interval the producer runs on its own goroutine and input silence longer
 // than the interval synthesizes a heartbeat — stream time advanced by the
 // idle wall-clock span — so open time buckets close even when the source
 // stalls.
-func drive(run *gsql.Run, push func(netgen.Packet) error, produce func(func(netgen.Packet) error) error, heartbeat time.Duration) error {
+func drive(run *gsql.Run, push func(netgen.Packet) error, flush func() error, produce func(func(netgen.Packet) error) error, heartbeat time.Duration) error {
 	if heartbeat <= 0 {
-		return produce(push)
+		if err := produce(push); err != nil {
+			return err
+		}
+		return flush()
 	}
 	pkts := make(chan netgen.Packet, 256)
 	errc := make(chan error, 1)
@@ -246,7 +293,10 @@ func drive(run *gsql.Run, push func(netgen.Packet) error, produce func(func(netg
 		select {
 		case p, ok := <-pkts:
 			if !ok {
-				return <-errc
+				if err := <-errc; err != nil {
+					return err
+				}
+				return flush()
 			}
 			if err := push(p); err != nil {
 				go func() {
@@ -265,6 +315,10 @@ func drive(run *gsql.Run, push func(netgen.Packet) error, produce func(func(netg
 				continue
 			}
 			ts := lastTS + time.Since(lastActivity).Seconds()
+			// Buffered packets precede the heartbeat in stream order.
+			if err := flush(); err != nil {
+				return err
+			}
 			if err := run.Heartbeat(gsql.Int(int64(ts))); err != nil {
 				return err
 			}
@@ -277,13 +331,14 @@ func drive(run *gsql.Run, push func(netgen.Packet) error, produce func(func(netg
 // -checkpoint is set — a final checkpoint written. The run is deliberately
 // NOT closed after a final checkpoint: closing would emit the open bucket,
 // and a successor restored from the checkpoint would then emit it again.
-func serve(run *gsql.Run, addr string, drainTimeout, heartbeat time.Duration, ckptFile string, ckptEvery int, restoreFile string) {
+func serve(run *gsql.Run, addr string, drainTimeout, heartbeat time.Duration, scalarPush bool, ckptFile string, ckptEvery int, restoreFile string) {
 	network, address := ingest.SplitAddr(addr)
 	// lref lets the checkpoint hook reach the listener's session table; the
 	// hook can fire from the pump before Listen has returned the value.
 	var lref atomic.Pointer[ingest.Listener]
 	cfg := ingest.Config{
 		Sink:              run,
+		ScalarPush:        scalarPush,
 		HeartbeatInterval: heartbeat,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

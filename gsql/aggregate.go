@@ -14,6 +14,44 @@ type Aggregator interface {
 	Final() Value
 }
 
+// BatchStepper is implemented by aggregators that can fold a run of tuples
+// in one call. StepBatch(args, n, stride) must be bit-for-bit equivalent to
+// n sequential Step(args[i*stride : i*stride+stride]) calls (stride 0 means
+// every row steps with a nil argument slice, as count(*) does). The batch
+// executor probes its group once per key run and hands the whole run here,
+// amortizing the interface dispatch and letting decayed implementations
+// memoize the per-timestamp decay weight across the run.
+//
+// If a mid-run Step would error, StepBatch must return that same error; the
+// aggregator's state after the error may reflect more or fewer of the run's
+// rows than the scalar sequence would (an erroring run poisons its query
+// either way — the error surfaces identically, which is the contract).
+type BatchStepper interface {
+	Aggregator
+	StepBatch(args []Value, n, stride int) error
+}
+
+// stepBatch folds a run through StepBatch when available, or a scalar loop.
+func stepBatch(a Aggregator, args []Value, n, stride int) error {
+	if bs, ok := a.(BatchStepper); ok {
+		return bs.StepBatch(args, n, stride)
+	}
+	if stride == 0 {
+		for i := 0; i < n; i++ {
+			if err := a.Step(nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := a.Step(args[i*stride : i*stride+stride]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Merger is implemented by aggregators that can combine partial states.
 // Only queries whose every aggregate is a Merger run under the two-level
 // (low/high) split; others run at the high level only, exactly as the
@@ -77,6 +115,19 @@ func (c *countAgg) Step(args []Value) error {
 	return nil
 }
 
+func (c *countAgg) StepBatch(args []Value, n, stride int) error {
+	if stride == 0 {
+		c.n += int64(n)
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if !args[i*stride].IsNull() {
+			c.n++
+		}
+	}
+	return nil
+}
+
 func (c *countAgg) Final() Value { return Int(c.n) }
 
 func (c *countAgg) Merge(o Aggregator) error {
@@ -115,6 +166,13 @@ func (s *sumAgg) Step(args []Value) error {
 		s.f += float64(v.AsInt())
 	} else {
 		s.i += v.AsInt()
+	}
+	return nil
+}
+
+func (s *sumAgg) StepBatch(args []Value, n, stride int) error {
+	for i := 0; i < n; i++ {
+		s.Step(args[i*stride : i*stride+1])
 	}
 	return nil
 }
@@ -160,6 +218,18 @@ func (a *avgAgg) Step(args []Value) error {
 	return nil
 }
 
+func (a *avgAgg) StepBatch(args []Value, n, stride int) error {
+	for i := 0; i < n; i++ {
+		v := args[i*stride]
+		if v.IsNull() {
+			continue
+		}
+		a.sum += v.AsFloat()
+		a.n++
+	}
+	return nil
+}
+
 func (a *avgAgg) Final() Value {
 	if a.n == 0 {
 		return Null
@@ -200,6 +270,15 @@ func (m *minmaxAgg) Step(args []Value) error {
 	}
 	if m.min && c < 0 || !m.min && c > 0 {
 		m.best = v
+	}
+	return nil
+}
+
+func (m *minmaxAgg) StepBatch(args []Value, n, stride int) error {
+	for i := 0; i < n; i++ {
+		if err := m.Step(args[i*stride : i*stride+1]); err != nil {
+			return err
+		}
 	}
 	return nil
 }

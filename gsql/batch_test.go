@@ -1,0 +1,416 @@
+package gsql_test
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"forwarddecay/decay"
+	"forwarddecay/gsql"
+	"forwarddecay/udaf"
+)
+
+// Differential property suite for the columnar batch path: PushBatch must be
+// bit-for-bit equivalent to pushing the same tuples one by one under the
+// standard caller policy (skip-and-continue on *NonFiniteValueError, stop on
+// anything else) — identical result rows, identical tuple accounting,
+// identical errors, identical checkpoints-as-restored — across the serial
+// and sharded runtimes, with and without epoch rollovers, at every batch
+// size worth worrying about.
+
+// toBatches slices tuples into columnar batches of the given size.
+func toBatches(t *testing.T, tuples []gsql.Tuple, size int) []*gsql.Batch {
+	t.Helper()
+	var out []*gsql.Batch
+	for lo := 0; lo < len(tuples); lo += size {
+		hi := min(lo+size, len(tuples))
+		b, err := gsql.NewBatch(gsql.PacketSchema("TCP"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range tuples[lo:hi] {
+			if err := b.Append(tp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// scalarPushAll drives a run the way every scalar caller does: non-finite
+// rejects are counted and skipped, any other error surfaces. Returns rows,
+// reject count, tuple count and the first non-reject error.
+func scalarPushAll(t *testing.T, st *gsql.Statement, tuples []gsql.Tuple, opts gsql.Options) (rows []gsql.Tuple, rejected int, pushed uint64, pushErr error) {
+	t.Helper()
+	run := st.Start(func(row gsql.Tuple) error { rows = append(rows, row); return nil }, opts)
+	for _, tp := range tuples {
+		if err := run.Push(tp); err != nil {
+			var nfe *gsql.NonFiniteValueError
+			if errors.As(err, &nfe) {
+				rejected++
+				continue
+			}
+			pushed, _ = run.Stats()
+			return rows, rejected, pushed, err
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pushed, _ = run.Stats()
+	return rows, rejected, pushed, nil
+}
+
+// batchPushAll drives the same workload through PushBatch.
+func batchPushAll(t *testing.T, st *gsql.Statement, tuples []gsql.Tuple, size int, opts gsql.Options) (rows []gsql.Tuple, rejected int, pushed uint64, pushErr error) {
+	t.Helper()
+	run := st.Start(func(row gsql.Tuple) error { rows = append(rows, row); return nil }, opts)
+	for _, b := range toBatches(t, tuples, size) {
+		rej, err := run.PushBatch(b)
+		rejected += rej
+		if err != nil {
+			pushed, _ = run.Stats()
+			return rows, rejected, pushed, err
+		}
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pushed, _ = run.Stats()
+	return rows, rejected, pushed, nil
+}
+
+// requireSameOutcome asserts the two drive styles agreed on everything
+// observable: rows, rejects, tuple accounting and error.
+func requireSameOutcome(t *testing.T, label string,
+	sRows []gsql.Tuple, sRej int, sN uint64, sErr error,
+	bRows []gsql.Tuple, bRej int, bN uint64, bErr error) {
+	t.Helper()
+	requireIdentical(t, sRows, bRows, label)
+	if sRej != bRej {
+		t.Fatalf("%s: scalar rejected %d, batch %d", label, sRej, bRej)
+	}
+	if sN != bN {
+		t.Fatalf("%s: scalar counted %d tuples, batch %d", label, sN, bN)
+	}
+	switch {
+	case (sErr == nil) != (bErr == nil):
+		t.Fatalf("%s: scalar err %v, batch err %v", label, sErr, bErr)
+	case sErr != nil && sErr.Error() != bErr.Error():
+		t.Fatalf("%s: scalar err %q, batch err %q", label, sErr, bErr)
+	}
+}
+
+var batchSizes = []int{1, 7, 64, 256}
+
+// TestPushBatchEquivalenceSerial: the serial batch path over the builtin
+// aggregates, compiled WHERE/HAVING and mixed int/float expressions — in
+// arrival order and shuffled — is bit-identical to scalar pushes.
+func TestPushBatchEquivalenceSerial(t *testing.T) {
+	queries := []string{
+		`select tb, dstIP, destPort, count(*), sum(len), avg(float(len)), min(len), max(len)
+		   from TCP group by time/60 as tb, dstIP, destPort`,
+		`select tb, dstIP, count(*), sum(float(len)*(time % 60)*(time % 60))/3600
+		   from TCP group by time/60 as tb, dstIP`,
+		`select tb, proto, count(*) from TCP where len > 200 and destPort = 80
+		   group by time/60 as tb, proto`,
+		`select tb, dstIP, count(*), avg(float(len)) from TCP
+		   group by time/60 as tb, dstIP having count(*) > 3`,
+	}
+	e := parallelEngine(t)
+	for _, ooo := range []int{0, 64} {
+		tuples := trace(20_000, ooo, 11)
+		for qi, q := range queries {
+			st, err := e.Prepare(q)
+			if err != nil {
+				t.Fatalf("prepare %q: %v", q, err)
+			}
+			for _, opts := range []gsql.Options{{}, {DisableTwoLevel: true}} {
+				sRows, sRej, sN, sErr := scalarPushAll(t, st, tuples, opts)
+				if len(sRows) == 0 {
+					t.Fatalf("query %d produced no rows; workload too small", qi)
+				}
+				for _, size := range batchSizes {
+					bRows, bRej, bN, bErr := batchPushAll(t, st, tuples, size, opts)
+					requireSameOutcome(t,
+						fmt.Sprintf("query %d, ooo %d, twoLevel %v, batch %d", qi, ooo, !opts.DisableTwoLevel, size),
+						sRows, sRej, sN, sErr, bRows, bRej, bN, bErr)
+				}
+			}
+		}
+	}
+}
+
+// fdEngine registers the packet stream plus the epoch-aware fd* aggregates
+// under an exponential forward-decay model.
+func fdEngine(t *testing.T, m decay.Forward) *gsql.Engine {
+	t.Helper()
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		t.Fatal(err)
+	}
+	cfg := udaf.Config{SampleSize: 50, Epsilon: 0.01, Phi: 0.01, Window: 60, Seed: 1, Decay: m}
+	if err := udaf.RegisterAll(e, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestPushBatchEquivalenceEpoch: decayed aggregates under an epoch
+// supervisor whose period forces mid-batch landmark rolls. The batch path
+// must segment at exactly the scalar roll points — including when the batch
+// is not timestamp-sorted and when the epoch time comes from the TimeColumn
+// fast path — and reproduce the scalar results bit-for-bit.
+func TestPushBatchEquivalenceEpoch(t *testing.T) {
+	m := decay.NewForward(decay.NewExp(0.5), 0)
+	e := fdEngine(t, m)
+	st, err := e.Prepare(`select tb, dstIP, count(*), fdcount(ftime), fdsum(ftime, float(len))
+	   from TCP where len > 0 group by time/2 as tb, dstIP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ooo := range []int{0, 32} {
+		tuples := trace(20_000, ooo, 5) // ~4s of stream time at 5000 pkt/s
+		for _, timeCol := range []string{"", "ftime"} {
+			epoch := func() *gsql.EpochConfig {
+				return &gsql.EpochConfig{
+					Model:      m,
+					Every:      0.25, // ~16 rolls across the trace, most mid-batch
+					Time:       func(tp gsql.Tuple) (float64, bool) { return tp[1].AsFloat(), true },
+					TimeColumn: timeCol,
+				}
+			}
+			sRows, sRej, sN, sErr := scalarPushAll(t, st, tuples, gsql.Options{Epoch: epoch()})
+			if len(sRows) == 0 {
+				t.Fatal("epoch workload produced no rows")
+			}
+			for _, size := range batchSizes {
+				bRows, bRej, bN, bErr := batchPushAll(t, st, tuples, size, gsql.Options{Epoch: epoch()})
+				requireSameOutcome(t,
+					fmt.Sprintf("ooo %d, timeCol %q, batch %d", ooo, timeCol, size),
+					sRows, sRej, sN, sErr, bRows, bRej, bN, bErr)
+			}
+		}
+	}
+}
+
+// TestPushBatchNonFinite: NaN and ±Inf floats at batch edges and interiors
+// are rejected row-by-row with the same counts and the same surviving
+// results as the scalar path's per-tuple *NonFiniteValueError skips.
+func TestPushBatchNonFinite(t *testing.T) {
+	e := parallelEngine(t)
+	st, err := e.Prepare(`select tb, dstIP, count(*), sum(len) from TCP
+	   where len > 0 group by time/60 as tb, dstIP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := trace(2_000, 0, 3)
+	poison := []struct {
+		idx int
+		v   float64
+	}{
+		{0, math.NaN()}, {1, math.Inf(1)}, {63, math.NaN()}, {64, math.Inf(-1)},
+		{100, math.NaN()}, {255, math.Inf(1)}, {256, math.NaN()}, {1999, math.Inf(-1)},
+	}
+	for _, p := range poison {
+		tp := append(gsql.Tuple(nil), tuples[p.idx]...)
+		tp[1] = gsql.Float(p.v)
+		tuples[p.idx] = tp
+	}
+	sRows, sRej, sN, sErr := scalarPushAll(t, st, tuples, gsql.Options{})
+	if sRej != len(poison) {
+		t.Fatalf("scalar path rejected %d, want %d", sRej, len(poison))
+	}
+	for _, size := range batchSizes {
+		bRows, bRej, bN, bErr := batchPushAll(t, st, tuples, size, gsql.Options{})
+		requireSameOutcome(t, fmt.Sprintf("batch %d", size),
+			sRows, sRej, sN, sErr, bRows, bRej, bN, bErr)
+	}
+}
+
+// TestPushBatchErrorReplay: a mid-batch expression error (integer division
+// by zero in the WHERE clause) must surface with the scalar path's exact
+// message and with the tuple counter stopped at the scalar row.
+func TestPushBatchErrorReplay(t *testing.T) {
+	e := parallelEngine(t)
+	st, err := e.Prepare(`select tb, count(*) from TCP
+	   where 100/(len-150) > -1000000 group by time/60 as tb`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := make([]gsql.Tuple, 200)
+	for i := range tuples {
+		tuples[i] = pkt2(int64(i/50), int64(i%16), 80, 100+int64(i%100))
+	}
+	tuples[137] = pkt2(2, 5, 80, 150) // divides by zero
+	sRows, sRej, sN, sErr := scalarPushAll(t, st, tuples, gsql.Options{})
+	if sErr == nil {
+		t.Fatal("scalar path did not hit the division error")
+	}
+	for _, size := range batchSizes {
+		bRows, bRej, bN, bErr := batchPushAll(t, st, tuples, size, gsql.Options{})
+		requireSameOutcome(t, fmt.Sprintf("batch %d", size),
+			sRows, sRej, sN, sErr, bRows, bRej, bN, bErr)
+	}
+}
+
+// TestPushBatchCheckpointEquivalence: a checkpoint cut at a batch boundary
+// restores into a run whose continuation matches the scalar kill-recover
+// cycle bit-for-bit (checkpoint bytes themselves are map-order dependent,
+// so equivalence is asserted through restore-and-continue).
+func TestPushBatchCheckpointEquivalence(t *testing.T) {
+	e := parallelEngine(t)
+	st, err := e.Prepare(ckptQueryExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := trace(12_000, 0, 7)
+	const cut = 7_936 // 31 × 256: a batch boundary for every size used
+	want := killRecoverSerial(t, st, tuples, cut, gsql.Options{})
+
+	for _, size := range []int{64, 256} {
+		var rows []gsql.Tuple
+		sink := func(row gsql.Tuple) error { rows = append(rows, row); return nil }
+		run := st.Start(sink, gsql.Options{})
+		for _, b := range toBatches(t, tuples[:cut], size) {
+			if _, err := run.PushBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ckpt, err := run.Checkpoint()
+		if err != nil {
+			t.Fatalf("checkpoint: %v", err)
+		}
+		restored, err := gsql.RestoreStatement(st, ckpt, sink, gsql.Options{})
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		for _, b := range toBatches(t, tuples[cut:], size) {
+			if _, err := restored.PushBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := restored.Close(); err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, want, rows, fmt.Sprintf("batch %d kill-recover", size))
+	}
+}
+
+// TestPushBatchEquivalenceParallel: the sharded batch path (coordinator-side
+// vectorized WHERE/group kernels, gv-shipping, epoch quiesce between
+// segments) reproduces the sharded scalar Push output bit-for-bit at every
+// shard count. The baseline is parallel scalar Push, not the serial run:
+// fd* aggregates under epoch shifts are merge-order sensitive at the last
+// ULP between the serial and sharded runtimes (a pre-existing property of
+// the two-level merge, independent of batching), and the batch path's
+// contract is "identical to Pushing the same rows into the same runtime".
+func TestPushBatchEquivalenceParallel(t *testing.T) {
+	m := decay.NewForward(decay.NewExp(0.5), 0)
+	e := fdEngine(t, m)
+	queries := []string{
+		`select tb, dstIP, destPort, count(*), sum(len), min(len), max(len)
+		   from TCP where len > 100 group by time/60 as tb, dstIP, destPort`,
+		`select tb, dstIP, count(*), fdcount(ftime), fdsum(ftime, float(len))
+		   from TCP group by time/2 as tb, dstIP`,
+	}
+	epoch := func() *gsql.EpochConfig {
+		return &gsql.EpochConfig{
+			Model:      m,
+			Every:      0.25,
+			Time:       func(tp gsql.Tuple) (float64, bool) { return tp[1].AsFloat(), true },
+			TimeColumn: "ftime",
+		}
+	}
+	tuples := trace(20_000, 0, 13)
+	for qi, q := range queries {
+		st, err := e.Prepare(q)
+		if err != nil {
+			t.Fatalf("prepare %q: %v", q, err)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			popts := func() gsql.ParallelOptions {
+				po := gsql.ParallelOptions{Shards: shards, BatchSize: 64}
+				if qi == 1 {
+					po.Epoch = epoch()
+				}
+				return po
+			}
+			var want []gsql.Tuple
+			pr, err := st.StartParallel(func(row gsql.Tuple) error { want = append(want, row); return nil }, popts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tp := range tuples {
+				if err := pr.Push(tp); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := pr.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("query %d produced no rows", qi)
+			}
+			for _, size := range []int{64, 256} {
+				var rows []gsql.Tuple
+				pb, err := st.StartParallel(func(row gsql.Tuple) error { rows = append(rows, row); return nil }, popts())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range toBatches(t, tuples, size) {
+					if _, err := pb.PushBatch(b); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if err := pb.Close(); err != nil {
+					t.Fatal(err)
+				}
+				requireIdentical(t, want, rows,
+					fmt.Sprintf("query %d, %d shards, batch %d", qi, shards, size))
+			}
+		}
+	}
+}
+
+// TestPushBatchSteadyStateAllocs guards the batch hot path's allocation-free
+// property: once groups and kernel scratch exist, a whole PushBatch cycle —
+// finite scan, vectorized WHERE, group kernels, key runs, batched aggregate
+// stepping — must not allocate.
+func TestPushBatchSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short harnesses")
+	}
+	e := parallelEngine(t)
+	st, err := e.Prepare(`select tb, dstIP, count(*), sum(len), avg(float(len))
+	   from TCP where len > 0 and destPort = 80 group by time/60 as tb, dstIP`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := st.Start(func(gsql.Tuple) error { return nil }, gsql.Options{})
+	b, err := gsql.NewBatch(gsql.PacketSchema("TCP"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := b.Append(pkt2(30, int64(i%16), 80, 100+int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := run.PushBatch(b); err != nil { // warm groups + scratch
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		if _, err := run.PushBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state PushBatch allocates %.2f objects/op, want 0", avg)
+	}
+	if err := run.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

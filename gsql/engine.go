@@ -67,6 +67,38 @@ func (st *Statement) WherePredicate() func(Tuple) (Value, error) {
 	return st.p.where
 }
 
+// BatchPredicate returns a vectorized evaluator of the statement's WHERE
+// clause: it fills the batch's selection bitmap with the finite rows that
+// pass the filter and returns how many survived. Nil when the query has no
+// filter (or it did not compile to kernels — fallback-heavy filters still
+// vectorize, so this is rare). The closure owns its scratch state; use one
+// instance per goroutine. It is the batch-side counterpart of WherePredicate
+// for the perf-regression gate.
+func (st *Statement) BatchPredicate() func(*Batch) (int, error) {
+	vp := st.p.vec
+	if vp == nil || vp.where == nil {
+		return nil
+	}
+	var ctx vctx
+	var valid []uint64
+	return func(b *Batch) (int, error) {
+		ctx.reset(b, vp)
+		valid = growBits(valid, b.n)
+		b.scanFinite(valid)
+		b.sel = growBits(b.sel, b.n)
+		maskRange(b.sel, valid, 0, b.n)
+		vp.where.run(&ctx, b.sel)
+		if ctx.err != nil {
+			return 0, ctx.err
+		}
+		wb := ctx.bits(vp.where)
+		for w := range b.sel {
+			b.sel[w] &= wb[w]
+		}
+		return popRange(b.sel, b.n), nil
+	}
+}
+
 // Prepare parses, plans and compiles a query.
 func (e *Engine) Prepare(query string) (*Statement, error) {
 	isAgg := func(name string) bool {

@@ -74,6 +74,12 @@ type EpochConfig struct {
 	// Time extracts the stream timestamp from an input tuple (ok=false to
 	// skip). When nil, the supervisor advances only on Heartbeat.
 	Time func(Tuple) (ts float64, ok bool)
+	// TimeColumn optionally names the schema column Time reads, letting the
+	// batch executor pull timestamps straight off the column vector instead
+	// of materializing every row for the Time closure. It is a promise, not a
+	// replacement: when set it must agree with Time (which stays authoritative
+	// on the scalar path) for every tuple. Empty is always safe.
+	TimeColumn string
 }
 
 // epochState is the per-run supervisor state.

@@ -1,11 +1,8 @@
 package gsql
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
-
-	"forwarddecay/internal/core"
 )
 
 // Options configure query execution.
@@ -52,6 +49,10 @@ type Run struct {
 	args   []Value
 	gv     Tuple // scratch group values, reused across Push calls
 	rec    Tuple // scratch combined record
+
+	// bx is the batch executor's scratch state, allocated on first PushBatch;
+	// scalar-only runs never pay for it.
+	bx *batchExec
 
 	// stats
 	evictions   uint64
@@ -118,6 +119,14 @@ func (r *Run) Push(t Tuple) error {
 	} else if r.epErr != nil {
 		return r.epErr
 	}
+	return r.foldTuple(t)
+}
+
+// foldTuple is the post-epoch body of Push: WHERE, group evaluation, bucket
+// advancement, table probe, and aggregate stepping. The batch executor's
+// scalar replay path calls it directly (counting and epoch handling differ
+// there), so it must stay exactly Push minus those preambles.
+func (r *Run) foldTuple(t Tuple) error {
 	if r.p.where != nil {
 		ok, err := r.p.where(t)
 		if err != nil {
@@ -152,47 +161,14 @@ func (r *Run) Push(t Tuple) error {
 		}
 	}
 
-	if !r.twoLevel {
-		// string(r.keyBuf) in a map index expression does not allocate; the
-		// string is only materialized when a new group is inserted.
-		g := r.high[string(r.keyBuf)]
-		if g == nil {
-			aggs, err := r.newGroupAggs()
-			if err != nil {
-				return err
-			}
-			g = &group{gv: append(Tuple(nil), gv...), aggs: aggs}
-			r.high[string(r.keyBuf)] = g
-		}
-		var err error
-		r.args, err = stepAggs(r.p, g.aggs, t, r.args)
+	// Probe the group table (two-level or high-only; the fast path — a
+	// repeated group key hitting its slot — performs no allocation at all)
+	// and fold the tuple in.
+	aggs, err := r.probeGroup(r.keyBuf, gv)
+	if err != nil {
 		return err
 	}
-
-	// Two-level: probe the fixed-size low table; evict the resident partial
-	// on collision (GS's low-level aggregation). The fast path — a repeated
-	// group key hitting its slot — performs no allocation at all.
-	h := core.HashBytes(r.keyBuf)
-	s := &r.low[h&r.lowMask]
-	if s.used && !(s.hash == h && bytes.Equal(s.key, r.keyBuf)) {
-		if err := r.evict(s); err != nil {
-			return err
-		}
-		s.used = false
-	}
-	if !s.used {
-		aggs, err := r.newGroupAggs()
-		if err != nil {
-			return err
-		}
-		s.used = true
-		s.hash = h
-		s.key = append(s.key[:0], r.keyBuf...)
-		s.gv = append(s.gv[:0], gv...)
-		s.aggs = aggs
-	}
-	var err error
-	r.args, err = stepAggs(r.p, s.aggs, t, r.args)
+	r.args, err = stepAggs(r.p, aggs, t, r.args)
 	return err
 }
 

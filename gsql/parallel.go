@@ -110,11 +110,17 @@ func (o ParallelOptions) withDefaults() ParallelOptions {
 }
 
 // tupleBatch is one unit of work shipped to a shard: n tuples of fixed
-// width, stored flat so a batch is a single allocation (recycled via each
-// worker's free list).
+// width, stored flat (recycled via each worker's free list). gvals carries
+// the coordinator's already-evaluated group values, one run of len(groupFns)
+// Values per tuple: the coordinator evaluates every group expression for
+// routing anyway, so shards reuse those bits instead of re-running the
+// closures (same closures, same inputs — identical results by construction).
+// A nil gvals (a batch from a producer that could not evaluate) makes the
+// shard evaluate for itself, as it always used to.
 type tupleBatch struct {
-	vals []Value
-	n    int
+	vals  []Value
+	gvals []Value
+	n     int
 }
 
 // shardResult is a shard's reply to a drain request: its accumulated
@@ -221,9 +227,16 @@ func (w *shardWorker) process(b *tupleBatch) {
 			w.report(w.err)
 		}
 	}()
+	gw := len(w.p.groupFns)
 	for i := 0; i < b.n; i++ {
 		t := Tuple(b.vals[i*w.width : (i+1)*w.width])
-		if err := w.step(t); err != nil {
+		var gv Tuple
+		haveGV := gw == 0
+		if b.gvals != nil {
+			gv = Tuple(b.gvals[i*gw : (i+1)*gw])
+			haveGV = true
+		}
+		if err := w.step(t, gv, haveGV); err != nil {
 			w.err = err
 			return
 		}
@@ -283,20 +296,25 @@ func (w *shardWorker) shift(newL float64) (err error) {
 
 // step folds one tuple into the shard's partial-group table. It mirrors the
 // serial high-level path: same key encoding, same group-value capture, same
-// aggregator stepping.
-func (w *shardWorker) step(t Tuple) error {
+// aggregator stepping. When the coordinator shipped the tuple's evaluated
+// group values (haveGV) they are used directly; otherwise the shard
+// evaluates the group expressions itself.
+func (w *shardWorker) step(t Tuple, gv Tuple, haveGV bool) error {
 	if err := faultinject.Hit("gsql.shard.step"); err != nil {
 		return err
 	}
 	w.tuples++
-	for i, fn := range w.p.groupFns {
-		v, err := fn(t)
-		if err != nil {
-			return err
+	if !haveGV {
+		gv = w.gv
+		for i, fn := range w.p.groupFns {
+			v, err := fn(t)
+			if err != nil {
+				return err
+			}
+			gv[i] = v
 		}
-		w.gv[i] = v
 	}
-	w.keyBuf = w.p.keyAppend(w.keyBuf[:0], w.gv)
+	w.keyBuf = w.p.keyAppend(w.keyBuf[:0], gv)
 	g := w.groups[string(w.keyBuf)]
 	if g == nil {
 		aggs := newAggs(w.p)
@@ -305,7 +323,7 @@ func (w *shardWorker) step(t Tuple) error {
 				return err
 			}
 		}
-		g = &group{gv: append(Tuple(nil), w.gv...), aggs: aggs}
+		g = &group{gv: append(Tuple(nil), gv...), aggs: aggs}
 		w.groups[string(w.keyBuf)] = g
 	}
 	var err error
@@ -346,9 +364,14 @@ type ParallelRun struct {
 	ep *epochState
 
 	rec    Tuple
+	gv     Tuple // scratch evaluated group values, shipped with each tuple
 	tuples uint64
 	err    error
 	closed bool
+
+	// bx is the coordinator's batch-executor scratch (PushBatch), allocated
+	// on first use.
+	bx *batchExec
 
 	stats runtimeCounters
 	errs  chan error
@@ -391,6 +414,7 @@ func (s *Statement) newParallelRun(sink func(Tuple) error, opts ParallelOptions)
 		opts:    o,
 		width:   len(s.p.schema.Cols),
 		rec:     make(Tuple, len(s.p.groupFns)+len(s.p.aggSpecs)),
+		gv:      make(Tuple, len(s.p.groupFns)),
 		workers: make([]*shardWorker, o.Shards),
 		pending: make([]*tupleBatch, o.Shards),
 		errs:    make(chan error, o.ErrorBuffer),
@@ -524,6 +548,13 @@ func (pr *ParallelRun) Push(t Tuple) error {
 			}
 		}
 	}
+	return pr.routeTuple(t)
+}
+
+// routeTuple is the post-epoch body of Push: WHERE, group evaluation with
+// window-close detection, routing, and the shard enqueue. The batch
+// executor's scalar replay path calls it directly.
+func (pr *ParallelRun) routeTuple(t Tuple) error {
 	if pr.p.where != nil {
 		ok, err := pr.p.where(t)
 		if err != nil {
@@ -537,13 +568,16 @@ func (pr *ParallelRun) Push(t Tuple) error {
 	// Evaluate the group-by expressions: the temporal one drives window
 	// close detection (flush points are identical to the serial Run's, so
 	// out-of-order inputs group and emit identically), the rest form the
-	// routing hash.
+	// routing hash. The evaluated values ship with the tuple so the shard
+	// does not evaluate them again.
 	h := routeSeed
+	gv := pr.gv
 	for i, fn := range pr.p.groupFns {
 		v, err := fn(t)
 		if err != nil {
 			return pr.fail(err)
 		}
+		gv[i] = v
 		if i == pr.p.temporalIdx {
 			if !pr.bucketSet {
 				pr.bucket, pr.bucketSet = v, true
@@ -567,16 +601,25 @@ func (pr *ParallelRun) Push(t Tuple) error {
 			pr.rr = 0
 		}
 	}
-	pr.enqueue(shard, t)
+	pr.enqueue(shard, t, gv)
 	return nil
 }
 
-// enqueue copies t into the shard's pending batch, shipping the batch when
-// full. Under OverloadBlock the bounded work channel provides backpressure:
-// a shard more than BufferedBatches behind blocks the producer. Under
-// OverloadDropNewest a full shard sheds the batch instead, counting the
-// dropped tuples.
-func (pr *ParallelRun) enqueue(shard int, t Tuple) {
+// enqueue copies t (and its evaluated group values) into the shard's pending
+// batch, shipping the batch when full.
+func (pr *ParallelRun) enqueue(shard int, t Tuple, gv Tuple) {
+	b := pr.pendingFor(shard)
+	copy(b.vals[b.n*pr.width:(b.n+1)*pr.width], t)
+	if gw := len(pr.p.groupFns); gw > 0 {
+		copy(b.gvals[b.n*gw:(b.n+1)*gw], gv)
+	}
+	b.n++
+	pr.shipIfFull(shard)
+}
+
+// pendingFor returns the shard's pending batch, reusing one from the
+// worker's free list or allocating.
+func (pr *ParallelRun) pendingFor(shard int) *tupleBatch {
 	b := pr.pending[shard]
 	if b == nil {
 		select {
@@ -584,11 +627,22 @@ func (pr *ParallelRun) enqueue(shard int, t Tuple) {
 			b.n = 0
 		default:
 			b = &tupleBatch{vals: make([]Value, pr.opts.BatchSize*pr.width)}
+			if gw := len(pr.p.groupFns); gw > 0 {
+				b.gvals = make([]Value, pr.opts.BatchSize*gw)
+			}
 		}
 		pr.pending[shard] = b
 	}
-	copy(b.vals[b.n*pr.width:(b.n+1)*pr.width], t)
-	b.n++
+	return b
+}
+
+// shipIfFull ships the shard's pending batch once it reaches BatchSize.
+// Under OverloadBlock the bounded work channel provides backpressure: a
+// shard more than BufferedBatches behind blocks the producer. Under
+// OverloadDropNewest a full shard sheds the batch instead, counting the
+// dropped tuples.
+func (pr *ParallelRun) shipIfFull(shard int) {
+	b := pr.pending[shard]
 	if b.n < pr.opts.BatchSize {
 		return
 	}

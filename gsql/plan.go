@@ -37,6 +37,11 @@ type plan struct {
 	outNames []string
 	having   evalFn // nil if absent
 
+	// vec is the batch-compiled form of the tuple-level expressions (WHERE,
+	// group-by, aggregate arguments), or nil when vectorization failed —
+	// PushBatch then replays batches through the scalar path row by row.
+	vec *vecPlan
+
 	// fp fingerprints the (query text, schema) pair for checkpoint
 	// compatibility checks; set by Prepare.
 	fp uint64
@@ -106,7 +111,10 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 	}
 
 	// Aggregate slot assignment: identical aggregate calls share a slot.
+	// argASTs mirrors p.aggArgFns with the source expressions, for the batch
+	// compiler below.
 	aggKeyToSlot := map[string]int{}
+	var argASTs [][]expr
 	addAgg := func(a *aggExpr) (int, error) {
 		key := exprKey(a)
 		if slot, ok := aggKeyToSlot[key]; ok {
@@ -138,6 +146,7 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 		slot := len(p.aggSpecs)
 		p.aggSpecs = append(p.aggSpecs, spec)
 		p.aggArgFns = append(p.aggArgFns, argFns)
+		argASTs = append(argASTs, a.args)
 		if !spec.Mergeable {
 			p.mergeable = false
 		}
@@ -203,6 +212,15 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 	if len(p.aggSpecs) == 0 && len(q.group) > 0 {
 		return nil, fmt.Errorf("gsql: GROUP BY without aggregates is not supported")
 	}
+
+	// Batch-compile the tuple-level expressions from the same ASTs the scalar
+	// closures came from. The scalar compile above already validated every
+	// expression, so a nil result here only disables vectorization.
+	groupASTs := make([]expr, len(q.group))
+	for i, g := range q.group {
+		groupASTs[i] = g.e
+	}
+	p.vec = compileVecPlan(tupleEnv, schema, q.where, groupASTs, argASTs)
 	return p, nil
 }
 

@@ -1,0 +1,920 @@
+package gsql
+
+// Vectorized expression compilation: every tuple-level expression of a plan
+// (WHERE, group-by, aggregate arguments) additionally compiles to a vecNode
+// tree whose kernels evaluate a whole Batch column-at-a-time under a
+// selection bitmap, replacing N closure calls (each packing a 40-byte Value
+// and an error) with one call per operator per batch.
+//
+// The scalar closures remain the semantic oracle. Exactness discipline:
+//
+//   - Kernels perform the same primitive operation on the same operand
+//     representation as the scalar evaluator they shadow (same int64/float64
+//     ops, the same three-way float compare, the same scalar function
+//     pointers via fallback nodes), so results are bit-identical.
+//   - and/or kernels evaluate their right side only under the rows the left
+//     side selects, preserving scalar short-circuit semantics.
+//   - Any kernel error (division by zero, a scalar function failing inside a
+//     fallback node) aborts the batch's vectorized pass before any run state
+//     is touched; the executor then replays the segment through the scalar
+//     per-tuple path, which reproduces the scalar error at the exact row with
+//     the exact message. Errors are rare, so the replay never costs in steady
+//     state — and it collapses all error-ordering corner cases to "exactly
+//     what Push does".
+//
+// Subexpressions without a vectorized form compile to fallback nodes that
+// materialize each selected row and invoke the scalar closure — full
+// generality at scalar speed, never a semantic fork.
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// vecPlan is the batch-compiled form of a plan's tuple-level expressions.
+// Like the scalar closures it is immutable after compilation and shared
+// across runs and shard workers; all evaluation state lives in a vctx.
+type vecPlan struct {
+	where  *vecNode   // selection-bits node, nil when the query has no WHERE
+	groups []*vecNode // one per group-by expression
+	args   [][]*vecNode
+	nslots int
+}
+
+// vecNode is one compiled expression node. Exactly one storage class holds
+// its per-row results: a batch column (col >= 0), a compile-time constant
+// (constOK), or a scratch slot in the vctx. Slot nodes of type TBool store
+// a bitmap; other types store typed vectors; TNull stores dynamic Values.
+type vecNode struct {
+	t       Type
+	col     int // >= 0: alias of a batch column (eval == nil)
+	slot    int
+	constOK bool
+	constV  Value
+	eval    func(ctx *vctx, sel []uint64)
+}
+
+// run evaluates the node's subtree for the selected rows. Column and
+// constant nodes have nil eval; a sticky context error short-circuits.
+func (n *vecNode) run(ctx *vctx, sel []uint64) {
+	if n.eval != nil && ctx.err == nil {
+		n.eval(ctx, sel)
+	}
+}
+
+// vctx is the per-run evaluation context: scratch slots for kernel outputs
+// plus a row buffer for fallback nodes. Compiled plans are shared across
+// shard workers, so kernels must never capture mutable state — it all lives
+// here, one vctx per Run / ParallelRun / BatchPredicate closure.
+type vctx struct {
+	b      *Batch
+	n      int
+	err    error
+	slots  []vslot
+	rowBuf Tuple
+}
+
+type vslot struct {
+	ints []int64
+	fls  []float64
+	strs []string
+	vals []Value
+	bits []uint64
+}
+
+// reset points the context at a batch, clearing any sticky error.
+func (ctx *vctx) reset(b *Batch, vp *vecPlan) {
+	ctx.b, ctx.n, ctx.err = b, b.n, nil
+	if len(ctx.slots) < vp.nslots {
+		ctx.slots = make([]vslot, vp.nslots)
+	}
+	if len(ctx.rowBuf) < len(b.schema.Cols) {
+		ctx.rowBuf = make(Tuple, len(b.schema.Cols))
+	}
+}
+
+// fail records the first kernel error; the executor replays the segment
+// through the scalar path to recover exact error semantics.
+func (ctx *vctx) fail(err error) {
+	if ctx.err == nil {
+		ctx.err = err
+	}
+}
+
+// Slot storage accessors grow lazily to the current batch length and are
+// stable for the rest of the batch (producers run before consumers).
+
+func (ctx *vctx) ints(n *vecNode) []int64 {
+	s := &ctx.slots[n.slot]
+	if cap(s.ints) < ctx.n {
+		s.ints = make([]int64, ctx.n)
+	}
+	return s.ints[:ctx.n]
+}
+
+func (ctx *vctx) floats(n *vecNode) []float64 {
+	s := &ctx.slots[n.slot]
+	if cap(s.fls) < ctx.n {
+		s.fls = make([]float64, ctx.n)
+	}
+	return s.fls[:ctx.n]
+}
+
+func (ctx *vctx) strings(n *vecNode) []string {
+	s := &ctx.slots[n.slot]
+	if cap(s.strs) < ctx.n {
+		s.strs = make([]string, ctx.n)
+	}
+	return s.strs[:ctx.n]
+}
+
+func (ctx *vctx) values(n *vecNode) []Value {
+	s := &ctx.slots[n.slot]
+	if cap(s.vals) < ctx.n {
+		s.vals = make([]Value, ctx.n)
+	}
+	return s.vals[:ctx.n]
+}
+
+func (ctx *vctx) bits(n *vecNode) []uint64 {
+	s := &ctx.slots[n.slot]
+	w := bitWords(ctx.n)
+	if cap(s.bits) < w {
+		s.bits = make([]uint64, w)
+	}
+	return s.bits[:w]
+}
+
+// Per-row payload accessors. These are value structs, not returned closures:
+// a closure returned from a factory is heap-allocated on every kernel
+// invocation, which alone broke the batch path's zero-alloc steady state.
+// The structs resolve the node's storage class once per kernel call and stay
+// on the kernel's stack; at() compiles to a switch over the resolved kind.
+
+const (
+	accConst uint8 = iota
+	accSlice
+	accBits
+	accPromote
+)
+
+// intAcc reads per-row int64 payloads for a statically int-or-bool node,
+// mirroring the payload the scalar evaluator would see in Value.I.
+type intAcc struct {
+	xs   []int64
+	bm   []uint64
+	c    int64
+	kind uint8
+}
+
+func (ctx *vctx) accInt(n *vecNode) intAcc {
+	switch {
+	case n.constOK:
+		return intAcc{kind: accConst, c: n.constV.I}
+	case n.col >= 0:
+		return intAcc{kind: accSlice, xs: ctx.b.cols[n.col].ints}
+	case n.t == TBool:
+		return intAcc{kind: accBits, bm: ctx.bits(n)}
+	default:
+		return intAcc{kind: accSlice, xs: ctx.ints(n)}
+	}
+}
+
+func (a *intAcc) at(r int) int64 {
+	switch a.kind {
+	case accSlice:
+		return a.xs[r]
+	case accBits:
+		return int64((a.bm[r>>6] >> uint(r&63)) & 1)
+	default:
+		return a.c
+	}
+}
+
+// floatAcc reads per-row float64 payloads for a statically numeric node,
+// with the same promotion toFloatFn applies on the scalar path.
+type floatAcc struct {
+	fs   []float64
+	ia   intAcc
+	c    float64
+	kind uint8
+}
+
+func (ctx *vctx) accFloat(n *vecNode) floatAcc {
+	if n.t == TFloat {
+		switch {
+		case n.constOK:
+			return floatAcc{kind: accConst, c: n.constV.F}
+		case n.col >= 0:
+			return floatAcc{kind: accSlice, fs: ctx.b.cols[n.col].fls}
+		default:
+			return floatAcc{kind: accSlice, fs: ctx.floats(n)}
+		}
+	}
+	return floatAcc{kind: accPromote, ia: ctx.accInt(n)}
+}
+
+func (a *floatAcc) at(r int) float64 {
+	switch a.kind {
+	case accSlice:
+		return a.fs[r]
+	case accPromote:
+		return float64(a.ia.at(r))
+	default:
+		return a.c
+	}
+}
+
+// strAcc reads per-row string payloads for a statically string node.
+type strAcc struct {
+	ss   []string
+	c    string
+	kind uint8
+}
+
+func (ctx *vctx) accStr(n *vecNode) strAcc {
+	switch {
+	case n.constOK:
+		return strAcc{kind: accConst, c: n.constV.S}
+	case n.col >= 0:
+		return strAcc{kind: accSlice, ss: ctx.b.cols[n.col].strs}
+	default:
+		return strAcc{kind: accSlice, ss: ctx.strings(n)}
+	}
+}
+
+func (a *strAcc) at(r int) string {
+	if a.kind == accSlice {
+		return a.ss[r]
+	}
+	return a.c
+}
+
+// valueAt materializes one row of a node as a Value, bit-identical to what
+// the scalar evaluator would have returned for that row.
+func (ctx *vctx) valueAt(n *vecNode, r int) Value {
+	if n.constOK {
+		return n.constV
+	}
+	if n.col >= 0 {
+		return ctx.b.colValue(n.col, r)
+	}
+	switch n.t {
+	case TInt:
+		return Int(ctx.slots[n.slot].ints[r])
+	case TFloat:
+		return Float(ctx.slots[n.slot].fls[r])
+	case TBool:
+		bm := ctx.slots[n.slot].bits
+		return Bool(bm[r>>6]&(1<<uint(r&63)) != 0)
+	case TString:
+		return Str(ctx.slots[n.slot].strs[r])
+	default:
+		return ctx.slots[n.slot].vals[r]
+	}
+}
+
+// writeBits evaluates a row predicate over the selected rows, setting or
+// clearing the corresponding output bits (bits outside the selection are
+// left untouched — consumers always mask with a clean selection).
+func writeBits(sel, out []uint64, f func(r int) bool) {
+	for w, m := range sel {
+		if m == 0 {
+			continue
+		}
+		base := w << 6
+		res := out[w] &^ m
+		for mm := m; mm != 0; mm &= mm - 1 {
+			r := base + bits.TrailingZeros64(mm)
+			if f(r) {
+				res |= 1 << uint(r&63)
+			}
+		}
+		out[w] = res
+	}
+}
+
+// --- compilation ---
+
+// vecComp compiles expressions to vecNodes, allocating scratch slots.
+type vecComp struct {
+	env    *compileEnv
+	schema *Schema
+	nslots int
+}
+
+// node allocates a slot-backed node.
+func (vc *vecComp) node(t Type) *vecNode {
+	n := &vecNode{t: t, col: -1, slot: vc.nslots}
+	vc.nslots++
+	return n
+}
+
+func constNode(v Value) *vecNode {
+	return &vecNode{t: v.T, col: -1, constOK: true, constV: v}
+}
+
+// compileVecPlan batch-compiles a plan's tuple-level expressions. It returns
+// nil when anything fails to compile — the executor then replays every batch
+// through the scalar path, trading speed, never correctness.
+func compileVecPlan(env *compileEnv, schema *Schema, where expr, groups []expr, args [][]expr) *vecPlan {
+	vc := &vecComp{env: env, schema: schema}
+	vp := &vecPlan{}
+	if where != nil {
+		n, err := vc.compile(where)
+		if err != nil {
+			return nil
+		}
+		vp.where = vc.asBits(n)
+	}
+	for _, g := range groups {
+		n, err := vc.compile(g)
+		if err != nil {
+			return nil
+		}
+		vp.groups = append(vp.groups, n)
+	}
+	for _, slotArgs := range args {
+		var row []*vecNode
+		for _, a := range slotArgs {
+			n, err := vc.compile(a)
+			if err != nil {
+				return nil
+			}
+			row = append(row, n)
+		}
+		vp.args = append(vp.args, row)
+	}
+	vp.nslots = vc.nslots
+	return vp
+}
+
+// compile builds a vecNode for e. Errors only surface for expressions the
+// scalar compiler would also reject; everything else vectorizes, worst case
+// as a fallback node wrapping the scalar closure.
+func (vc *vecComp) compile(e expr) (*vecNode, error) {
+	switch n := e.(type) {
+	case *numLit:
+		return constNode(n.v), nil
+	case *strLit:
+		return constNode(Str(n.s)), nil
+	case *boolLit:
+		return constNode(Bool(n.b)), nil
+	case *colRef:
+		idx := vc.env.resolve(n.name)
+		if idx < 0 {
+			return nil, fmt.Errorf("gsql: unknown column %q", n.name)
+		}
+		return &vecNode{t: vc.schema.Cols[idx].Type, col: idx}, nil
+	case *unExpr:
+		return vc.compileUn(n)
+	case *binExpr:
+		return vc.compileVecBin(n)
+	case *callExpr:
+		return vc.compileCall(n)
+	default:
+		return vc.fallback(e)
+	}
+}
+
+func (vc *vecComp) compileUn(n *unExpr) (*vecNode, error) {
+	switch n.op {
+	case "-":
+		switch vc.env.staticType(n.e) {
+		case TInt:
+			c, err := vc.compile(n.e)
+			if err != nil {
+				return nil, err
+			}
+			return vc.intUn(c, func(x int64) int64 { return -x }), nil
+		case TFloat:
+			c, err := vc.compile(n.e)
+			if err != nil {
+				return nil, err
+			}
+			return vc.floatUn(c, func(x float64) float64 { return -x }), nil
+		}
+		return vc.fallback(n)
+	case "not":
+		c, err := vc.compile(n.e)
+		if err != nil {
+			return nil, err
+		}
+		cb := vc.asBits(c)
+		out := vc.node(TBool)
+		out.eval = func(ctx *vctx, sel []uint64) {
+			cb.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			cbm, om := ctx.bits(cb), ctx.bits(out)
+			for w := range sel {
+				om[w] = sel[w] &^ cbm[w]
+			}
+		}
+		return out, nil
+	}
+	return vc.fallback(n)
+}
+
+func (vc *vecComp) compileVecBin(n *binExpr) (*vecNode, error) {
+	switch n.op {
+	case "+", "-", "*", "/", "%":
+		lt, rt := vc.env.staticType(n.l), vc.env.staticType(n.r)
+		if !staticNumeric(lt) || !staticNumeric(rt) {
+			return vc.fallback(n)
+		}
+		l, err := vc.compile(n.l)
+		if err != nil {
+			return nil, err
+		}
+		r, err := vc.compile(n.r)
+		if err != nil {
+			return nil, err
+		}
+		op := n.op[0]
+		if lt == TInt && rt == TInt {
+			switch op {
+			case '+':
+				return vc.intBin(l, r, func(x, y int64) int64 { return x + y }), nil
+			case '-':
+				return vc.intBin(l, r, func(x, y int64) int64 { return x - y }), nil
+			case '*':
+				return vc.intBin(l, r, func(x, y int64) int64 { return x * y }), nil
+			default:
+				return vc.intDiv(l, r, op), nil
+			}
+		}
+		// Mixed numeric: both sides promote to float, as arithFloatFn does
+		// (float division by zero yields ±Inf, not an error).
+		switch op {
+		case '+':
+			return vc.floatBin(l, r, func(x, y float64) float64 { return x + y }), nil
+		case '-':
+			return vc.floatBin(l, r, func(x, y float64) float64 { return x - y }), nil
+		case '*':
+			return vc.floatBin(l, r, func(x, y float64) float64 { return x * y }), nil
+		case '/':
+			return vc.floatBin(l, r, func(x, y float64) float64 { return x / y }), nil
+		default:
+			return vc.floatBin(l, r, func(x, y float64) float64 { return math.Mod(x, y) }), nil
+		}
+	case "=", "!=", "<", "<=", ">", ">=":
+		lt, rt := vc.env.staticType(n.l), vc.env.staticType(n.r)
+		isIntish := func(t Type) bool { return t == TInt || t == TBool }
+		switch {
+		case isIntish(lt) && isIntish(rt):
+			l, r, err := vc.compile2(n.l, n.r)
+			if err != nil {
+				return nil, err
+			}
+			return vc.intPredNode(l, r, intPred(n.op)), nil
+		case staticNumeric(lt) && staticNumeric(rt):
+			l, r, err := vc.compile2(n.l, n.r)
+			if err != nil {
+				return nil, err
+			}
+			return vc.floatPredNode(l, r, floatPred(n.op)), nil
+		case lt == TString && rt == TString:
+			l, r, err := vc.compile2(n.l, n.r)
+			if err != nil {
+				return nil, err
+			}
+			return vc.strPredNode(l, r, stringPred(n.op)), nil
+		default:
+			return vc.fallback(n)
+		}
+	case "and":
+		l, r, err := vc.compile2(n.l, n.r)
+		if err != nil {
+			return nil, err
+		}
+		lb, rb := vc.asBits(l), vc.asBits(r)
+		out := vc.node(TBool)
+		out.eval = func(ctx *vctx, sel []uint64) {
+			lb.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			lbm, om := ctx.bits(lb), ctx.bits(out)
+			for w := range sel {
+				om[w] = sel[w] & lbm[w]
+			}
+			// Scalar short-circuit: the right side only ever evaluates where
+			// the left side passed.
+			rb.run(ctx, om)
+			if ctx.err != nil {
+				return
+			}
+			rbm := ctx.bits(rb)
+			for w := range sel {
+				om[w] &= rbm[w]
+			}
+		}
+		return out, nil
+	case "or":
+		l, r, err := vc.compile2(n.l, n.r)
+		if err != nil {
+			return nil, err
+		}
+		lb, rb := vc.asBits(l), vc.asBits(r)
+		out := vc.node(TBool)
+		out.eval = func(ctx *vctx, sel []uint64) {
+			lb.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			lbm, om := ctx.bits(lb), ctx.bits(out)
+			for w := range sel {
+				om[w] = sel[w] &^ lbm[w]
+			}
+			// The right side only evaluates where the left side failed.
+			rb.run(ctx, om)
+			if ctx.err != nil {
+				return
+			}
+			rbm := ctx.bits(rb)
+			for w := range sel {
+				om[w] = (sel[w] & lbm[w]) | (om[w] & rbm[w])
+			}
+		}
+		return out, nil
+	default:
+		return vc.fallback(n)
+	}
+}
+
+// compileCall vectorizes the float()/int() conversions over statically
+// numeric arguments (the hot pattern: avg(float(len))); every other scalar
+// function runs through a fallback node calling the very same function the
+// scalar path calls, so transcendental results are bit-identical.
+func (vc *vecComp) compileCall(n *callExpr) (*vecNode, error) {
+	if len(n.args) == 1 && (n.name == "float" || n.name == "int") {
+		at := vc.env.staticType(n.args[0])
+		if staticNumeric(at) {
+			c, err := vc.compile(n.args[0])
+			if err != nil {
+				return nil, err
+			}
+			switch {
+			case n.name == "float" && at == TFloat:
+				return c, nil // Float(v.F) ≡ identity on a TFloat value
+			case n.name == "float":
+				out := vc.node(TFloat)
+				out.eval = func(ctx *vctx, sel []uint64) {
+					c.run(ctx, sel)
+					if ctx.err != nil {
+						return
+					}
+					cx, o := ctx.accInt(c), ctx.floats(out)
+					forSel(sel, func(i int) bool { o[i] = float64(cx.at(i)); return true })
+				}
+				return out, nil
+			case at == TInt:
+				return c, nil // Int(v.I) ≡ identity on a TInt value
+			case at == TBool:
+				return vc.intUn(c, func(x int64) int64 { return x }), nil
+			default: // int(TFloat)
+				out := vc.node(TInt)
+				out.eval = func(ctx *vctx, sel []uint64) {
+					c.run(ctx, sel)
+					if ctx.err != nil {
+						return
+					}
+					cx, o := ctx.accFloat(c), ctx.ints(out)
+					forSel(sel, func(i int) bool { o[i] = int64(cx.at(i)); return true })
+				}
+				return out, nil
+			}
+		}
+	}
+	return vc.fallback(n)
+}
+
+// compile2 compiles both sides of a binary node.
+func (vc *vecComp) compile2(le, re expr) (l, r *vecNode, err error) {
+	if l, err = vc.compile(le); err != nil {
+		return nil, nil, err
+	}
+	if r, err = vc.compile(re); err != nil {
+		return nil, nil, err
+	}
+	return l, r, nil
+}
+
+// asBits converts any node to selection bits under scalar truthiness
+// semantics (Value.Truthy). Slot-backed TBool nodes already are bits.
+func (vc *vecComp) asBits(n *vecNode) *vecNode {
+	if n.t == TBool && !n.constOK && n.col < 0 {
+		return n
+	}
+	c := n
+	out := vc.node(TBool)
+	switch n.t {
+	case TBool, TInt:
+		out.eval = func(ctx *vctx, sel []uint64) {
+			c.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			x := ctx.accInt(c)
+			writeBits(sel, ctx.bits(out), func(i int) bool { return x.at(i) != 0 })
+		}
+	case TFloat:
+		out.eval = func(ctx *vctx, sel []uint64) {
+			c.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			x := ctx.accFloat(c)
+			writeBits(sel, ctx.bits(out), func(i int) bool { return x.at(i) != 0 })
+		}
+	case TString:
+		out.eval = func(ctx *vctx, sel []uint64) {
+			c.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			x := ctx.accStr(c)
+			writeBits(sel, ctx.bits(out), func(i int) bool { return x.at(i) != "" })
+		}
+	default: // dynamic
+		out.eval = func(ctx *vctx, sel []uint64) {
+			c.run(ctx, sel)
+			if ctx.err != nil {
+				return
+			}
+			vs := ctx.values(c)
+			writeBits(sel, ctx.bits(out), func(i int) bool { return vs[i].Truthy() })
+		}
+	}
+	return out
+}
+
+// --- kernel builders ---
+
+func (vc *vecComp) intUn(c *vecNode, f func(int64) int64) *vecNode {
+	out := vc.node(TInt)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		c.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		cx, o := ctx.accInt(c), ctx.ints(out)
+		forSel(sel, func(i int) bool { o[i] = f(cx.at(i)); return true })
+	}
+	return out
+}
+
+func (vc *vecComp) floatUn(c *vecNode, f func(float64) float64) *vecNode {
+	out := vc.node(TFloat)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		c.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		cx, o := ctx.accFloat(c), ctx.floats(out)
+		forSel(sel, func(i int) bool { o[i] = f(cx.at(i)); return true })
+	}
+	return out
+}
+
+func (vc *vecComp) intBin(l, r *vecNode, f func(x, y int64) int64) *vecNode {
+	out := vc.node(TInt)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		l.run(ctx, sel)
+		r.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		lx, rx, o := ctx.accInt(l), ctx.accInt(r), ctx.ints(out)
+		forSel(sel, func(i int) bool { o[i] = f(lx.at(i), rx.at(i)); return true })
+	}
+	return out
+}
+
+// intDiv handles '/' and '%' with the scalar path's zero-divisor errors.
+// The recorded error aborts the vectorized pass; the segment replay then
+// reproduces the scalar error at the exact failing row.
+func (vc *vecComp) intDiv(l, r *vecNode, op byte) *vecNode {
+	out := vc.node(TInt)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		l.run(ctx, sel)
+		r.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		lx, rx, o := ctx.accInt(l), ctx.accInt(r), ctx.ints(out)
+		forSel(sel, func(i int) bool {
+			y := rx.at(i)
+			if y == 0 {
+				if op == '/' {
+					ctx.fail(fmt.Errorf("gsql: integer division by zero"))
+				} else {
+					ctx.fail(fmt.Errorf("gsql: integer modulo by zero"))
+				}
+				return false
+			}
+			if op == '/' {
+				o[i] = lx.at(i) / y
+			} else {
+				o[i] = lx.at(i) % y
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func (vc *vecComp) floatBin(l, r *vecNode, f func(x, y float64) float64) *vecNode {
+	out := vc.node(TFloat)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		l.run(ctx, sel)
+		r.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		lx, rx, o := ctx.accFloat(l), ctx.accFloat(r), ctx.floats(out)
+		forSel(sel, func(i int) bool { o[i] = f(lx.at(i), rx.at(i)); return true })
+	}
+	return out
+}
+
+// Comparison kernels, one per operand class. Each resolves its accessors on
+// the stack and writes the comparison bitmap through writeBits.
+
+func (vc *vecComp) intPredNode(l, r *vecNode, p func(x, y int64) bool) *vecNode {
+	out := vc.node(TBool)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		l.run(ctx, sel)
+		r.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		lx, rx := ctx.accInt(l), ctx.accInt(r)
+		writeBits(sel, ctx.bits(out), func(i int) bool { return p(lx.at(i), rx.at(i)) })
+	}
+	return out
+}
+
+func (vc *vecComp) floatPredNode(l, r *vecNode, p func(x, y float64) bool) *vecNode {
+	out := vc.node(TBool)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		l.run(ctx, sel)
+		r.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		lx, rx := ctx.accFloat(l), ctx.accFloat(r)
+		writeBits(sel, ctx.bits(out), func(i int) bool { return p(lx.at(i), rx.at(i)) })
+	}
+	return out
+}
+
+func (vc *vecComp) strPredNode(l, r *vecNode, p func(x, y string) bool) *vecNode {
+	out := vc.node(TBool)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		l.run(ctx, sel)
+		r.run(ctx, sel)
+		if ctx.err != nil {
+			return
+		}
+		lx, rx := ctx.accStr(l), ctx.accStr(r)
+		writeBits(sel, ctx.bits(out), func(i int) bool { return p(lx.at(i), rx.at(i)) })
+	}
+	return out
+}
+
+// fallback wraps e's scalar evaluator: each selected row is materialized
+// into the context's row buffer and evaluated by the exact closure the
+// scalar path runs, so results (and errors) cannot diverge.
+func (vc *vecComp) fallback(e expr) (*vecNode, error) {
+	fn, err := vc.env.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	t := vc.env.staticType(e)
+	out := vc.node(t)
+	out.eval = func(ctx *vctx, sel []uint64) {
+		row := ctx.rowBuf
+		switch t {
+		case TInt:
+			o := ctx.ints(out)
+			forSel(sel, func(i int) bool {
+				ctx.b.row(i, row)
+				v, err := fn(row)
+				if err != nil {
+					ctx.fail(err)
+					return false
+				}
+				o[i] = v.I
+				return true
+			})
+		case TFloat:
+			o := ctx.floats(out)
+			forSel(sel, func(i int) bool {
+				ctx.b.row(i, row)
+				v, err := fn(row)
+				if err != nil {
+					ctx.fail(err)
+					return false
+				}
+				o[i] = v.F
+				return true
+			})
+		case TBool:
+			o := ctx.bits(out)
+			forSel(sel, func(i int) bool {
+				ctx.b.row(i, row)
+				v, err := fn(row)
+				if err != nil {
+					ctx.fail(err)
+					return false
+				}
+				putBit(o, i, v.I != 0)
+				return true
+			})
+		case TString:
+			o := ctx.strings(out)
+			forSel(sel, func(i int) bool {
+				ctx.b.row(i, row)
+				v, err := fn(row)
+				if err != nil {
+					ctx.fail(err)
+					return false
+				}
+				o[i] = v.S
+				return true
+			})
+		default:
+			o := ctx.values(out)
+			forSel(sel, func(i int) bool {
+				ctx.b.row(i, row)
+				v, err := fn(row)
+				if err != nil {
+					ctx.fail(err)
+					return false
+				}
+				o[i] = v
+				return true
+			})
+		}
+	}
+	return out, nil
+}
+
+// --- predicate tables ---
+
+func intPred(op string) func(x, y int64) bool {
+	switch op {
+	case "=":
+		return func(x, y int64) bool { return x == y }
+	case "!=":
+		return func(x, y int64) bool { return x != y }
+	case "<":
+		return func(x, y int64) bool { return x < y }
+	case "<=":
+		return func(x, y int64) bool { return x <= y }
+	case ">":
+		return func(x, y int64) bool { return x > y }
+	default: // ">="
+		return func(x, y int64) bool { return x >= y }
+	}
+}
+
+// floatPred mirrors cmpFloatFn's three-way compare (NaN compares equal to
+// everything there, and must keep doing so here).
+func floatPred(op string) func(x, y float64) bool {
+	pred := cmpPred(op)
+	return func(x, y float64) bool {
+		c := 0
+		if x < y {
+			c = -1
+		} else if x > y {
+			c = 1
+		}
+		return pred(c)
+	}
+}
+
+func stringPred(op string) func(x, y string) bool {
+	pred := cmpPred(op)
+	return func(x, y string) bool {
+		c := 0
+		if x < y {
+			c = -1
+		} else if x > y {
+			c = 1
+		}
+		return pred(c)
+	}
+}
+
+func putBit(bm []uint64, r int, v bool) {
+	if v {
+		bm[r>>6] |= 1 << uint(r&63)
+	} else {
+		bm[r>>6] &^= 1 << uint(r&63)
+	}
+}

@@ -21,6 +21,18 @@ type Sink interface {
 	Heartbeat(gsql.Value) error
 }
 
+// BatchSink is optionally implemented by sinks that accept columnar batches;
+// *gsql.Run and *gsql.ParallelRun both do. When the sink implements it (and
+// Config.ScalarPush is off) the pump loads each data frame straight into a
+// reused gsql.Batch — no per-tuple Value materialization — and applies it in
+// one PushBatch call. Rejected rows (non-finite floats) are counted exactly
+// as the scalar path counts per-tuple *gsql.NonFiniteValueError pushes, and
+// checkpoints keep their cut at frame boundaries on both paths.
+type BatchSink interface {
+	Sink
+	PushBatch(*gsql.Batch) (rejected int, err error)
+}
+
 // runtimeStatser is optionally implemented by sinks (both gsql runtimes
 // implement it); after the pump stops, the listener folds the sink's
 // counters into its own snapshot.
@@ -57,6 +69,10 @@ type Config struct {
 	// the sink) after every CheckpointEvery tuples. Errors are sticky and
 	// stop the listener.
 	Checkpoint func() error
+	// ScalarPush forces the per-tuple Push path even when Sink implements
+	// BatchSink — the differential lever for batch-vs-scalar comparisons and
+	// an escape hatch should a workload prefer the scalar engine.
+	ScalarPush bool
 	// Sessions seeds the session table (session id → highest applied
 	// sequence) from a previous listener's Sessions() snapshot. Restoring
 	// it alongside the sink's checkpoint is what makes kill-and-recover
@@ -92,12 +108,13 @@ type session struct {
 
 // item is one unit of intake-queue work.
 type item struct {
-	conn *serverConn
-	sess *session
-	seq  uint64
-	pkts []netgen.Packet
-	hb   float64
-	isHB bool
+	conn   *serverConn
+	sess   *session
+	seq    uint64
+	pkts   []netgen.Packet
+	sorted bool // frame-decode verdict: pkts non-decreasing in time
+	hb     float64
+	isHB   bool
 }
 
 // serverConn wraps one accepted connection with a write lock shared by the
@@ -442,7 +459,7 @@ func (l *Listener) admitData(sc *serverConn, sess *session, f Frame, remote stri
 			if !sess.nextSeq.CompareAndSwap(next, f.Seq+1) {
 				continue // lost a race; re-evaluate
 			}
-			l.enqueue(item{conn: sc, sess: sess, seq: f.Seq, pkts: f.Packets})
+			l.enqueue(item{conn: sc, sess: sess, seq: f.Seq, pkts: f.Packets, sorted: f.Sorted})
 			return true
 		}
 	}
@@ -496,6 +513,20 @@ func (l *Listener) pump() {
 	}
 
 	tup := make(gsql.Tuple, 8)
+	// The columnar path engages when the sink takes batches and the config
+	// does not force scalar pushes; one batch buffer is reused per frame.
+	var batch *gsql.Batch
+	bsink, _ := l.cfg.Sink.(BatchSink)
+	if l.cfg.ScalarPush {
+		bsink = nil
+	}
+	if bsink != nil {
+		if b, err := gsql.NewBatch(gsql.PacketSchema("packets")); err == nil {
+			batch = b
+		} else {
+			bsink = nil
+		}
+	}
 	var lastTS float64 // latest stream time seen
 	var lastTSSet bool
 	lastActivity := time.Now()
@@ -525,23 +556,47 @@ func (l *Listener) pump() {
 			return
 		}
 		l.observeGap()
-		for _, p := range it.pkts {
-			netgen.AppendTuple(tup, p)
-			l.tuplesIn.Add(1)
-			if err := l.cfg.Sink.Push(tup); err != nil {
-				var nfe *gsql.NonFiniteValueError
-				if gsqlAsNonFinite(err, &nfe) {
-					// One poisoned tuple does not poison the frame.
-					l.tuplesRejected.Add(1)
-					continue
-				}
+		if bsink != nil {
+			// Columnar apply: the frame's packets become one batch, pushed in
+			// a single call. Rejected rows are the batch-path spelling of the
+			// scalar loop's skip-and-continue on *gsql.NonFiniteValueError.
+			netgen.FillBatch(batch, it.pkts)
+			batch.SetSorted(batch.Sorted() && it.sorted)
+			l.tuplesIn.Add(uint64(len(it.pkts)))
+			rej, err := bsink.PushBatch(batch)
+			if rej > 0 {
+				l.tuplesRejected.Add(uint64(rej))
+			}
+			if err != nil {
 				l.fail(err)
 				failed = true
-				break
+			} else {
+				sinceCkpt += uint64(len(it.pkts) - rej)
+				for _, p := range it.pkts {
+					if p.Time > lastTS || !lastTSSet {
+						lastTS, lastTSSet = p.Time, true
+					}
+				}
 			}
-			sinceCkpt++
-			if p.Time > lastTS || !lastTSSet {
-				lastTS, lastTSSet = p.Time, true
+		} else {
+			for _, p := range it.pkts {
+				netgen.AppendTuple(tup, p)
+				l.tuplesIn.Add(1)
+				if err := l.cfg.Sink.Push(tup); err != nil {
+					var nfe *gsql.NonFiniteValueError
+					if gsqlAsNonFinite(err, &nfe) {
+						// One poisoned tuple does not poison the frame.
+						l.tuplesRejected.Add(1)
+						continue
+					}
+					l.fail(err)
+					failed = true
+					break
+				}
+				sinceCkpt++
+				if p.Time > lastTS || !lastTSSet {
+					lastTS, lastTSSet = p.Time, true
+				}
 			}
 		}
 		lastActivity = time.Now()

@@ -157,6 +157,11 @@ type Frame struct {
 	TS float64
 	// Packets is the data payload (FrameData).
 	Packets []netgen.Packet
+	// Sorted reports that Packets is non-decreasing in timestamp, detected
+	// during decode at no extra pass. Sorted frames let the engine's batch
+	// path run its distinct-timestamp fast paths (epoch scan run-skipping,
+	// per-timestamp decay-weight memoization) at full effect.
+	Sorted bool
 }
 
 // --- encoding ----------------------------------------------------------
@@ -304,14 +309,18 @@ func parseBody(body []byte) (Frame, error) {
 			return Frame{}, frameErrf(FrameBadPayload, "data frame with sequence 0")
 		}
 		pkts := getPacketBuf(int(n))
+		sorted := true
 		for i := range pkts {
 			pkts[i] = netgen.DecodePacketRecord(recs[i*netgen.PacketRecordSize:])
 			if ts := pkts[i].Time; math.IsNaN(ts) || math.IsInf(ts, 0) {
 				recyclePackets(pkts)
 				return Frame{}, frameErrf(FrameBadPayload, "packet %d has non-finite timestamp %v", i, ts)
 			}
+			if i > 0 && pkts[i-1].Time > pkts[i].Time {
+				sorted = false
+			}
 		}
-		return Frame{Type: t, Seq: seq, Packets: pkts}, nil
+		return Frame{Type: t, Seq: seq, Packets: pkts, Sorted: sorted}, nil
 	case FrameHeartbeat:
 		if len(payload) != 8 {
 			return Frame{}, frameErrf(FrameBadPayload, "heartbeat payload is %d bytes, want 8", len(payload))

@@ -112,3 +112,42 @@ func (s *ScaledSum) Restore(sum, comp, logScale float64, nonEmpty bool) {
 	s.logScale = logScale
 	s.nonEmpty = nonEmpty
 }
+
+// AddN accumulates exp(lw)·x, n times over, bit-for-bit equivalent to n
+// successive Add(lw, x) calls. The Kahan accumulation stays sequential —
+// collapsing the run into one Add(lw, n·x) would round differently — but the
+// exponential is computed once per distinct relative scale instead of once
+// per term, which is the entire per-update cost the forward-decay hot path
+// pays. The rebase and scale-adoption branches are re-checked every
+// iteration exactly as Add would, invalidating the cached term when either
+// fires, so pathological cancellation mid-run still reproduces the scalar
+// sequence.
+func (s *ScaledSum) AddN(lw, x float64, n int) {
+	if n <= 0 || x == 0 || math.IsInf(lw, -1) || math.IsNaN(lw) {
+		return
+	}
+	var w float64
+	haveW := false
+	for ; n > 0; n-- {
+		if !s.nonEmpty {
+			s.logScale = lw
+			s.nonEmpty = true
+			s.sum.Add(x)
+			continue
+		}
+		rel := lw - s.logScale
+		if rel > MaxSafeExp {
+			s.Rebase(lw)
+			rel = 0
+			haveW = false
+		} else if rel < -MaxSafeExp && s.sum.Value() == 0 {
+			s.logScale = lw
+			rel = 0
+			haveW = false
+		}
+		if !haveW {
+			w, haveW = ExpClamped(rel)*x, true
+		}
+		s.sum.Add(w)
+	}
+}

@@ -29,3 +29,36 @@ func AppendTuple(dst gsql.Tuple, p Packet) {
 	dst[6] = gsql.Int(int64(p.Proto))
 	dst[7] = gsql.Int(int64(p.Len))
 }
+
+// FillBatch loads pkts into the batch as columns, equivalent to appending
+// Tuple(p) for each packet but without materializing any per-tuple Values.
+// The batch's sorted flag is set from the packets' actual time order, which
+// lets the engine's epoch scan and decay-weight memo use their
+// run-per-distinct-timestamp fast path. The batch must use
+// gsql.PacketSchema (or a structurally identical schema).
+func FillBatch(b *gsql.Batch, pkts []Packet) {
+	b.Resize(len(pkts))
+	times := b.Ints(0)
+	ftimes := b.Floats(1)
+	src := b.Ints(2)
+	dst := b.Ints(3)
+	sport := b.Ints(4)
+	dport := b.Ints(5)
+	proto := b.Ints(6)
+	plen := b.Ints(7)
+	sorted := true
+	for i, p := range pkts {
+		times[i] = int64(p.Time)
+		ftimes[i] = p.Time
+		src[i] = int64(p.SrcIP)
+		dst[i] = int64(p.DstIP)
+		sport[i] = int64(p.SrcPort)
+		dport[i] = int64(p.DstPort)
+		proto[i] = int64(p.Proto)
+		plen[i] = int64(p.Len)
+		if i > 0 && ftimes[i-1] > ftimes[i] {
+			sorted = false
+		}
+	}
+	b.SetSorted(sorted)
+}

@@ -138,6 +138,25 @@ func (a *fdcountAgg) Step(args []gsql.Value) error {
 	return nil
 }
 
+// StepBatch folds a run of tuples, compressing equal-timestamp stretches
+// into Counter.ObserveRun so the decay weight and its exponential are
+// computed once per distinct timestamp. Bit-for-bit identical to n
+// sequential Steps: the accumulation inside ObserveRun stays sequential,
+// and see() is monotone so per-run application matches per-row.
+func (a *fdcountAgg) StepBatch(args []gsql.Value, n, stride int) error {
+	for i := 0; i < n; {
+		ts := args[i*stride].AsFloat()
+		j := i + 1
+		for j < n && args[j*stride].AsFloat() == ts {
+			j++
+		}
+		a.s.ObserveRun(ts, j-i)
+		a.see(ts)
+		i = j
+	}
+	return nil
+}
+
 func (a *fdcountAgg) Final() gsql.Value { return gsql.Float(a.s.Value(a.last)) }
 
 func (a *fdcountAgg) Merge(o gsql.Aggregator) error {
@@ -181,6 +200,18 @@ func (a *fdsumAgg) Step(args []gsql.Value) error {
 	ts := args[0].AsFloat()
 	a.s.Observe(ts, args[1].AsFloat())
 	a.see(ts)
+	return nil
+}
+
+// StepBatch folds a run of (ts, v) pairs. The values differ row to row so
+// nothing collapses, but ObserveMemo's one-slot weight memo makes the
+// per-row LogStaticWeight lookup free across equal-timestamp stretches.
+func (a *fdsumAgg) StepBatch(args []gsql.Value, n, stride int) error {
+	for i := 0; i < n; i++ {
+		ts := args[i*stride].AsFloat()
+		a.s.ObserveMemo(ts, args[i*stride+1].AsFloat())
+		a.see(ts)
+	}
 	return nil
 }
 
