@@ -15,6 +15,15 @@ go test -race ./...
 # fault-free never-rolling oracle (the full 30-day tape runs without -short).
 go test -run Soak -short -count=1 ./gsql/
 
+# Site-churn chaos soak over the elastic distributed tier, short mode: a
+# simulated two-day keyed stream with crashes, rejoins-from-log, joins,
+# retirements and mid-handoff/mid-roll faults must stay bit-for-bit with a
+# fault-free static-roster oracle (the four-day tape runs without -short).
+# The churn and fault suites also get a dedicated -race pass because the
+# handoff/roll protocols are where the locking is subtle.
+go test -run Soak -short -count=1 ./distrib/
+go test -race -run 'Churn|Crash|Handoff|Roll|Fault' -short -count=1 ./distrib/
+
 # Fuzz smoke: 10s per target. -run='^$' skips the unit tests (already run
 # above); -fuzzminimizetime caps the engine's per-input minimization, whose
 # 60s default dwarfs the budget and reads as a hang.
@@ -24,6 +33,8 @@ go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s -fuzzminimizetime
 go test -run='^$' -fuzz='^FuzzQuery$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x ./ingest/
 go test -run='^$' -fuzz='^FuzzDecayUnmarshal$' -fuzztime=10s -fuzzminimizetime=10x ./decay/
+go test -run='^$' -fuzz='^FuzzLogSegmentDecode$' -fuzztime=10s -fuzzminimizetime=10x ./distrib/
+go test -run='^$' -fuzz='^FuzzSliceDecode$' -fuzztime=10s -fuzzminimizetime=10x ./distrib/
 
 # Perf gate: re-measure the hot-path micro-benchmarks and fail if any shared
 # benchmark runs >25% slower (ns/op) than the committed baseline. 300ms per

@@ -6,6 +6,26 @@
 // summary of the union — with no coordination during ingestion and no
 // sensitivity to arrival order or skew between sites.
 //
+// The cluster is elastic. The key space folds onto a fixed set of
+// partitions, a consistent-hash ring (virtual nodes, deterministic seed)
+// assigns partitions to sites, and every site keeps its aggregates per
+// partition — so when the roster changes, only the partitions whose owner
+// moved are handed off: the source quiesces, cuts a versioned, integrity-
+// hashed state slice per partition, and the destination installs it,
+// rebasing with an exact ShiftLandmark when the slice was cut in an older
+// epoch. Because forward-decay state is mergeable and (for exponential
+// decay) landmark-shiftable without approximation, a handoff is
+// bit-identical to never having moved the partition at all.
+//
+// Ring-routed observations are appended to a segmented, checksummed
+// write-ahead log before delivery, with per-partition sequence numbers. A
+// crashed site therefore loses nothing acknowledged: its replacement
+// rebuilds from the last checkpoint slice plus a replay of the records
+// after the slice's watermark. Epoch rollovers run the same two-phase
+// propose/commit protocol as before, but tolerate mid-roll churn: a site
+// that fails its proposal is quarantined and the round re-proposed to the
+// survivors, so the cluster always converges to a single landmark.
+//
 // Each site runs in its own goroutine, owns its aggregates exclusively, and
 // ships *serialized* partial state to the coordinator on demand, modelling
 // the network boundary: what crosses between goroutines is the same byte
@@ -13,23 +33,27 @@
 // fault-tolerant in the same spirit: per-site snapshot requests carry a
 // timeout and a bounded retry budget, and up to Config.MaxFailedSites
 // non-responsive or failing sites may be skipped, with the merged Summary
-// reporting exactly which partitions are missing.
+// reporting exactly which sites are missing.
 package distrib
 
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"forwarddecay/agg"
 	"forwarddecay/decay"
+	"forwarddecay/internal/core"
 	"forwarddecay/internal/faultinject"
+	"forwarddecay/metrics"
 )
 
 // Observation is one keyed, timestamped, valued stream event.
 type Observation struct {
-	// Key identifies the item (e.g. a destination).
+	// Key identifies the item (e.g. a destination); it also selects the
+	// partition, and through the ring the site, for keyed routing.
 	Key uint64
 	// Value is the observation's numeric value (e.g. bytes); it feeds the
 	// decayed sum and, clamped to the quantile domain, the quantile digest.
@@ -52,25 +76,63 @@ func (e *BadObservationError) Error() string {
 	return fmt.Sprintf("distrib: non-finite observation %s %v rejected", e.Field, e.X)
 }
 
+// RouteError reports an observation that could not be routed: an explicit
+// site target that is not in the live roster, or a keyed route to a downed
+// site with no write-ahead log to absorb it. (Explicit out-of-range targets
+// used to wrap silently around the roster; they are a hard, typed error
+// now.)
+type RouteError struct {
+	// Site is the site id the route resolved to (or was aimed at).
+	Site int
+	// Reason says why the route failed.
+	Reason string
+}
+
+func (e *RouteError) Error() string {
+	return fmt.Sprintf("distrib: cannot route to site %d: %s", e.Site, e.Reason)
+}
+
 // Config describes a cluster.
 type Config struct {
-	// Sites is the number of ingestion sites (goroutines), ≥ 1.
+	// Sites is the number of initial ingestion sites (goroutines), ≥ 1.
+	// Sites join and leave the live cluster through AddSite / RemoveSite.
 	Sites int
 	// Model is the shared forward decay model; all sites must agree on the
 	// function and landmark for their summaries to merge.
 	Model decay.Forward
-	// HHK enables per-site heavy-hitter summaries with HHK counters when
-	// positive.
+	// HHK enables per-partition heavy-hitter summaries with HHK counters
+	// when positive.
 	HHK int
-	// QuantileU enables per-site quantile digests over [0, QuantileU) with
-	// error QuantileEps when positive.
+	// QuantileU enables per-partition quantile digests over [0, QuantileU)
+	// with error QuantileEps when positive.
 	QuantileU   uint64
 	QuantileEps float64
 	// Buffer is each site's input channel capacity (default 1024).
 	Buffer int
 
+	// Partitions is the number of key-space partitions — the granularity of
+	// consistent-hash assignment, handoff, and log replay (default 32).
+	Partitions int
+	// VNodes is the number of virtual ring points per site (default 64).
+	VNodes int
+	// RingSeed makes ring placement deterministic across processes; any
+	// agreed-upon value works (default 0).
+	RingSeed uint64
+
+	// WALDir, when non-empty, enables the segmented write-ahead log: every
+	// ring-routed observation is logged before delivery, and crashed sites
+	// rebuild from checkpoint + replay instead of losing their window.
+	WALDir string
+	// WALSegmentBytes rotates log segments at this size (default 1 MiB).
+	WALSegmentBytes int
+
+	// Metrics, when set, mirrors the cluster's health counters into the
+	// registry under "distrib.*" names (see Health).
+	Metrics *metrics.CounterSet
+
 	// SnapshotTimeout bounds how long Snapshot waits for any single site's
 	// reply (per attempt) before treating the site as failed; default 2s.
+	// The same budget bounds epoch proposals and handoff cuts.
 	SnapshotTimeout time.Duration
 	// SnapshotRetries is how many additional attempts a failed site gets
 	// before Snapshot gives up on it; default 1.
@@ -90,19 +152,25 @@ type Summary struct {
 	HH *agg.HeavyHitters
 	// Quantiles holds the merged quantile digest (nil unless enabled).
 	Quantiles *agg.Quantiles
-	// MissingSites lists the sites whose partitions are absent from the
-	// merge (each failed its snapshot within the coordinator's timeout and
-	// retry budget). Empty on a complete snapshot; never holds more than
-	// Config.MaxFailedSites entries.
+	// MissingSites lists the live sites absent from the merge (each failed
+	// its snapshot within the coordinator's timeout and retry budget), plus
+	// any downed site that could not be reconstructed from the log. Empty on
+	// a complete snapshot.
 	MissingSites []int
 }
 
-// siteState is the serialized partial state a site ships on request.
-type siteState struct {
-	sum []byte
-	hh  []byte
-	qd  []byte
-	err error
+// route is one delivery to a site: the observation, its partition, and its
+// write-ahead-log sequence (0 for unlogged, explicitly-targeted routes).
+type route struct {
+	ob   Observation
+	part uint32
+	seq  uint64
+}
+
+// siteAnswer is a site's serialized per-partition state.
+type siteAnswer struct {
+	parts map[uint32][]byte // partition → encoded state slice
+	err   error
 }
 
 // siteEpochReq is one leg of the two-phase epoch rollover. The site drains
@@ -118,30 +186,67 @@ type siteEpochReq struct {
 	done     chan error
 }
 
+// handoffReq asks a site to quiesce and cut the named partitions (nil =
+// everything it holds) out of its state.
+type handoffReq struct {
+	parts []uint32
+	reply chan siteAnswer
+}
+
+// installReq ships serialized partition slices into a running site, which
+// decodes, rebases onto its own epoch if needed, and merges-or-installs.
+type installReq struct {
+	slices map[uint32][]byte
+	reply  chan error
+}
+
 // site is one ingestion worker.
 type site struct {
-	in    chan Observation
-	snap  chan chan siteState
+	id    int
+	in    chan route
+	snap  chan chan siteAnswer
 	epoch chan *siteEpochReq
+	cut   chan *handoffReq
+	inst  chan *installReq
+	kill  chan struct{}
 	done  chan struct{}
 }
 
-// Cluster is a running set of sites plus the coordinator-side merge logic.
-// Observe routes events to sites; Snapshot produces a merged Summary.
-// Close must be called to release the workers.
+// ckptEntry is one partition's latest checkpointed slice and its log
+// watermark.
+type ckptEntry struct {
+	blob []byte
+	seq  uint64
+}
+
+// Cluster is a running set of sites plus the coordinator-side routing,
+// handoff and merge logic. ObserveKeyed routes events through the ring;
+// Snapshot produces a merged Summary. Close must be called to release the
+// workers.
 type Cluster struct {
 	cfg    Config
-	sites  []*site
-	wg     sync.WaitGroup
-	closed bool
 	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
 
-	// opMu serializes coordinator operations (Snapshot, RollEpoch) and
-	// guards model, the cluster's current decay frame: a snapshot can never
-	// observe the cluster mid-rollover, so merges are either entirely in the
-	// old frame or entirely in the new one.
+	// opMu serializes coordinator operations (Snapshot, RollEpoch,
+	// Checkpoint, membership changes) and guards model and ckpt: a snapshot
+	// can never observe the cluster mid-rollover or mid-handoff.
 	opMu  sync.Mutex
 	model decay.Forward
+	ckpt  map[uint32]ckptEntry
+
+	// routeMu guards the ring, the roster, and the write-ahead log, and —
+	// critically — is held across append+deliver, so per-partition log
+	// order and site-apply order always agree.
+	routeMu sync.Mutex
+	ring    *Ring
+	roster  map[int]*site
+	downSet map[int]bool
+	nextID  int
+	wal     *Log
+
+	health health
 }
 
 // New starts a cluster. It returns an error for invalid configurations.
@@ -158,6 +263,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 1024
 	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = 32
+	}
+	if cfg.VNodes <= 0 {
+		cfg.VNodes = 64
+	}
 	if cfg.SnapshotTimeout <= 0 {
 		cfg.SnapshotTimeout = 2 * time.Second
 	}
@@ -169,194 +280,407 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.MaxFailedSites < 0 {
 		cfg.MaxFailedSites = 0
 	}
-	c := &Cluster{cfg: cfg, model: cfg.Model}
-	for i := 0; i < cfg.Sites; i++ {
-		s := &site{
-			in:    make(chan Observation, cfg.Buffer),
-			snap:  make(chan chan siteState),
-			epoch: make(chan *siteEpochReq),
-			done:  make(chan struct{}),
+	c := &Cluster{
+		cfg:     cfg,
+		model:   cfg.Model,
+		ckpt:    map[uint32]ckptEntry{},
+		ring:    NewRing(cfg.RingSeed, cfg.VNodes),
+		roster:  map[int]*site{},
+		downSet: map[int]bool{},
+	}
+	c.health.set = cfg.Metrics
+	if cfg.WALDir != "" {
+		wal, err := OpenLog(cfg.WALDir, LogConfig{SegmentBytes: cfg.WALSegmentBytes})
+		if err != nil {
+			return nil, err
 		}
-		c.sites = append(c.sites, s)
-		c.wg.Add(1)
-		go c.runSite(s)
+		c.wal = wal
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		id := c.nextID
+		c.nextID++
+		c.ring.Add(id)
+		c.roster[id] = c.startSite(id, c.model, nil)
 	}
 	return c, nil
 }
 
-// runSite is the per-site event loop: it owns its aggregates exclusively,
-// so no locking is needed on the hot path.
-func (c *Cluster) runSite(s *site) {
+// startSite spawns a site goroutine with initial per-partition state.
+func (c *Cluster) startSite(id int, m decay.Forward, init map[uint32]*partState) *site {
+	s := &site{
+		id:    id,
+		in:    make(chan route, c.cfg.Buffer),
+		snap:  make(chan chan siteAnswer),
+		epoch: make(chan *siteEpochReq),
+		cut:   make(chan *handoffReq),
+		inst:  make(chan *installReq),
+		kill:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	if init == nil {
+		init = map[uint32]*partState{}
+	}
+	c.wg.Add(1)
+	go c.runSite(s, m, init)
+	return s
+}
+
+// runSite is the per-site event loop: it owns its per-partition aggregates
+// exclusively, so no locking is needed on the hot path.
+func (c *Cluster) runSite(s *site, model decay.Forward, parts map[uint32]*partState) {
 	defer c.wg.Done()
-	sum := agg.NewSum(c.cfg.Model)
-	var hh *agg.HeavyHitters
-	if c.cfg.HHK > 0 {
-		hh = agg.NewHeavyHittersK(c.cfg.Model, c.cfg.HHK)
-	}
-	var qd *agg.Quantiles
-	if c.cfg.QuantileU > 0 {
-		qd = agg.NewQuantiles(c.cfg.Model, c.cfg.QuantileU, c.cfg.QuantileEps)
-	}
-	process := func(ob Observation) {
-		sum.Observe(ob.Time, ob.Value)
-		if hh != nil {
-			hh.Observe(ob.Key, ob.Time)
+	defer close(s.done)
+
+	apply := func(rt route) {
+		ps := parts[rt.part]
+		if ps == nil {
+			ps = c.newPartState(model)
+			parts[rt.part] = ps
 		}
-		if qd != nil {
-			v := uint64(0)
-			if ob.Value > 0 {
-				v = uint64(ob.Value)
-			}
-			qd.Observe(v, ob.Time)
-		}
+		ps.observe(rt.ob, rt.seq)
 	}
-	// siteErr is the site's sticky failure: a failed or faulted epoch commit
-	// leaves the site's frame indeterminate, so it refuses every later
-	// snapshot rather than ship state that might straddle landmarks.
-	var siteErr error
-	answer := func() siteState {
-		if siteErr != nil {
-			return siteState{err: siteErr}
-		}
-		// Fault-injection point for the failed-site experiments: an armed
-		// error or delay here models a site that crashes or stalls while
-		// serving a snapshot.
-		if err := faultinject.Hit("distrib.site.snapshot"); err != nil {
-			return siteState{err: err}
-		}
-		return marshalSite(sum, hh, qd)
-	}
-	// drain consumes everything already queued, so snapshots and epoch
-	// proposals observe every delivered observation. It reports false when
-	// the input channel closed.
+	// drain consumes everything already queued, so snapshots, handoffs and
+	// epoch proposals observe every delivered observation. It reports false
+	// when the input channel closed.
 	drain := func() bool {
 		for {
 			select {
-			case ob, ok := <-s.in:
+			case rt, ok := <-s.in:
 				if !ok {
 					return false
 				}
-				process(ob)
+				apply(rt)
 			default:
 				return true
 			}
 		}
 	}
-	for {
-		select {
-		case ob, ok := <-s.in:
-			if !ok {
-				close(s.done)
+	marshalParts := func(sel []uint32, remove bool) siteAnswer {
+		var ids []uint32
+		if sel == nil {
+			for p := range parts {
+				ids = append(ids, p)
+			}
+		} else {
+			ids = sel
+		}
+		out := map[uint32][]byte{}
+		for _, p := range ids {
+			ps := parts[p]
+			if ps == nil {
+				continue
+			}
+			blob, err := encodeSlice(p, ps)
+			if err != nil {
+				return siteAnswer{err: err}
+			}
+			out[p] = blob
+		}
+		if remove {
+			for p := range out {
+				delete(parts, p)
+			}
+		}
+		return siteAnswer{parts: out}
+	}
+	answer := func() siteAnswer {
+		// Fault-injection point for the failed-site experiments: an armed
+		// error or delay here models a site that crashes or stalls while
+		// serving a snapshot.
+		if err := faultinject.Hit("distrib.site.snapshot"); err != nil {
+			return siteAnswer{err: err}
+		}
+		return marshalParts(nil, false)
+	}
+	// zombie services the site's channels with errors after a failed epoch
+	// commit left its frame indeterminate: it keeps consuming (so no sender
+	// ever wedges on a full queue) but contributes nothing, until the
+	// coordinator reaps it.
+	zombie := func(siteErr error) {
+		for {
+			select {
+			case _, ok := <-s.in:
+				if !ok {
+					return
+				}
+			case reply := <-s.snap:
+				reply <- siteAnswer{err: siteErr}
+			case req := <-s.epoch:
+				req.prepared <- siteErr
+			case req := <-s.cut:
+				req.reply <- siteAnswer{err: siteErr}
+			case req := <-s.inst:
+				req.reply <- siteErr
+			case <-s.kill:
 				return
 			}
-			process(ob)
+		}
+	}
+
+	for {
+		select {
+		case rt, ok := <-s.in:
+			if !ok {
+				return
+			}
+			apply(rt)
+		case <-s.kill:
+			// Simulated process death: discard all in-memory state. Whatever
+			// was acknowledged lives in the write-ahead log.
+			return
 		case reply := <-s.snap:
 			if !drain() {
 				reply <- answer()
-				close(s.done)
 				return
 			}
 			reply <- answer()
+		case req := <-s.cut:
+			// Shard handoff, source leg: quiesce, cut the requested slices
+			// out of the local state, ship them serialized.
+			if !drain() {
+				req.reply <- siteAnswer{err: fmt.Errorf("distrib: site closed during handoff")}
+				return
+			}
+			if err := faultinject.Hit("distrib.site.handoff"); err != nil {
+				req.reply <- siteAnswer{err: err}
+				zombie(fmt.Errorf("distrib: site crashed during handoff: %w", err))
+				return
+			}
+			req.reply <- marshalParts(req.parts, true)
+		case req := <-s.inst:
+			// Shard handoff, destination leg: decode, rebase onto the local
+			// epoch if the slice is older, merge-or-install.
+			if !drain() {
+				req.reply <- fmt.Errorf("distrib: site closed during install")
+				return
+			}
+			req.reply <- installSlices(parts, req.slices, model, c)
 		case req := <-s.epoch:
 			// Phase 1: quiesce and validate, then pause for the decision.
 			if !drain() {
 				req.prepared <- fmt.Errorf("distrib: site closed during epoch prepare")
-				close(s.done)
 				return
 			}
-			if siteErr != nil {
-				req.prepared <- siteErr
+			if err := faultinject.Hit("distrib.site.epoch.prepare"); err != nil {
+				req.prepared <- err
 				break
 			}
-			if _, _, ok := sum.Model().Shifted(req.newL); !ok {
-				req.prepared <- &decay.NotShiftableError{Func: sum.Model().Func.String()}
+			if _, _, ok := model.Shifted(req.newL); !ok {
+				req.prepared <- &decay.NotShiftableError{Func: model.Func.String()}
 				break
 			}
 			req.prepared <- nil
-			if !<-req.commit {
+			var doCommit bool
+			select {
+			case doCommit = <-req.commit:
+			case <-s.kill:
+				return
+			}
+			if !doCommit {
 				break
 			}
-			// Phase 2: apply. A fault or shift failure here is sticky — the
-			// site's state may straddle landmarks, so it quarantines itself.
+			// Phase 2: apply. A fault or shift failure here leaves the
+			// site's frame indeterminate: report it and turn zombie until
+			// the coordinator quarantines us.
 			if err := faultinject.Hit("distrib.site.epoch.commit"); err != nil {
-				siteErr = fmt.Errorf("distrib: epoch commit fault: %w", err)
-				req.done <- siteErr
-				break
+				err = fmt.Errorf("distrib: epoch commit fault: %w", err)
+				req.done <- err
+				zombie(err)
+				return
 			}
-			err := sum.ShiftLandmark(req.newL)
-			if err == nil && hh != nil {
-				err = hh.ShiftLandmark(req.newL)
+			var shiftErr error
+			for _, ps := range parts {
+				if shiftErr = ps.shift(req.newL); shiftErr != nil {
+					break
+				}
 			}
-			if err == nil && qd != nil {
-				err = qd.ShiftLandmark(req.newL)
+			if shiftErr != nil {
+				req.done <- shiftErr
+				zombie(shiftErr)
+				return
 			}
-			if err != nil {
-				siteErr = err
+			if m, _, ok := model.Shifted(req.newL); ok {
+				model = m
 			}
-			req.done <- err
+			req.done <- nil
 		}
 	}
 }
 
-// marshalSite serializes a site's current state.
-func marshalSite(sum *agg.Sum, hh *agg.HeavyHitters, qd *agg.Quantiles) siteState {
-	var st siteState
-	st.sum, st.err = sum.MarshalBinary()
-	if st.err != nil {
-		return st
-	}
-	if hh != nil {
-		st.hh, st.err = hh.MarshalBinary()
-		if st.err != nil {
-			return st
+// installSlices decodes serialized partition slices into a site's state,
+// rebasing slices cut under an older landmark and merging into any state
+// already present (exact for all the summaries here).
+func installSlices(parts map[uint32]*partState, slices map[uint32][]byte, model decay.Forward, c *Cluster) error {
+	for p, blob := range slices {
+		hdr, ps, err := decodeSlice(blob)
+		if err != nil {
+			return fmt.Errorf("distrib: installing partition %d: %w", p, err)
+		}
+		if hdr.part != p {
+			return fmt.Errorf("distrib: installing partition %d: slice is for partition %d", p, hdr.part)
+		}
+		if hdr.landmark != model.Landmark {
+			if err := ps.shift(model.Landmark); err != nil {
+				return fmt.Errorf("distrib: rebasing partition %d onto landmark %v: %w", p, model.Landmark, err)
+			}
+		}
+		if cur := parts[p]; cur != nil {
+			if err := cur.merge(ps); err != nil {
+				return fmt.Errorf("distrib: merging partition %d: %w", p, err)
+			}
+		} else {
+			parts[p] = ps
 		}
 	}
-	if qd != nil {
-		st.qd, st.err = qd.MarshalBinary()
-	}
-	return st
+	return nil
 }
 
-// Observe routes an observation to a site. Site indices wrap (negative
-// values included), so callers may pass any routing value — a counter, a
-// flow hash cast to int, etc. Observations carrying a NaN or ±Inf value or
-// timestamp are rejected with a *BadObservationError before reaching the
-// site, since a single non-finite weight would poison the site's decayed
-// state for every later snapshot.
-func (c *Cluster) Observe(siteIdx int, ob Observation) error {
+// partitionOf folds a key onto the partition space.
+func (c *Cluster) partitionOf(key uint64) uint32 {
+	return uint32(core.Mix64(key) % uint64(c.cfg.Partitions))
+}
+
+// Partitions returns the configured partition count.
+func (c *Cluster) Partitions() int { return c.cfg.Partitions }
+
+// checkOb validates an observation at the ingest boundary.
+func checkOb(ob Observation) error {
 	if math.IsNaN(ob.Value) || math.IsInf(ob.Value, 0) {
 		return &BadObservationError{Field: "Value", X: ob.Value}
 	}
 	if math.IsNaN(ob.Time) || math.IsInf(ob.Time, 0) {
 		return &BadObservationError{Field: "Time", X: ob.Time}
 	}
-	i := siteIdx % len(c.sites)
-	if i < 0 {
-		i += len(c.sites)
-	}
-	c.sites[i].in <- ob
 	return nil
 }
 
-// Sites returns the number of sites.
-func (c *Cluster) Sites() int { return len(c.sites) }
+// ObserveKeyed routes an observation to the site owning its key's
+// partition, appending it to the write-ahead log (when configured) before
+// delivery — so a nil return means the observation is durable against any
+// single site crash. If the owning site is down, the observation is
+// accepted into the log alone and re-applied when the site rejoins; with no
+// log configured, a downed owner yields a *RouteError instead of silent
+// loss. Observations carrying a NaN or ±Inf value or timestamp are rejected
+// with a *BadObservationError.
+func (c *Cluster) ObserveKeyed(ob Observation) error {
+	if err := checkOb(ob); err != nil {
+		return err
+	}
+	part := c.partitionOf(ob.Key)
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	owner, ok := c.ring.Owner(part)
+	if !ok {
+		return &RouteError{Site: -1, Reason: "ring has no members"}
+	}
+	seq := uint64(0)
+	if c.wal != nil {
+		var err error
+		if seq, err = c.wal.Append(part, ob.Key, ob.Value, ob.Time); err != nil {
+			return err
+		}
+		c.health.bump(&c.health.logged, cntLoggedRecords, 1)
+	}
+	s := c.roster[owner]
+	if s == nil {
+		if c.downSet[owner] && c.wal != nil {
+			// Logged and acknowledged; the rejoining site replays it.
+			return nil
+		}
+		return &RouteError{Site: owner, Reason: "site is down and no write-ahead log is configured"}
+	}
+	s.in <- route{ob: ob, part: part, seq: seq}
+	return nil
+}
+
+// Observe delivers an observation to an explicitly targeted live site,
+// bypassing the ring. The target must name a live roster site: anything
+// else — an unknown id, a downed site — returns a *RouteError (indices no
+// longer wrap). Explicitly targeted observations bypass the write-ahead log
+// too, so they carry no crash-durability guarantee; keyed routing is the
+// production path.
+func (c *Cluster) Observe(siteID int, ob Observation) error {
+	if err := checkOb(ob); err != nil {
+		return err
+	}
+	part := c.partitionOf(ob.Key)
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	s := c.roster[siteID]
+	if s == nil {
+		reason := "no such site"
+		if c.downSet[siteID] {
+			reason = "site is down"
+		}
+		return &RouteError{Site: siteID, Reason: reason}
+	}
+	s.in <- route{ob: ob, part: part}
+	return nil
+}
+
+// Sites returns the number of live sites.
+func (c *Cluster) Sites() int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return len(c.roster)
+}
+
+// LiveSites returns the live site ids, ascending.
+func (c *Cluster) LiveSites() []int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return sortedIDs(c.roster)
+}
+
+// DownSites returns the ids of crashed or quarantined sites that have not
+// rejoined, ascending.
+func (c *Cluster) DownSites() []int {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	var out []int
+	for id := range c.downSet {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Owner reports which site currently owns a key's partition.
+func (c *Cluster) Owner(key uint64) (site int, ok bool) {
+	part := c.partitionOf(key)
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	return c.ring.Owner(part)
+}
+
+func sortedIDs(m map[int]*site) []int {
+	out := make([]int, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
 
 // snapshotSite requests one site's serialized state, bounding each attempt
 // by the configured timeout and retrying failed attempts up to the retry
 // budget. A timed-out attempt leaves the request outstanding; the buffered
 // reply channel lets the site's late answer complete without blocking it.
-func (c *Cluster) snapshotSite(i int) siteState {
-	var last siteState
+func (c *Cluster) snapshotSite(s *site) siteAnswer {
+	var last siteAnswer
 	for attempt := 0; attempt <= c.cfg.SnapshotRetries; attempt++ {
-		reply := make(chan siteState, 1)
+		if attempt > 0 {
+			c.health.bump(&c.health.snapshotRetries, cntSnapshotRetries, 1)
+		}
+		reply := make(chan siteAnswer, 1)
 		timer := time.NewTimer(c.cfg.SnapshotTimeout)
 		select {
-		case c.sites[i].snap <- reply:
-		case <-c.sites[i].done:
+		case s.snap <- reply:
+		case <-s.done:
 			timer.Stop()
-			return siteState{err: fmt.Errorf("distrib: site %d already closed", i)}
+			return siteAnswer{err: fmt.Errorf("distrib: site %d already closed", s.id)}
 		case <-timer.C:
-			last = siteState{err: fmt.Errorf("distrib: site %d snapshot request timed out after %v", i, c.cfg.SnapshotTimeout)}
+			last = siteAnswer{err: fmt.Errorf("distrib: site %d snapshot request timed out after %v", s.id, c.cfg.SnapshotTimeout)}
 			continue
 		}
 		select {
@@ -365,9 +689,9 @@ func (c *Cluster) snapshotSite(i int) siteState {
 			if st.err == nil {
 				return st
 			}
-			last = siteState{err: fmt.Errorf("distrib: site %d snapshot: %w", i, st.err)}
+			last = siteAnswer{err: fmt.Errorf("distrib: site %d snapshot: %w", s.id, st.err)}
 		case <-timer.C:
-			last = siteState{err: fmt.Errorf("distrib: site %d snapshot reply timed out after %v", i, c.cfg.SnapshotTimeout)}
+			last = siteAnswer{err: fmt.Errorf("distrib: site %d snapshot reply timed out after %v", s.id, c.cfg.SnapshotTimeout)}
 		}
 	}
 	return last
@@ -386,84 +710,246 @@ func (c *Cluster) newSummary() *Summary {
 	return out
 }
 
-// mergeSite decodes one site's serialized state and folds it into the
-// summary. Every decode and merge failure names the offending site: a site
-// shipping state under a different decay model or landmark is rejected
-// here, not silently blended in.
-func mergeSite(out *Summary, i int, st siteState) error {
-	// Decode every component before merging any, so a failed (skippable)
-	// site never leaves a partial contribution behind.
-	var sum agg.Sum
-	if err := sum.UnmarshalBinary(st.sum); err != nil {
-		return fmt.Errorf("distrib: decoding site %d sum: %w", i, err)
+// decodeAnswer decodes every slice of a site's answer before any of it is
+// merged, validating each slice's frame against the cluster's — so a failed
+// (skippable) site never leaves a partial contribution behind, and state
+// from a different landmark is rejected naming the site, not blended in.
+func (c *Cluster) decodeAnswer(siteID int, ans siteAnswer) (map[uint32]*partState, error) {
+	out := make(map[uint32]*partState, len(ans.parts))
+	for p, blob := range ans.parts {
+		hdr, ps, err := decodeSlice(blob)
+		if err != nil {
+			return nil, fmt.Errorf("distrib: decoding site %d partition %d: %w", siteID, p, err)
+		}
+		if hdr.part != p {
+			return nil, fmt.Errorf("distrib: site %d shipped partition %d labelled %d", siteID, p, hdr.part)
+		}
+		if hdr.landmark != c.model.Landmark {
+			return nil, fmt.Errorf("distrib: site %d partition %d is in landmark-%v frame, cluster is at %v",
+				siteID, p, hdr.landmark, c.model.Landmark)
+		}
+		out[p] = ps
 	}
-	var hh agg.HeavyHitters
-	if out.HH != nil {
-		if err := hh.UnmarshalBinary(st.hh); err != nil {
-			return fmt.Errorf("distrib: decoding site %d heavy hitters: %w", i, err)
+	return out, nil
+}
+
+// mergeState folds one partition's decoded state into the summary.
+func mergeState(out *Summary, siteID int, part uint32, ps *partState) error {
+	if err := out.Sum.Merge(ps.sum); err != nil {
+		return fmt.Errorf("distrib: merging site %d partition %d sum: %w", siteID, part, err)
+	}
+	if out.HH != nil && ps.hh != nil {
+		if err := out.HH.Merge(ps.hh); err != nil {
+			return fmt.Errorf("distrib: merging site %d partition %d heavy hitters: %w", siteID, part, err)
 		}
 	}
-	var qd agg.Quantiles
-	if out.Quantiles != nil {
-		if err := qd.UnmarshalBinary(st.qd); err != nil {
-			return fmt.Errorf("distrib: decoding site %d quantiles: %w", i, err)
-		}
-	}
-	if err := out.Sum.Merge(&sum); err != nil {
-		return fmt.Errorf("distrib: merging site %d sum: %w", i, err)
-	}
-	if out.HH != nil {
-		if err := out.HH.Merge(&hh); err != nil {
-			return fmt.Errorf("distrib: merging site %d heavy hitters: %w", i, err)
-		}
-	}
-	if out.Quantiles != nil {
-		if err := out.Quantiles.Merge(&qd); err != nil {
-			return fmt.Errorf("distrib: merging site %d quantiles: %w", i, err)
+	if out.Quantiles != nil && ps.qd != nil {
+		if err := out.Quantiles.Merge(ps.qd); err != nil {
+			return fmt.Errorf("distrib: merging site %d partition %d quantiles: %w", siteID, part, err)
 		}
 	}
 	return nil
 }
 
-// Snapshot asks every site for its serialized partial state and merges the
+// Snapshot asks every live site for its serialized partial state, rebuilds
+// any downed site's partitions from checkpoint + log replay, and merges the
 // decoded partials into a fresh Summary — exactly the distributed pattern
-// of §VI-B. It is safe to call concurrently with Observe; each site
-// snapshots at an event boundary.
+// of §VI-B, made churn-proof. It is safe to call concurrently with
+// ObserveKeyed/Observe; each site snapshots at an event boundary.
 //
-// A site that fails to answer within the timeout and retry budget, or whose
-// state fails to decode or merge, is skipped when no more than
+// A live site that fails to answer within the timeout and retry budget, or
+// whose state fails to decode, is skipped when no more than
 // Config.MaxFailedSites sites have failed — the Summary then covers the
-// surviving partitions and MissingSites names the absent ones. Beyond that
-// tolerance, Snapshot returns the first failing site's error.
+// surviving partitions and MissingSites names the absent sites. Beyond that
+// tolerance, Snapshot returns the first failing site's error. Merging
+// happens in ascending (partition, site) order, so two clusters holding
+// identical partition states produce bit-identical summaries regardless of
+// roster history.
 func (c *Cluster) Snapshot() (*Summary, error) {
-	// Serialize against RollEpoch: a snapshot observes the cluster either
-	// entirely before a rollover or entirely after it. A site whose commit
-	// failed mid-roll reports a sticky error and is refused (or skipped
-	// under MaxFailedSites) — mismatched landmarks are additionally caught
-	// by the model check inside every Merge, so partial states from
-	// different frames can never blend silently.
 	c.opMu.Lock()
 	defer c.opMu.Unlock()
-	states := make([]siteState, len(c.sites))
-	for i := range c.sites {
-		states[i] = c.snapshotSite(i)
+
+	type decoded struct {
+		id    int
+		parts map[uint32]*partState
 	}
-	out := c.newSummary()
+	var all []decoded
 	var missing []int
-	for i, st := range states {
-		err := st.err
-		if err == nil {
-			err = mergeSite(out, i, st)
+	fail := func(id int, err error) error {
+		if len(missing) >= c.cfg.MaxFailedSites {
+			return err
 		}
-		if err != nil {
-			if len(missing) >= c.cfg.MaxFailedSites {
+		missing = append(missing, id)
+		c.health.bump(&c.health.failedSites, cntFailedSites, 1)
+		return nil
+	}
+
+	c.routeMu.Lock()
+	liveIDs := sortedIDs(c.roster)
+	liveSites := make([]*site, 0, len(liveIDs))
+	for _, id := range liveIDs {
+		liveSites = append(liveSites, c.roster[id])
+	}
+	downIDs := make([]int, 0, len(c.downSet))
+	for id := range c.downSet {
+		downIDs = append(downIDs, id)
+	}
+	sort.Ints(downIDs)
+	c.routeMu.Unlock()
+
+	for i, id := range liveIDs {
+		ans := c.snapshotSite(liveSites[i])
+		if ans.err == nil {
+			parts, err := c.decodeAnswer(id, ans)
+			if err != nil {
+				ans.err = err
+			} else {
+				all = append(all, decoded{id: id, parts: parts})
+				continue
+			}
+		}
+		if err := fail(id, ans.err); err != nil {
+			return nil, err
+		}
+	}
+	// Downed sites: their acknowledged observations are all in the log, so
+	// reconstruct their owned partitions coordinator-side instead of
+	// reporting a hole. Without a log there is nothing to rebuild from.
+	for _, id := range downIDs {
+		if c.wal == nil {
+			if err := fail(id, fmt.Errorf("distrib: site %d is down", id)); err != nil {
 				return nil, err
 			}
-			missing = append(missing, i)
+			continue
+		}
+		c.routeMu.Lock()
+		parts := c.ownedBy(id)
+		states, err := c.rebuildParts(parts)
+		c.routeMu.Unlock()
+		if err != nil {
+			if err := fail(id, fmt.Errorf("distrib: rebuilding down site %d: %w", id, err)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		all = append(all, decoded{id: id, parts: states})
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := c.newSummary()
+	for p := 0; p < c.cfg.Partitions; p++ {
+		for _, d := range all {
+			if ps, ok := d.parts[uint32(p)]; ok {
+				if err := mergeState(out, d.id, uint32(p), ps); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
+	sort.Ints(missing)
 	out.MissingSites = missing
 	return out, nil
+}
+
+// ownedBy lists the partitions the ring assigns to a site (routeMu held).
+func (c *Cluster) ownedBy(id int) []uint32 {
+	var out []uint32
+	for p := 0; p < c.cfg.Partitions; p++ {
+		if owner, ok := c.ring.Owner(uint32(p)); ok && owner == id {
+			out = append(out, uint32(p))
+		}
+	}
+	return out
+}
+
+// rebuildParts reconstructs partitions from the last checkpoint slice plus
+// a write-ahead-log replay past each slice's watermark, rebased onto the
+// cluster's current landmark. Caller holds opMu and routeMu.
+func (c *Cluster) rebuildParts(parts []uint32) (map[uint32]*partState, error) {
+	states := make(map[uint32]*partState, len(parts))
+	after := make(map[uint32]uint64, len(parts))
+	sel := make(map[uint32]bool, len(parts))
+	for _, p := range parts {
+		sel[p] = true
+		if e, ok := c.ckpt[p]; ok {
+			hdr, ps, err := decodeSlice(e.blob)
+			if err != nil {
+				return nil, fmt.Errorf("distrib: checkpoint slice for partition %d: %w", p, err)
+			}
+			if hdr.landmark != c.model.Landmark {
+				if err := ps.shift(c.model.Landmark); err != nil {
+					return nil, fmt.Errorf("distrib: rebasing checkpoint partition %d: %w", p, err)
+				}
+			}
+			states[p] = ps
+			after[p] = hdr.lastSeq
+		} else {
+			states[p] = c.newPartState(c.model)
+		}
+	}
+	if c.wal != nil && len(parts) > 0 {
+		n, err := c.wal.Replay(sel, after, func(r Record) error {
+			states[r.Part].observe(Observation{Key: r.Key, Value: r.Val, Time: r.Time}, r.Seq)
+			return nil
+		})
+		c.health.bump(&c.health.replayed, cntReplayedRecords, uint64(n))
+		if err != nil {
+			return nil, err
+		}
+	}
+	return states, nil
+}
+
+// Checkpoint cuts a fresh per-partition state slice from every live site
+// and retires write-ahead-log segments wholly covered by the new
+// watermarks. Sites that fail to answer keep their previous checkpoint
+// entries, so their log records are retained until they recover. Calling it
+// periodically bounds both replay time after a crash and log disk usage.
+func (c *Cluster) Checkpoint() error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	c.routeMu.Lock()
+	ids := sortedIDs(c.roster)
+	sites := make([]*site, 0, len(ids))
+	for _, id := range ids {
+		sites = append(sites, c.roster[id])
+	}
+	c.routeMu.Unlock()
+
+	var firstErr error
+	for i, id := range ids {
+		ans := c.snapshotSite(sites[i])
+		if ans.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("distrib: checkpoint of site %d: %w", id, ans.err)
+			}
+			continue
+		}
+		for p, blob := range ans.parts {
+			hdr, _, err := decodeSlice(blob)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("distrib: checkpoint slice from site %d partition %d: %w", id, p, err)
+				}
+				continue
+			}
+			c.ckpt[p] = ckptEntry{blob: blob, seq: hdr.lastSeq}
+		}
+	}
+	if c.wal != nil {
+		wm := make(map[uint32]uint64, len(c.ckpt))
+		for p, e := range c.ckpt {
+			wm[p] = e.seq
+		}
+		c.routeMu.Lock()
+		n, err := c.wal.Trim(wm)
+		c.routeMu.Unlock()
+		c.health.bump(&c.health.trimmed, cntTrimmedSegments, uint64(n))
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
 }
 
 // Model returns the cluster's current decay model: the configured function
@@ -474,17 +960,314 @@ func (c *Cluster) Model() decay.Forward {
 	return c.model
 }
 
-// RollEpoch advances every site's landmark to newL in two phases, the
-// distributed leg of the epoch-rollover protocol. Phase one (propose) asks
-// each site to quiesce — drain its queued observations, validate the shift,
-// and pause awaiting a decision; phase two (commit) applies the exact
-// landmark shift at every site. If any site refuses or times out during the
-// proposal, every prepared site is aborted and the cluster stays entirely in
-// the old frame. A failure during commit leaves that site quarantined (it
-// refuses all later snapshots) while the rest of the cluster completes the
-// roll; the error is returned.
+// cutParts asks a live site to quiesce and hand over partitions (nil = all
+// it holds), bounded by the snapshot timeout.
+func (c *Cluster) cutParts(s *site, parts []uint32) siteAnswer {
+	req := &handoffReq{parts: parts, reply: make(chan siteAnswer, 1)}
+	timer := time.NewTimer(c.cfg.SnapshotTimeout)
+	defer timer.Stop()
+	select {
+	case s.cut <- req:
+	case <-s.done:
+		return siteAnswer{err: fmt.Errorf("distrib: site %d already closed", s.id)}
+	case <-timer.C:
+		return siteAnswer{err: fmt.Errorf("distrib: site %d handoff request timed out after %v", s.id, c.cfg.SnapshotTimeout)}
+	}
+	select {
+	case ans := <-req.reply:
+		return ans
+	case <-timer.C:
+		return siteAnswer{err: fmt.Errorf("distrib: site %d handoff reply timed out after %v", s.id, c.cfg.SnapshotTimeout)}
+	}
+}
+
+// installAt ships serialized slices into a live site, bounded by the
+// snapshot timeout.
+func (c *Cluster) installAt(s *site, slices map[uint32][]byte) error {
+	if len(slices) == 0 {
+		return nil
+	}
+	req := &installReq{slices: slices, reply: make(chan error, 1)}
+	timer := time.NewTimer(c.cfg.SnapshotTimeout)
+	defer timer.Stop()
+	select {
+	case s.inst <- req:
+	case <-s.done:
+		return fmt.Errorf("distrib: site %d already closed", s.id)
+	case <-timer.C:
+		return fmt.Errorf("distrib: site %d install request timed out after %v", s.id, c.cfg.SnapshotTimeout)
+	}
+	select {
+	case err := <-req.reply:
+		return err
+	case <-timer.C:
+		return fmt.Errorf("distrib: site %d install reply timed out after %v", s.id, c.cfg.SnapshotTimeout)
+	}
+}
+
+// crashSiteRouted tears a live site down as a crash: its goroutine exits,
+// its in-memory state is discarded, and it is marked down for later
+// recovery. Caller holds routeMu.
+func (c *Cluster) crashSiteRouted(id int) {
+	s := c.roster[id]
+	if s == nil {
+		return
+	}
+	close(s.kill)
+	<-s.done
+	delete(c.roster, id)
+	c.downSet[id] = true
+	c.health.bump(&c.health.crashes, cntSiteCrashes, 1)
+}
+
+// CrashSite simulates the process death of a live site: the worker is torn
+// down and every in-memory aggregate it held is discarded. With a
+// write-ahead log configured nothing acknowledged is lost — the site's
+// partitions rebuild from checkpoint + replay on RecoverSite, and keyed
+// observations routed to it meanwhile are absorbed by the log. It is the
+// chaos-testing and operational-drill entry point.
+func (c *Cluster) CrashSite(id int) error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if c.roster[id] == nil {
+		return &RouteError{Site: id, Reason: "no such live site"}
+	}
+	c.crashSiteRouted(id)
+	return nil
+}
+
+// RecoverSite rebuilds a downed site from the last checkpoint plus a
+// write-ahead-log replay and returns it to the live roster — the
+// rejoin-from-log leg of crash recovery. The rebuilt state is rebased onto
+// the cluster's current landmark, so a site that missed epoch rolls while
+// down rejoins in the right frame.
+func (c *Cluster) RecoverSite(id int) error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if !c.downSet[id] {
+		return &RouteError{Site: id, Reason: "site is not down"}
+	}
+	if c.wal == nil && len(c.ckpt) == 0 {
+		// Nothing to rebuild from; the site rejoins empty (its window is
+		// lost, which is the best a log-less cluster can do).
+		c.roster[id] = c.startSite(id, c.model, nil)
+		delete(c.downSet, id)
+		c.health.bump(&c.health.rejoins, cntSiteRejoins, 1)
+		return nil
+	}
+	states, err := c.rebuildParts(c.ownedBy(id))
+	if err != nil {
+		return err
+	}
+	c.roster[id] = c.startSite(id, c.model, states)
+	delete(c.downSet, id)
+	c.health.bump(&c.health.rejoins, cntSiteRejoins, 1)
+	return nil
+}
+
+// AddSite grows the live roster by one site and hands it exactly the
+// partitions the ring reassigns to it (about P/N of them): each current
+// owner quiesces, cuts checkpoint-v2 state slices, and the new site
+// installs them — bit-identical to a cluster that always had the new
+// roster. A source site that crashes mid-handoff is quarantined and the
+// moved partitions are rebuilt from checkpoint + log replay instead; the
+// returned site id is valid either way, alongside the error describing the
+// casualty.
+func (c *Cluster) AddSite() (int, error) {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+
+	id := c.nextID
+	c.nextID++
+	newRing := c.ring.Clone()
+	newRing.Add(id)
+	moved := movedPartitions(c.ring, newRing, c.cfg.Partitions)
+
+	bySrc := map[int][]uint32{}
+	for _, p := range moved {
+		owner, ok := c.ring.Owner(p)
+		if !ok {
+			owner = -1
+		}
+		bySrc[owner] = append(bySrc[owner], p)
+	}
+	srcs := make([]int, 0, len(bySrc))
+	for src := range bySrc {
+		srcs = append(srcs, src)
+	}
+	sort.Ints(srcs)
+
+	states := map[uint32]*partState{}
+	var firstErr error
+	for _, src := range srcs {
+		parts := bySrc[src]
+		s := c.roster[src]
+		if s != nil {
+			ans := c.cutParts(s, parts)
+			if ans.err == nil {
+				if err := installSlices(states, ans.parts, c.model, c); err == nil {
+					continue
+				} else if firstErr == nil {
+					firstErr = err
+				}
+			} else if firstErr == nil {
+				firstErr = fmt.Errorf("distrib: handoff from site %d failed (site quarantined): %w", src, ans.err)
+			}
+			// The source failed mid-handoff: treat it as crashed and fall
+			// back to the log.
+			c.crashSiteRouted(src)
+		} else if firstErr == nil && c.wal == nil {
+			firstErr = fmt.Errorf("distrib: source site %d is down and no write-ahead log is configured; partitions rebuilt from last checkpoint only", src)
+		}
+		rebuilt, err := c.rebuildParts(parts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for p, ps := range rebuilt {
+			states[p] = ps
+		}
+	}
+
+	c.roster[id] = c.startSite(id, c.model, states)
+	c.ring = newRing
+	c.health.bump(&c.health.handoffs, cntHandoffs, 1)
+	c.health.bump(&c.health.handoffParts, cntHandoffPartitions, uint64(len(moved)))
+	return id, firstErr
+}
+
+// RemoveSite retires a site from the roster, handing every partition it
+// holds to the ring's new owners (live removal quiesces and cuts exact
+// slices; removing a downed site rebuilds its partitions from checkpoint +
+// log replay). The last live site cannot be removed.
+func (c *Cluster) RemoveSite(id int) error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+
+	s := c.roster[id]
+	wasDown := c.downSet[id]
+	if s == nil && !wasDown {
+		return &RouteError{Site: id, Reason: "no such site"}
+	}
+	if s != nil && len(c.roster) == 1 {
+		return fmt.Errorf("distrib: cannot remove the last live site")
+	}
+	ownedBefore := c.ownedBy(id)
+	newRing := c.ring.Clone()
+	newRing.Remove(id)
+	if newRing.Size() == 0 {
+		return fmt.Errorf("distrib: cannot remove the last ring member")
+	}
+
+	var slices map[uint32][]byte
+	var firstErr error
+	if s != nil {
+		ans := c.cutParts(s, nil)
+		if ans.err != nil {
+			firstErr = fmt.Errorf("distrib: handoff from site %d failed (site quarantined): %w", id, ans.err)
+			c.crashSiteRouted(id)
+			wasDown = true
+		} else {
+			slices = ans.parts
+			close(s.in)
+			<-s.done
+			delete(c.roster, id)
+		}
+	}
+	if wasDown {
+		// Rebuild what the departed site owned from the log; anything not
+		// reconstructible is already reflected in firstErr.
+		states, err := c.rebuildParts(ownedBefore)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			slices = map[uint32][]byte{}
+			for p, ps := range states {
+				blob, err := encodeSlice(p, ps)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue
+				}
+				slices[p] = blob
+			}
+		}
+		delete(c.downSet, id)
+	}
+
+	// Ship every cut or rebuilt partition to its new owner.
+	byDst := map[int]map[uint32][]byte{}
+	for p, blob := range slices {
+		dst, ok := newRing.Owner(p)
+		if !ok {
+			continue
+		}
+		if byDst[dst] == nil {
+			byDst[dst] = map[uint32][]byte{}
+		}
+		byDst[dst][p] = blob
+	}
+	dsts := make([]int, 0, len(byDst))
+	for dst := range byDst {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+	moved := 0
+	for _, dst := range dsts {
+		moved += len(byDst[dst])
+		ds := c.roster[dst]
+		if ds == nil {
+			// New owner is itself down; its rebuild path will pick the
+			// partitions up from checkpoint + log. Re-checkpoint the slices
+			// so nothing depends on the departed site.
+			for p, blob := range byDst[dst] {
+				hdr, _, err := decodeSlice(blob)
+				if err == nil {
+					c.ckpt[p] = ckptEntry{blob: blob, seq: hdr.lastSeq}
+				} else if firstErr == nil {
+					firstErr = err
+				}
+			}
+			continue
+		}
+		if err := c.installAt(ds, byDst[dst]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	c.ring = newRing
+	c.health.bump(&c.health.handoffs, cntHandoffs, 1)
+	c.health.bump(&c.health.handoffParts, cntHandoffPartitions, uint64(moved))
+	return firstErr
+}
+
+// RollEpoch advances every live site's landmark to newL with the two-phase
+// propose/commit protocol, tolerating mid-roll churn. Phase one (propose)
+// asks each site to quiesce — drain its queued observations, validate the
+// shift, and pause awaiting a decision; phase two (commit) applies the
+// exact landmark shift at every site. A site that refuses or times out
+// during the proposal is quarantined (treated as crashed) and the round is
+// re-proposed to the survivors, so a joining or crashing site can never
+// leave the cluster straddling two landmarks. A failure during commit
+// quarantines that site while the rest of the cluster completes the roll;
+// the error is returned (the landmark still advances, and the quarantined
+// site rebuilds in the new frame from the log when it rejoins). Downed
+// sites are skipped: their recovery rebases onto the current landmark.
 //
-// Safe to call concurrently with Observe; serialized against Snapshot.
+// Safe to call concurrently with ObserveKeyed/Observe; serialized against
+// Snapshot and membership changes.
 func (c *Cluster) RollEpoch(newL float64) error {
 	if math.IsNaN(newL) || math.IsInf(newL, 0) {
 		return fmt.Errorf("distrib: non-finite landmark %v rejected", newL)
@@ -494,64 +1277,121 @@ func (c *Cluster) RollEpoch(newL float64) error {
 	if _, _, ok := c.model.Shifted(newL); !ok {
 		return &decay.NotShiftableError{Func: c.model.Func.String()}
 	}
-	reqs := make([]*siteEpochReq, len(c.sites))
-	// abort releases every site that received the proposal; the buffered
-	// commit channel means even a site that answers late unblocks cleanly.
-	abort := func(cause error) error {
+
+	c.routeMu.Lock()
+	maxRounds := len(c.roster) + 1
+	c.routeMu.Unlock()
+
+	var reqs map[int]*siteEpochReq
+	var ids []int
+	for round := 0; ; round++ {
+		c.routeMu.Lock()
+		ids = sortedIDs(c.roster)
+		sites := make(map[int]*site, len(ids))
+		for _, id := range ids {
+			sites[id] = c.roster[id]
+		}
+		c.routeMu.Unlock()
+		if len(ids) == 0 {
+			// Every site is down or removed: the coordinator's frame still
+			// advances; recoveries rebase onto it. Drop any previous round's
+			// requests — those sites were already aborted.
+			reqs, ids = nil, nil
+			break
+		}
+
+		reqs = map[int]*siteEpochReq{}
+		badSite := -1
+		var badErr error
+		for _, id := range ids {
+			req := &siteEpochReq{
+				newL:     newL,
+				prepared: make(chan error, 1),
+				commit:   make(chan bool, 1),
+				done:     make(chan error, 1),
+			}
+			s := sites[id]
+			timer := time.NewTimer(c.cfg.SnapshotTimeout)
+			select {
+			case s.epoch <- req:
+			case <-s.done:
+				timer.Stop()
+				badSite, badErr = id, fmt.Errorf("distrib: site %d already closed", id)
+			case <-timer.C:
+				badSite, badErr = id, fmt.Errorf("distrib: site %d epoch proposal timed out after %v", id, c.cfg.SnapshotTimeout)
+			}
+			if badSite >= 0 {
+				break
+			}
+			select {
+			case err := <-req.prepared:
+				timer.Stop()
+				if err != nil {
+					badSite, badErr = id, fmt.Errorf("distrib: site %d refused epoch: %w", id, err)
+				} else {
+					reqs[id] = req // prepared and paused, awaiting commit
+				}
+			case <-timer.C:
+				badSite, badErr = id, fmt.Errorf("distrib: site %d epoch prepare timed out after %v", id, c.cfg.SnapshotTimeout)
+			}
+			if badSite >= 0 {
+				break
+			}
+		}
+		if badSite < 0 {
+			break // every live site is prepared
+		}
+		// Release the prepared sites first (so any ingest blocked on their
+		// queues drains), then quarantine the refuser and re-propose.
 		for _, req := range reqs {
-			if req != nil {
-				req.commit <- false
-			}
+			req.commit <- false
 		}
-		return cause
+		c.routeMu.Lock()
+		c.crashSiteRouted(badSite)
+		c.routeMu.Unlock()
+		if round+1 >= maxRounds {
+			return fmt.Errorf("distrib: epoch roll gave up after %d rounds: %w", round+1, badErr)
+		}
+		c.health.bump(&c.health.reproposals, cntEpochReproposals, 1)
 	}
-	// Phase 1: propose to every site.
-	for i, s := range c.sites {
-		req := &siteEpochReq{
-			newL:     newL,
-			prepared: make(chan error, 1),
-			commit:   make(chan bool, 1),
-			done:     make(chan error, 1),
-		}
-		timer := time.NewTimer(c.cfg.SnapshotTimeout)
-		select {
-		case s.epoch <- req:
-		case <-s.done:
-			timer.Stop()
-			return abort(fmt.Errorf("distrib: site %d already closed", i))
-		case <-timer.C:
-			return abort(fmt.Errorf("distrib: site %d epoch proposal timed out after %v", i, c.cfg.SnapshotTimeout))
-		}
-		reqs[i] = req
-		select {
-		case err := <-req.prepared:
-			timer.Stop()
-			if err != nil {
-				return abort(fmt.Errorf("distrib: site %d refused epoch: %w", i, err))
-			}
-		case <-timer.C:
-			return abort(fmt.Errorf("distrib: site %d epoch prepare timed out after %v", i, c.cfg.SnapshotTimeout))
-		}
-	}
-	// Phase 2: commit everywhere. Every site is paused at a quiesced state,
-	// so the shifts apply to frozen frames.
+
+	// Phase 2: commit everywhere. Every prepared site is paused at a
+	// quiesced state, so the shifts apply to frozen frames.
 	for _, req := range reqs {
 		req.commit <- true
 	}
 	var firstErr error
-	for i, req := range reqs {
+	var casualties []int
+	for _, id := range ids {
+		req := reqs[id]
+		if req == nil {
+			continue
+		}
 		timer := time.NewTimer(c.cfg.SnapshotTimeout)
 		select {
 		case err := <-req.done:
 			timer.Stop()
-			if err != nil && firstErr == nil {
-				firstErr = fmt.Errorf("distrib: site %d epoch commit failed (site quarantined): %w", i, err)
+			if err != nil {
+				casualties = append(casualties, id)
+				if firstErr == nil {
+					firstErr = fmt.Errorf("distrib: site %d epoch commit failed (site quarantined): %w", id, err)
+				}
 			}
 		case <-timer.C:
+			casualties = append(casualties, id)
 			if firstErr == nil {
-				firstErr = fmt.Errorf("distrib: site %d epoch commit timed out after %v", i, c.cfg.SnapshotTimeout)
+				firstErr = fmt.Errorf("distrib: site %d epoch commit timed out after %v", id, c.cfg.SnapshotTimeout)
 			}
 		}
+	}
+	// Reap commit casualties: they are zombies (consuming, contributing
+	// nothing) until quarantined here.
+	if len(casualties) > 0 {
+		c.routeMu.Lock()
+		for _, id := range casualties {
+			c.crashSiteRouted(id)
+		}
+		c.routeMu.Unlock()
 	}
 	// The coordinator's frame advances with the committed sites; a failed
 	// site is quarantined rather than left silently mergeable.
@@ -561,8 +1401,9 @@ func (c *Cluster) RollEpoch(newL float64) error {
 	return firstErr
 }
 
-// Close drains and stops all sites. Observe must not be called after (or
-// concurrently with) Close. Close is idempotent.
+// Close drains and stops all sites and closes the write-ahead log.
+// ObserveKeyed/Observe must not be called after (or concurrently with)
+// Close. Close is idempotent.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -570,8 +1411,13 @@ func (c *Cluster) Close() {
 		return
 	}
 	c.closed = true
-	for _, s := range c.sites {
+	c.routeMu.Lock()
+	for _, s := range c.roster {
 		close(s.in)
 	}
+	c.routeMu.Unlock()
 	c.wg.Wait()
+	if c.wal != nil {
+		c.wal.Close()
+	}
 }

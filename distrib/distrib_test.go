@@ -35,7 +35,7 @@ func TestClusterMatchesSingleNode(t *testing.T) {
 		p := gen.Next()
 		now = p.Time
 		ob := Observation{Key: p.DestKey(), Value: float64(p.Len), Time: p.Time}
-		cl.Observe(int(p.FlowKey()), ob) // route by flow hash
+		cl.ObserveKeyed(ob) // ring-routed by destination key
 		single.Observe(p.Time, float64(p.Len))
 		singleHH.Observe(p.DestKey(), p.Time)
 	}
@@ -138,10 +138,10 @@ func TestClusterSkewedPartitioning(t *testing.T) {
 		}
 		return snap.Sum.Value(200)
 	}
-	balanced := mk(func(i int) int { return i })
+	balanced := mk(func(i int) int { return i % 4 })
 	skewed := mk(func(i int) int {
 		if i%100 == 0 {
-			return i
+			return i % 4
 		}
 		return 0
 	})

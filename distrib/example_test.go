@@ -19,7 +19,7 @@ func Example() {
 	defer cluster.Close()
 
 	for i := 0; i < 1000; i++ {
-		cluster.Observe(i, distrib.Observation{ // round-robin routing
+		cluster.Observe(i%4, distrib.Observation{ // round-robin routing
 			Key:   uint64(i % 10),
 			Value: 2,
 			Time:  1 + float64(i)*0.01,

@@ -7,7 +7,6 @@ import (
 	"testing"
 	"time"
 
-	"forwarddecay/agg"
 	"forwarddecay/decay"
 	"forwarddecay/internal/faultinject"
 )
@@ -26,7 +25,7 @@ func feed(t *testing.T, c *Cluster, n int) {
 	t.Helper()
 	for i := 0; i < n; i++ {
 		ob := Observation{Key: uint64(i % 17), Value: float64(1 + i%7), Time: float64(i % 100)}
-		if err := c.Observe(i, ob); err != nil {
+		if err := c.Observe(i%c.Sites(), ob); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -61,10 +60,10 @@ func TestObserveRejectsNonFinite(t *testing.T) {
 	}
 }
 
-// TestMergeRejectsMismatchedModel: a site shipping state marshaled under a
-// different landmark (or decay function) must be rejected at merge time
-// with an error naming the offending site — silently blending
-// incompatible decayed weights would corrupt the summary.
+// TestMergeRejectsMismatchedModel: a site shipping state cut under a
+// different landmark must be rejected before anything is merged, with an
+// error naming the offending site — silently blending incompatible decayed
+// weights would corrupt the summary.
 func TestMergeRejectsMismatchedModel(t *testing.T) {
 	cfg := faultCfg(1)
 	c, err := New(cfg)
@@ -73,35 +72,33 @@ func TestMergeRejectsMismatchedModel(t *testing.T) {
 	}
 	defer c.Close()
 
-	// Forge a site state marshaled under a different landmark.
-	other := agg.NewSum(decay.NewForward(decay.NewExp(0.01), 500))
-	other.Observe(510, 3)
-	forged, err := other.MarshalBinary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	hh := agg.NewHeavyHittersK(cfg.Model, cfg.HHK)
-	hhb, err := hh.MarshalBinary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	qd := agg.NewQuantiles(cfg.Model, cfg.QuantileU, cfg.QuantileEps)
-	qdb, err := qd.MarshalBinary()
+	// Forge a partition slice cut under a different landmark.
+	forger := &Cluster{cfg: cfg}
+	ps := forger.newPartState(decay.NewForward(decay.NewExp(0.01), 500))
+	ps.observe(Observation{Key: 1, Value: 3, Time: 510}, 0)
+	blob, err := encodeSlice(7, ps)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	out := c.newSummary()
-	mergeErr := mergeSite(out, 3, siteState{sum: forged, hh: hhb, qd: qdb})
+	// A good slice riding along must not be merged either: the whole site is
+	// rejected atomically.
+	good := c.newPartState(cfg.Model)
+	good.observe(Observation{Key: 2, Value: 5, Time: 10}, 0)
+	goodBlob, err := encodeSlice(3, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parts, mergeErr := c.decodeAnswer(3, siteAnswer{parts: map[uint32][]byte{7: blob, 3: goodBlob}})
 	if mergeErr == nil {
-		t.Fatal("mismatched landmark merged silently")
+		t.Fatal("mismatched landmark decoded silently")
 	}
 	if !strings.Contains(mergeErr.Error(), "site 3") {
 		t.Fatalf("error does not name the offending site: %v", mergeErr)
 	}
-	// Atomicity: the failed site contributed nothing before the error.
-	if n := out.Sum.Count(600); n != 0 {
-		t.Fatalf("partial contribution from rejected site: count %v", n)
+	if parts != nil {
+		t.Fatalf("rejected site still returned %d partitions", len(parts))
 	}
 }
 

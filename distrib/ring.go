@@ -1,0 +1,138 @@
+package distrib
+
+// Consistent-hash partition assignment. The key space is first folded onto a
+// fixed set of partitions (Config.Partitions); the ring then assigns each
+// partition to a site. Every site projects VNodes points onto the 64-bit
+// ring from a deterministic seed, and a partition belongs to the site owning
+// the first point at or after the partition's own hash (wrapping). Because
+// points depend only on (seed, site id, vnode index), the assignment is a
+// pure function of the member set: two processes that agree on the roster
+// agree on every owner, regardless of join order. When one site joins or
+// leaves, only the partitions whose successor point changed move — in
+// expectation P/N of them — which is what lets AddSite/RemoveSite hand off a
+// small state slice instead of reshuffling the world.
+
+import (
+	"sort"
+
+	"forwarddecay/internal/core"
+)
+
+// ringPoint is one virtual node: a site's projection onto the hash circle.
+type ringPoint struct {
+	hash uint64
+	site int
+}
+
+// Ring maps partitions to sites by consistent hashing with virtual nodes.
+// It is a value-semantics helper (no locking); Cluster guards its ring with
+// the routing lock.
+type Ring struct {
+	seed   uint64
+	vnodes int
+	points []ringPoint // sorted by (hash, site)
+}
+
+// NewRing returns an empty ring. vnodes <= 0 selects 64 virtual nodes per
+// site; the seed makes every point placement deterministic.
+func NewRing(seed uint64, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	return &Ring{seed: seed, vnodes: vnodes}
+}
+
+// vnodeHash places virtual node v of a site: a double mix so neither
+// adjacent site ids nor adjacent vnode indices cluster on the circle.
+func (r *Ring) vnodeHash(site, v int) uint64 {
+	return core.Hash2(core.Hash2(r.seed, uint64(int64(site))), uint64(v))
+}
+
+// partHash places a partition on the circle, domain-separated from vnode
+// points by a distinct mixing constant.
+func (r *Ring) partHash(part uint32) uint64 {
+	return core.Hash2(r.seed^0x9e3779b97f4a7c15, uint64(part))
+}
+
+// Add inserts a site's virtual nodes. Adding a present site is a no-op.
+func (r *Ring) Add(site int) {
+	for _, p := range r.points {
+		if p.site == site {
+			return
+		}
+	}
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: r.vnodeHash(site, v), site: site})
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].site < r.points[j].site
+	})
+}
+
+// Remove deletes a site's virtual nodes. Removing an absent site is a
+// no-op.
+func (r *Ring) Remove(site int) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.site != site {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the distinct site ids on the ring, ascending.
+func (r *Ring) Members() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, p := range r.points {
+		if !seen[p.site] {
+			seen[p.site] = true
+			out = append(out, p.site)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Size returns the number of distinct sites on the ring.
+func (r *Ring) Size() int { return len(r.Members()) }
+
+// Owner returns the site owning a partition, or ok=false on an empty ring.
+func (r *Ring) Owner(part uint32) (site int, ok bool) {
+	if len(r.points) == 0 {
+		return 0, false
+	}
+	h := r.partHash(part)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap to the first point
+	}
+	return r.points[i].site, true
+}
+
+// Clone returns an independent copy, so membership changes can be computed
+// against the previous assignment before being swapped in.
+func (r *Ring) Clone() *Ring {
+	out := &Ring{seed: r.seed, vnodes: r.vnodes}
+	out.points = append([]ringPoint(nil), r.points...)
+	return out
+}
+
+// movedPartitions lists the partitions whose owner differs between two
+// rings over the same partition count — exactly the handoff set of a
+// membership change.
+func movedPartitions(from, to *Ring, partitions int) []uint32 {
+	var moved []uint32
+	for p := 0; p < partitions; p++ {
+		a, okA := from.Owner(uint32(p))
+		b, okB := to.Owner(uint32(p))
+		if okA != okB || (okA && a != b) {
+			moved = append(moved, uint32(p))
+		}
+	}
+	return moved
+}

@@ -1,0 +1,122 @@
+package distrib
+
+import (
+	"testing"
+)
+
+// TestRingDeterministicAssignment: ring placement is a pure function of
+// (seed, vnodes, membership) — independent of insertion order, clone
+// history, or process — so every coordinator that agrees on the
+// configuration routes identically.
+func TestRingDeterministicAssignment(t *testing.T) {
+	const parts = 256
+	a := NewRing(42, 64)
+	for _, id := range []int{0, 1, 2, 3, 4} {
+		a.Add(id)
+	}
+	b := NewRing(42, 64)
+	for _, id := range []int{3, 0, 4, 1, 2} { // different insertion order
+		b.Add(id)
+	}
+	c := a.Clone()
+	for p := uint32(0); p < parts; p++ {
+		ao, aok := a.Owner(p)
+		bo, bok := b.Owner(p)
+		co, cok := c.Owner(p)
+		if !aok || !bok || !cok {
+			t.Fatalf("partition %d unowned on a populated ring", p)
+		}
+		if ao != bo || ao != co {
+			t.Fatalf("partition %d: owners diverge (%d, %d, %d)", p, ao, bo, co)
+		}
+	}
+	// Re-adding a member must be a no-op, not a double placement.
+	a.Add(2)
+	for p := uint32(0); p < parts; p++ {
+		ao, _ := a.Owner(p)
+		bo, _ := b.Owner(p)
+		if ao != bo {
+			t.Fatalf("re-adding a member changed partition %d's owner", p)
+		}
+	}
+}
+
+// TestRingGoldenAssignment pins a few concrete assignments so an
+// accidental change to the hash inputs (which would strand every key on a
+// live cluster) fails loudly rather than just reshuffling.
+func TestRingGoldenAssignment(t *testing.T) {
+	r := NewRing(0, 64)
+	for id := 0; id < 4; id++ {
+		r.Add(id)
+	}
+	golden := map[uint32]int{0: 0, 1: 2, 2: 1, 3: 3, 4: 0, 5: 2, 6: 3, 7: 0}
+	for p, want := range golden {
+		if got, ok := r.Owner(p); !ok || got != want {
+			t.Errorf("Owner(%d) = %d, golden %d", p, got, want)
+		}
+	}
+}
+
+// TestRingMinimalMovement: a single join or leave moves only ~P/N
+// partitions, and every move involves the changed site — the consistent-
+// hashing property that makes membership change cheap.
+func TestRingMinimalMovement(t *testing.T) {
+	const parts = 1024
+	for _, n := range []int{2, 4, 8} {
+		old := NewRing(7, 64)
+		for id := 0; id < n; id++ {
+			old.Add(id)
+		}
+
+		// Join: site n enters.
+		joined := old.Clone()
+		joined.Add(n)
+		moved := movedPartitions(old, joined, parts)
+		// Expectation P/(n+1); vnode placement is random-ish, allow 3×.
+		if limit := 3 * parts / (n + 1); len(moved) > limit {
+			t.Errorf("join on %d sites moved %d/%d partitions, limit %d", n, len(moved), parts, limit)
+		}
+		for _, p := range moved {
+			if dst, _ := joined.Owner(p); dst != n {
+				t.Errorf("join moved partition %d to site %d, not the joiner", p, dst)
+			}
+		}
+
+		// Leave: site 0 departs.
+		left := old.Clone()
+		left.Remove(0)
+		moved = movedPartitions(old, left, parts)
+		if limit := 3 * parts / n; len(moved) > limit {
+			t.Errorf("leave on %d sites moved %d/%d partitions, limit %d", n, len(moved), parts, limit)
+		}
+		for _, p := range moved {
+			if src, _ := old.Owner(p); src != 0 {
+				t.Errorf("leave moved partition %d away from site %d, not the leaver", p, src)
+			}
+		}
+		// Everything site 0 owned must have moved somewhere live.
+		for p := uint32(0); p < parts; p++ {
+			if dst, ok := left.Owner(p); !ok || dst == 0 {
+				t.Fatalf("partition %d still assigned to departed site (owner %d)", p, dst)
+			}
+		}
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate memberships.
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(1, 8)
+	if _, ok := r.Owner(0); ok {
+		t.Error("empty ring claimed an owner")
+	}
+	r.Add(9)
+	for p := uint32(0); p < 64; p++ {
+		if got, ok := r.Owner(p); !ok || got != 9 {
+			t.Fatalf("single-member ring routed partition %d to %d", p, got)
+		}
+	}
+	r.Remove(9)
+	if r.Size() != 0 {
+		t.Error("remove left members behind")
+	}
+}

@@ -1,0 +1,237 @@
+package distrib
+
+// Per-partition aggregate state and the versioned "state slice" envelope it
+// ships in. A slice is the unit of every state movement in the elastic
+// cluster — snapshot answers, handoff transfers, checkpoint entries — and
+// carries the partition id, the write-ahead-log sequence watermark the
+// state covers, and a trailing integrity hash, mirroring the checkpoint-v2
+// discipline of the gsql runtimes: state is verified before it is trusted,
+// and a slice cut under an older landmark is rebased with an exact
+// ShiftLandmark instead of being blended across frames.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"forwarddecay/agg"
+	"forwarddecay/decay"
+	"forwarddecay/internal/core"
+)
+
+// sliceVersion stamps the state-slice envelope format.
+const sliceVersion = 2
+
+// partState is one partition's aggregates on a site (or in a rebuild).
+type partState struct {
+	sum *agg.Sum
+	hh  *agg.HeavyHitters
+	qd  *agg.Quantiles
+	// lastSeq is the highest WAL sequence applied to this state; 0 until a
+	// ring-routed observation lands.
+	lastSeq uint64
+}
+
+// newPartState allocates empty aggregates for one partition under a model.
+func (c *Cluster) newPartState(m decay.Forward) *partState {
+	ps := &partState{sum: agg.NewSum(m)}
+	if c.cfg.HHK > 0 {
+		ps.hh = agg.NewHeavyHittersK(m, c.cfg.HHK)
+	}
+	if c.cfg.QuantileU > 0 {
+		ps.qd = agg.NewQuantiles(m, c.cfg.QuantileU, c.cfg.QuantileEps)
+	}
+	return ps
+}
+
+// observe applies one observation. seq 0 marks a non-logged (explicitly
+// routed) observation; logged observations at or below the applied
+// watermark are duplicates and are dropped.
+func (ps *partState) observe(ob Observation, seq uint64) bool {
+	if seq != 0 {
+		if seq <= ps.lastSeq {
+			return false
+		}
+		ps.lastSeq = seq
+	}
+	ps.sum.Observe(ob.Time, ob.Value)
+	if ps.hh != nil {
+		ps.hh.Observe(ob.Key, ob.Time)
+	}
+	if ps.qd != nil {
+		v := uint64(0)
+		if ob.Value > 0 {
+			v = uint64(ob.Value)
+		}
+		ps.qd.Observe(v, ob.Time)
+	}
+	return true
+}
+
+// shift rebases the partition onto a new landmark (exact; exponential decay
+// only).
+func (ps *partState) shift(newL float64) error {
+	if err := ps.sum.ShiftLandmark(newL); err != nil {
+		return err
+	}
+	if ps.hh != nil {
+		if err := ps.hh.ShiftLandmark(newL); err != nil {
+			return err
+		}
+	}
+	if ps.qd != nil {
+		if err := ps.qd.ShiftLandmark(newL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// merge folds another partition state (same partition, same frame) in.
+func (ps *partState) merge(o *partState) error {
+	if err := ps.sum.Merge(o.sum); err != nil {
+		return err
+	}
+	if ps.hh != nil && o.hh != nil {
+		if err := ps.hh.Merge(o.hh); err != nil {
+			return err
+		}
+	}
+	if ps.qd != nil && o.qd != nil {
+		if err := ps.qd.Merge(o.qd); err != nil {
+			return err
+		}
+	}
+	if o.lastSeq > ps.lastSeq {
+		ps.lastSeq = o.lastSeq
+	}
+	return nil
+}
+
+// encodeSlice seals one partition's state into the versioned envelope:
+//
+//	u8 version(2) · u32 partition · u64 lastSeq · f64 landmark ·
+//	u32 len(sum) · sum · u8 hasHH [· u32 len · hh] · u8 hasQD [· u32 len · qd] ·
+//	u64 integrity hash of everything before it
+func encodeSlice(part uint32, ps *partState) ([]byte, error) {
+	sumB, err := ps.sum.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 64+len(sumB))
+	b = append(b, sliceVersion)
+	b = binary.LittleEndian.AppendUint32(b, part)
+	b = binary.LittleEndian.AppendUint64(b, ps.lastSeq)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(ps.sum.Model().Landmark))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(sumB)))
+	b = append(b, sumB...)
+	appendOpt := func(blob []byte, err error) error {
+		if err != nil {
+			return err
+		}
+		b = append(b, 1)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(blob)))
+		b = append(b, blob...)
+		return nil
+	}
+	if ps.hh == nil {
+		b = append(b, 0)
+	} else if err := appendOpt(ps.hh.MarshalBinary()); err != nil {
+		return nil, err
+	}
+	if ps.qd == nil {
+		b = append(b, 0)
+	} else if err := appendOpt(ps.qd.MarshalBinary()); err != nil {
+		return nil, err
+	}
+	return binary.LittleEndian.AppendUint64(b, core.HashBytes(b)), nil
+}
+
+// sliceHeader carries the envelope fields alongside the decoded state.
+type sliceHeader struct {
+	part     uint32
+	lastSeq  uint64
+	landmark float64
+}
+
+// decodeSlice verifies and decodes a state slice. The aggregates come back
+// under the landmark the slice was cut at (stamped both in the envelope and
+// inside every aggregate's own model); callers rebase with shift when the
+// cluster has rolled past it.
+func decodeSlice(b []byte) (sliceHeader, *partState, error) {
+	var hdr sliceHeader
+	if len(b) < 1+4+8+8+4+8 {
+		return hdr, nil, errors.New("state slice too short")
+	}
+	payload, tail := b[:len(b)-8], b[len(b)-8:]
+	if core.HashBytes(payload) != binary.LittleEndian.Uint64(tail) {
+		return hdr, nil, errors.New("state slice integrity hash mismatch")
+	}
+	if payload[0] != sliceVersion {
+		return hdr, nil, fmt.Errorf("state slice version %d, want %d", payload[0], sliceVersion)
+	}
+	hdr.part = binary.LittleEndian.Uint32(payload[1:])
+	hdr.lastSeq = binary.LittleEndian.Uint64(payload[5:])
+	hdr.landmark = math.Float64frombits(binary.LittleEndian.Uint64(payload[13:]))
+	if math.IsNaN(hdr.landmark) || math.IsInf(hdr.landmark, 0) {
+		return hdr, nil, fmt.Errorf("state slice with non-finite landmark %v", hdr.landmark)
+	}
+	rest := payload[21:]
+	next := func(withLen bool) ([]byte, error) {
+		if !withLen {
+			return nil, nil
+		}
+		if len(rest) < 4 {
+			return nil, errors.New("state slice truncated before a length prefix")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(len(rest)) < uint64(n) {
+			return nil, fmt.Errorf("state slice component claims %d bytes, %d remain", n, len(rest))
+		}
+		blob := rest[:n]
+		rest = rest[n:]
+		return blob, nil
+	}
+	sumB, err := next(true)
+	if err != nil {
+		return hdr, nil, err
+	}
+	ps := &partState{sum: &agg.Sum{}, lastSeq: hdr.lastSeq}
+	if err := ps.sum.UnmarshalBinary(sumB); err != nil {
+		return hdr, nil, fmt.Errorf("decoding sum: %w", err)
+	}
+	for i := 0; i < 2; i++ {
+		if len(rest) < 1 {
+			return hdr, nil, errors.New("state slice truncated before a presence flag")
+		}
+		present := rest[0]
+		rest = rest[1:]
+		if present > 1 {
+			return hdr, nil, fmt.Errorf("state slice presence flag 0x%02x", present)
+		}
+		blob, err := next(present == 1)
+		if err != nil {
+			return hdr, nil, err
+		}
+		if blob == nil {
+			continue
+		}
+		if i == 0 {
+			ps.hh = &agg.HeavyHitters{}
+			if err := ps.hh.UnmarshalBinary(blob); err != nil {
+				return hdr, nil, fmt.Errorf("decoding heavy hitters: %w", err)
+			}
+		} else {
+			ps.qd = &agg.Quantiles{}
+			if err := ps.qd.UnmarshalBinary(blob); err != nil {
+				return hdr, nil, fmt.Errorf("decoding quantiles: %w", err)
+			}
+		}
+	}
+	if len(rest) != 0 {
+		return hdr, nil, fmt.Errorf("state slice has %d trailing bytes", len(rest))
+	}
+	return hdr, ps, nil
+}

@@ -173,6 +173,39 @@ func sealFrame(dst, body []byte) []byte {
 	return append(dst, body...)
 }
 
+// AppendSealed wraps an arbitrary body in the protocol's length+checksum
+// header — the same integrity envelope every wire frame travels in. It is
+// exported so other durable byte streams (the distrib write-ahead log's
+// segment records) reuse this codec instead of inventing a second framing.
+func AppendSealed(dst, body []byte) []byte { return sealFrame(dst, body) }
+
+// DecodeSealed splits the first sealed record off b, verifying its checksum,
+// and returns the body along with the total bytes consumed. A record whose
+// length prefix exceeds maxLen yields a *FrameError (FrameTooLarge); a
+// checksum mismatch yields FrameBadChecksum; a buffer ending mid-record
+// yields ErrIncomplete. The returned body aliases b. maxLen <= 0 selects
+// DefaultMaxFrame.
+func DecodeSealed(b []byte, maxLen int) (body []byte, n int, err error) {
+	if maxLen <= 0 {
+		maxLen = DefaultMaxFrame
+	}
+	if len(b) < frameHeaderSize {
+		return nil, 0, ErrIncomplete
+	}
+	ln := binary.LittleEndian.Uint32(b)
+	if ln > uint32(maxLen) {
+		return nil, 0, frameErrf(FrameTooLarge, "body of %d bytes exceeds limit %d", ln, maxLen)
+	}
+	if uint64(len(b)) < frameHeaderSize+uint64(ln) {
+		return nil, 0, ErrIncomplete
+	}
+	body = b[frameHeaderSize : frameHeaderSize+int(ln)]
+	if core.HashBytes(body) != binary.LittleEndian.Uint64(b[4:]) {
+		return nil, 0, frameErrf(FrameBadChecksum, "body of %d bytes", ln)
+	}
+	return body, frameHeaderSize + int(ln), nil
+}
+
 // AppendHello appends an encoded FrameHello to dst.
 func AppendHello(dst []byte, session uint64) []byte {
 	body := make([]byte, 0, 2+8)
@@ -356,29 +389,15 @@ var ErrIncomplete = errors.New("ingest: incomplete frame")
 // ends mid-frame yields ErrIncomplete. maxFrame <= 0 selects
 // DefaultMaxFrame.
 func DecodeFrame(b []byte, maxFrame int) (Frame, int, error) {
-	if maxFrame <= 0 {
-		maxFrame = DefaultMaxFrame
-	}
-	if len(b) < frameHeaderSize {
-		return Frame{}, 0, ErrIncomplete
-	}
-	n := binary.LittleEndian.Uint32(b)
-	if n > uint32(maxFrame) {
-		return Frame{}, 0, frameErrf(FrameTooLarge, "body of %d bytes exceeds limit %d", n, maxFrame)
-	}
-	if uint64(len(b)) < frameHeaderSize+uint64(n) {
-		return Frame{}, 0, ErrIncomplete
-	}
-	sum := binary.LittleEndian.Uint64(b[4:])
-	body := b[frameHeaderSize : frameHeaderSize+int(n)]
-	if core.HashBytes(body) != sum {
-		return Frame{}, 0, frameErrf(FrameBadChecksum, "body of %d bytes", n)
+	body, n, err := DecodeSealed(b, maxFrame)
+	if err != nil {
+		return Frame{}, 0, err
 	}
 	f, err := parseBody(body)
 	if err != nil {
 		return Frame{}, 0, err
 	}
-	return f, frameHeaderSize + int(n), nil
+	return f, n, nil
 }
 
 // FrameReader decodes frames from a byte stream.

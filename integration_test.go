@@ -162,9 +162,11 @@ func TestEndToEndDistributedMatchesEngine(t *testing.T) {
 	for gen.Now() < 30 {
 		p := gen.Next()
 		now = p.Time
-		cl.Observe(int(p.FlowKey()), distrib.Observation{
+		if err := cl.ObserveKeyed(distrib.Observation{
 			Key: p.DestKey(), Value: float64(p.Len), Time: p.Time,
-		})
+		}); err != nil {
+			t.Fatal(err)
+		}
 		direct.Observe(p.Time, float64(p.Len))
 	}
 	snap, err := cl.Snapshot()

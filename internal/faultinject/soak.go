@@ -29,6 +29,27 @@ const (
 	// SoakCorrupt hands the harness a corrupted copy of the latest
 	// checkpoint, which a restore must refuse (the original stays good).
 	SoakCorrupt
+
+	// Site-churn events for elastic-cluster soaks. The events carry no site
+	// id: the harness picks the victim deterministically from its own roster
+	// state, so one tape drives clusters of any shape.
+
+	// SoakRoll advances the subject's decay landmark (an epoch rollover).
+	SoakRoll
+	// SoakSiteAdd grows the cluster by one site (live shard handoff).
+	SoakSiteAdd
+	// SoakSiteRemove retires one site (live shard handoff to survivors).
+	SoakSiteRemove
+	// SoakSiteCrash kills one site's process, discarding its memory.
+	SoakSiteCrash
+	// SoakSiteRejoin recovers the oldest crashed site from checkpoint+log.
+	SoakSiteRejoin
+	// SoakHandoffCrash performs a membership change with the handoff fault
+	// point armed, so the source site dies mid-transfer.
+	SoakHandoffCrash
+	// SoakRollCrash performs an epoch rollover with the prepare fault point
+	// armed, so one site fails mid-roll and must be quarantined.
+	SoakRollCrash
 )
 
 // String names the op for failure messages.
@@ -44,6 +65,20 @@ func (op SoakOp) String() string {
 		return "crash"
 	case SoakCorrupt:
 		return "corrupt"
+	case SoakRoll:
+		return "roll"
+	case SoakSiteAdd:
+		return "site-add"
+	case SoakSiteRemove:
+		return "site-remove"
+	case SoakSiteCrash:
+		return "site-crash"
+	case SoakSiteRejoin:
+		return "site-rejoin"
+	case SoakHandoffCrash:
+		return "handoff-crash"
+	case SoakRollCrash:
+		return "roll-crash"
 	default:
 		return "unknown"
 	}
@@ -85,6 +120,23 @@ type SoakConfig struct {
 	CrashEvery float64
 	// CorruptEvery inserts a corrupt-checkpoint probe at this period.
 	CorruptEvery float64
+
+	// RollEvery inserts an epoch rollover at this period.
+	RollEvery float64
+	// SiteAddEvery / SiteRemoveEvery / SiteCrashEvery insert the matching
+	// site-churn event at their period.
+	SiteAddEvery    float64
+	SiteRemoveEvery float64
+	SiteCrashEvery  float64
+	// SiteRejoinAfter schedules a SoakSiteRejoin this long after each
+	// SoakSiteCrash (crashed sites stay down forever when zero).
+	SiteRejoinAfter float64
+	// HandoffCrashEvery inserts a membership change whose handoff is made to
+	// fail mid-transfer at this period.
+	HandoffCrashEvery float64
+	// RollCrashEvery inserts an epoch rollover with one site made to fail
+	// its proposal at this period.
+	RollCrashEvery float64
 }
 
 // soakRNG is splitmix64 — the repository's standard deterministic generator.
@@ -125,6 +177,14 @@ func SoakSchedule(cfg SoakConfig) []SoakEvent {
 		{SoakCheckpoint, cfg.CheckpointEvery},
 		{SoakCorrupt, cfg.CorruptEvery},
 		{SoakCrash, cfg.CrashEvery},
+		// Churn kinds come after the original four, so tapes generated by
+		// older configurations are unchanged byte-for-byte.
+		{SoakRoll, cfg.RollEvery},
+		{SoakSiteAdd, cfg.SiteAddEvery},
+		{SoakSiteRemove, cfg.SiteRemoveEvery},
+		{SoakSiteCrash, cfg.SiteCrashEvery},
+		{SoakHandoffCrash, cfg.HandoffCrashEvery},
+		{SoakRollCrash, cfg.RollCrashEvery},
 	}
 	for _, p := range periodic {
 		if p.every <= 0 {
@@ -132,6 +192,15 @@ func SoakSchedule(cfg SoakConfig) []SoakEvent {
 		}
 		for t := cfg.Start + p.every; t < end; t += p.every {
 			events = append(events, SoakEvent{Op: p.op, T: t})
+		}
+	}
+	// Each crash earns a rejoin a fixed delay later (generated after the
+	// crash series, so rejoins tie-break after every periodic kind).
+	if cfg.SiteCrashEvery > 0 && cfg.SiteRejoinAfter > 0 {
+		for t := cfg.Start + cfg.SiteCrashEvery; t < end; t += cfg.SiteCrashEvery {
+			if rt := t + cfg.SiteRejoinAfter; rt < end {
+				events = append(events, SoakEvent{Op: SoakSiteRejoin, T: rt})
+			}
 		}
 	}
 	// Tuple tape: integer gaps in [1, 2·MeanGap), keys and values from the
