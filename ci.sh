@@ -24,6 +24,12 @@ go test -run Soak -short -count=1 ./gsql/
 go test -run Soak -short -count=1 ./distrib/
 go test -race -run 'Churn|Crash|Handoff|Roll|Fault' -short -count=1 ./distrib/
 
+# Supervised query service: the crash/resume, shedding, breaker and wedge
+# drills get a dedicated -race pass — the supervisor's lock-passing pump
+# protocol and the ring freeze/thaw/fence dance are where the server's
+# locking is subtle.
+go test -race -run 'Kill|Slow|Breaker|Wedge|Shutdown|Disconnect' -count=1 ./server/
+
 # Fuzz smoke: 10s per target. -run='^$' skips the unit tests (already run
 # above); -fuzzminimizetime caps the engine's per-input minimization, whose
 # 60s default dwarfs the budget and reads as a hang.
@@ -35,6 +41,8 @@ go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x 
 go test -run='^$' -fuzz='^FuzzDecayUnmarshal$' -fuzztime=10s -fuzzminimizetime=10x ./decay/
 go test -run='^$' -fuzz='^FuzzLogSegmentDecode$' -fuzztime=10s -fuzzminimizetime=10x ./distrib/
 go test -run='^$' -fuzz='^FuzzSliceDecode$' -fuzztime=10s -fuzzminimizetime=10x ./distrib/
+go test -run='^$' -fuzz='^FuzzControlFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x ./server/
+go test -run='^$' -fuzz='^FuzzWALRecordDecode$' -fuzztime=10s -fuzzminimizetime=10x ./server/
 
 # Perf gate: re-measure the hot-path micro-benchmarks and fail if any shared
 # benchmark runs >25% slower (ns/op) than the committed baseline. 300ms per

@@ -14,6 +14,13 @@
 //
 // The write-ahead log lands in -wal (a temporary directory by default) and
 // is left behind for inspection with -v.
+//
+// With -serve-drill, fdctl instead drills the supervised query service
+// (package server): a live subscriber follows a grouped aggregation while
+// the drill kills the runtime mid-stream, drops and cursor-resumes the
+// client, and cold-restarts the whole service from its state directory —
+// asserting after every act that the rows received are bit-identical to an
+// uninterrupted in-process oracle. -events doubles as the packet count.
 package main
 
 import (
@@ -34,7 +41,13 @@ func main() {
 	walDir := flag.String("wal", "", "write-ahead log directory (default: a temp dir)")
 	seed := flag.Uint64("seed", 1, "stream seed")
 	verbose := flag.Bool("v", false, "print per-act detail and keep the log directory")
+	serveDrill := flag.Bool("serve-drill", false, "run the supervised-server crash drill instead of the cluster drill")
 	flag.Parse()
+
+	if *serveDrill {
+		runServeDrill(*events, *seed, *verbose)
+		return
+	}
 
 	dir := *walDir
 	if dir == "" {

@@ -47,6 +47,21 @@
 //	-epoch-max-logw w
 //	                overflow-sentinel threshold on the log normalizer
 //	                (default 250); crossing it forces an immediate rollover
+//	-serve dir      run the long-lived supervised query service with state
+//	                directory dir instead of executing one query: clients
+//	                attach GSQL queries over the control protocol, stream
+//	                packets over the ingest protocol (-listen, default
+//	                127.0.0.1:9899) and subscribe to result rows; a watchdog
+//	                restarts a failed runtime from its latest checkpoint and
+//	                degrades to ingest-only (WAL) mode when restarts keep
+//	                failing; an optional query argument is attached at start
+//	-control addr   control-plane listen address (with -serve;
+//	                default 127.0.0.1:9898)
+//	-http addr      /healthz + /metrics HTTP address (with -serve; off by
+//	                default)
+//	-token t        control session token (with -serve; empty accepts any)
+//	-shards n       run attached queries on n-way sharded parallel runs
+//	                (with -serve; 0 = serial)
 //
 // A kill-and-restore cycle is: run with -checkpoint state.fdc
 // -checkpoint-every 100000, interrupt it, then rerun the remaining input
@@ -75,6 +90,7 @@ import (
 	"forwarddecay/decay"
 	"forwarddecay/gsql"
 	"forwarddecay/ingest"
+	"forwarddecay/internal/durable"
 	"forwarddecay/netgen"
 	"forwarddecay/udaf"
 )
@@ -100,15 +116,36 @@ func main() {
 	epochAlpha := flag.Float64("epoch-alpha", 0, "exponential decay rate for the fd* aggregates (0 = disabled)")
 	epochEvery := flag.Float64("epoch-every", 0, "roll the decay landmark every n stream seconds (requires -epoch-alpha)")
 	epochMaxLogW := flag.Float64("epoch-max-logw", 0, "overflow-sentinel threshold on the log normalizer (0 = default)")
+	serveDir := flag.String("serve", "", "run the supervised query service with this state directory")
+	controlAddr := flag.String("control", "127.0.0.1:9898", "control-plane listen address (with -serve)")
+	httpAddr := flag.String("http", "", "health/metrics HTTP listen address (with -serve; empty = off)")
+	token := flag.String("token", "", "control session token (with -serve; empty = unauthenticated)")
+	shards := flag.Int("shards", 0, "parallel shards per attached query (with -serve; 0 = serial)")
 	flag.Parse()
 
+	if *listen != "" && *trace != "" {
+		fatal(fmt.Errorf("-listen and -trace are mutually exclusive"))
+	}
+	if *serveDir != "" {
+		// Service mode: the query argument is optional (queries normally
+		// arrive over the control protocol).
+		if flag.NArg() > 1 {
+			fmt.Fprintln(os.Stderr, "usage: gsql -serve DIR [flags] ['<query>']")
+			flag.Usage()
+			os.Exit(2)
+		}
+		ingestAddr := *listen
+		if ingestAddr == "" {
+			ingestAddr = "127.0.0.1:9899"
+		}
+		runService(*serveDir, *controlAddr, ingestAddr, *httpAddr, *token,
+			*shards, *ckptEvery, *heartbeat, *drainTimeout, flag.Arg(0))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: gsql [flags] '<query>'")
 		flag.Usage()
 		os.Exit(2)
-	}
-	if *listen != "" && *trace != "" {
-		fatal(fmt.Errorf("-listen and -trace are mutually exclusive"))
 	}
 	query := flag.Arg(0)
 
@@ -407,11 +444,7 @@ func writeSessions(l *ingest.Listener, file string) error {
 	for id, applied := range l.Sessions() {
 		fmt.Fprintf(&sb, "%d %d\n", id, applied)
 	}
-	tmp := file + ".tmp"
-	if err := os.WriteFile(tmp, []byte(sb.String()), 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, file)
+	return durable.WriteFileAtomic(file, []byte(sb.String()), 0o644)
 }
 
 // readSessions loads a session table written by writeSessions; a missing
@@ -439,19 +472,16 @@ func readSessions(file string) (map[uint64]uint64, error) {
 	return out, nil
 }
 
-// writeCheckpoint serializes the run's state and replaces file atomically
-// (write-then-rename), so an interrupt mid-write never corrupts the last
+// writeCheckpoint serializes the run's state and durably replaces file:
+// fsync-before-rename plus a directory sync, so neither an interrupt
+// mid-write nor a power cut after the rename can corrupt or lose the last
 // good checkpoint.
 func writeCheckpoint(run *gsql.Run, file string) error {
 	b, err := run.Checkpoint()
 	if err != nil {
 		return err
 	}
-	tmp := file + ".tmp"
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, file)
+	return durable.WriteFileAtomic(file, b, 0o644)
 }
 
 // finish takes a final checkpoint if requested, closes the run (tolerating

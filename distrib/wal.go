@@ -34,6 +34,7 @@ import (
 	"sort"
 
 	"forwarddecay/ingest"
+	"forwarddecay/internal/durable"
 )
 
 // walMagic opens every segment file: "FDWAL" + version 1 + two zero bytes.
@@ -281,9 +282,14 @@ func (l *Log) openActive() error {
 	return nil
 }
 
-// rotate closes the active segment and starts the next one.
+// rotate seals the active segment — fsync then close, so a sealed segment's
+// records are durable before any successor can trim it — and starts the next
+// one, syncing the directory so the new segment's name survives a power cut.
 func (l *Log) rotate() error {
 	if l.cur != nil {
+		if err := durable.SyncFile(l.cur); err != nil {
+			return fmt.Errorf("distrib: wal: sealing segment: %w", err)
+		}
 		if err := l.cur.Close(); err != nil {
 			return fmt.Errorf("distrib: wal: %w", err)
 		}
@@ -299,6 +305,10 @@ func (l *Log) rotate() error {
 		return fmt.Errorf("distrib: wal: %w", err)
 	}
 	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("distrib: wal: %w", err)
+	}
+	if err := durable.SyncDir(l.dir); err != nil {
 		f.Close()
 		return fmt.Errorf("distrib: wal: %w", err)
 	}
@@ -382,12 +392,13 @@ func (l *Log) Replay(parts map[uint32]bool, after map[uint32]uint64, fn func(Rec
 	return delivered, nil
 }
 
-// sync flushes the active segment to the file system.
+// sync flushes the active segment to the file system (through the shared
+// fault point, so the durability drills cover this path too).
 func (l *Log) sync() error {
 	if l.cur == nil {
 		return nil
 	}
-	if err := l.cur.Sync(); err != nil {
+	if err := durable.SyncFile(l.cur); err != nil {
 		return fmt.Errorf("distrib: wal: %w", err)
 	}
 	return nil
@@ -412,6 +423,15 @@ func (l *Log) Trim(watermark map[uint32]uint64) (int, error) {
 		kept = append(kept, m)
 	}
 	l.segs = kept
+	if removed > 0 {
+		// Make the removals durable: without a directory sync a power cut
+		// can resurrect trimmed segments, and replay would then re-deliver
+		// records the checkpoint already covers (harmless for dedup, but the
+		// segment count the operators monitor would lie).
+		if err := durable.SyncDir(l.dir); err != nil {
+			return removed, fmt.Errorf("distrib: wal trim: %w", err)
+		}
+	}
 	return removed, nil
 }
 
@@ -419,13 +439,17 @@ func (l *Log) Trim(watermark map[uint32]uint64) (int, error) {
 // one).
 func (l *Log) Segments() int { return len(l.segs) }
 
-// Close flushes and closes the active segment.
+// Close flushes (fsync) and closes the active segment.
 func (l *Log) Close() error {
 	if l.cur == nil {
 		return nil
 	}
+	serr := durable.SyncFile(l.cur)
 	err := l.cur.Close()
 	l.cur = nil
+	if serr != nil {
+		return fmt.Errorf("distrib: wal: %w", serr)
+	}
 	if err != nil {
 		return fmt.Errorf("distrib: wal: %w", err)
 	}

@@ -387,19 +387,12 @@ func (d *Dialer) handshake() (net.Conn, uint64, error) {
 	return conn, f.Seq, nil
 }
 
-// sleepBackoff sleeps the capped exponential backoff with jitter for the
-// given consecutive-failure count.
+// sleepBackoff sleeps the shared capped-exponential-with-jitter policy for
+// the given consecutive-failure count (core.Backoff is the one retry policy
+// for the whole repository — the server supervisor uses the same curve).
 func (d *Dialer) sleepBackoff(fails int) {
-	max := d.cfg.MaxBackoff
-	delay := d.cfg.MinBackoff << uint(fails-1)
-	if delay <= 0 || delay > max {
-		delay = max
-	}
-	// Uniform jitter over [delay/2, delay): decorrelates a thundering herd
-	// without ever collapsing the wait to zero.
-	half := delay / 2
-	jitter := time.Duration(d.rng.Float64() * float64(half))
-	time.Sleep(half + jitter)
+	b := core.Backoff{Min: d.cfg.MinBackoff, Max: d.cfg.MaxBackoff}
+	time.Sleep(b.Delay(fails, d.rng))
 }
 
 // pruneLocked discards unacked frames covered by lastAck; d.mu held.

@@ -80,9 +80,28 @@ type Config struct {
 	// resent by the client, recognized as a duplicate, and dropped instead
 	// of double-counted.
 	Sessions map[uint64]uint64
+	// WAL, when set, receives every frame and heartbeat BEFORE it is
+	// applied to the sink, from the pump goroutine. A logged-then-acked
+	// frame is thereby recoverable even if the process dies without
+	// draining: the ack contract strengthens from "applied" to "applied
+	// and durable". Log errors are sticky and stop the listener, exactly
+	// like sink errors — an ack must never outrun the log.
+	WAL ApplyLog
 	// Logf, when set, receives diagnostic messages (reconnects,
 	// quarantines, shutdown progress).
 	Logf func(format string, args ...any)
+}
+
+// ApplyLog is a write-ahead log for the listener's apply path (see
+// Config.WAL). LogFrame records a data frame — with its session and
+// sequence number, so a recovering successor can rebuild the dedup table
+// from the log — and LogHeartbeat records an applied heartbeat, preserving
+// the value's type (an Int and a Float heartbeat take different temporal
+// paths through the engine). Both are called from the single pump
+// goroutine, before the corresponding sink call.
+type ApplyLog interface {
+	LogFrame(session, seq uint64, pkts []netgen.Packet) error
+	LogHeartbeat(ts gsql.Value) error
 }
 
 // DeadLetter is one quarantined frame.
@@ -535,12 +554,13 @@ func (l *Listener) pump() {
 
 	apply := func(it item) {
 		if failed {
-			// The sink is poisoned; keep draining (and acking) so clients
-			// and readers do not hang on a stalled queue.
-			if it.sess != nil {
-				advanceApplied(it.sess, it.seq)
-				it.conn.writeAck(it.sess.applied.Load())
-			}
+			// The sink is poisoned; keep draining so readers do not hang on
+			// a stalled queue — but neither apply nor acknowledge. Acking a
+			// frame the sink never saw prunes it from the client's resend
+			// buffer, and a supervisor restarting this runtime from its last
+			// checkpoint could then never recover the data. Left unacked, the
+			// client's ack timeout forces a reconnect and the frames are
+			// resent to the healthy successor.
 			return
 		}
 		if it.isHB {
@@ -549,6 +569,13 @@ func (l *Listener) pump() {
 			}
 			lastTS, lastTSSet = it.hb, true
 			lastActivity = time.Now()
+			if l.cfg.WAL != nil {
+				if err := l.cfg.WAL.LogHeartbeat(gsql.Int(int64(it.hb))); err != nil {
+					l.fail(err)
+					failed = true
+					return
+				}
+			}
 			if err := l.cfg.Sink.Heartbeat(gsql.Int(int64(it.hb))); err != nil {
 				l.fail(err)
 				failed = true
@@ -556,6 +583,18 @@ func (l *Listener) pump() {
 			return
 		}
 		l.observeGap()
+		if l.cfg.WAL != nil {
+			// Log-before-apply: once this frame is acked the client prunes
+			// it, so the log entry (which carries session and sequence for
+			// the successor's dedup table) must exist first. A crash between
+			// log and ack merely leaves an unacked logged frame — the resend
+			// is recognized as a duplicate after replay.
+			if err := l.cfg.WAL.LogFrame(it.sess.id, it.seq, it.pkts); err != nil {
+				l.fail(err)
+				failed = true
+				return
+			}
+		}
 		if bsink != nil {
 			// Columnar apply: the frame's packets become one batch, pushed in
 			// a single call. Rejected rows are the batch-path spelling of the
@@ -600,6 +639,13 @@ func (l *Listener) pump() {
 			}
 		}
 		lastActivity = time.Now()
+		if failed {
+			// The sink died partway through this frame. Do not ack it: the
+			// last checkpoint predates it, so the client must keep it in the
+			// resend buffer for whichever incarnation restores from that
+			// checkpoint.
+			return
+		}
 		l.framesAccepted.Add(1)
 		advanceApplied(it.sess, it.seq)
 		it.conn.writeAck(it.sess.applied.Load())
@@ -634,6 +680,15 @@ func (l *Listener) pump() {
 			// bucket closes even though no client is talking.
 			ts := lastTS + idle.Seconds()
 			l.heartbeatsSynth.Add(1)
+			if l.cfg.WAL != nil {
+				// Synthesized heartbeats mutate stream time exactly like
+				// client ones, so they must be replayable too.
+				if err := l.cfg.WAL.LogHeartbeat(gsql.Int(int64(ts))); err != nil {
+					l.fail(err)
+					failed = true
+					continue
+				}
+			}
 			if err := l.cfg.Sink.Heartbeat(gsql.Int(int64(ts))); err != nil {
 				l.fail(err)
 				failed = true

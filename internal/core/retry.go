@@ -1,0 +1,69 @@
+package core
+
+import "time"
+
+// Backoff is the repository's one retry-delay policy: capped exponential
+// growth with seeded uniform jitter over the upper half of the delay. It
+// was born in the ingest dialer's reconnect loop and is shared by every
+// component that retries — the dialer and the server supervisor must not
+// drift apart in how aggressively they hammer a struggling peer.
+//
+// The zero value is usable: Min and Max default to 50ms and 2s.
+type Backoff struct {
+	// Min is the delay before the second attempt (the first retry after one
+	// failure). Defaults to 50ms.
+	Min time.Duration
+	// Max caps the exponential growth. Defaults to 2s.
+	Max time.Duration
+}
+
+// DefaultBackoff matches the ingest dialer's historical constants.
+var DefaultBackoff = Backoff{Min: 50 * time.Millisecond, Max: 2 * time.Second}
+
+// base returns the un-jittered delay for a consecutive-failure count
+// (fails >= 1): Min doubled per failure beyond the first, capped at Max.
+func (b Backoff) base(fails int) time.Duration {
+	min, max := b.Min, b.Max
+	if min <= 0 {
+		min = DefaultBackoff.Min
+	}
+	if max <= 0 {
+		max = DefaultBackoff.Max
+	}
+	if fails < 1 {
+		fails = 1
+	}
+	// A shift that overflows time.Duration flips negative; treat it as
+	// "past the cap", exactly like a merely-large delay.
+	delay := min << uint(fails-1)
+	if delay <= 0 || delay > max {
+		delay = max
+	}
+	return delay
+}
+
+// Delay returns the jittered delay for a consecutive-failure count, drawing
+// from rng: uniform over [base/2, base), which decorrelates a thundering
+// herd without ever collapsing the wait to zero. A nil rng returns the
+// deterministic midpoint (3/4 of base) — callers that cannot thread an RNG
+// still back off sanely.
+func (b Backoff) Delay(fails int, rng *RNG) time.Duration {
+	half := b.base(fails) / 2
+	if rng == nil {
+		return half + half/2
+	}
+	return half + time.Duration(rng.Float64()*float64(half))
+}
+
+// Sleep blocks for Delay(fails, rng), returning early (and reporting false)
+// if cancel closes first. A nil cancel channel never cancels.
+func (b Backoff) Sleep(fails int, rng *RNG, cancel <-chan struct{}) bool {
+	t := time.NewTimer(b.Delay(fails, rng))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffBase: exponential growth from Min, capped at Max, including the
+// overflow-to-negative shift case.
+func TestBackoffBase(t *testing.T) {
+	b := Backoff{Min: 50 * time.Millisecond, Max: 2 * time.Second}
+	cases := []struct {
+		fails int
+		want  time.Duration
+	}{
+		{0, 50 * time.Millisecond}, // clamped to 1
+		{1, 50 * time.Millisecond},
+		{2, 100 * time.Millisecond},
+		{3, 200 * time.Millisecond},
+		{6, 1600 * time.Millisecond},
+		{7, 2 * time.Second}, // 3.2s capped
+		{40, 2 * time.Second},
+		{80, 2 * time.Second}, // shift overflows to <= 0 → cap
+	}
+	for _, c := range cases {
+		if got := b.base(c.fails); got != c.want {
+			t.Errorf("base(%d) = %v, want %v", c.fails, got, c.want)
+		}
+	}
+}
+
+// TestBackoffDefaults: the zero value behaves like DefaultBackoff.
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.base(1); got != DefaultBackoff.Min {
+		t.Errorf("zero-value base(1) = %v, want %v", got, DefaultBackoff.Min)
+	}
+	if got := b.base(100); got != DefaultBackoff.Max {
+		t.Errorf("zero-value base(100) = %v, want %v", got, DefaultBackoff.Max)
+	}
+}
+
+// TestBackoffDelayJitterRange: jittered delays land in [base/2, base) and a
+// fixed seed reproduces the exact sequence — the property the deterministic
+// fault drills rely on.
+func TestBackoffDelayJitterRange(t *testing.T) {
+	b := Backoff{Min: 80 * time.Millisecond, Max: time.Second}
+	rng := NewRNG(7)
+	for fails := 1; fails <= 6; fails++ {
+		base := b.base(fails)
+		for i := 0; i < 100; i++ {
+			d := b.Delay(fails, rng)
+			if d < base/2 || d >= base {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v)", fails, d, base/2, base)
+			}
+		}
+	}
+	a, bb := NewRNG(42), NewRNG(42)
+	for i := 1; i < 20; i++ {
+		if x, y := b.Delay(i, a), b.Delay(i, bb); x != y {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+// TestBackoffDelayNilRNG: without an RNG the delay is the deterministic
+// midpoint of the jitter range.
+func TestBackoffDelayNilRNG(t *testing.T) {
+	b := Backoff{Min: 100 * time.Millisecond, Max: time.Second}
+	if got, want := b.Delay(1, nil), 75*time.Millisecond; got != want {
+		t.Errorf("Delay(1, nil) = %v, want %v", got, want)
+	}
+}
+
+// TestBackoffSleepCancel: a closed cancel channel returns promptly with
+// false; a nil channel sleeps the full delay and reports true.
+func TestBackoffSleepCancel(t *testing.T) {
+	b := Backoff{Min: 10 * time.Second, Max: 20 * time.Second}
+	cancel := make(chan struct{})
+	close(cancel)
+	start := time.Now()
+	if b.Sleep(3, nil, cancel) {
+		t.Fatal("Sleep reported completion despite cancel")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled Sleep took too long")
+	}
+	quick := Backoff{Min: time.Millisecond, Max: 2 * time.Millisecond}
+	if !quick.Sleep(1, nil, nil) {
+		t.Fatal("uncancelled Sleep reported cancellation")
+	}
+}

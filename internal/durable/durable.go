@@ -1,0 +1,85 @@
+// Package durable centralizes the filesystem durability discipline for the
+// repository's checkpoint, sidecar and write-ahead-log writers.
+//
+// The write-temp-then-rename idiom those writers all use protects against a
+// crash mid-write corrupting the last good file — but rename alone only
+// orders the *names*, not the *bytes*: after a power cut the filesystem may
+// expose the new name over an unwritten (empty or partial) inode, eating the
+// "atomic" write. The fix is the classic three-sync dance, kept in one place
+// so every caller gets it right: fsync the temp file before rename (its
+// bytes are durable before its name is), rename, then fsync the directory
+// (the name change itself is durable). Process crashes never needed the
+// syncs — the page cache survives them — but power loss and kernel panics
+// do. Every sync routes through a faultinject point so the durability
+// drills can prove the error paths leave the previous file intact.
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"forwarddecay/internal/faultinject"
+)
+
+// WriteFileAtomic durably replaces path with data: write to a temp file in
+// the same directory, fsync it, rename over path, fsync the directory. On
+// any error the target is untouched (the temp file is removed best-effort)
+// and the previous contents remain readable.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := SyncFile(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("atomic write %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncFile fsyncs an open file through the shared fault point, so WAL-style
+// writers (which manage their own handles) share the drill coverage.
+func SyncFile(f *os.File) error {
+	if err := faultinject.Hit("durable.sync"); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// SyncDir fsyncs a directory, making recent renames, creates and removes in
+// it durable. Filesystems that refuse directory fsync (some network mounts)
+// report an error; callers treat that as a real durability failure.
+func SyncDir(dir string) error {
+	if err := faultinject.Hit("durable.dirsync"); err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	return nil
+}

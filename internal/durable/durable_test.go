@@ -1,0 +1,83 @@
+package durable
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"forwarddecay/internal/faultinject"
+)
+
+// TestWriteFileAtomicReplaces: the happy path replaces the target and leaves
+// no temp file behind.
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2-longer"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2-longer" {
+		t.Fatalf("content = %q, want %q", got, "v2-longer")
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+// TestWriteFileAtomicSyncFailure: a failed fsync (the power-cut drill's
+// stand-in) must propagate AND leave the previous file contents untouched —
+// the whole point of syncing before the rename.
+func TestWriteFileAtomicSyncFailure(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	if err := WriteFileAtomic(path, []byte("good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	injected := errors.New("simulated device failure at fsync")
+	faultinject.Set("durable.sync", faultinject.Fault{ErrEvery: 1, Err: injected})
+	err := WriteFileAtomic(path, []byte("torn"), 0o644)
+	if !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want wrapped %v", err, injected)
+	}
+	got, err2 := os.ReadFile(path)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if string(got) != "good" {
+		t.Fatalf("target corrupted by failed write: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind after failed sync: %v", err)
+	}
+}
+
+// TestWriteFileAtomicDirSyncFailure: a failed directory sync surfaces too —
+// the rename has happened (the new content is visible) but the caller must
+// learn the name change may not be durable.
+func TestWriteFileAtomicDirSyncFailure(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bin")
+	injected := errors.New("simulated device failure at dir fsync")
+	faultinject.Set("durable.dirsync", faultinject.Fault{ErrEvery: 1, Err: injected})
+	if err := WriteFileAtomic(path, []byte("v1"), 0o644); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want wrapped %v", err, injected)
+	}
+}
+
+// TestSyncDirMissing: syncing a nonexistent directory reports an error
+// instead of silently succeeding.
+func TestSyncDirMissing(t *testing.T) {
+	if err := SyncDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("SyncDir on a missing directory succeeded")
+	}
+}

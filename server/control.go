@@ -1,0 +1,415 @@
+package server
+
+// The control plane: one goroutine per accepted connection reads sealed
+// control frames (auth first), dispatches catalog requests, and spawns one
+// writer goroutine per subscription. The writer is the per-subscriber
+// bounded output queue made flesh: it pulls at most SubscriberBatch rows
+// from the query's result ring, writes them to the socket, and only then
+// advances its cursor — so a subscriber that stops reading stops advancing,
+// and the ring's slow-consumer policy takes over from there.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"forwarddecay/ingest"
+)
+
+// controlIOTimeout bounds individual control-plane writes and the auth
+// handshake read; a peer that cannot absorb a frame in this long is dead.
+// A variable so fault drills can compress (or suspend) the deadline.
+var controlIOTimeout = 5 * time.Second
+
+// acceptControl admits control connections until the listener closes.
+func (s *Service) acceptControl() {
+	for {
+		c, err := s.ctl.Accept()
+		if err != nil {
+			return // Shutdown closed the listener
+		}
+		cc := &ctlConn{s: s, c: c, subs: map[uint32]*ctlSub{}}
+		if !s.trackConn(cc, true) {
+			c.Close()
+			return
+		}
+		s.conns.Add(1)
+		go func() {
+			defer s.conns.Done()
+			defer s.trackConn(cc, false)
+			cc.serve()
+		}()
+	}
+}
+
+// trackConn registers (or removes) a live control connection so Shutdown
+// can force-close them. Returns false when the service is already closing.
+func (s *Service) trackConn(cc *ctlConn, add bool) bool {
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	if add {
+		if s.ctlClosed {
+			return false
+		}
+		s.ctlConns[cc] = struct{}{}
+		return true
+	}
+	delete(s.ctlConns, cc)
+	return true
+}
+
+// closeControlConns force-closes every control connection (Shutdown).
+func (s *Service) closeControlConns() {
+	s.ctlMu.Lock()
+	s.ctlClosed = true
+	conns := make([]*ctlConn, 0, len(s.ctlConns))
+	for cc := range s.ctlConns {
+		conns = append(conns, cc)
+	}
+	s.ctlMu.Unlock()
+	for _, cc := range conns {
+		cc.c.Close()
+	}
+}
+
+// ctlSub is one live subscription on a connection.
+type ctlSub struct {
+	q   *Query
+	sub *subscriber
+	req uint32 // the subscribe request id; async StErr terminations echo it
+	// stopped marks a client-requested unsubscribe, so the writer exits
+	// silently instead of reporting a termination.
+	stopped bool
+	done    chan struct{}
+}
+
+// ctlConn is one control connection's state.
+type ctlConn struct {
+	s *Service
+	c net.Conn
+
+	wmu sync.Mutex // serializes frame writes (handler vs subscription writers)
+
+	smu  sync.Mutex
+	subs map[uint32]*ctlSub // by query id
+}
+
+// write seals and sends one frame; on failure the connection is torn down
+// (the reader will notice the closed socket and clean up).
+func (cc *ctlConn) write(m *Msg) error {
+	buf := AppendMsg(nil, m)
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.c.SetWriteDeadline(time.Now().Add(controlIOTimeout))
+	_, err := cc.c.Write(buf)
+	cc.c.SetWriteDeadline(time.Time{})
+	if err != nil {
+		cc.c.Close()
+	}
+	return err
+}
+
+func (cc *ctlConn) writeErr(req uint32, code uint16, text string) error {
+	return cc.write(&Msg{Type: StErr, Req: req, Code: code, Text: text})
+}
+
+// readMsg reads one sealed control frame off the buffered reader.
+func readMsg(r *bufio.Reader) (*Msg, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if n > MaxControlFrame {
+		return nil, errors.New("server: control frame exceeds MaxControlFrame")
+	}
+	full := make([]byte, 4+8+n)
+	copy(full, hdr[:])
+	if _, err := io.ReadFull(r, full[4:]); err != nil {
+		return nil, err
+	}
+	body, _, err := ingest.DecodeSealed(full, MaxControlFrame)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMsg(body)
+}
+
+// serve runs one control session: authenticate, dispatch, clean up.
+func (cc *ctlConn) serve() {
+	defer cc.c.Close()
+	defer cc.dropAllSubs()
+	r := bufio.NewReader(cc.c)
+
+	// Auth handshake: the first frame must be a CtHello carrying a valid
+	// token. Everything before a good hello gets exactly one typed error.
+	cc.c.SetReadDeadline(time.Now().Add(controlIOTimeout))
+	hello, err := readMsg(r)
+	cc.c.SetReadDeadline(time.Time{})
+	if err != nil {
+		return
+	}
+	if hello.Type != CtHello || !cc.s.tokenOK(hello.Text) {
+		cc.s.counters.Add("server_auth_failures", 1)
+		cc.writeErr(hello.Req, CodeAuth, "authentication failed")
+		return
+	}
+	if err := cc.write(&Msg{Type: StOK, Req: hello.Req}); err != nil {
+		return
+	}
+	cc.s.counters.Add("server_control_sessions", 1)
+
+	for {
+		m, err := readMsg(r)
+		if err != nil {
+			return
+		}
+		switch m.Type {
+		case CtAttach:
+			cc.handleAttach(m)
+		case CtDetach:
+			cc.handleDetach(m)
+		case CtSubscribe:
+			cc.handleSubscribe(m)
+		case CtUnsubscribe:
+			cc.handleUnsubscribe(m)
+		case CtStats:
+			cc.handleStats(m)
+		case CtBye:
+			cc.write(&Msg{Type: StBye, Req: m.Req})
+			return
+		case CtHello:
+			cc.writeErr(m.Req, CodeBadRequest, "session already authenticated")
+		default:
+			cc.writeErr(m.Req, CodeBadRequest, "frame type not valid on an authenticated session")
+		}
+	}
+}
+
+// tokenOK validates a session token; an empty Tokens list means open access.
+func (s *Service) tokenOK(token string) bool {
+	if len(s.cfg.Tokens) == 0 {
+		return true
+	}
+	for _, t := range s.cfg.Tokens {
+		if token == t {
+			return true
+		}
+	}
+	return false
+}
+
+// errCode maps a service error onto its wire code.
+func errCode(err error) (uint16, string) {
+	var se *serviceError
+	if errors.As(err, &se) {
+		return se.code, se.msg
+	}
+	return CodeBadRequest, err.Error()
+}
+
+func (cc *ctlConn) handleAttach(m *Msg) {
+	if m.Text == "" {
+		cc.writeErr(m.Req, CodeBadRequest, "empty query text")
+		return
+	}
+	id, err := cc.s.Attach(m.Text, uint32(cc.s.cfg.Shards))
+	if err != nil {
+		code, msg := errCode(err)
+		cc.writeErr(m.Req, code, msg)
+		return
+	}
+	cc.write(&Msg{Type: StAttached, Req: m.Req, Query: id})
+}
+
+func (cc *ctlConn) handleDetach(m *Msg) {
+	if err := cc.s.Detach(m.Query); err != nil {
+		code, msg := errCode(err)
+		cc.writeErr(m.Req, code, msg)
+		return
+	}
+	cc.write(&Msg{Type: StOK, Req: m.Req})
+}
+
+func (cc *ctlConn) handleSubscribe(m *Msg) {
+	if cc.s.Mode() == ModeDegraded {
+		cc.writeErr(m.Req, CodeDegraded, errDegraded.msg)
+		return
+	}
+	q, err := cc.s.lookup(m.Query)
+	if err != nil {
+		code, msg := errCode(err)
+		cc.writeErr(m.Req, code, msg)
+		return
+	}
+	if m.Policy == PolicyDisconnect && m.Deadline == 0 {
+		cc.writeErr(m.Req, CodeBadRequest, "disconnect policy requires a nonzero deadline")
+		return
+	}
+	cc.smu.Lock()
+	if _, dup := cc.subs[m.Query]; dup {
+		cc.smu.Unlock()
+		cc.writeErr(m.Req, CodeBadRequest, "already subscribed to this query on this connection")
+		return
+	}
+	// Blocking policies promise a gapless stream; a start cursor already
+	// evicted from the ring makes that promise unkeepable.
+	if m.Policy != PolicyDropOldest && m.Cursor != 0 {
+		if base, _ := q.log.snapshot(); m.Cursor < base {
+			cc.smu.Unlock()
+			cc.writeErr(m.Req, CodeCursorGap, "cursor predates the retained result log")
+			return
+		}
+	}
+	sub := &ctlSub{
+		q:    q,
+		sub:  q.log.subscribe(m.Cursor, m.Policy, time.Duration(m.Deadline)*time.Millisecond),
+		req:  m.Req,
+		done: make(chan struct{}),
+	}
+	cc.subs[m.Query] = sub
+	cc.smu.Unlock()
+	if cc.write(&Msg{Type: StOK, Req: m.Req}) != nil {
+		return // teardown path unsubscribes
+	}
+	cc.s.counters.Add("server_subscribes", 1)
+	go cc.runSub(sub)
+}
+
+func (cc *ctlConn) handleUnsubscribe(m *Msg) {
+	cc.smu.Lock()
+	sub := cc.subs[m.Query]
+	if sub != nil {
+		delete(cc.subs, m.Query)
+		sub.stopped = true
+	}
+	cc.smu.Unlock()
+	if sub == nil {
+		cc.writeErr(m.Req, CodeUnknownQuery, "no subscription for that query on this connection")
+		return
+	}
+	sub.q.log.unsubscribe(sub.sub)
+	<-sub.done
+	cc.write(&Msg{Type: StOK, Req: m.Req})
+}
+
+func (cc *ctlConn) handleStats(m *Msg) {
+	cc.write(&Msg{Type: StStats, Req: m.Req, Text: cc.s.statsJSON()})
+}
+
+// dropAllSubs releases every subscription when the connection dies.
+func (cc *ctlConn) dropAllSubs() {
+	cc.smu.Lock()
+	subs := make([]*ctlSub, 0, len(cc.subs))
+	for id, sub := range cc.subs {
+		sub.stopped = true
+		subs = append(subs, sub)
+		delete(cc.subs, id)
+	}
+	cc.smu.Unlock()
+	for _, sub := range subs {
+		sub.q.log.unsubscribe(sub.sub)
+		<-sub.done
+	}
+}
+
+// runSub is the subscription writer: fetch a bounded batch, write it, then
+// advance the cursor. Between fetch and advance the rows are "in the output
+// queue" — un-advanced — which is what lets PolicyBlock/PolicyDisconnect
+// hold the emit path on this subscriber's behalf.
+func (cc *ctlConn) runSub(sub *ctlSub) {
+	defer close(sub.done)
+	rl := sub.q.log
+	for {
+		rows, start, gapFrom, st := rl.fetch(sub.sub, cc.s.cfg.SubscriberBatch)
+		switch st {
+		case fetchRows:
+			for i, row := range rows {
+				if cc.write(&Msg{Type: StRow, Query: sub.q.ID, Cursor: start + uint64(i), Row: row}) != nil {
+					return // socket dead; reader goroutine cleans up
+				}
+			}
+			rl.advance(sub.sub, uint64(len(rows)))
+			cc.s.counters.Add("server_rows_delivered", uint64(len(rows)))
+		case fetchGap:
+			if cc.write(&Msg{Type: StGap, Query: sub.q.ID, GapFrom: gapFrom, Cursor: start}) != nil {
+				return
+			}
+			cc.s.counters.Add("server_gaps_reported", 1)
+		case fetchRemoved:
+			if !cc.subStopped(sub) {
+				cc.writeErr(sub.req, CodeSlowConsumer, "subscription terminated: stalled past its deadline")
+				cc.forgetSub(sub)
+			}
+			return
+		case fetchClosed:
+			if cc.subStopped(sub) {
+				return
+			}
+			// Ring closed under us: either the query was detached or the
+			// service is shutting down.
+			if _, err := cc.s.lookup(sub.q.ID); err != nil {
+				cc.writeErr(sub.req, CodeUnknownQuery, "query detached")
+			} else {
+				cc.writeErr(sub.req, CodeShutdown, "service shutting down")
+			}
+			cc.forgetSub(sub)
+			return
+		}
+	}
+}
+
+func (cc *ctlConn) subStopped(sub *ctlSub) bool {
+	cc.smu.Lock()
+	defer cc.smu.Unlock()
+	return sub.stopped
+}
+
+// forgetSub removes a self-terminated subscription from the conn map so a
+// later resubscribe to the same query is not a duplicate.
+func (cc *ctlConn) forgetSub(sub *ctlSub) {
+	cc.smu.Lock()
+	if cc.subs[sub.q.ID] == sub {
+		delete(cc.subs, sub.q.ID)
+	}
+	cc.smu.Unlock()
+}
+
+// statsJSON renders the service snapshot served by CtStats and /metrics.
+func (s *Service) statsJSON() string {
+	type queryStat struct {
+		ID   uint32 `json:"id"`
+		Text string `json:"text"`
+		Base uint64 `json:"base"`
+		End  uint64 `json:"end"`
+	}
+	out := struct {
+		Mode     string            `json:"mode"`
+		Gen      uint64            `json:"gen"`
+		Fails    int32             `json:"consecutive_failures"`
+		Counters map[string]uint64 `json:"counters"`
+		Queries  []queryStat       `json:"queries"`
+	}{
+		Mode:     s.Mode().String(),
+		Gen:      s.gen.Load(),
+		Fails:    s.fails.Load(),
+		Counters: s.counters.Snapshot(),
+	}
+	s.mu.Lock()
+	for _, q := range s.queries {
+		base, rows := q.log.snapshot()
+		out.Queries = append(out.Queries, queryStat{
+			ID: q.ID, Text: q.Text, Base: base, End: base + uint64(len(rows)) - 1,
+		})
+	}
+	s.mu.Unlock()
+	b, err := json.Marshal(out)
+	if err != nil {
+		return `{"error":"stats marshal failed"}`
+	}
+	return string(b)
+}

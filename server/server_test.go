@@ -1,0 +1,917 @@
+package server
+
+// Service-level tests: control wire codec, result-ring slow-consumer
+// policies, WAL/state/journal persistence, and the end-to-end serve path
+// (attach → stream → subscribe → bit-exact rows vs a closeless in-process
+// oracle). Crash/fault drills live in fault_test.go.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"forwarddecay/gsql"
+	"forwarddecay/ingest"
+	"forwarddecay/internal/core"
+	"forwarddecay/netgen"
+)
+
+// testQuery exercises grouped integer and float aggregation over 10-second
+// buckets — enough state that a lost, duplicated, or reordered frame shows
+// up in the rows.
+const testQuery = `select tb, dstIP, count(*), sum(len), avg(float(len))
+	from TCP group by time/10 as tb, dstIP`
+
+const testToken = "sesame"
+
+// genPackets synthesizes a deterministic trace. rate sets packets/second:
+// lower rates spread the same packet count over more time buckets, which is
+// how tests dial up the emitted-row volume.
+func genPackets(t *testing.T, n int, rate float64, seed uint64) []netgen.Packet {
+	t.Helper()
+	cfg := netgen.DefaultConfig(rate, seed)
+	cfg.Hosts = 50
+	g := netgen.New(cfg)
+	return g.Take(make([]netgen.Packet, 0, n), n)
+}
+
+// oracleRows is the reference output: the same packets pushed through an
+// in-process serial run WITHOUT closing it. The service never closes live
+// runs, so the open bucket's rows are not part of the observable stream —
+// the oracle must not flush them either. Sharded service runs are compared
+// against this same serial oracle: parallel emission is contractually
+// bit-identical to serial.
+func oracleRows(t *testing.T, pkts []netgen.Packet) []gsql.Tuple {
+	t.Helper()
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Prepare(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []gsql.Tuple
+	done := false
+	run := st.Start(func(row gsql.Tuple) error {
+		if !done {
+			rows = append(rows, append(gsql.Tuple(nil), row...))
+		}
+		return nil
+	}, gsql.Options{})
+	for _, p := range pkts {
+		if err := run.Push(netgen.Tuple(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done = true // ignore Close's open-bucket flush; Close only to free the run
+	run.Close()
+	return rows
+}
+
+// requireIdentical asserts two result sets match bit-for-bit.
+func requireIdentical(t *testing.T, want, got []gsql.Tuple, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: want %d rows, got %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("%s row %d: width %d vs %d", label, i, len(want[i]), len(got[i]))
+		}
+		for j := range want[i] {
+			if want[i][j] != got[i][j] {
+				t.Fatalf("%s row %d col %d: want %v, got %v", label, i, j, want[i][j], got[i][j])
+			}
+		}
+	}
+}
+
+// startService boots a service on dynamic ports with test-friendly timings.
+func startService(t *testing.T, dir string, mut func(*Config)) *Service {
+	t.Helper()
+	cfg := Config{
+		Dir:         dir,
+		ControlAddr: "127.0.0.1:0",
+		IngestAddr:  "127.0.0.1:0",
+		Tokens:      []string{testToken},
+		Backoff:     core.Backoff{Min: 2 * time.Millisecond, Max: 20 * time.Millisecond},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Shutdown() })
+	return s
+}
+
+// controlAddr renders the service's control address in the scheme-qualified
+// form DialClient expects ("host:port" or "unix:/path").
+func controlAddr(s *Service) string {
+	a := s.ControlAddr()
+	if a.Network() == "unix" {
+		return "unix:" + a.String()
+	}
+	return a.String()
+}
+
+func dialControl(t *testing.T, s *Service) *Client {
+	t.Helper()
+	cl, err := DialClient(controlAddr(s), testToken, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func dialIngest(t *testing.T, s *Service, session uint64) *ingest.Dialer {
+	t.Helper()
+	network, address := ingest.SplitAddr(s.IngestAddr())
+	return ingest.Dial(network, address, ingest.DialerConfig{
+		Session:    session,
+		BatchSize:  64,
+		MinBackoff: 2 * time.Millisecond,
+		MaxBackoff: 50 * time.Millisecond,
+		AckTimeout: 500 * time.Millisecond,
+		Seed:       session,
+	})
+}
+
+// streamAll sends every packet and closes the dialer, which waits for every
+// ack — on return, the service has durably applied the whole trace.
+func streamAll(t *testing.T, d *ingest.Dialer, pkts []netgen.Packet) {
+	t.Helper()
+	for _, p := range pkts {
+		if err := d.Send(p); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("dialer close: %v", err)
+	}
+}
+
+// drainRows pulls n row events off a subscription, enforcing contiguous
+// cursors (from start; 0 = accept any) and no gaps. Goroutine-safe: reports
+// by error instead of t.Fatal.
+func drainRows(ch <-chan SubEvent, start uint64, n int, timeout time.Duration) ([]gsql.Tuple, uint64, error) {
+	deadline := time.After(timeout)
+	rows := make([]gsql.Tuple, 0, n)
+	next := start
+	var last uint64
+	for len(rows) < n {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return rows, last, fmt.Errorf("subscription closed after %d/%d rows", len(rows), n)
+			}
+			if ev.Err != nil {
+				return rows, last, fmt.Errorf("after %d/%d rows: %w", len(rows), n, ev.Err)
+			}
+			if ev.Gap {
+				return rows, last, fmt.Errorf("unexpected gap [%d,%d) after %d rows", ev.GapFrom, ev.GapTo, len(rows))
+			}
+			if next != 0 && ev.Cursor != next {
+				return rows, last, fmt.Errorf("cursor %d, want %d", ev.Cursor, next)
+			}
+			next = ev.Cursor + 1
+			last = ev.Cursor
+			rows = append(rows, append(gsql.Tuple(nil), ev.Row...))
+		case <-deadline:
+			return rows, last, fmt.Errorf("timed out with %d/%d rows", len(rows), n)
+		}
+	}
+	return rows, last, nil
+}
+
+func collectRows(t *testing.T, ch <-chan SubEvent, start uint64, n int, timeout time.Duration) ([]gsql.Tuple, uint64) {
+	t.Helper()
+	rows, last, err := drainRows(ch, start, n, timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows, last
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+type statsPayload struct {
+	Mode     string            `json:"mode"`
+	Gen      uint64            `json:"gen"`
+	Fails    int32             `json:"consecutive_failures"`
+	Counters map[string]uint64 `json:"counters"`
+	Queries  []struct {
+		ID   uint32 `json:"id"`
+		Text string `json:"text"`
+		Base uint64 `json:"base"`
+		End  uint64 `json:"end"`
+	} `json:"queries"`
+}
+
+func fetchStats(t *testing.T, cl *Client) statsPayload {
+	t.Helper()
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sp statsPayload
+	if err := json.Unmarshal([]byte(raw), &sp); err != nil {
+		t.Fatalf("stats JSON: %v\n%s", err, raw)
+	}
+	return sp
+}
+
+// --- control wire codec ---
+
+func TestControlWireRoundTrip(t *testing.T) {
+	row := gsql.Tuple{
+		{T: gsql.TInt, I: 42},
+		{T: gsql.TFloat, F: 3.5},
+		{T: gsql.TBool, I: 1},
+		{T: gsql.TString, S: "dst"},
+		{T: gsql.TNull},
+	}
+	msgs := []*Msg{
+		{Type: CtHello, Req: 1, Sess: 0xfeed, Text: testToken},
+		{Type: CtAttach, Req: 2, Text: testQuery},
+		{Type: CtDetach, Req: 3, Query: 7},
+		{Type: CtSubscribe, Req: 4, Query: 7, Cursor: 99, Policy: PolicyDisconnect, Deadline: 1500},
+		{Type: CtUnsubscribe, Req: 5, Query: 7},
+		{Type: CtStats, Req: 6},
+		{Type: CtBye, Req: 7},
+		{Type: StOK, Req: 8},
+		{Type: StErr, Req: 9, Code: CodeDegraded, Text: "nope"},
+		{Type: StAttached, Req: 10, Query: 12},
+		{Type: StRow, Query: 12, Cursor: 1234, Row: row},
+		{Type: StGap, Query: 12, GapFrom: 10, Cursor: 20},
+		{Type: StStats, Req: 11, Text: `{"mode":"healthy"}`},
+		{Type: StBye, Req: 12},
+	}
+	for _, m := range msgs {
+		buf := AppendMsg(nil, m)
+		body, n, err := ingest.DecodeSealed(buf, MaxControlFrame)
+		if err != nil || n != len(buf) {
+			t.Fatalf("type %d: seal decode: %v (consumed %d of %d)", m.Type, err, n, len(buf))
+		}
+		got, err := DecodeMsg(body)
+		if err != nil {
+			t.Fatalf("type %d: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("type %d round trip:\n want %+v\n got  %+v", m.Type, m, got)
+		}
+	}
+
+	// Hostile input: every strict prefix must be rejected, never panic.
+	body := appendMsgBody(nil, &Msg{Type: StRow, Query: 1, Cursor: 2, Row: row})
+	for i := 0; i < len(body); i++ {
+		if _, err := DecodeMsg(body[:i]); err == nil {
+			t.Fatalf("truncated body (%d/%d bytes) decoded successfully", i, len(body))
+		}
+	}
+	if _, err := DecodeMsg(append(append([]byte(nil), body...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeMsg([]byte{99, 0, 0, 0, 0}); err == nil {
+		t.Fatal("unknown frame type accepted")
+	}
+	bad := appendMsgBody(nil, &Msg{Type: CtSubscribe, Req: 1, Query: 1})
+	bad[len(bad)-5] = 77 // the policy byte
+	if _, err := DecodeMsg(bad); err == nil {
+		t.Fatal("invalid policy accepted")
+	}
+}
+
+// --- result ring policies ---
+
+func TestResultLogPolicies(t *testing.T) {
+	row := func(i int) gsql.Tuple { return gsql.Tuple{{T: gsql.TInt, I: int64(i)}} }
+
+	t.Run("drop-oldest-gap", func(t *testing.T) {
+		var shed uint64
+		rl := newResultLog(4)
+		rl.onShed = func(n uint64) { shed += n }
+		sub := rl.subscribe(0, PolicyDropOldest, 0)
+		for i := 1; i <= 10; i++ {
+			rl.append(row(i))
+		}
+		_, start, gapFrom, st := rl.fetch(sub, 100)
+		if st != fetchGap || gapFrom != 1 || start != 7 {
+			t.Fatalf("want gap [1,7), got st=%d gapFrom=%d start=%d", st, gapFrom, start)
+		}
+		if shed != 6 {
+			t.Fatalf("shed %d rows, want 6", shed)
+		}
+		rows, start, _, st := rl.fetch(sub, 100)
+		if st != fetchRows || start != 7 || len(rows) != 4 {
+			t.Fatalf("want rows 7..10, got st=%d start=%d n=%d", st, start, len(rows))
+		}
+		if rows[0][0].I != 7 || rows[3][0].I != 10 {
+			t.Fatalf("wrong rows after gap: %v", rows)
+		}
+	})
+
+	t.Run("block-holds-appender", func(t *testing.T) {
+		rl := newResultLog(2)
+		sub := rl.subscribe(0, PolicyBlock, 0)
+		rl.append(row(1))
+		rl.append(row(2))
+		done := make(chan struct{})
+		go func() { rl.append(row(3)); close(done) }()
+		select {
+		case <-done:
+			t.Fatal("append proceeded past a blocking subscriber")
+		case <-time.After(50 * time.Millisecond):
+		}
+		rows, _, _, st := rl.fetch(sub, 1)
+		if st != fetchRows || len(rows) != 1 {
+			t.Fatalf("fetch: st=%d n=%d", st, len(rows))
+		}
+		rl.advance(sub, 1)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("append still blocked after the subscriber advanced")
+		}
+	})
+
+	t.Run("disconnect-after-budget", func(t *testing.T) {
+		disc := 0
+		rl := newResultLog(2)
+		rl.onDisconnect = func() { disc++ }
+		sub := rl.subscribe(0, PolicyDisconnect, 30*time.Millisecond)
+		start := time.Now()
+		for i := 1; i <= 5; i++ {
+			rl.append(row(i))
+		}
+		if el := time.Since(start); el > 5*time.Second {
+			t.Fatalf("appends stalled %v past the 30ms budget", el)
+		}
+		if disc != 1 {
+			t.Fatalf("onDisconnect fired %d times, want 1", disc)
+		}
+		if _, _, _, st := rl.fetch(sub, 1); st != fetchRemoved {
+			t.Fatalf("fetch after disconnect: st=%d, want fetchRemoved", st)
+		}
+	})
+
+	t.Run("unsubscribe-releases-parked-fetch", func(t *testing.T) {
+		rl := newResultLog(2)
+		sub := rl.subscribe(0, PolicyBlock, 0)
+		got := make(chan fetchStatus, 1)
+		go func() {
+			_, _, _, st := rl.fetch(sub, 1)
+			got <- st
+		}()
+		time.Sleep(20 * time.Millisecond)
+		rl.unsubscribe(sub)
+		select {
+		case st := <-got:
+			if st != fetchRemoved {
+				t.Fatalf("st=%d, want fetchRemoved", st)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("fetch still parked after unsubscribe")
+		}
+	})
+
+	t.Run("truncate-freeze-reemission", func(t *testing.T) {
+		rl := newResultLog(10)
+		for i := 1; i <= 6; i++ {
+			rl.append(row(i))
+		}
+		sub := rl.subscribe(5, PolicyBlock, 0)
+		rl.truncateTo(3)
+		rl.freeze()
+		rl.append(row(99)) // teardown flush: must not pollute the cursor space
+		rl.thaw()
+		for i := 4; i <= 6; i++ {
+			rl.append(row(i))
+		}
+		rows, start, _, st := rl.fetch(sub, 10)
+		if st != fetchRows || start != 5 || len(rows) != 2 {
+			t.Fatalf("st=%d start=%d n=%d, want rows 5..6", st, start, len(rows))
+		}
+		if rows[0][0].I != 5 || rows[1][0].I != 6 {
+			t.Fatalf("re-emitted rows differ: %v", rows)
+		}
+	})
+}
+
+// --- WAL persistence ---
+
+func TestWALRoundTripAndTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w, recs, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.epoch != 1 || len(recs) != 0 {
+		t.Fatalf("fresh dir: epoch=%d recs=%d", w.epoch, len(recs))
+	}
+	pkts := genPackets(t, 9, 100, 1)
+	if err := w.LogFrame(7, 1, pkts[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogFrame(7, 2, pkts[4:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogHeartbeat(gsql.Value{T: gsql.TInt, I: 123}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogHeartbeat(gsql.Value{T: gsql.TFloat, F: 4.5}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	w2, recs, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.epoch != 1 || w2.applied != 4 || len(recs) != 4 {
+		t.Fatalf("reopen: epoch=%d applied=%d recs=%d", w2.epoch, w2.applied, len(recs))
+	}
+	if recs[0].kind != recFrame || recs[0].sess != 7 || recs[0].seq != 1 || !reflect.DeepEqual(recs[0].pkts, pkts[:4]) {
+		t.Fatalf("frame record 0 mismatch: %+v", recs[0])
+	}
+	if !reflect.DeepEqual(recs[1].pkts, pkts[4:]) || recs[1].seq != 2 {
+		t.Fatalf("frame record 1 mismatch: %+v", recs[1])
+	}
+	if recs[2].hb.T != gsql.TInt || recs[2].hb.I != 123 {
+		t.Fatalf("int heartbeat mismatch: %+v", recs[2].hb)
+	}
+	if recs[3].hb.T != gsql.TFloat || recs[3].hb.F != 4.5 {
+		t.Fatalf("float heartbeat mismatch: %+v", recs[3].hb)
+	}
+	w2.close()
+
+	// A torn tail (crash mid-append) is truncated away and appends resume.
+	f, err := os.OpenFile(walName(dir, 1), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{9, 9, 9})
+	f.Close()
+	w3, recs, err := openWAL(dir)
+	if err != nil {
+		t.Fatalf("torn tail not repaired: %v", err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("after torn-tail repair: %d recs, want 4", len(recs))
+	}
+	if err := w3.LogHeartbeat(gsql.Value{T: gsql.TInt, I: 5}); err != nil {
+		t.Fatal(err)
+	}
+	w3.close()
+	_, recs, err = openWAL(dir)
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("append after repair: %v, %d recs", err, len(recs))
+	}
+
+	// Corruption in the interior is NOT a torn tail: refuse to load.
+	dir2 := t.TempDir()
+	wc, _, err := openWAL(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc.LogHeartbeat(gsql.Value{T: gsql.TInt, I: 1})
+	wc.LogHeartbeat(gsql.Value{T: gsql.TInt, I: 2})
+	wc.close()
+	data, err := os.ReadFile(walName(dir2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[30] ^= 1 // inside the first record's sealed body
+	if err := os.WriteFile(walName(dir2, 1), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := openWAL(dir2); err == nil {
+		t.Fatal("corrupted WAL loaded without error")
+	}
+}
+
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.LogHeartbeat(gsql.Value{T: gsql.TInt, I: 1})
+	if err := w.rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.epoch != 2 || w.applied != 0 {
+		t.Fatalf("after rotate: epoch=%d applied=%d", w.epoch, w.applied)
+	}
+	w.LogHeartbeat(gsql.Value{T: gsql.TInt, I: 2})
+	w.close()
+
+	w2, recs, err := openWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.epoch != 2 || len(recs) != 1 || recs[0].hb.I != 2 {
+		t.Fatalf("newest epoch: epoch=%d recs=%+v", w2.epoch, recs)
+	}
+	w2.close()
+	names, _ := filepath.Glob(filepath.Join(dir, "ingest-*.wal"))
+	if len(names) != 1 {
+		t.Fatalf("rotation left %d WAL files: %v", len(names), names)
+	}
+
+	// A superseded epoch left by a crash mid-rotation is swept on open.
+	dir2 := t.TempDir()
+	f1, err := createWAL(dir2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Close()
+	f2, err := createWAL(dir2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	w3, _, err := openWAL(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w3.epoch != 2 {
+		t.Fatalf("picked epoch %d, want 2", w3.epoch)
+	}
+	w3.close()
+	if _, err := os.Stat(walName(dir2, 1)); !os.IsNotExist(err) {
+		t.Fatalf("superseded epoch not removed: %v", err)
+	}
+}
+
+// --- state file + journal ---
+
+func TestStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := &serverState{
+		walEpoch:    3,
+		walApplied:  17,
+		nextQueryID: 9,
+		queries: []queryState{{
+			id:     1,
+			text:   testQuery,
+			ckpt:   []byte{1, 2, 3, 4},
+			base:   4,
+			rows:   []gsql.Tuple{{{T: gsql.TInt, I: 10}, {T: gsql.TFloat, F: 2.5}}},
+			end:    4,
+			shards: 2,
+		}},
+		sessions: map[uint64]uint64{7: 42, 9: 1},
+	}
+	if err := writeState(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, got) {
+		t.Fatalf("state round trip:\n want %+v\n got  %+v", st, got)
+	}
+
+	// A flipped byte anywhere must fail the checksum.
+	path := filepath.Join(dir, stateFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 1
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadState(dir); err == nil {
+		t.Fatal("corrupted state file loaded")
+	}
+
+	// Missing file is a fresh start, not an error.
+	if st, err := loadState(t.TempDir()); err != nil || st != nil {
+		t.Fatalf("missing state: %v %v", st, err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	entries := []journalEntry{
+		{op: jAttach, id: 1, text: testQuery, shards: 2, epoch: 1, at: 5},
+		{op: jDetach, id: 1, epoch: 1, at: 9},
+		{op: jAttach, id: 2, text: "select count(*) from TCP group by time as tb", epoch: 2, at: 0},
+	}
+	for _, e := range entries {
+		if err := appendJournal(dir, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := loadJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(entries, got) {
+		t.Fatalf("journal round trip:\n want %+v\n got  %+v", entries, got)
+	}
+
+	// Torn tail tolerated: the un-acked attach simply vanishes.
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{44, 0, 0})
+	f.Close()
+	got, err = loadJournal(dir)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("torn journal tail: %v, %d entries", err, len(got))
+	}
+
+	if err := resetJournal(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err = loadJournal(dir)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("after reset: %v, %d entries", err, len(got))
+	}
+}
+
+// --- end-to-end serve path ---
+
+func TestServeEndToEnd(t *testing.T) {
+	pkts := genPackets(t, 4000, 50, 11)
+	want := oracleRows(t, pkts)
+	if len(want) < 50 {
+		t.Fatalf("oracle too thin to be interesting: %d rows", len(want))
+	}
+	svc := startService(t, t.TempDir(), func(c *Config) { c.HTTPAddr = "127.0.0.1:0" })
+	cl := dialControl(t, svc)
+
+	id, err := cl.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Subscribe(id, 0, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := dialIngest(t, svc, 3)
+	streamAll(t, d, pkts)
+
+	rows, last := collectRows(t, ch, 1, len(want), 30*time.Second)
+	requireIdentical(t, want, rows, "live subscription")
+	if last != uint64(len(want)) {
+		t.Fatalf("last cursor %d, want %d", last, len(want))
+	}
+
+	sp := fetchStats(t, cl)
+	if sp.Mode != "healthy" {
+		t.Fatalf("stats mode %q", sp.Mode)
+	}
+	if len(sp.Queries) != 1 || sp.Queries[0].ID != id || sp.Queries[0].End != uint64(len(want)) {
+		t.Fatalf("stats queries: %+v", sp.Queries)
+	}
+	if sp.Counters["server_rows_emitted"] < uint64(len(want)) {
+		t.Fatalf("rows_emitted %d < %d", sp.Counters["server_rows_emitted"], len(want))
+	}
+
+	code, body := httpGet(t, "http://"+svc.HTTPAddr()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "healthy") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	code, body = httpGet(t, "http://"+svc.HTTPAddr()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "server_rows_delivered") {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	code, body = httpGet(t, "http://"+svc.HTTPAddr()+"/metrics?format=json")
+	if code != http.StatusOK {
+		t.Fatalf("metrics json: %d", code)
+	}
+	var js statsPayload
+	if err := json.Unmarshal([]byte(body), &js); err != nil {
+		t.Fatalf("metrics json: %v\n%s", err, body)
+	}
+
+	if err := cl.Unsubscribe(id); err != nil {
+		t.Fatal(err)
+	}
+	for ev := range ch { // channel must close cleanly, without errors
+		if ev.Err != nil {
+			t.Fatalf("event after unsubscribe: %v", ev.Err)
+		}
+	}
+	if err := cl.Bye(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthAndBadRequests(t *testing.T) {
+	svc := startService(t, t.TempDir(), nil)
+	addr := svc.ControlAddr().String()
+
+	if _, err := DialClient(addr, "wrong-token", time.Second); err == nil {
+		t.Fatal("bad token accepted")
+	} else {
+		var ce *ClientError
+		if !asClientError(err, &ce) || ce.Code != CodeAuth {
+			t.Fatalf("bad token: %v, want CodeAuth", err)
+		}
+	}
+	if got := svc.Counters().Get("server_auth_failures"); got != 1 {
+		t.Fatalf("auth failure counter = %d, want 1", got)
+	}
+
+	cl := dialControl(t, svc)
+	if _, err := cl.Attach("select utter nonsense ((("); err == nil {
+		t.Fatal("unparseable query attached")
+	} else if code := errClientCode(t, err); code != CodeParse {
+		t.Fatalf("parse failure code %d, want %d", code, CodeParse)
+	}
+	if _, err := cl.Attach(""); err == nil {
+		t.Fatal("empty query attached")
+	} else if code := errClientCode(t, err); code != CodeBadRequest {
+		t.Fatalf("empty attach code %d, want %d", code, CodeBadRequest)
+	}
+	if err := cl.Detach(42); err == nil {
+		t.Fatal("detach of unknown query succeeded")
+	} else if code := errClientCode(t, err); code != CodeUnknownQuery {
+		t.Fatalf("unknown detach code %d, want %d", code, CodeUnknownQuery)
+	}
+	if _, err := cl.Subscribe(42, 0, PolicyDropOldest, 0); err == nil {
+		t.Fatal("subscribe to unknown query succeeded")
+	} else if code := errClientCode(t, err); code != CodeUnknownQuery {
+		t.Fatalf("unknown subscribe code %d, want %d", code, CodeUnknownQuery)
+	}
+
+	id, err := cl.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Subscribe(id, 0, PolicyDisconnect, 0); err == nil {
+		t.Fatal("disconnect policy without a deadline accepted")
+	} else if code := errClientCode(t, err); code != CodeBadRequest {
+		t.Fatalf("deadline-less disconnect code %d, want %d", code, CodeBadRequest)
+	}
+	if _, err := cl.Subscribe(id, 0, PolicyBlock, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Subscribe(id, 0, PolicyBlock, 0); err == nil {
+		t.Fatal("duplicate subscription accepted")
+	}
+}
+
+func asClientError(err error, out **ClientError) bool {
+	ce, ok := err.(*ClientError)
+	if ok {
+		*out = ce
+	}
+	return ok
+}
+
+func errClientCode(t *testing.T, err error) uint16 {
+	t.Helper()
+	var ce *ClientError
+	if !asClientError(err, &ce) {
+		t.Fatalf("not a ClientError: %v", err)
+	}
+	return ce.Code
+}
+
+func TestDetachNotifiesSubscribers(t *testing.T) {
+	pkts := genPackets(t, 2000, 50, 13)
+	want := oracleRows(t, pkts)
+	svc := startService(t, t.TempDir(), nil)
+	cl := dialControl(t, svc)
+	id, err := cl.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Subscribe(id, 0, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dialIngest(t, svc, 17)
+	streamAll(t, d, pkts)
+	collectRows(t, ch, 1, len(want), 20*time.Second)
+
+	if err := cl.Detach(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed with no termination event")
+		}
+		if ev.Err == nil || ev.Code != CodeUnknownQuery {
+			t.Fatalf("termination event: err=%v code=%d, want CodeUnknownQuery", ev.Err, ev.Code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no termination event after detach")
+	}
+
+	// The catalog is really gone, and a fresh attach gets a fresh id.
+	if _, err := cl.Subscribe(id, 0, PolicyBlock, 0); err == nil {
+		t.Fatal("subscribe to detached query succeeded")
+	}
+	id2, err := cl.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("detached id %d was reused", id)
+	}
+}
+
+func TestShutdownRestartResume(t *testing.T) {
+	dir := t.TempDir()
+	pkts := genPackets(t, 6000, 50, 21)
+	wantAll := oracleRows(t, pkts)
+	cut := len(pkts) / 2
+	wantFirst := oracleRows(t, pkts[:cut])
+	if len(wantFirst) < 20 || len(wantAll) <= len(wantFirst) {
+		t.Fatalf("degenerate split: %d / %d rows", len(wantFirst), len(wantAll))
+	}
+
+	svc1 := startService(t, dir, func(c *Config) { c.ResultLog = 1 << 14 })
+	cl1 := dialControl(t, svc1)
+	id, err := cl1.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch1, err := cl1.Subscribe(id, 0, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := dialIngest(t, svc1, 5)
+	streamAll(t, d1, pkts[:cut])
+	rowsA, lastA := collectRows(t, ch1, 1, len(wantFirst), 20*time.Second)
+	requireIdentical(t, wantFirst, rowsA, "before restart")
+	if err := svc1.Shutdown(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+
+	// Cold restart in the same directory: catalog, ring and engine state come
+	// back from the checkpoint; the subscriber resumes at lastA+1 and sees
+	// exactly the rows an uninterrupted run would have emitted next.
+	svc2 := startService(t, dir, func(c *Config) { c.ResultLog = 1 << 14 })
+	cl2 := dialControl(t, svc2)
+	sp := fetchStats(t, cl2)
+	if len(sp.Queries) != 1 || sp.Queries[0].ID != id || sp.Queries[0].End != lastA {
+		t.Fatalf("restored catalog: %+v (want query %d at end %d)", sp.Queries, id, lastA)
+	}
+	ch2, err := cl2.Subscribe(id, lastA+1, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := dialIngest(t, svc2, 6)
+	streamAll(t, d2, pkts[cut:])
+	rest := wantAll[len(wantFirst):]
+	rowsB, lastB := collectRows(t, ch2, lastA+1, len(rest), 20*time.Second)
+	requireIdentical(t, rest, rowsB, "after restart")
+	if lastB != uint64(len(wantAll)) {
+		t.Fatalf("final cursor %d, want %d", lastB, len(wantAll))
+	}
+
+	// Shutdown is idempotent.
+	if err := svc2.Shutdown(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+	if err := svc2.Shutdown(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

@@ -1,0 +1,1038 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"forwarddecay/gsql"
+	"forwarddecay/ingest"
+	"forwarddecay/internal/core"
+	"forwarddecay/metrics"
+	"forwarddecay/netgen"
+)
+
+// Mode is the service's coarse health state, exposed on /healthz and
+// consulted by the control plane.
+type Mode int32
+
+const (
+	// ModeHealthy: a live runtime is serving queries and ingest.
+	ModeHealthy Mode = iota
+	// ModeRestarting: the supervisor is between incarnations (teardown,
+	// backoff, rebuild). Control requests fail fast with CodeDegraded.
+	ModeRestarting
+	// ModeDegraded: the circuit breaker is open. Ingest frames are still
+	// accepted and written to the WAL, but no runtime is applying them;
+	// query operations return CodeDegraded until a probe rebuild sticks.
+	ModeDegraded
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeHealthy:
+		return "healthy"
+	case ModeRestarting:
+		return "restarting"
+	case ModeDegraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("mode(%d)", int32(m))
+}
+
+// Config parameterizes a Service. Zero values are usable defaults for
+// everything except Dir, ControlAddr and IngestAddr.
+type Config struct {
+	// Dir is the state directory: checkpoint state file, ingest WAL and
+	// catalog journal all live here. Required.
+	Dir string
+	// ControlAddr is the control-plane listen address ("host:port" or
+	// "unix:/path"). Required.
+	ControlAddr string
+	// IngestAddr is the ingest wire-protocol listen address. Required.
+	IngestAddr string
+	// HTTPAddr, when set, serves /healthz and /metrics there.
+	HTTPAddr string
+	// Tokens are the accepted session tokens; empty means unauthenticated.
+	Tokens []string
+	// Shards > 0 runs every query on a sharded ParallelRun with that many
+	// workers; 0 keeps runs serial.
+	Shards int
+	// ResultLog is the per-query result ring capacity (default 1024).
+	ResultLog int
+	// SubscriberBatch bounds rows fetched per subscriber write (default 64)
+	// — the per-subscriber output queue depth.
+	SubscriberBatch int
+	// CheckpointEvery checkpoints after that many applied tuples
+	// (default 8192).
+	CheckpointEvery uint64
+	// HeartbeatInterval synthesizes ingest heartbeats on idle (0 = off).
+	HeartbeatInterval time.Duration
+	// Backoff paces supervisor rebuild attempts; zero value = defaults.
+	Backoff core.Backoff
+	// BreakerThreshold is the consecutive-failure count that opens the
+	// circuit breaker into degraded mode (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is the degraded dwell before a half-open probe
+	// rebuild (default 2s).
+	BreakerCooldown time.Duration
+	// HealthyAfter is the healthy uptime that closes the breaker and
+	// resets the failure count (default 3s).
+	HealthyAfter time.Duration
+	// WedgeTimeout declares the runtime wedged when a single apply has
+	// been in flight this long (default 10s; the watchdog then tears the
+	// incarnation down and rebuilds from the checkpoint).
+	WedgeTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown drain (default 5s).
+	DrainTimeout time.Duration
+	// Seed feeds the supervisor's jittered backoff.
+	Seed uint64
+	// Logf receives diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fill() {
+	if c.ResultLog <= 0 {
+		c.ResultLog = 1024
+	}
+	if c.SubscriberBatch <= 0 {
+		c.SubscriberBatch = 64
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 8192
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.HealthyAfter <= 0 {
+		c.HealthyAfter = 3 * time.Second
+	}
+	if c.WedgeTimeout <= 0 {
+		c.WedgeTimeout = 10 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// Query is one catalog entry. It outlives runtime incarnations: the result
+// ring (and with it every subscriber's cursor) survives a supervised
+// restart; only the engine run inside the incarnation is rebuilt.
+type Query struct {
+	ID     uint32
+	Text   string
+	Shards uint32
+	log    *resultLog
+	// journaled marks a query not yet folded into a checkpoint; its attach
+	// position lives in the catalog journal.
+	journaled bool
+	// attachEpoch/attachAt pin the WAL position of the attach (journaled
+	// queries only).
+	attachEpoch uint64
+	attachAt    uint64
+}
+
+// queryRun is the per-incarnation engine handle for one query.
+type queryRun struct {
+	q     *Query
+	push  func(*gsql.Batch) (int, error)
+	hb    func(gsql.Value) error
+	ckpt  func() ([]byte, error)
+	close func() error
+}
+
+// runtime is one supervised incarnation: WAL appender, engine runs and the
+// ingest listener, all rebuilt from disk on every (re)start — a supervised
+// restart and a process restart walk the same code path.
+type runtime struct {
+	gen uint64
+	// mu serializes the apply path (WAL append + fan-out) against catalog
+	// mutation, so an attach observes a frame-aligned WAL position. It is
+	// ACQUIRED in the ApplyLog hooks (LogFrame/LogHeartbeat) and RELEASED
+	// at the end of the subsequent sink call — safe because the ingest
+	// pump is the only goroutine driving either. Lock order: s.mu → rt.mu.
+	mu       sync.Mutex
+	wal      *ingestWAL
+	runs     map[uint32]*queryRun
+	listener *ingest.Listener
+	// inflight is the UnixNano start of the apply in progress (0 = idle);
+	// the watchdog reads it to detect a wedged runtime.
+	inflight atomic.Int64
+	// killed is closed by Kill to simulate an abrupt process death.
+	killed chan struct{}
+	// fenced is set at teardown. The emit sinks of this incarnation check it
+	// and refuse to append once set: a wedged (zombie) pump that wakes up
+	// after the successor has thawed the rings must not land stale rows in
+	// them — the successor's WAL replay re-derives those rows itself.
+	fenced atomic.Bool
+	// degraded marks a WAL-only incarnation (breaker open).
+	degraded bool
+}
+
+// Service is the long-lived query service. Create with New, stop with
+// Shutdown.
+type Service struct {
+	cfg Config
+
+	mu      sync.Mutex // catalog + checkpoint + lifecycle; outer to rt.mu
+	queries map[uint32]*Query
+	nextID  uint32
+
+	rt   atomic.Pointer[runtime]
+	gen  atomic.Uint64
+	mode atomic.Int32
+	// fails is the consecutive-failure counter feeding the breaker
+	// (supervisor goroutine only).
+	fails atomic.Int32
+
+	// rings is a COW snapshot of every live result ring, readable without
+	// any lock — the watchdog freezes them even while s.mu or rt.mu is
+	// held by a wedged path.
+	rings atomic.Pointer[[]*resultLog]
+
+	counters *metrics.CounterSet
+	rng      *core.RNG
+
+	ctl        net.Listener
+	ingestAddr string // concrete ingest address, stable across incarnations
+	httpClose  func() error
+	httpAddr   string
+
+	ctlMu     sync.Mutex
+	ctlConns  map[*ctlConn]struct{}
+	ctlClosed bool
+
+	stop     chan struct{}
+	done     chan struct{}
+	conns    sync.WaitGroup
+	shutOnce sync.Once
+	shutErr  error
+}
+
+// New builds the service, binds its listeners, recovers state from
+// cfg.Dir, and starts the supervisor. It returns once the first incarnation
+// is serving (or with the service in degraded/restarting state if the first
+// build failed — the supervisor keeps trying).
+func New(cfg Config) (*Service, error) {
+	cfg.fill()
+	if cfg.Dir == "" || cfg.ControlAddr == "" || cfg.IngestAddr == "" {
+		return nil, fmt.Errorf("server: Dir, ControlAddr and IngestAddr are required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	s := &Service{
+		cfg:      cfg,
+		queries:  map[uint32]*Query{},
+		nextID:   1,
+		counters: metrics.NewCounterSet(),
+		rng:      core.NewRNG(cfg.Seed ^ 0x5eed),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		ctlConns: map[*ctlConn]struct{}{},
+	}
+	s.mode.Store(int32(ModeRestarting))
+	s.rings.Store(new([]*resultLog))
+
+	network, address := ingest.SplitAddr(cfg.ControlAddr)
+	ctl, err := net.Listen(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("server: control listen: %w", err)
+	}
+	s.ctl = ctl
+	if cfg.HTTPAddr != "" {
+		if err := s.startHTTP(cfg.HTTPAddr); err != nil {
+			ctl.Close()
+			return nil, err
+		}
+	}
+
+	first := make(chan struct{})
+	go s.supervise(first)
+	go s.acceptControl()
+	<-first
+	return s, nil
+}
+
+// ControlAddr returns the concrete control-plane address.
+func (s *Service) ControlAddr() net.Addr { return s.ctl.Addr() }
+
+// IngestAddr returns the concrete ingest address ("" until the first
+// incarnation has bound it).
+func (s *Service) IngestAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ingestAddr
+}
+
+// Mode returns the current health mode.
+func (s *Service) Mode() Mode { return Mode(s.mode.Load()) }
+
+// Counters exposes the service metric registry (for /metrics and tests).
+func (s *Service) Counters() *metrics.CounterSet { return s.counters }
+
+// supervise is the watchdog loop: build an incarnation from disk, watch it,
+// tear it down on failure, back off, rebuild; open the breaker into
+// WAL-only degraded mode after BreakerThreshold consecutive failures and
+// probe again after the cooldown. first is closed once the initial build
+// attempt (successful or not) completes.
+func (s *Service) supervise(first chan struct{}) {
+	defer close(s.done)
+	firstDone := func() {
+		if first != nil {
+			close(first)
+			first = nil
+		}
+	}
+	for {
+		select {
+		case <-s.stop:
+			firstDone()
+			return
+		default:
+		}
+
+		degraded := int(s.fails.Load()) >= s.cfg.BreakerThreshold
+		rt, err := s.buildRuntime(degraded)
+		if err != nil {
+			s.cfg.Logf("server: build failed (fails=%d): %v", s.fails.Load(), err)
+			s.counters.Add("server_build_failures", 1)
+			s.fails.Add(1)
+			firstDone()
+			if !s.cfg.Backoff.Sleep(int(s.fails.Load()), s.rng, s.stop) {
+				return
+			}
+			continue
+		}
+
+		if rt.degraded {
+			s.mode.Store(int32(ModeDegraded))
+			s.counters.Add("server_degraded_entered", 1)
+			s.cfg.Logf("server: breaker open — degraded to WAL-only ingest (cooldown %v)", s.cfg.BreakerCooldown)
+		} else {
+			s.mode.Store(int32(ModeHealthy))
+		}
+		s.rt.Store(rt)
+		firstDone()
+
+		verdict := s.watch(rt)
+		s.rt.Store(nil)
+		if verdict == watchStop {
+			return
+		}
+		s.mode.Store(int32(ModeRestarting))
+		s.teardown(rt)
+		switch verdict {
+		case watchHealed:
+			// A degraded incarnation served its cooldown; probe a full
+			// rebuild with the slate half-clean: one more failure reopens
+			// the breaker immediately, a healthy dwell closes it.
+			s.fails.Store(int32(s.cfg.BreakerThreshold) - 1)
+		case watchFailed:
+			s.fails.Add(1)
+			s.counters.Add("server_restarts", 1)
+			if !s.cfg.Backoff.Sleep(int(s.fails.Load()), s.rng, s.stop) {
+				return
+			}
+		}
+	}
+}
+
+type watchVerdict int
+
+const (
+	watchFailed watchVerdict = iota // runtime died or wedged: restart
+	watchHealed                     // degraded cooldown served: probe
+	watchStop                       // service shutting down
+)
+
+// watch monitors one incarnation until it fails, heals, or the service
+// stops.
+func (s *Service) watch(rt *runtime) watchVerdict {
+	tick := time.NewTicker(15 * time.Millisecond)
+	defer tick.Stop()
+	start := time.Now()
+	var cooldown <-chan time.Time
+	if rt.degraded {
+		t := time.NewTimer(s.cfg.BreakerCooldown)
+		defer t.Stop()
+		cooldown = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			return watchStop
+		case <-rt.killed:
+			s.cfg.Logf("server: incarnation gen=%d killed", rt.gen)
+			return watchFailed
+		case <-cooldown:
+			return watchHealed
+		case <-tick.C:
+			if err := rt.listener.Err(); err != nil {
+				s.cfg.Logf("server: incarnation gen=%d failed: %v", rt.gen, err)
+				return watchFailed
+			}
+			if t := rt.inflight.Load(); t != 0 && time.Since(time.Unix(0, t)) > s.cfg.WedgeTimeout {
+				s.cfg.Logf("server: incarnation gen=%d wedged (apply in flight > %v)", rt.gen, s.cfg.WedgeTimeout)
+				s.counters.Add("server_wedges", 1)
+				return watchFailed
+			}
+			if !rt.degraded && s.fails.Load() > 0 && time.Since(start) >= s.cfg.HealthyAfter {
+				s.fails.Store(0)
+				s.counters.Add("server_healed", 1)
+				s.cfg.Logf("server: incarnation gen=%d healthy for %v — breaker closed", rt.gen, s.cfg.HealthyAfter)
+			}
+		}
+	}
+}
+
+// teardown abandons an incarnation WITHOUT checkpointing: freeze the rings
+// (so run teardown cannot pollute cursors), drain the listener
+// best-effort, close the WAL file. State recovery is disk's job.
+func (s *Service) teardown(rt *runtime) {
+	// Fence first: even if a wedged pump wakes after the successor thaws the
+	// rings, its sink refuses to emit.
+	rt.fenced.Store(true)
+	for _, rl := range *s.rings.Load() {
+		rl.freeze()
+	}
+	// Bounded drain: applied frames were WAL-logged first, so anything the
+	// drain salvages is also recoverable; anything it cannot salvage is
+	// unacked and will be resent. A wedged pump makes this time out —
+	// that's fine, the incarnation is dead either way.
+	if err := rt.listener.Shutdown(500 * time.Millisecond); err != nil {
+		s.cfg.Logf("server: teardown drain: %v", err)
+	}
+	drained := rt.listener.Err() == nil && !rt.pumpWedged()
+	// Close the WAL file WITHOUT rt.mu: a wedged pump may hold that lock
+	// forever, and the close is exactly what fences such a zombie — once the
+	// file is closed, any append it attempts fails instead of landing bytes
+	// the successor (which scans the file next) would never account for.
+	rt.wal.close()
+	if drained {
+		// The pump exited, so the runs are exclusively ours: Close them to
+		// release shard goroutines. Their partial-bucket flush lands on
+		// frozen rings and is discarded — the successor's replay re-derives
+		// those rows. A wedged pump still owns its run; leak it instead of
+		// violating the single-producer contract.
+		for _, run := range rt.runs {
+			run.close()
+		}
+	}
+}
+
+// pumpWedged reports whether an apply is still in flight (the pump never
+// exited).
+func (rt *runtime) pumpWedged() bool { return rt.inflight.Load() != 0 }
+
+// Kill simulates an abrupt process death of the runtime (the drill's
+// SIGKILL): no checkpoint, no graceful anything — the supervisor notices
+// and rebuilds from the last durable state. Safe to call repeatedly.
+func (s *Service) Kill() {
+	rt := s.rt.Load()
+	if rt == nil {
+		return
+	}
+	select {
+	case <-rt.killed:
+	default:
+		close(rt.killed)
+	}
+}
+
+// Shutdown drains the service to a final checkpoint and stops everything.
+func (s *Service) Shutdown() error {
+	s.shutOnce.Do(func() {
+		close(s.stop)
+		<-s.done // supervisor exited; rt pointer is stable now
+		rt := s.rt.Load()
+		s.rt.Store(nil)
+		if rt != nil {
+			// Drain in-flight frames, then take the final checkpoint.
+			if err := rt.listener.Shutdown(s.cfg.DrainTimeout); err != nil {
+				s.shutErr = err
+			}
+			if !rt.degraded {
+				if err := s.checkpoint(rt); err != nil && s.shutErr == nil {
+					s.shutErr = err
+				}
+			}
+			rt.wal.close()
+			rt.fenced.Store(true) // fence any pump that failed to drain
+		}
+		for _, rl := range *s.rings.Load() {
+			rl.close()
+		}
+		s.ctl.Close()
+		s.closeControlConns()
+		if s.httpClose != nil {
+			s.httpClose()
+		}
+		s.conns.Wait()
+	})
+	return s.shutErr
+}
+
+// nextGen allocates an incarnation generation.
+func (s *Service) nextGen() uint64 { return s.gen.Add(1) }
+
+// buildRuntime constructs an incarnation from disk truth: state file +
+// catalog journal + WAL replay. With degraded=true it builds a WAL-only
+// incarnation instead: no engine runs, frames ack straight after logging.
+func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	st, err := loadState(s.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	journal, err := loadJournal(s.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	wal, recs, err := openWAL(s.cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	built := false
+	defer func() {
+		if !built {
+			wal.close()
+		}
+	}()
+
+	rt := &runtime{
+		gen:      s.nextGen(),
+		wal:      wal,
+		runs:     map[uint32]*queryRun{},
+		killed:   make(chan struct{}),
+		degraded: degraded,
+	}
+
+	// Sessions: checkpointed acks ∪ logged-frame watermarks from the
+	// replayable tail, so a resent frame that was logged (but whose ack
+	// died with the predecessor) is recognized as a duplicate.
+	sessions := map[uint64]uint64{}
+	var specs []buildSpec
+	if st != nil {
+		for id, applied := range st.sessions {
+			sessions[id] = applied
+		}
+		if st.nextQueryID > s.nextID {
+			s.nextID = st.nextQueryID
+		}
+		for i := range st.queries {
+			q := &st.queries[i]
+			replayFrom := uint64(0)
+			if wal.epoch == st.walEpoch {
+				replayFrom = st.walApplied
+			}
+			specs = append(specs, buildSpec{qs: *q, replayFrom: replayFrom, fromState: true})
+		}
+	}
+	inState := map[uint32]bool{}
+	for _, sp := range specs {
+		inState[sp.qs.id] = true
+	}
+	for _, e := range journal {
+		switch e.op {
+		case jAttach:
+			if inState[e.id] {
+				continue // checkpoint already folded this attach
+			}
+			replayFrom := uint64(0)
+			if wal.epoch == e.epoch {
+				replayFrom = e.at
+			}
+			specs = append(specs, buildSpec{
+				qs:         queryState{id: e.id, text: e.text, shards: e.shards},
+				replayFrom: replayFrom,
+				journaled:  true,
+				epoch:      e.epoch,
+				at:         e.at,
+			})
+			if e.id >= s.nextID {
+				s.nextID = e.id + 1
+			}
+		case jDetach:
+			for i := range specs {
+				if specs[i].qs.id == e.id {
+					specs = append(specs[:i], specs[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for _, rec := range recs {
+		if rec.kind == recFrame && rec.seq > sessions[rec.sess] {
+			sessions[rec.sess] = rec.seq
+		}
+	}
+
+	if degraded {
+		// WAL-only: no engine, no replay; the log alone absorbs the feed.
+		out, err := s.finishBuild(rt, sessions)
+		built = err == nil
+		return out, err
+	}
+
+	// Build the engine runs and reconcile the service catalog with disk.
+	live := map[uint32]bool{}
+	for _, sp := range specs {
+		live[sp.qs.id] = true
+		q := s.queries[sp.qs.id]
+		if q == nil {
+			q = &Query{ID: sp.qs.id, Text: sp.qs.text, Shards: sp.qs.shards, log: s.newRing()}
+			if sp.fromState {
+				q.log.restore(sp.qs.base, sp.qs.rows)
+			}
+			s.queries[q.ID] = q
+		} else {
+			// Surviving ring: rewind to the checkpoint cursor; the replay
+			// below re-emits everything after it bit-identically.
+			q.log.truncateTo(sp.qs.end)
+		}
+		q.journaled = sp.journaled
+		q.attachEpoch, q.attachAt = sp.epoch, sp.at
+		run, err := s.startRun(q, sp.qs.ckpt, &rt.fenced)
+		if err != nil {
+			return nil, fmt.Errorf("server: rebuilding query %d: %w", q.ID, err)
+		}
+		rt.runs[q.ID] = run
+	}
+	// Drop catalog entries disk does not know (e.g. attach journal lost to
+	// a deliberate state reset).
+	for id, q := range s.queries {
+		if !live[id] {
+			q.log.close()
+			delete(s.queries, id)
+		}
+	}
+	s.publishRingsLocked()
+	for _, rl := range *s.rings.Load() {
+		rl.thaw()
+	}
+
+	// Replay the WAL tail into the rebuilt runs. Rows emitted here land in
+	// the rings at exactly the cursors they held before the crash.
+	if err := s.replay(rt, specs, recs); err != nil {
+		return nil, err
+	}
+	out, err := s.finishBuild(rt, sessions)
+	built = err == nil
+	return out, err
+}
+
+// buildSpec pairs a persisted query with its replay start.
+type buildSpec struct {
+	qs         queryState
+	replayFrom uint64
+	fromState  bool
+	journaled  bool
+	epoch, at  uint64
+}
+
+func (s *Service) newRing() *resultLog {
+	rl := newResultLog(s.cfg.ResultLog)
+	rl.onShed = func(rows uint64) { s.counters.Add("server_rows_shed", rows) }
+	rl.onDisconnect = func() { s.counters.Add("server_slow_disconnects", 1) }
+	return rl
+}
+
+// startRun starts (or restores) the engine run for a query, sinking rows
+// into its result ring. fence is the owning incarnation's teardown fence:
+// once it flips, the sink refuses to emit (see runtime.fenced).
+func (s *Service) startRun(q *Query, ckpt []byte, fence *atomic.Bool) (*queryRun, error) {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		return nil, err
+	}
+	st, err := e.Prepare(q.Text)
+	if err != nil {
+		return nil, err
+	}
+	rl := q.log
+	sink := func(row gsql.Tuple) error {
+		if fence.Load() {
+			return errFenced
+		}
+		rl.appendFenced(row, fence)
+		s.counters.Add("server_rows_emitted", 1)
+		return nil
+	}
+	if q.Shards > 0 {
+		var pr *gsql.ParallelRun
+		popts := gsql.ParallelOptions{Shards: int(q.Shards)}
+		if ckpt != nil {
+			pr, err = st.RestoreParallel(ckpt, sink, popts)
+		} else {
+			pr, err = st.StartParallel(sink, popts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &queryRun{q: q, push: pr.PushBatch, hb: pr.Heartbeat, ckpt: pr.Checkpoint, close: pr.Close}, nil
+	}
+	var run *gsql.Run
+	if ckpt != nil {
+		run, err = st.Restore(ckpt, sink, gsql.Options{})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		run = st.Start(sink, gsql.Options{})
+	}
+	return &queryRun{q: q, push: run.PushBatch, hb: run.Heartbeat, ckpt: run.Checkpoint, close: run.Close}, nil
+}
+
+// replay feeds the WAL tail to each rebuilt run, honoring per-query replay
+// positions. Batch-path application mirrors the live path bit-for-bit.
+func (s *Service) replay(rt *runtime, specs []buildSpec, recs []walRecord) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	batch, err := gsql.NewBatch(gsql.PacketSchema("TCP"))
+	if err != nil {
+		return err
+	}
+	starts := map[uint32]uint64{}
+	for _, sp := range specs {
+		starts[sp.qs.id] = sp.replayFrom
+	}
+	replayed := 0
+	for i, rec := range recs {
+		pos := uint64(i)
+		switch rec.kind {
+		case recFrame:
+			netgen.FillBatch(batch, rec.pkts)
+			for id, run := range rt.runs {
+				if pos < starts[id] {
+					continue
+				}
+				if _, err := run.push(batch); err != nil {
+					return fmt.Errorf("server: replaying record %d into query %d: %w", i, id, err)
+				}
+				replayed++
+			}
+		case recHeartbeat:
+			for id, run := range rt.runs {
+				if pos < starts[id] {
+					continue
+				}
+				if err := run.hb(rec.hb); err != nil {
+					return fmt.Errorf("server: replaying heartbeat %d into query %d: %w", i, id, err)
+				}
+			}
+		}
+	}
+	if replayed > 0 {
+		s.counters.Add("server_wal_replays", 1)
+		s.cfg.Logf("server: replayed %d WAL records into %d queries", len(recs), len(rt.runs))
+	}
+	return nil
+}
+
+// finishBuild binds the ingest listener and publishes the incarnation.
+// Callers hold s.mu.
+func (s *Service) finishBuild(rt *runtime, sessions map[uint64]uint64) (*runtime, error) {
+	addr := s.cfg.IngestAddr
+	if s.ingestAddr != "" {
+		// Keep the concrete port stable across incarnations so reconnecting
+		// dialers find the successor.
+		addr = s.ingestAddr
+	}
+	network, address := ingest.SplitAddr(addr)
+	var sink ingest.Sink
+	if rt.degraded {
+		sink = walOnlySink{}
+	} else {
+		sink = &fanSink{rt: rt}
+	}
+	cfg := ingest.Config{
+		Sink:              sink,
+		WAL:               &rtLog{rt: rt},
+		Sessions:          sessions,
+		HeartbeatInterval: s.cfg.HeartbeatInterval,
+		Logf:              s.cfg.Logf,
+	}
+	if !rt.degraded {
+		cfg.CheckpointEvery = s.cfg.CheckpointEvery
+		cfg.Checkpoint = func() error {
+			s.counters.Add("server_checkpoints", 1)
+			return s.checkpoint(rt)
+		}
+	}
+	l, err := ingest.Listen(network, address, cfg)
+	if err != nil {
+		rt.wal.close()
+		return nil, fmt.Errorf("server: ingest listen: %w", err)
+	}
+	rt.listener = l
+	if s.ingestAddr == "" {
+		s.ingestAddr = l.Addr().String()
+	}
+	s.cfg.Logf("server: incarnation gen=%d up (degraded=%v, ingest %s)", rt.gen, rt.degraded, s.ingestAddr)
+	return rt, nil
+}
+
+// checkpoint drains nothing — it runs between frames on the pump goroutine
+// (or at shutdown after the drain) and snapshots runs, rings, sessions and
+// the WAL watermark into one durable state file, then starts a fresh WAL
+// epoch and resets the catalog journal.
+func (s *Service) checkpoint(rt *runtime) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.degraded {
+		return fmt.Errorf("server: cannot checkpoint a degraded (WAL-only) incarnation")
+	}
+	st := &serverState{
+		walEpoch:    rt.wal.epoch,
+		walApplied:  rt.wal.applied,
+		nextQueryID: s.nextID,
+		sessions:    rt.listener.Sessions(),
+	}
+	for id, run := range rt.runs {
+		b, err := run.ckpt()
+		if err != nil {
+			return fmt.Errorf("server: checkpointing query %d: %w", id, err)
+		}
+		base, rows := run.q.log.snapshot()
+		st.queries = append(st.queries, queryState{
+			id:     id,
+			text:   run.q.Text,
+			shards: run.q.Shards,
+			ckpt:   b,
+			base:   base,
+			rows:   rows,
+			end:    base + uint64(len(rows)) - 1,
+		})
+	}
+	if err := rt.wal.sync(); err != nil {
+		return err
+	}
+	if err := writeState(s.cfg.Dir, st); err != nil {
+		return err
+	}
+	if err := rt.wal.rotate(); err != nil {
+		return err
+	}
+	if err := resetJournal(s.cfg.Dir); err != nil {
+		return err
+	}
+	for _, q := range s.queries {
+		q.journaled = false
+	}
+	return nil
+}
+
+// publishRingsLocked refreshes the COW ring snapshot. Callers hold s.mu.
+func (s *Service) publishRingsLocked() {
+	rings := make([]*resultLog, 0, len(s.queries))
+	for _, q := range s.queries {
+		rings = append(rings, q.log)
+	}
+	s.rings.Store(&rings)
+}
+
+// Attach registers a query, journals the attach durably, and starts its
+// run on the live incarnation. The returned id is the subscription handle.
+func (s *Service) Attach(text string, shards uint32) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rt := s.rt.Load()
+	if rt == nil || rt.degraded {
+		return 0, errDegraded
+	}
+	id := s.nextID
+	q := &Query{ID: id, Text: text, Shards: shards, log: s.newRing(), journaled: true}
+	run, err := s.startRun(q, nil, &rt.fenced)
+	if err != nil {
+		return 0, &serviceError{code: CodeParse, msg: err.Error()}
+	}
+	// The WAL position must be frame-aligned: rt.mu excludes the apply
+	// path, so wal.applied cannot move under us.
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	q.attachEpoch, q.attachAt = rt.wal.epoch, rt.wal.applied
+	if err := appendJournal(s.cfg.Dir, journalEntry{
+		op: jAttach, id: id, text: text, shards: shards,
+		epoch: q.attachEpoch, at: q.attachAt,
+	}); err != nil {
+		run.close()
+		return 0, err
+	}
+	s.nextID++
+	s.queries[id] = q
+	rt.runs[id] = run
+	s.publishRingsLocked()
+	s.counters.Add("server_attaches", 1)
+	return id, nil
+}
+
+// Detach removes a query: journal the detach, drop its run and ring, and
+// kick every subscriber.
+func (s *Service) Detach(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queries[id]
+	if q == nil {
+		return &serviceError{code: CodeUnknownQuery, msg: fmt.Sprintf("no query %d", id)}
+	}
+	rt := s.rt.Load()
+	if rt == nil || rt.degraded {
+		return errDegraded
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := appendJournal(s.cfg.Dir, journalEntry{op: jDetach, id: id}); err != nil {
+		return err
+	}
+	delete(s.queries, id)
+	if run := rt.runs[id]; run != nil {
+		delete(rt.runs, id)
+		q.log.freeze() // Close()'s partial-bucket flush must not leak rows
+		run.close()
+	}
+	q.log.close() // wakes subscribers with fetchClosed→removed semantics
+	s.publishRingsLocked()
+	s.counters.Add("server_detaches", 1)
+	return nil
+}
+
+// lookup returns a live query.
+func (s *Service) lookup(id uint32) (*Query, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queries[id]
+	if q == nil {
+		return nil, &serviceError{code: CodeUnknownQuery, msg: fmt.Sprintf("no query %d", id)}
+	}
+	return q, nil
+}
+
+// serviceError is a typed control-plane failure, mapped onto StErr.
+type serviceError struct {
+	code uint16
+	msg  string
+}
+
+func (e *serviceError) Error() string { return e.msg }
+
+var errDegraded = &serviceError{code: CodeDegraded, msg: "service degraded: ingest-only (WAL) mode; retry later"}
+
+// errFenced aborts an emit from a torn-down incarnation's run (a zombie
+// pump, or a teardown-path Close flush).
+var errFenced = errors.New("server: incarnation fenced")
+
+// fanSink fans the ingest feed out to every attached run. The rt.mu
+// acquired by the ApplyLog hook is released here, making {WAL append,
+// fan-out} one atomic step with respect to Attach/Detach.
+type fanSink struct {
+	rt *runtime
+}
+
+// PushBatch applies one logged data frame to every run.
+func (f *fanSink) PushBatch(b *gsql.Batch) (rejected int, err error) {
+	rt := f.rt
+	defer rt.mu.Unlock() // acquired in rtLog.LogFrame
+	rt.inflight.Store(time.Now().UnixNano())
+	defer rt.inflight.Store(0)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: runtime panic: %v", r)
+		}
+	}()
+	for _, run := range rt.runs {
+		rej, perr := run.push(b)
+		if perr != nil {
+			return rej, perr
+		}
+		if rej > rejected {
+			rejected = rej
+		}
+	}
+	return rejected, nil
+}
+
+// Push exists to satisfy ingest.Sink; the listener always prefers the
+// batch path (fanSink implements BatchSink) so this is never called.
+func (f *fanSink) Push(gsql.Tuple) error {
+	f.rt.mu.Unlock()
+	return fmt.Errorf("server: scalar push path not supported")
+}
+
+// Heartbeat applies one logged heartbeat to every run.
+func (f *fanSink) Heartbeat(v gsql.Value) (err error) {
+	rt := f.rt
+	defer rt.mu.Unlock() // acquired in rtLog.LogHeartbeat
+	rt.inflight.Store(time.Now().UnixNano())
+	defer rt.inflight.Store(0)
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: runtime panic: %v", r)
+		}
+	}()
+	for _, run := range rt.runs {
+		if herr := run.hb(v); herr != nil {
+			return herr
+		}
+	}
+	return nil
+}
+
+// rtLog adapts the incarnation WAL to ingest.ApplyLog, acquiring rt.mu so
+// the log position and the fan-out set move together; the matching sink
+// call releases it. The ingest pump is the only goroutine driving either,
+// so the lock is always released before the next acquisition.
+type rtLog struct {
+	rt *runtime
+}
+
+func (r *rtLog) LogFrame(session, seq uint64, pkts []netgen.Packet) error {
+	if r.rt.degraded {
+		// No fan-out set to coordinate with (and the walOnlySink would
+		// never release the lock): log without it.
+		return r.rt.wal.LogFrame(session, seq, pkts)
+	}
+	r.rt.mu.Lock()
+	if err := r.rt.wal.LogFrame(session, seq, pkts); err != nil {
+		r.rt.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+func (r *rtLog) LogHeartbeat(ts gsql.Value) error {
+	if r.rt.degraded {
+		return r.rt.wal.LogHeartbeat(ts)
+	}
+	r.rt.mu.Lock()
+	if err := r.rt.wal.LogHeartbeat(ts); err != nil {
+		r.rt.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// walOnlySink is the degraded-mode sink: frames were already logged by the
+// ApplyLog hook; nothing else to do.
+type walOnlySink struct{}
+
+func (walOnlySink) Push(gsql.Tuple) error { return nil }
+
+func (walOnlySink) Heartbeat(gsql.Value) error { return nil }
+
+func (walOnlySink) PushBatch(*gsql.Batch) (int, error) { return 0, nil }

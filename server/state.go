@@ -1,0 +1,262 @@
+package server
+
+// The checkpoint state file and the catalog journal.
+//
+// The state file is the service's restart anchor: for every attached query
+// it holds the query text, the engine checkpoint (the paper's decayed
+// partials, exact because forward-decay weights are fixed at arrival), and
+// the result ring snapshot with its absolute cursors; plus the ingest
+// session table and the WAL watermark (epoch, applied). Restart = load
+// state + replay WAL past the watermark. The whole file is wrapped in a
+// core.HashBytes trailer and written with durable.WriteFileAtomic.
+//
+// The catalog journal covers the gap BETWEEN checkpoints: attaching or
+// detaching a query must survive a crash even if no checkpoint follows, so
+// each attach/detach appends a sealed record here. An attach record carries
+// the WAL position at which the query began receiving data; replay feeds it
+// only records from that position on, which is what makes a mid-stream
+// attach exact across a restart. The journal is reset at each checkpoint
+// (its content is folded into the state file).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"forwarddecay/gsql"
+	"forwarddecay/ingest"
+	"forwarddecay/internal/core"
+	"forwarddecay/internal/durable"
+)
+
+var stateMagic = [8]byte{'F', 'D', 'S', 'T', 'A', 'T', 'E', 1}
+
+const (
+	stateFile   = "server.state"
+	journalFile = "catalog.journal"
+
+	jAttach = 1
+	jDetach = 2
+)
+
+// queryState is one query's persisted slice of the state file.
+type queryState struct {
+	id      uint32
+	text    string
+	ckpt    []byte // engine checkpoint
+	base    uint64 // result ring snapshot
+	rows    []gsql.Tuple
+	end     uint64 // highest assigned cursor at checkpoint time
+	shards  uint32 // 0 = serial run
+	startAt uint64 // replay start within the checkpoint's WAL epoch
+}
+
+// serverState is the full parsed state file.
+type serverState struct {
+	walEpoch    uint64
+	walApplied  uint64
+	nextQueryID uint32
+	queries     []queryState
+	sessions    map[uint64]uint64
+}
+
+// encodeState serializes the state with a checksum trailer.
+func encodeState(st *serverState) []byte {
+	b := append([]byte{}, stateMagic[:]...)
+	b = binary.LittleEndian.AppendUint64(b, st.walEpoch)
+	b = binary.LittleEndian.AppendUint64(b, st.walApplied)
+	b = binary.LittleEndian.AppendUint32(b, st.nextQueryID)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.queries)))
+	for i := range st.queries {
+		q := &st.queries[i]
+		b = binary.LittleEndian.AppendUint32(b, q.id)
+		b = appendString(b, q.text)
+		b = binary.LittleEndian.AppendUint32(b, q.shards)
+		b = binary.LittleEndian.AppendUint64(b, q.startAt)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(q.ckpt)))
+		b = append(b, q.ckpt...)
+		b = binary.LittleEndian.AppendUint64(b, q.base)
+		b = binary.LittleEndian.AppendUint64(b, q.end)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(q.rows)))
+		for _, row := range q.rows {
+			b = appendRow(b, row)
+		}
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.sessions)))
+	for id, applied := range st.sessions {
+		b = binary.LittleEndian.AppendUint64(b, id)
+		b = binary.LittleEndian.AppendUint64(b, applied)
+	}
+	return binary.LittleEndian.AppendUint64(b, core.HashBytes(b))
+}
+
+// decodeState parses and verifies a state file image.
+func decodeState(b []byte) (*serverState, error) {
+	if len(b) < len(stateMagic)+8 {
+		return nil, errors.New("server: state file too short")
+	}
+	if [8]byte(b[:8]) != stateMagic {
+		return nil, errors.New("server: state file: bad magic")
+	}
+	payload, trailer := b[:len(b)-8], binary.LittleEndian.Uint64(b[len(b)-8:])
+	if core.HashBytes(payload) != trailer {
+		return nil, errors.New("server: state file: checksum mismatch")
+	}
+	d := decoder{b: payload, off: 8}
+	st := &serverState{sessions: map[uint64]uint64{}}
+	st.walEpoch = d.u64()
+	st.walApplied = d.u64()
+	st.nextQueryID = d.u32()
+	nq := d.u32()
+	if d.err == "" && int64(nq) > int64(len(payload)) {
+		return nil, errors.New("server: state file: forged query count")
+	}
+	for i := uint32(0); i < nq && d.err == ""; i++ {
+		var q queryState
+		q.id = d.u32()
+		q.text = d.str()
+		q.shards = d.u32()
+		q.startAt = d.u64()
+		cl := d.u32()
+		if d.err == "" {
+			q.ckpt = append([]byte(nil), d.take(int(cl))...)
+		}
+		q.base = d.u64()
+		q.end = d.u64()
+		nr := d.u32()
+		if d.err == "" && int64(nr) > int64(len(payload)) {
+			return nil, errors.New("server: state file: forged row count")
+		}
+		for r := uint32(0); r < nr && d.err == ""; r++ {
+			q.rows = append(q.rows, d.row())
+		}
+		st.queries = append(st.queries, q)
+	}
+	ns := d.u32()
+	for i := uint32(0); i < ns && d.err == ""; i++ {
+		id := d.u64()
+		st.sessions[id] = d.u64()
+	}
+	if d.err != "" {
+		return nil, fmt.Errorf("server: state file: offset %d: %s", d.off, d.err)
+	}
+	if d.off != len(payload) {
+		return nil, fmt.Errorf("server: state file: %d trailing bytes", len(payload)-d.off)
+	}
+	return st, nil
+}
+
+// writeState durably replaces the state file.
+func writeState(dir string, st *serverState) error {
+	return durable.WriteFileAtomic(filepath.Join(dir, stateFile), encodeState(st), 0o644)
+}
+
+// loadState reads the state file; a missing file returns (nil, nil) — a
+// fresh directory, not an error.
+func loadState(dir string) (*serverState, error) {
+	b, err := os.ReadFile(filepath.Join(dir, stateFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: state: %w", err)
+	}
+	return decodeState(b)
+}
+
+// journalEntry is one catalog mutation since the last checkpoint.
+type journalEntry struct {
+	op     byte
+	id     uint32
+	text   string // attach
+	shards uint32 // attach
+	// epoch/at pin where in the WAL the attach took effect: replay feeds
+	// the query only records from this position on.
+	epoch uint64
+	at    uint64
+}
+
+func encodeJournalEntry(e journalEntry) []byte {
+	body := []byte{e.op}
+	body = binary.LittleEndian.AppendUint32(body, e.id)
+	body = binary.LittleEndian.AppendUint64(body, e.epoch)
+	body = binary.LittleEndian.AppendUint64(body, e.at)
+	if e.op == jAttach {
+		body = binary.LittleEndian.AppendUint32(body, e.shards)
+		body = appendString(body, e.text)
+	}
+	return ingest.AppendSealed(nil, body)
+}
+
+func decodeJournalEntry(body []byte) (journalEntry, error) {
+	d := decoder{b: body}
+	var e journalEntry
+	e.op = d.u8()
+	e.id = d.u32()
+	e.epoch = d.u64()
+	e.at = d.u64()
+	switch e.op {
+	case jAttach:
+		e.shards = d.u32()
+		e.text = d.str()
+	case jDetach:
+	default:
+		return e, fmt.Errorf("unknown journal op %d", e.op)
+	}
+	if d.err != "" {
+		return e, errors.New(d.err)
+	}
+	return e, nil
+}
+
+// appendJournal appends one sealed entry and syncs the file: an attach the
+// client saw acknowledged must survive a crash.
+func appendJournal(dir string, e journalEntry) error {
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("server: journal: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(encodeJournalEntry(e)); err != nil {
+		return fmt.Errorf("server: journal: %w", err)
+	}
+	return durable.SyncFile(f)
+}
+
+// loadJournal reads every intact entry; a torn tail (crash mid-append) is
+// tolerated and dropped — the client never got that attach acknowledged.
+func loadJournal(dir string) ([]journalEntry, error) {
+	b, err := os.ReadFile(filepath.Join(dir, journalFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: journal: %w", err)
+	}
+	var out []journalEntry
+	off := 0
+	for off < len(b) {
+		body, n, derr := ingest.DecodeSealed(b[off:], MaxControlFrame)
+		if errors.Is(derr, ingest.ErrIncomplete) {
+			break
+		}
+		if derr != nil {
+			return nil, fmt.Errorf("server: journal: offset %d: %w", off, derr)
+		}
+		e, jerr := decodeJournalEntry(body)
+		if jerr != nil {
+			return nil, fmt.Errorf("server: journal: offset %d: %w", off, jerr)
+		}
+		out = append(out, e)
+		off += n
+	}
+	return out, nil
+}
+
+// resetJournal empties the journal after its entries were folded into a
+// checkpoint.
+func resetJournal(dir string) error {
+	return durable.WriteFileAtomic(filepath.Join(dir, journalFile), nil, 0o644)
+}
