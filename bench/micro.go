@@ -83,6 +83,25 @@ func microStatement(query string) *gsql.Statement {
 	return st
 }
 
+// microMultiRun builds a shared runtime with the first n scaling-workload
+// queries attached (see multiscale.go for the workload's shape).
+func microMultiRun(b *testing.B, n int) *gsql.MultiRun {
+	e := gsql.NewEngine()
+	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		b.Fatal(err)
+	}
+	m, err := gsql.NewMultiRun(e, "TCP", gsql.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := m.Attach(MultiScaleQuery(i), 0, func(gsql.Tuple) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
 // MicroBenchmarks returns the hot-path suite the regression gate watches.
 func MicroBenchmarks() []MicroBench {
 	return []MicroBench{
@@ -285,6 +304,60 @@ func MicroBenchmarks() []MicroBench {
 				if _, err := pred(batch); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"forwarddecay/gsql", "BenchmarkMultiPushShared16", func(b *testing.B) {
+			// One op = one tuple through the shared multi-query pass with 16
+			// standing queries in 4 predicate classes. Compare against
+			// BenchmarkExecPush: the shared pass amortizes predicate and
+			// group-key evaluation across the whole catalog.
+			m := microMultiRun(b, 16)
+			tuples := multiScaleTrace(4096, 9)
+			for _, t := range tuples {
+				if err := m.Push(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Push(tuples[i&4095]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := m.CloseAll(); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"forwarddecay/gsql", "BenchmarkMultiPushBatchShared16", func(b *testing.B) {
+			// One op = one 64-tuple columnar batch through the shared pass
+			// with 16 standing queries: class predicates run as vector
+			// kernels over shared selection bitmaps, once per class per
+			// batch.
+			m := microMultiRun(b, 16)
+			batch, err := gsql.NewBatch(gsql.PacketSchema("TCP"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, t := range multiScaleTrace(64, 9) {
+				if err := batch.Append(t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := m.PushBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.PushBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := m.CloseAll(); err != nil {
+				b.Fatal(err)
 			}
 		}},
 		{"forwarddecay/agg", "BenchmarkWeighBatch", func(b *testing.B) {

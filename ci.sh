@@ -30,6 +30,12 @@ go test -race -run 'Churn|Crash|Handoff|Roll|Fault' -short -count=1 ./distrib/
 # locking is subtle.
 go test -race -run 'Kill|Slow|Breaker|Wedge|Shutdown|Disconnect' -count=1 ./server/
 
+# Shared multi-query runtime: the differential suite (MultiRun vs N
+# standalone runs, bit-for-bit, through checkpoints, epoch rolls and solo
+# replay) gets a dedicated -race pass — sharded members run the parallel
+# runtime under the shared feed.
+go test -race -run 'Multi' -count=1 ./gsql/
+
 # Fuzz smoke: 10s per target. -run='^$' skips the unit tests (already run
 # above); -fuzzminimizetime caps the engine's per-input minimization, whose
 # 60s default dwarfs the budget and reads as a hang.
@@ -37,6 +43,7 @@ go test -run='^$' -fuzz='^FuzzSketchDecode$' -fuzztime=10s -fuzzminimizetime=10x
 go test -run='^$' -fuzz='^FuzzAggDecode$' -fuzztime=10s -fuzzminimizetime=10x ./agg/
 go test -run='^$' -fuzz='^FuzzCheckpointDecode$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzQuery$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
+go test -run='^$' -fuzz='^FuzzCanonicalize$' -fuzztime=10s -fuzzminimizetime=10x ./gsql/
 go test -run='^$' -fuzz='^FuzzFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x ./ingest/
 go test -run='^$' -fuzz='^FuzzDecayUnmarshal$' -fuzztime=10s -fuzzminimizetime=10x ./decay/
 go test -run='^$' -fuzz='^FuzzLogSegmentDecode$' -fuzztime=10s -fuzzminimizetime=10x ./distrib/
@@ -54,3 +61,12 @@ go test -run='^$' -fuzz='^FuzzWALRecordDecode$' -fuzztime=10s -fuzzminimizetime=
 # ignored, so the older snapshot keeps gating the scalar paths.
 go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_BASELINE.json > /dev/null
 go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_PR6.json > /dev/null
+
+# Multi-query gates: BENCH_PR9.json extends the baseline set with the shared
+# runtime's per-tuple benchmarks (MultiPushShared16, MultiPushBatchShared16),
+# and the scaling sweep enforces the headline invariant directly — 1000
+# standing queries must cost <2x the per-tuple cost of 10 on the
+# shared-heavy workload (a runtime degraded to per-query fan-out costs
+# ~100x, so the gate has wide margin on both sides).
+go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_PR9.json > /dev/null
+go run ./cmd/fdbench -queries 1,10,100,1000 -scale-tuples 100000 -max-ratio 2.0 > /dev/null

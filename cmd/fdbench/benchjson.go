@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"forwarddecay/bench"
@@ -13,10 +14,11 @@ import (
 // benchReport is the BENCH_*.json envelope. BENCH_BASELINE.json set the
 // schema; -bench-json emits the same shape so files are diffable across PRs.
 type benchReport struct {
-	Description string              `json:"description"`
-	Command     string              `json:"command"`
-	Environment benchEnvironment    `json:"environment"`
-	Benchmarks  []bench.MicroResult `json:"benchmarks"`
+	Description string                  `json:"description"`
+	Command     string                  `json:"command"`
+	Environment benchEnvironment        `json:"environment"`
+	Benchmarks  []bench.MicroResult     `json:"benchmarks,omitempty"`
+	Scaling     []bench.MultiScalePoint `json:"scaling,omitempty"`
 }
 
 type benchEnvironment struct {
@@ -38,15 +40,10 @@ const regressionLimit = 1.25
 // scheduler spike on the single-core CI box does not.
 const gateRetries = 2
 
-// runBenchJSON runs the micro suite, writes the JSON report to stdout, and
-// (when a baseline file is given) fails on >25% ns/op regressions.
-func runBenchJSON(baselinePath, benchtime, description string) error {
-	results, err := bench.RunMicro(benchtime, func(pkg, name string) {
-		fmt.Fprintf(os.Stderr, "bench %s %s\n", pkg, name)
-	})
-	if err != nil {
-		return err
-	}
+// runBenchJSON runs the micro suite and/or the multi-query scaling sweep,
+// writes the JSON report to stdout, and fails on >25% ns/op regressions
+// against a baseline or on a broken scaling invariant.
+func runBenchJSON(baselinePath, benchtime, description string, micro bool, queries string, scaleTuples int, maxRatio float64, seed uint64) error {
 	report := benchReport{
 		Description: description,
 		Command:     fmt.Sprintf("fdbench -bench-json -benchtime %s", benchtime),
@@ -57,17 +54,112 @@ func runBenchJSON(baselinePath, benchtime, description string) error {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			Note:       "single-core container: sharded variants measure routing+channel overhead, not parallel speedup",
 		},
-		Benchmarks: results,
+	}
+	if micro {
+		results, err := bench.RunMicro(benchtime, func(pkg, name string) {
+			fmt.Fprintf(os.Stderr, "bench %s %s\n", pkg, name)
+		})
+		if err != nil {
+			return err
+		}
+		report.Benchmarks = results
+	}
+	if queries != "" {
+		counts, err := parseCounts(queries)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "scaling sweep: %d tuples/point at query counts %v\n", scaleTuples, counts)
+		points, err := bench.RunMultiScale(counts, scaleTuples, seed)
+		if err != nil {
+			return err
+		}
+		report.Scaling = points
+		report.Command = fmt.Sprintf("%s -queries %s -scale-tuples %d", report.Command, queries, scaleTuples)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
 		return err
 	}
-	if baselinePath == "" {
+	if err := checkScaling(report.Scaling, maxRatio); err != nil {
+		// One retry before failing the gate: re-sweep and keep each point's
+		// best lap. A genuine scaling break persists; a scheduler or GC
+		// spike on the single-core CI box does not.
+		counts := make([]int, len(report.Scaling))
+		for i, p := range report.Scaling {
+			counts[i] = p.Queries
+		}
+		fmt.Fprintf(os.Stderr, "retrying scaling sweep: %v\n", err)
+		again, rerr := bench.RunMultiScale(counts, scaleTuples, seed)
+		if rerr != nil {
+			return rerr
+		}
+		for i := range report.Scaling {
+			if again[i].NsPerTuple < report.Scaling[i].NsPerTuple {
+				report.Scaling[i] = again[i]
+			}
+		}
+		if err := checkScaling(report.Scaling, maxRatio); err != nil {
+			return err
+		}
+	}
+	if !micro || baselinePath == "" {
 		return nil
 	}
-	return compareBaseline(baselinePath, results)
+	return compareBaseline(baselinePath, report.Benchmarks)
+}
+
+// parseCounts parses the -queries list ("1,10,100,1000").
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -queries count %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// checkScaling prints the sweep table and enforces the scaling invariant:
+// the largest query count's per-tuple cost must stay under maxRatio times
+// the count-10 point (falling back to the smallest measured count when 10
+// was not swept). A shared runtime that degraded to per-query fan-out costs
+// ~100x here, so the 2x ci.sh gate has a wide margin on both sides.
+func checkScaling(points []bench.MultiScalePoint, maxRatio float64) error {
+	if len(points) == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "\n%-10s %14s %10s %14s %12s\n", "queries", "ns/tuple", "classes", "shared exprs", "hit ratio")
+	for _, p := range points {
+		fmt.Fprintf(os.Stderr, "%-10d %14.1f %10d %14d %12.3f\n",
+			p.Queries, p.NsPerTuple, p.Classes, p.DistinctExprs, p.SharedHitRatio)
+	}
+	if maxRatio <= 0 {
+		return nil
+	}
+	base, top := points[0], points[0]
+	for _, p := range points {
+		if p.Queries == 10 || (base.Queries != 10 && p.Queries < base.Queries) {
+			base = p
+		}
+		if p.Queries > top.Queries {
+			top = p
+		}
+	}
+	if top.Queries == base.Queries {
+		return fmt.Errorf("scaling gate: need at least two distinct query counts, got %d", top.Queries)
+	}
+	ratio := top.NsPerTuple / base.NsPerTuple
+	if ratio > maxRatio {
+		return fmt.Errorf("scaling gate: %d queries cost %.1f ns/tuple = %.2fx the %d-query cost (%.1f); limit %.2fx",
+			top.Queries, top.NsPerTuple, ratio, base.Queries, base.NsPerTuple, maxRatio)
+	}
+	fmt.Fprintf(os.Stderr, "\nscaling gate: %d queries at %.2fx the per-tuple cost of %d (limit %.2fx)\n",
+		top.Queries, ratio, base.Queries, maxRatio)
+	return nil
 }
 
 // compareBaseline checks every measured benchmark that also appears in the

@@ -22,6 +22,16 @@
 // BENCH_*.json report to stdout, and — when -baseline is given — exits
 // non-zero if any shared benchmark runs >25% slower (ns/op) than the
 // committed baseline.
+//
+// The multi-query scaling sweep measures the shared runtime's per-tuple
+// cost against the number of standing queries:
+//
+//	fdbench -queries 1,10,100,1000 [-scale-tuples n] [-max-ratio 2.0]
+//
+// With -max-ratio it enforces the scaling invariant (the largest count's
+// per-tuple cost must stay under that multiple of the count-10 point); ci.sh
+// gates on 2.0. Combined with -bench-json the sweep lands in the same JSON
+// report under "scaling".
 package main
 
 import (
@@ -40,11 +50,14 @@ func main() {
 	benchtime := flag.String("benchtime", "1s", "per-benchmark run time for -bench-json (go test -benchtime syntax)")
 	baseline := flag.String("baseline", "", "baseline BENCH_*.json for -bench-json; exit non-zero on >25% ns/op regression")
 	benchDesc := flag.String("bench-desc", "Hot-path micro-benchmarks emitted by fdbench -bench-json for the ci.sh perf-regression gate.", "description field for the -bench-json report")
+	queries := flag.String("queries", "", "comma-separated standing-query counts for the multi-query scaling sweep (e.g. 1,10,100,1000)")
+	scaleTuples := flag.Int("scale-tuples", 200000, "tuples per scaling-sweep point")
+	maxRatio := flag.Float64("max-ratio", 0, "fail if the largest query count's ns/tuple exceeds this multiple of the count-10 (or smallest) point; 0 disables the check")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if *benchJSON {
-		if err := runBenchJSON(*baseline, *benchtime, *benchDesc); err != nil {
+	if *benchJSON || *queries != "" {
+		if err := runBenchJSON(*baseline, *benchtime, *benchDesc, *benchJSON, *queries, *scaleTuples, *maxRatio, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -96,6 +109,10 @@ commands:
 modes:
   -bench-json     run the hot-path micro-benchmarks, print BENCH_*.json;
                   with -baseline, fail on >25%% ns/op regression
+  -queries N,...  multi-query scaling sweep: per-tuple ns of the shared
+                  runtime at each standing-query count; with -max-ratio,
+                  fail if the largest count exceeds that multiple of the
+                  count-10 point; combines with -bench-json into one report
 
 flags:
 `)

@@ -1,0 +1,141 @@
+// Package analyzer holds the plan-time sharing machinery of the multi-query
+// runtime: a hash-consing interner that maps canonical expression strings to
+// dense slot ids, and a reference-counted catalog that dedupes compiled
+// statements by query text. The split mirrors the catalog/analyzer layering
+// of go-mysql-server: gsql owns parsing, compilation and execution; this
+// package owns the identity questions ("have we seen this expression?",
+// "is this statement already compiled?") and the sharing statistics the
+// service exports as gauges.
+//
+// Canonical keys come from the gsql AST's String() form — lowercased and
+// fully parenthesized — so two expressions share a slot exactly when their
+// parse trees are structurally identical. The interner never frees a slot:
+// slot ids index directly into the runtime's shared-value table, and a
+// detached query's expressions stay interned so a re-attach rebinds to the
+// same slots.
+package analyzer
+
+// Interner hash-conses canonical expression strings into dense slot ids.
+// The zero value is not ready; use NewInterner. Not safe for concurrent use
+// (the multi-query runtime is single-producer, like a gsql Run).
+type Interner struct {
+	ids  map[string]int
+	keys []string
+	// hits counts Intern calls that found an existing slot (structural
+	// sharing across queries at plan time); misses counts fresh slots.
+	hits, misses uint64
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: map[string]int{}}
+}
+
+// Intern returns the slot id for a canonical key, allocating the next dense
+// id on first sight. fresh reports whether the slot was just created.
+func (in *Interner) Intern(key string) (id int, fresh bool) {
+	if id, ok := in.ids[key]; ok {
+		in.hits++
+		return id, false
+	}
+	id = len(in.keys)
+	in.ids[key] = id
+	in.keys = append(in.keys, key)
+	in.misses++
+	return id, true
+}
+
+// Lookup returns the slot id for a key without interning it.
+func (in *Interner) Lookup(key string) (int, bool) {
+	id, ok := in.ids[key]
+	return id, ok
+}
+
+// Len returns the number of distinct interned keys.
+func (in *Interner) Len() int { return len(in.keys) }
+
+// Key returns the canonical key of a slot id; it panics on ids never
+// returned by Intern, as a slice index would.
+func (in *Interner) Key(id int) string { return in.keys[id] }
+
+// Stats returns the interner's plan-time sharing counters.
+func (in *Interner) Stats() Stats {
+	return Stats{Distinct: len(in.keys), Hits: in.hits, Misses: in.misses}
+}
+
+// Stats summarizes sharing: Distinct is the population (slots or catalog
+// entries), Hits/Misses the reuse counters.
+type Stats struct {
+	Distinct int
+	Hits     uint64
+	Misses   uint64
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 when nothing was looked up.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Entry is one reference-counted catalog entry. Data is the caller's
+// compiled artifact (gsql stores a *Statement); the catalog never inspects
+// it.
+type Entry struct {
+	Key  string
+	Refs int
+	Data any
+}
+
+// Catalog dedupes compiled artifacts by exact key. Unlike the interner it
+// releases entries: a statement whose every attach has detached is dropped,
+// so the catalog tracks the live query population, not its history.
+type Catalog struct {
+	entries      map[string]*Entry
+	hits, misses uint64
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{entries: map[string]*Entry{}}
+}
+
+// Acquire returns the entry for key with its refcount bumped, creating it
+// (Refs=1, Data=nil) on first sight. fresh reports a new entry — the caller
+// must then fill Data before the next Acquire can observe it.
+func (c *Catalog) Acquire(key string) (e *Entry, fresh bool) {
+	if e := c.entries[key]; e != nil {
+		e.Refs++
+		c.hits++
+		return e, false
+	}
+	e = &Entry{Key: key, Refs: 1}
+	c.entries[key] = e
+	c.misses++
+	return e, true
+}
+
+// Release drops one reference; the entry is removed when the count reaches
+// zero. It reports whether the entry was removed, and is a no-op for
+// unknown keys.
+func (c *Catalog) Release(key string) bool {
+	e := c.entries[key]
+	if e == nil {
+		return false
+	}
+	if e.Refs--; e.Refs > 0 {
+		return false
+	}
+	delete(c.entries, key)
+	return true
+}
+
+// Len returns the number of live entries (distinct attached texts).
+func (c *Catalog) Len() int { return len(c.entries) }
+
+// Stats returns the catalog's dedup counters.
+func (c *Catalog) Stats() Stats {
+	return Stats{Distinct: len(c.entries), Hits: c.hits, Misses: c.misses}
+}

@@ -1,0 +1,71 @@
+package analyzer
+
+import "testing"
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a, fresh := in.Intern("a")
+	if a != 0 || !fresh {
+		t.Fatalf("first intern = (%d, %v), want (0, true)", a, fresh)
+	}
+	b, fresh := in.Intern("b")
+	if b != 1 || !fresh {
+		t.Fatalf("second intern = (%d, %v), want (1, true)", b, fresh)
+	}
+	a2, fresh := in.Intern("a")
+	if a2 != a || fresh {
+		t.Fatalf("re-intern = (%d, %v), want (%d, false)", a2, fresh, a)
+	}
+	if id, ok := in.Lookup("b"); !ok || id != b {
+		t.Fatalf("lookup b = (%d, %v)", id, ok)
+	}
+	if _, ok := in.Lookup("c"); ok {
+		t.Fatal("lookup of an unseen key succeeded")
+	}
+	if in.Len() != 2 || in.Key(0) != "a" || in.Key(1) != "b" {
+		t.Fatalf("population wrong: len=%d", in.Len())
+	}
+	s := in.Stats()
+	if s.Distinct != 2 || s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if r := s.HitRatio(); r <= 0.33 || r >= 0.34 {
+		t.Fatalf("hit ratio = %v, want 1/3", r)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty hit ratio must be 0")
+	}
+}
+
+func TestCatalogRefcounts(t *testing.T) {
+	c := NewCatalog()
+	e1, fresh := c.Acquire("q")
+	if !fresh || e1.Refs != 1 {
+		t.Fatalf("first acquire: fresh=%v refs=%d", fresh, e1.Refs)
+	}
+	e1.Data = "compiled"
+	e2, fresh := c.Acquire("q")
+	if fresh || e2 != e1 || e2.Refs != 2 || e2.Data != "compiled" {
+		t.Fatalf("second acquire: fresh=%v refs=%d", fresh, e2.Refs)
+	}
+	if c.Release("q") {
+		t.Fatal("entry removed while a reference remains")
+	}
+	if !c.Release("q") {
+		t.Fatal("entry not removed at refcount zero")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after full release", c.Len())
+	}
+	if c.Release("q") || c.Release("never") {
+		t.Fatal("release of an absent key reported removal")
+	}
+	// Re-acquire after release is fresh again.
+	if _, fresh := c.Acquire("q"); !fresh {
+		t.Fatal("re-acquire after release was not fresh")
+	}
+	s := c.Stats()
+	if s.Distinct != 1 || s.Hits != 1 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -200,20 +200,29 @@ func (bx *batchExec) scanEpoch(ep *epochState, b *Batch, lo int, skipFirst bool)
 // the plan compiled and the kernels run clean, otherwise replayed through
 // the scalar fold path row by row.
 func (r *Run) processSegment(b *Batch, lo, hi int) error {
+	return r.processSegmentBase(b, lo, hi, r.bx.valid)
+}
+
+// processSegmentBase is processSegment over an explicit base bitmap: rows
+// outside base are counted but not folded. Standalone runs pass the finite
+// bitmap; the multi-query runtime passes finite ∧ class-WHERE, with the
+// plan's own WHERE stripped — the pre-applied filter must therefore reach
+// the scalar replay path too, which is why base threads all the way down.
+func (r *Run) processSegmentBase(b *Batch, lo, hi int, base []uint64) error {
 	if lo >= hi {
 		return nil
 	}
 	bx := r.bx
 	vp := r.p.vec
 	if vp == nil {
-		return r.replaySegment(b, lo, hi)
+		return r.replaySegmentBase(b, lo, hi, base)
 	}
 
 	ctx := &bx.ctx
 	ctx.reset(b, vp)
 	b.sel = growBits(b.sel, b.n)
 	sel := b.sel
-	maskRange(sel, bx.valid, lo, hi)
+	maskRange(sel, base, lo, hi)
 
 	if vp.where != nil {
 		vp.where.run(ctx, sel)
@@ -239,7 +248,7 @@ func (r *Run) processSegment(b *Batch, lo, hi int) error {
 	if ctx.err != nil {
 		// A kernel failed somewhere in the segment; no run state has been
 		// touched, so the scalar replay reproduces the exact scalar outcome.
-		return r.replaySegment(b, lo, hi)
+		return r.replaySegmentBase(b, lo, hi, base)
 	}
 
 	// Kernels clean: every row of the segment is now accounted for (invalid
@@ -360,7 +369,18 @@ func (r *Run) probeGroup(key []byte, gv Tuple) ([]Aggregator, error) {
 		return g.aggs, nil
 	}
 	h := core.HashBytes(key)
-	s := &r.low[h&r.lowMask]
+	i := h & r.lowMask
+	s := &r.low[i]
+	// A colliding insert grows the table (doubling separates the keys'
+	// hashes with high probability) until the cap; only at the cap does the
+	// paper's evict-to-high policy kick in. Hot keys that would otherwise
+	// thrash one slot get separated instead of re-allocating aggregators
+	// every tuple.
+	for s.used && !(s.hash == h && bytes.Equal(s.key, key)) && len(r.low) < r.lowMax {
+		r.growLow()
+		i = h & r.lowMask
+		s = &r.low[i]
+	}
 	if s.used && !(s.hash == h && bytes.Equal(s.key, key)) {
 		if err := r.evict(s); err != nil {
 			return nil, err
@@ -373,6 +393,10 @@ func (r *Run) probeGroup(key []byte, gv Tuple) ([]Aggregator, error) {
 			return nil, err
 		}
 		s.used = true
+		if !s.listed {
+			s.listed = true
+			r.lowUsed = append(r.lowUsed, uint32(i))
+		}
 		s.hash = h
 		s.key = append(s.key[:0], key...)
 		s.gv = append(s.gv[:0], gv...)
@@ -386,10 +410,17 @@ func (r *Run) probeGroup(key []byte, gv Tuple) ([]Aggregator, error) {
 // run for the segment). Invalid rows count and skip, as every scalar caller
 // does on a NonFiniteValueError.
 func (r *Run) replaySegment(b *Batch, lo, hi int) error {
+	return r.replaySegmentBase(b, lo, hi, r.bx.valid)
+}
+
+// replaySegmentBase replays against an explicit base bitmap. Rows outside
+// base still count (a standalone run counts WHERE-rejected rows too) but do
+// not fold, so a pre-applied class filter survives the scalar fallback.
+func (r *Run) replaySegmentBase(b *Batch, lo, hi int, base []uint64) error {
 	bx := r.bx
 	for i := lo; i < hi; i++ {
 		r.tuples++
-		if !bitGet(bx.valid, i) {
+		if !bitGet(base, i) {
 			continue
 		}
 		b.row(i, bx.row)

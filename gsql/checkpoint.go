@@ -1,10 +1,12 @@
 package gsql
 
 import (
+	"bytes"
 	"encoding"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"forwarddecay/internal/core"
 )
@@ -358,30 +360,48 @@ func readCkptHeader(d *ckptDec, p *plan) (h ckptHeader, err error) {
 // every partial group in the two-level tables — without disturbing the
 // run; pushing may continue afterwards. It fails if any aggregate does not
 // support checkpointing (Statement.Checkpointable).
+//
+// Group entries are written in canonical (key-sorted) order, so two runs
+// holding identical state produce identical checkpoint bytes regardless of
+// where their groups live (high map vs low slots, insertion history). The
+// multi-query differential suite relies on that to compare a shared-runtime
+// member against its standalone twin bit-for-bit.
 func (r *Run) Checkpoint() ([]byte, error) {
 	if err := checkpointable(r.p); err != nil {
 		return nil, err
 	}
 	b := appendCkptHeader(nil, r.p, r.bucketSet, r.bucket, r.tuples, r.ep)
-	n := uint64(len(r.high))
-	for i := range r.low {
-		if r.low[i].used {
-			n++
-		}
-	}
-	b = ckU64(b, n)
+	entries := make([][]byte, 0, len(r.high))
 	var err error
+	appendOne := func(g *group) error {
+		var eb []byte
+		if eb, err = appendGroupEntry(nil, r.p, g); err != nil {
+			return err
+		}
+		entries = append(entries, eb)
+		return nil
+	}
 	for _, g := range r.high {
-		if b, err = appendGroupEntry(b, r.p, g); err != nil {
+		if err := appendOne(g); err != nil {
 			return nil, err
 		}
 	}
 	for i := range r.low {
 		if s := &r.low[i]; s.used {
-			if b, err = appendGroupEntry(b, r.p, &group{gv: s.gv, aggs: s.aggs}); err != nil {
+			if err := appendOne(&group{gv: s.gv, aggs: s.aggs}); err != nil {
 				return nil, err
 			}
 		}
+	}
+	// Sorting the serialized entries (group values encode first, so this is
+	// key order with the aggregate payload as tie-break) makes the order
+	// independent of map iteration and of which table a partial lives in —
+	// equal state, equal bytes, even when an evicted partial and a reborn
+	// low slot share a group key.
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i], entries[j]) < 0 })
+	b = ckU64(b, uint64(len(entries)))
+	for _, eb := range entries {
+		b = append(b, eb...)
 	}
 	r.checkpoints++
 	return sealCkpt(b), nil

@@ -211,7 +211,7 @@ func (r *Run) ShiftLandmark(newL float64) error {
 			return err
 		}
 	}
-	for i := range r.low {
+	for _, i := range r.lowUsed {
 		if r.low[i].used {
 			if err := shiftAggs(r.low[i].aggs, newL); err != nil {
 				return err

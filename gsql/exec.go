@@ -11,8 +11,11 @@ type Options struct {
 	// paper does for Figure 2(b). The default (false) splits mergeable
 	// queries across a fixed-size low-level table and a high-level merger.
 	DisableTwoLevel bool
-	// LowLevelSlots is the size of the low-level hash table (power of two;
-	// default 4096).
+	// LowLevelSlots caps the low-level hash table (power of two; default
+	// 4096). The table starts small and doubles deterministically with the
+	// live-group count, so runs with few groups — the common shape in the
+	// shared multi-query runtime — stay cache-resident instead of zeroing
+	// and GC-scanning thousands of empty slots.
 	LowLevelSlots int
 	// Epoch enables the epoch-rollover supervisor: periodic and
 	// overflow-triggered landmark advancement across every live aggregate.
@@ -32,7 +35,16 @@ type Run struct {
 	twoLevel bool
 	low      []lowSlot
 	lowMask  uint64
-	high     map[string]*group
+	// lowMax is the table's size cap; the table doubles toward it as live
+	// groups approach 3/4 load. Growth depends only on this run's own fold
+	// sequence, so two runs fed the same tuples stay bit-identical.
+	lowMax int
+	// lowUsed indexes the low-table slots occupied since the last flush, so
+	// bucket flushes and landmark shifts walk only live groups instead of
+	// the whole table — with many mostly-empty runs (the multi-query
+	// runtime) a full-table scan per flush dominates the per-tuple cost.
+	lowUsed []uint32
+	high    map[string]*group
 
 	bucketSet bool
 	bucket    Value
@@ -64,10 +76,14 @@ type Run struct {
 
 type lowSlot struct {
 	used bool
-	hash uint64
-	key  []byte
-	gv   Tuple
-	aggs []Aggregator
+	// listed marks the slot as present in the run's lowUsed index (set on
+	// first occupancy since the last flush; duplicates must not accumulate
+	// across evict/reuse cycles within one bucket).
+	listed bool
+	hash   uint64
+	key    []byte
+	gv     Tuple
+	aggs   []Aggregator
 }
 
 type group struct {
@@ -92,15 +108,40 @@ func newRun(p *plan, sink func(Tuple) error, opts Options) *Run {
 		if n <= 0 {
 			n = 4096
 		}
-		// Round up to a power of two for mask indexing.
-		sz := 1
-		for sz < n {
-			sz <<= 1
+		// Round the cap up to a power of two for mask indexing.
+		max := 1
+		for max < n {
+			max <<= 1
+		}
+		r.lowMax = max
+		sz := 64
+		if sz > max {
+			sz = max
 		}
 		r.low = make([]lowSlot, sz)
 		r.lowMask = uint64(sz - 1)
 	}
 	return r
+}
+
+// growLow doubles the low-level table and rehashes its live slots. Doubling
+// never introduces a collision (two occupied slots differ in the old index
+// bits), so no evictions happen here.
+func (r *Run) growLow() {
+	old := r.low
+	r.low = make([]lowSlot, len(old)*2)
+	r.lowMask = uint64(len(r.low) - 1)
+	used := r.lowUsed[:0]
+	for _, i := range r.lowUsed {
+		s := &old[i]
+		if !s.used {
+			continue // stale index from an aborted insert
+		}
+		j := s.hash & r.lowMask
+		r.low[j] = *s
+		used = append(used, uint32(j))
+	}
+	r.lowUsed = used
 }
 
 // Push processes one input tuple. Tuples carrying NaN or ±Inf floats are
@@ -276,14 +317,17 @@ func emitGroups(p *plan, high map[string]*group, rec Tuple, sink func(Tuple) err
 // closed bucket in key order, and resets for the next bucket.
 func (r *Run) flush() error {
 	if r.twoLevel {
-		for i := range r.low {
-			if r.low[i].used {
-				if err := r.evict(&r.low[i]); err != nil {
+		for _, i := range r.lowUsed {
+			s := &r.low[i]
+			if s.used {
+				if err := r.evict(s); err != nil {
 					return err
 				}
-				r.low[i].used = false
+				s.used = false
 			}
+			s.listed = false
 		}
+		r.lowUsed = r.lowUsed[:0]
 	}
 	if err := emitGroups(r.p, r.high, r.rec, r.sink); err != nil {
 		return err
@@ -307,6 +351,13 @@ func (r *Run) Heartbeat(ts Value) error {
 	} else if r.epErr != nil {
 		return r.epErr
 	}
+	return r.heartbeatBucket(ts)
+}
+
+// heartbeatBucket is the bucket-advance body of Heartbeat, after the epoch
+// hook. The multi-query runtime calls it directly: its shared supervisor has
+// already observed the heartbeat once for every attached query.
+func (r *Run) heartbeatBucket(ts Value) error {
 	ti := r.p.temporalIdx
 	if ti < 0 {
 		return nil

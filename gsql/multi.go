@@ -1,0 +1,883 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+
+	"forwarddecay/gsql/analyzer"
+)
+
+// Multi-query runtime: one pass over the stream for many standing queries.
+//
+// A MultiRun registers any number of prepared statements against a single
+// ingest feed and evaluates the shared parts of their plans once per tuple
+// (once per batch segment in the columnar path) instead of once per query:
+//
+//   - Plan-time CSE: every non-trivial tuple-level subexpression (WHERE,
+//     group-by, aggregate arguments) is hash-consed by its canonical AST
+//     string into a shared slot. Two queries writing the same subexpression
+//     — in any formatting — compile to the same slot, and the slot's value
+//     is computed once per tuple and memoized for every later reader.
+//   - Predicate classes: queries are grouped by canonical WHERE clause. The
+//     class predicate runs once per tuple; when it rejects, every member is
+//     skipped in one branch. In the batch path the class evaluates its
+//     filter as one vectorized selection bitmap shared by all members, and
+//     a segment with no surviving rows skips the members outright.
+//   - Statement dedup: attaching the same query text twice shares one
+//     compiled plan (see analyzer.Catalog); each attach still owns an
+//     independent Run, so results, cursors and checkpoints stay per-query.
+//
+// The per-tuple cost of N queries over a shared-heavy workload is therefore
+// one shared pass plus the per-query fold of only the queries whose filter
+// passes — the Gigascope observation that a thousand LFTAs over one NIC
+// should cost one scan, applied at the expression level.
+//
+// Sharing safety invariants (the reasons the memo is correct):
+//
+//   - Single producer. A MultiRun, like a Run, is driven by one goroutine;
+//     the memo generation counter and slot values are unsynchronized.
+//   - Sharded members evaluate WHERE and group expressions on the producer
+//     goroutine (the ParallelRun coordinator) so those share slots, but
+//     their aggregate arguments run on shard workers — those are compiled
+//     without the hook (planHooks.plainArgs).
+//   - The memo is only live during the shared scalar pass (m.share). The
+//     per-query scalar replay of a batch segment and the per-query solo
+//     pushes of crash-recovery replay evaluate slots plainly, which is
+//     always correct, just unshared.
+//   - Slots are value-transparent: a slot evaluator produces exactly what
+//     structural compilation of the subtree would, errors included. The
+//     memo stores the error too, so every member of a tuple observes the
+//     same failure the first evaluator hit.
+//   - Epoch rollovers are runtime-wide: one shared supervisor observes the
+//     stream clock once per tuple and shifts every member's landmark at the
+//     same point of the sequence, so decay state never straddles landmarks
+//     across members (sharded members run their own supervisor over the
+//     same configuration, which rolls at the same stream times).
+type MultiRun struct {
+	eng    *Engine
+	schema *Schema
+	opts   Options
+
+	// Plan-time identity: expression interner and per-mode statement
+	// catalogs (serial and sharded plans compile differently, so the same
+	// text maps to different artifacts per mode).
+	in   *analyzer.Interner
+	scat *analyzer.Catalog // serial statements by exact text
+	pcat *analyzer.Catalog // sharded statements by exact text
+	env  *compileEnv       // slot compiler; env.shared is self-referential
+
+	// Shared slot table, indexed by interner slot id. A nil entry is a slot
+	// whose compilation is in flight or failed; the hook declines those and
+	// structural compilation takes over (reproducing the compile error).
+	slots []*sharedSlot
+
+	// Memo protocol: gen advances once per shared tuple and never moves
+	// backwards (a reset could collide with a stale slot generation); share
+	// gates memoization so unshared evaluation paths need no generation
+	// discipline at all.
+	gen   uint64
+	share bool
+
+	memoHits, memoMisses uint64
+
+	classes    []*predClass
+	classByKey map[string]*predClass
+	parallel   []*multiEntry // sharded members, attach order
+
+	entries map[uint64]*multiEntry
+	nextID  uint64
+
+	// tuples is the shared feed position: every attached member has seen
+	// every tuple since its attach point. Per-run counters are derived
+	// lazily (r.tuples = m.tuples + entry offset) at checkpoint and stats
+	// time, so the hot path pays one increment for N queries.
+	tuples uint64
+
+	ep          *epochState
+	curL        float64
+	landmarkSet bool
+
+	// Batch scratch: the finite bitmap, epoch segmentation state, a solo
+	// selection bitmap for per-query replay, and a row buffer for scalar
+	// class fallback.
+	valid   []uint64
+	soloSel []uint64
+	mbx     *batchExec
+	row     Tuple
+}
+
+// sharedSlot is one hash-consed subexpression: its compiled evaluator and
+// the single-tuple memo.
+type sharedSlot struct {
+	m   *MultiRun
+	fn  evalFn
+	gen uint64
+	val Value
+	err error
+}
+
+// read is the slot's evalFn. During the shared pass it computes once per
+// tuple generation and serves every later reader from the memo; outside it
+// (batch replay, solo pushes) it evaluates plainly.
+func (s *sharedSlot) read(rec Tuple) (Value, error) {
+	m := s.m
+	if !m.share {
+		return s.fn(rec)
+	}
+	if s.gen == m.gen {
+		m.memoHits++
+		return s.val, s.err
+	}
+	v, err := s.fn(rec)
+	s.val, s.err, s.gen = v, err, m.gen
+	m.memoMisses++
+	return v, err
+}
+
+// predClass is one WHERE-clause equivalence class: the queries whose filter
+// is canonically identical, sharing one predicate evaluation per tuple and
+// one selection bitmap per batch segment.
+type predClass struct {
+	key  string // canonical WHERE key; "" for unfiltered queries
+	pred evalFn // nil for unfiltered
+	ast  expr   // the WHERE AST the class was built from
+
+	// vp is the vectorized where-only plan (nil when it did not compile);
+	// ctx and sel are its per-class scratch.
+	vp  *vecPlan
+	ctx vctx
+	sel []uint64
+
+	members []*multiEntry // attach order
+}
+
+// multiEntry is one attached query.
+type multiEntry struct {
+	id    uint64
+	text  string
+	mode  string // catalog key space: "serial" or "parallel"
+	run   *Run
+	pr    *ParallelRun
+	cls   *predClass
+	armed bool
+	// off converts the shared feed position into this run's tuple counter:
+	// r.tuples == m.tuples + off. Attach sets it to -m.tuples; restore to
+	// ckpt.tuples - m.tuples; solo pushes advance it directly.
+	off int64
+}
+
+// MultiHandle is the caller's reference to one attached query.
+type MultiHandle struct {
+	m *MultiRun
+	e *multiEntry
+}
+
+// serialStmt is the serial catalog artifact: the deduped statement plus the
+// pieces the predicate class is built from.
+type serialStmt struct {
+	st       *Statement
+	whereKey string
+	whereAST expr
+}
+
+// NewMultiRun creates an empty multi-query runtime over one registered
+// stream. Options apply to every serial member (sharded members derive
+// their epoch supervisor from the same config). Like a Run, a MultiRun is
+// single-producer: Push/PushBatch/Heartbeat and Attach/Detach must not be
+// called concurrently.
+func NewMultiRun(e *Engine, stream string, opts Options) (*MultiRun, error) {
+	schema, ok := e.streams[strings.ToLower(stream)]
+	if !ok {
+		return nil, fmt.Errorf("gsql: unknown stream %q", stream)
+	}
+	ep, err := newEpochState(opts.Epoch)
+	if err != nil {
+		return nil, err
+	}
+	m := &MultiRun{
+		eng:        e,
+		schema:     schema,
+		opts:       opts,
+		in:         analyzer.NewInterner(),
+		scat:       analyzer.NewCatalog(),
+		pcat:       analyzer.NewCatalog(),
+		classByKey: map[string]*predClass{},
+		entries:    map[uint64]*multiEntry{},
+		ep:         ep,
+		row:        make(Tuple, len(schema.Cols)),
+	}
+	m.env = &compileEnv{
+		resolve: func(name string) int { return schema.ColumnIndex(name) },
+		colType: func(name string) Type {
+			if i := schema.ColumnIndex(name); i >= 0 {
+				return schema.Cols[i].Type
+			}
+			return TNull
+		},
+		shared: m.sharedHook,
+		funcs:  builtinFuncs,
+	}
+	if ep != nil {
+		m.mbx = newBatchExec(&plan{schema: schema}, ep)
+	}
+	return m, nil
+}
+
+// sharedHook is the compileEnv.shared implementation: hash-cons non-trivial
+// subtrees into shared slots. Literals and bare column references compile
+// plainly (a slot would only add indirection); everything else interns by
+// canonical key, compiles once through this same environment (so nested
+// subexpressions land in their own slots), and thereafter every query
+// referencing the subtree reads the one slot.
+func (m *MultiRun) sharedHook(e expr) evalFn {
+	switch e.(type) {
+	case *binExpr, *unExpr, *callExpr:
+	default:
+		return nil
+	}
+	key := exprKey(e)
+	if id, ok := m.in.Lookup(key); ok {
+		s := m.slots[id]
+		if s == nil {
+			// In flight (self-reference during its own compilation) or
+			// failed: decline, structural compilation handles both.
+			return nil
+		}
+		m.in.Intern(key) // count the reuse
+		return s.read
+	}
+	id, _ := m.in.Intern(key)
+	for len(m.slots) <= id {
+		m.slots = append(m.slots, nil)
+	}
+	fn, err := m.env.compile(e)
+	if err != nil {
+		// Leave the slot nil: the caller's structural compilation of the
+		// same subtree reproduces the same error.
+		return nil
+	}
+	s := &sharedSlot{m: m, fn: fn}
+	m.slots[id] = s
+	return s.read
+}
+
+// prepareSerial parses and compiles text for shared serial execution: WHERE
+// stripped from the per-query plan (the predicate class applies it), every
+// tuple-level expression routed through the shared slots.
+func (m *MultiRun) prepareSerial(text string) (*serialStmt, error) {
+	ast, err := m.parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := buildPlanH(ast, m.schema, m.eng.aggs, planHooks{shared: m.sharedHook, stripWhere: true})
+	if err != nil {
+		return nil, err
+	}
+	p.fp = fingerprint(text, m.schema.Name)
+	ss := &serialStmt{st: &Statement{p: p, text: text}, whereAST: ast.where}
+	if ast.where != nil {
+		ss.whereKey = exprKey(ast.where)
+	}
+	return ss, nil
+}
+
+// prepareParallel parses and compiles text for a sharded member: WHERE and
+// group expressions stay in the plan (the coordinator evaluates them on the
+// producer goroutine, so they still share slots); aggregate arguments
+// compile plainly because shard workers evaluate them off-thread.
+func (m *MultiRun) prepareParallel(text string) (*Statement, error) {
+	ast, err := m.parse(text)
+	if err != nil {
+		return nil, err
+	}
+	p, err := buildPlanH(ast, m.schema, m.eng.aggs, planHooks{shared: m.sharedHook, plainArgs: true})
+	if err != nil {
+		return nil, err
+	}
+	p.fp = fingerprint(text, m.schema.Name)
+	return &Statement{p: p, text: text}, nil
+}
+
+func (m *MultiRun) parse(text string) (*queryAST, error) {
+	isAgg := func(name string) bool { _, ok := m.eng.aggs[name]; return ok }
+	ast, err := parseQuery(text, isAgg)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(ast.from, m.schema.Name) {
+		return nil, fmt.Errorf("gsql: query reads stream %q but the multi-run feeds %q", ast.from, m.schema.Name)
+	}
+	return ast, nil
+}
+
+// classFor returns (creating if needed) the predicate class of a canonical
+// WHERE key.
+func (m *MultiRun) classFor(ss *serialStmt) (*predClass, error) {
+	if cls := m.classByKey[ss.whereKey]; cls != nil {
+		return cls, nil
+	}
+	cls := &predClass{key: ss.whereKey, ast: ss.whereAST}
+	if ss.whereAST != nil {
+		fn, err := m.env.compile(ss.whereAST)
+		if err != nil {
+			return nil, err
+		}
+		cls.pred = fn
+		cls.vp = compileVecPlan(m.env, m.schema, ss.whereAST, nil, nil)
+	}
+	m.classByKey[ss.whereKey] = cls
+	m.classes = append(m.classes, cls)
+	return cls, nil
+}
+
+// Attach registers a query against the shared feed and starts its run.
+// shards > 0 selects sharded (LFTA/HFTA) execution with that many workers.
+// Identical query texts share one compiled plan; every attach owns its own
+// run, sink, cursor and checkpoints. Queries attached mid-stream see only
+// tuples pushed after their attach, exactly as a standalone run started at
+// that point would.
+func (m *MultiRun) Attach(text string, shards int, sink func(Tuple) error) (*MultiHandle, error) {
+	return m.add(text, shards, nil, sink)
+}
+
+// Restore attaches a query resuming from a checkpoint taken by a handle of
+// this or a previous incarnation (same text, same schema — the checkpoint
+// fingerprint is verified). The shared epoch supervisor adopts the restored
+// epoch stamp, so a restored runtime continues the landmark sequence.
+func (m *MultiRun) Restore(text string, shards int, ckpt []byte, sink func(Tuple) error) (*MultiHandle, error) {
+	return m.add(text, shards, ckpt, sink)
+}
+
+func (m *MultiRun) add(text string, shards int, ckpt []byte, sink func(Tuple) error) (*MultiHandle, error) {
+	e := &multiEntry{id: m.nextID, text: text}
+	if shards > 0 {
+		ent, fresh := m.pcat.Acquire(text)
+		if fresh {
+			st, err := m.prepareParallel(text)
+			if err != nil {
+				m.pcat.Release(text)
+				return nil, err
+			}
+			ent.Data = st
+		}
+		st := ent.Data.(*Statement)
+		popts := ParallelOptions{Shards: shards, Epoch: m.opts.Epoch}
+		var pr *ParallelRun
+		var err error
+		if ckpt != nil {
+			pr, err = st.RestoreParallel(ckpt, sink, popts)
+		} else {
+			pr, err = st.StartParallel(sink, popts)
+		}
+		if err != nil {
+			m.pcat.Release(text)
+			return nil, err
+		}
+		e.mode, e.pr = "parallel", pr
+		m.parallel = append(m.parallel, e)
+	} else {
+		ent, fresh := m.scat.Acquire(text)
+		if fresh {
+			ss, err := m.prepareSerial(text)
+			if err != nil {
+				m.scat.Release(text)
+				return nil, err
+			}
+			ent.Data = ss
+		}
+		ss := ent.Data.(*serialStmt)
+		cls, err := m.classFor(ss)
+		if err != nil {
+			m.scat.Release(text)
+			return nil, err
+		}
+		var r *Run
+		if ckpt != nil {
+			r, err = ss.st.Restore(ckpt, sink, m.opts)
+			if err != nil {
+				m.scat.Release(text)
+				return nil, err
+			}
+			e.off = int64(r.tuples) - int64(m.tuples)
+			// A restored epoch stamp re-anchors the shared supervisor: the
+			// whole runtime must continue the checkpointed landmark
+			// sequence, and later attaches must be born onto it.
+			if r.landmarkSet {
+				m.curL, m.landmarkSet = r.curL, true
+				if m.ep != nil && r.ep != nil {
+					m.ep.epoch, m.ep.model = r.ep.epoch, r.ep.model
+				}
+			}
+		} else {
+			r = newRun(ss.st.p, sink, m.opts)
+			e.off = -int64(m.tuples)
+			// Born after a rollover: adopt the current landmark so this
+			// run's groups live in the same frame as everyone else's.
+			if m.landmarkSet {
+				r.curL, r.landmarkSet = m.curL, true
+				if m.ep != nil && r.ep != nil {
+					r.ep.epoch, r.ep.model = m.ep.epoch, m.ep.model
+				}
+			}
+		}
+		e.mode, e.run, e.cls = "serial", r, cls
+		cls.members = append(cls.members, e)
+	}
+	m.nextID++
+	m.entries[e.id] = e
+	e.armed = true
+	return &MultiHandle{m: m, e: e}, nil
+}
+
+// Push feeds one tuple to every attached query: one finite check, one epoch
+// observation, one predicate evaluation per class, one fold per member whose
+// class passes. Shared subexpression slots are memoized for the duration of
+// the call.
+func (m *MultiRun) Push(t Tuple) error {
+	m.tuples++
+	if err := checkTupleFinite(m.schema, t); err != nil {
+		return err
+	}
+	if m.ep != nil {
+		if ts, ok := m.ep.time(t); ok {
+			if newL, roll := m.ep.observe(ts); roll {
+				if err := m.shiftAll(newL); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	m.gen++
+	m.share = true
+	err := m.foldAll(t)
+	m.share = false
+	return err
+}
+
+// foldAll is the post-epoch body of Push. Errors surface in deterministic
+// order: classes in creation order, members in attach order, sharded members
+// last; the first error aborts the tuple.
+func (m *MultiRun) foldAll(t Tuple) error {
+	for _, cls := range m.classes {
+		if len(cls.members) == 0 {
+			continue
+		}
+		if cls.pred != nil {
+			ok, err := cls.pred(t)
+			if err != nil {
+				return err
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		for _, e := range cls.members {
+			if err := e.run.foldTuple(t); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range m.parallel {
+		if err := e.pr.Push(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shiftAll applies a landmark roll across the runtime: every serial member
+// shifts at the same point of the tuple sequence (sharded members roll
+// under their own supervisor at the same stream time).
+func (m *MultiRun) shiftAll(newL float64) error {
+	for _, cls := range m.classes {
+		for _, e := range cls.members {
+			if err := e.run.ShiftLandmark(newL); err != nil {
+				return err
+			}
+		}
+	}
+	m.ep.advanced(newL)
+	m.curL, m.landmarkSet = newL, true
+	return nil
+}
+
+// Heartbeat advances the epoch supervisor and every member's temporal bucket
+// without carrying data — one observation fanned to all queries.
+func (m *MultiRun) Heartbeat(ts Value) error {
+	if m.ep != nil {
+		if newL, roll := m.ep.observe(ts.AsFloat()); roll {
+			if err := m.shiftAll(newL); err != nil {
+				return err
+			}
+		}
+	}
+	for _, cls := range m.classes {
+		for _, e := range cls.members {
+			if err := e.run.heartbeatBucket(ts); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range m.parallel {
+		if err := e.pr.Heartbeat(ts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PushBatch folds a columnar batch into every attached query: one finite
+// scan, one epoch segmentation, and per segment one selection bitmap per
+// predicate class shared by its members. A class with no surviving rows in
+// a segment skips its members entirely. The batch's selection bitmap is
+// consumed as working state. rejected counts non-finite rows, as
+// Run.PushBatch does.
+func (m *MultiRun) PushBatch(b *Batch) (rejected int, err error) {
+	if b == nil || b.Len() == 0 {
+		return 0, nil
+	}
+	if !b.compatibleWith(m.schema) {
+		return 0, fmt.Errorf("gsql: batch schema %s is incompatible with stream %s",
+			b.schema.Name, m.schema.Name)
+	}
+	m.valid = growBits(m.valid, b.n)
+	b.scanFinite(m.valid)
+	rejected = b.n - popRange(m.valid, b.n)
+
+	lo, skipObserve := 0, false
+	for lo < b.n {
+		hi, newL, roll := b.n, 0.0, false
+		if m.ep != nil {
+			m.mbx.valid = m.valid
+			hi, newL, roll = m.mbx.scanEpoch(m.ep, b, lo, skipObserve)
+		}
+		if err := m.processSegmentAll(b, lo, hi); err != nil {
+			return rejected, err
+		}
+		m.tuples += uint64(hi - lo)
+		if roll {
+			if err := m.shiftAll(newL); err != nil {
+				return rejected, err
+			}
+		}
+		lo, skipObserve = hi, roll
+	}
+	for _, e := range m.parallel {
+		if _, err := e.pr.PushBatch(b); err != nil {
+			return rejected, err
+		}
+	}
+	return rejected, nil
+}
+
+// processSegmentAll folds rows [lo,hi) — a fixed-landmark segment — into
+// every serial member, one class selection per class.
+func (m *MultiRun) processSegmentAll(b *Batch, lo, hi int) error {
+	if lo >= hi {
+		return nil
+	}
+	for _, cls := range m.classes {
+		if len(cls.members) == 0 {
+			continue
+		}
+		n, err := m.classSelect(cls, b, lo, hi)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			continue
+		}
+		for _, e := range cls.members {
+			r := e.run
+			if r.bx == nil {
+				r.bx = newBatchExec(r.p, r.ep)
+			}
+			if err := r.processSegmentBase(b, lo, hi, cls.sel); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// classSelect fills cls.sel with finite ∧ class-WHERE over [lo,hi) and
+// returns the surviving row count: vectorized when the class filter
+// compiled to kernels, row-by-row otherwise.
+func (m *MultiRun) classSelect(cls *predClass, b *Batch, lo, hi int) (int, error) {
+	cls.sel = growBits(cls.sel, b.n)
+	maskRange(cls.sel, m.valid, lo, hi)
+	if cls.pred == nil {
+		return popRange(cls.sel, b.n), nil
+	}
+	if cls.vp != nil && cls.vp.where != nil {
+		cls.ctx.reset(b, cls.vp)
+		cls.vp.where.run(&cls.ctx, cls.sel)
+		if cls.ctx.err == nil {
+			wb := cls.ctx.bits(cls.vp.where)
+			for w := range cls.sel {
+				cls.sel[w] &= wb[w]
+			}
+			return popRange(cls.sel, b.n), nil
+		}
+		// Kernel error: fall through to the scalar evaluation, which
+		// reproduces the row-level outcome.
+	}
+	count := 0
+	for i := lo; i < hi; i++ {
+		if !bitGet(cls.sel, i) {
+			continue
+		}
+		b.row(i, m.row)
+		v, err := cls.pred(m.row)
+		if err != nil {
+			return 0, err
+		}
+		if v.Truthy() {
+			count++
+		} else {
+			cls.sel[i>>6] &^= 1 << uint(i&63)
+		}
+	}
+	return count, nil
+}
+
+// Queries returns the number of attached queries.
+func (m *MultiRun) Queries() int { return len(m.entries) }
+
+// Tuples returns the shared feed position (tuples pushed through the
+// runtime, including rejected ones — the same policy as Run.Stats).
+func (m *MultiRun) Tuples() uint64 { return m.tuples }
+
+// MultiStats is the runtime's sharing scoreboard, exported by the service
+// as catalog gauges.
+type MultiStats struct {
+	// Queries is the attached-query count; DistinctTexts the deduped
+	// compiled-statement count; Classes the predicate-class count.
+	Queries       int
+	DistinctTexts int
+	Classes       int
+	// DistinctExprs is the shared-subexpression slot population;
+	// ExprHits/ExprMisses its plan-time reuse counters.
+	DistinctExprs        int
+	ExprHits, ExprMisses uint64
+	// MemoHits/MemoMisses count runtime shared-pass slot reads served from
+	// (resp. filled into) the per-tuple memo.
+	MemoHits, MemoMisses uint64
+	// PlanHits/PlanMisses count statement-catalog acquisitions.
+	PlanHits, PlanMisses uint64
+	Tuples               uint64
+}
+
+// SharedHitRatio is MemoHits/(MemoHits+MemoMisses) — the fraction of shared
+// slot reads served without re-evaluation. Zero when nothing was read.
+func (s MultiStats) SharedHitRatio() float64 {
+	total := s.MemoHits + s.MemoMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.MemoHits) / float64(total)
+}
+
+// MultiStats snapshots the runtime's sharing counters.
+func (m *MultiRun) MultiStats() MultiStats {
+	es := m.in.Stats()
+	ss := m.scat.Stats()
+	ps := m.pcat.Stats()
+	live := 0
+	for _, cls := range m.classes {
+		if len(cls.members) > 0 {
+			live++
+		}
+	}
+	return MultiStats{
+		Queries:       len(m.entries),
+		DistinctTexts: m.scat.Len() + m.pcat.Len(),
+		Classes:       live,
+		DistinctExprs: es.Distinct,
+		ExprHits:      es.Hits,
+		ExprMisses:    es.Misses,
+		MemoHits:      m.memoHits,
+		MemoMisses:    m.memoMisses,
+		PlanHits:      ss.Hits + ps.Hits,
+		PlanMisses:    ss.Misses + ps.Misses,
+		Tuples:        m.tuples,
+	}
+}
+
+// CloseAll flushes every attached query's final bucket, in attach order.
+// The first error is returned; later members still flush.
+func (m *MultiRun) CloseAll() error {
+	var first error
+	for id := uint64(0); id < m.nextID; id++ {
+		e := m.entries[id]
+		if e == nil || !e.armed {
+			continue
+		}
+		if err := (&MultiHandle{m: m, e: e}).Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// syncTuples materializes the entry's derived tuple counter into its run.
+func (m *MultiRun) syncTuples(e *multiEntry) {
+	if e.run != nil {
+		e.run.tuples = uint64(int64(m.tuples) + e.off)
+	}
+}
+
+// errSoloEpoch: per-query pushes cannot drive the shared epoch clock — a
+// solo tuple would advance one member's landmark past its peers'.
+var errSoloEpoch = fmt.Errorf("gsql: per-query push is not supported under a shared epoch supervisor")
+
+// Push feeds one tuple to this query alone — the crash-recovery replay path,
+// where members resume from different feed offsets. Equivalent to a
+// standalone Run.Push: the class filter (this query's WHERE) still applies.
+// Not available when the runtime has an epoch supervisor.
+func (h *MultiHandle) Push(t Tuple) error {
+	m, e := h.m, h.e
+	if e.pr != nil {
+		return e.pr.Push(t)
+	}
+	if m.ep != nil {
+		return errSoloEpoch
+	}
+	e.off++
+	if err := checkTupleFinite(m.schema, t); err != nil {
+		return err
+	}
+	if cls := e.cls; cls.pred != nil {
+		ok, err := cls.pred(t)
+		if err != nil {
+			return err
+		}
+		if !ok.Truthy() {
+			return nil
+		}
+	}
+	return e.run.foldTuple(t)
+}
+
+// PushBatch feeds a batch to this query alone (solo replay). Rows are
+// replayed through the scalar fold path — replay exactness over replay
+// speed.
+func (h *MultiHandle) PushBatch(b *Batch) (rejected int, err error) {
+	m, e := h.m, h.e
+	if e.pr != nil {
+		return e.pr.PushBatch(b)
+	}
+	if m.ep != nil {
+		return 0, errSoloEpoch
+	}
+	if b == nil || b.Len() == 0 {
+		return 0, nil
+	}
+	if !b.compatibleWith(m.schema) {
+		return 0, fmt.Errorf("gsql: batch schema %s is incompatible with stream %s",
+			b.schema.Name, m.schema.Name)
+	}
+	m.soloSel = growBits(m.soloSel, b.n)
+	b.scanFinite(m.soloSel)
+	for i := 0; i < b.n; i++ {
+		e.off++
+		if !bitGet(m.soloSel, i) {
+			rejected++
+			continue
+		}
+		b.row(i, m.row)
+		if cls := e.cls; cls.pred != nil {
+			ok, perr := cls.pred(m.row)
+			if perr != nil {
+				return rejected, perr
+			}
+			if !ok.Truthy() {
+				continue
+			}
+		}
+		if err := e.run.foldTuple(m.row); err != nil {
+			return rejected, err
+		}
+	}
+	return rejected, nil
+}
+
+// Heartbeat advances this query's temporal bucket alone (solo replay).
+func (h *MultiHandle) Heartbeat(ts Value) error {
+	if h.e.pr != nil {
+		return h.e.pr.Heartbeat(ts)
+	}
+	if h.m.ep != nil {
+		return errSoloEpoch
+	}
+	return h.e.run.heartbeatBucket(ts)
+}
+
+// Checkpoint serializes this query's aggregation state, restorable by
+// MultiRun.Restore or the standalone Statement.Restore — the formats are
+// identical.
+func (h *MultiHandle) Checkpoint() ([]byte, error) {
+	if h.e.pr != nil {
+		return h.e.pr.Checkpoint()
+	}
+	h.m.syncTuples(h.e)
+	return h.e.run.Checkpoint()
+}
+
+// Stats reports this query's tuples-seen and eviction counters, as
+// Run.Stats does.
+func (h *MultiHandle) Stats() (tuples, evictions uint64) {
+	if h.e.pr != nil {
+		return h.e.pr.Stats(), 0
+	}
+	h.m.syncTuples(h.e)
+	return h.e.run.Stats()
+}
+
+// Close flushes the query's final (still open) bucket. The query stays
+// attached; Detach removes it from the feed.
+func (h *MultiHandle) Close() error {
+	if h.e.pr != nil {
+		return h.e.pr.Close()
+	}
+	return h.e.run.Close()
+}
+
+// Detach removes the query from the shared feed without flushing (call
+// Close first for final results) and releases its compiled-plan reference.
+// An empty predicate class is pruned; its interned expression slots remain,
+// so a re-attach rebinds to the same slots.
+func (h *MultiHandle) Detach() {
+	m, e := h.m, h.e
+	if !e.armed {
+		return
+	}
+	e.armed = false
+	delete(m.entries, e.id)
+	if e.pr != nil {
+		m.parallel = removeEntry(m.parallel, e)
+		m.pcat.Release(e.text)
+		return
+	}
+	cls := e.cls
+	cls.members = removeEntry(cls.members, e)
+	if len(cls.members) == 0 {
+		delete(m.classByKey, cls.key)
+		for i, c := range m.classes {
+			if c == cls {
+				m.classes = append(m.classes[:i], m.classes[i+1:]...)
+				break
+			}
+		}
+	}
+	m.scat.Release(e.text)
+}
+
+func removeEntry(s []*multiEntry, e *multiEntry) []*multiEntry {
+	for i, x := range s {
+		if x == e {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package gsql
+
+import (
+	"testing"
+)
+
+// FuzzCanonicalize guards the property the multi-query runtime's CSE rests
+// on: the canonical form (the AST's lowercased, fully parenthesized
+// String()) is a fixed point of parsing. Any text that parses must
+// re-parse from its canonical form to the same canonical form — otherwise
+// two spellings of one expression could intern to different shared slots,
+// or worse, two different expressions to the same slot.
+func FuzzCanonicalize(f *testing.F) {
+	seeds := []string{
+		`select tb, count(*) from TCP group by time/60 as tb`,
+		`select tb, dstIP, sum(len), avg(float(len)) from TCP where len > 200 group by time/60 as tb, dstIP`,
+		`select TB, COUNT(*) from tcp WHERE (LEN*8) > 256 and destPort=80 group by TIME / 60 as TB`,
+		`select tb, count(*) from TCP where not (len < 10 or len > 1000) group by time/60 as tb having count(*) > 2`,
+		`select tb, dstIP % 2, min(len), max(len) from TCP group by time/60 as tb, dstIP % 2`,
+		`select t, sum(len + 0) from TCP where proto = 6 and len - 1 >= 0 group by time as t`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	isAgg := func(name string) bool { _, ok := builtinAggs()[name]; return ok }
+	f.Fuzz(func(t *testing.T, src string) {
+		ast, err := parseQuery(src, isAgg)
+		if err != nil {
+			return // unparseable input is out of scope
+		}
+		canon := ast.String()
+		ast2, err := parseQuery(canon, isAgg)
+		if err != nil {
+			t.Fatalf("canonical form does not re-parse:\n  src   = %q\n  canon = %q\n  err   = %v", src, canon, err)
+		}
+		if again := ast2.String(); again != canon {
+			t.Fatalf("canonicalization is not idempotent:\n  src    = %q\n  canon  = %q\n  canon2 = %q", src, canon, again)
+		}
+		if ast.where != nil {
+			if k1, k2 := exprKey(ast.where), exprKey(ast2.where); k1 != k2 {
+				t.Fatalf("WHERE slot keys diverge across a round trip: %q vs %q", k1, k2)
+			}
+		}
+	})
+}
+
+// TestMultiSharedPushAllocs: the steady-state shared pass must not
+// allocate — neither when the class predicate rejects the tuple for all
+// members in one branch, nor when it passes and fans out into every
+// member's fold.
+func TestMultiSharedPushAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is noisy under -short harnesses")
+	}
+	e := mkEngine(t)
+	m, err := NewMultiRun(e, "TCP", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop := func(Tuple) error { return nil }
+	queries := []string{
+		`select tb, dstIP, count(*), sum(len) from TCP where destPort = 80 group by time/60 as tb, dstIP`,
+		`select tb, dstIP, avg(float(len)) from TCP where destPort = 80 group by time/60 as tb, dstIP`,
+		`select tb, count(*) from TCP where destPort = 80 and len > 0 group by time/60 as tb`,
+		`select tb, dstIP, max(len) from TCP group by time/60 as tb, dstIP`,
+	}
+	for _, q := range queries {
+		if _, err := m.Attach(q, 0, nop); err != nil {
+			t.Fatalf("attach %q: %v", q, err)
+		}
+	}
+	// Warm up: materialize every group the steady state will touch.
+	hit := make([]Tuple, 8)
+	miss := make([]Tuple, 8)
+	for i := range hit {
+		hit[i] = pkt(30, int64(i), 80, int64(100+i))
+		miss[i] = pkt(30, int64(i), 443, int64(100+i))
+	}
+	for i := 0; i < 64; i++ {
+		if err := m.Push(hit[i%len(hit)]); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Push(miss[i%len(miss)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		if err := m.Push(miss[i%len(miss)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("class-rejected shared push allocates %.2f objects/op, want 0", avg)
+	}
+
+	i = 0
+	avg = testing.AllocsPerRun(2000, func() {
+		if err := m.Push(hit[i%len(hit)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Errorf("fan-out shared push allocates %.2f objects/op, want 0", avg)
+	}
+}
+
+// TestMultiSharedSlotMemo pins the memo protocol: within one shared tuple,
+// a slot evaluates once no matter how many plans read it; across tuples it
+// re-evaluates.
+func TestMultiSharedSlotMemo(t *testing.T) {
+	e := mkEngine(t)
+	m, err := NewMultiRun(e, "TCP", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nop := func(Tuple) error { return nil }
+	// Both queries share WHERE and the sum argument; the group expression
+	// time/60 is shared three ways (two plans + nothing else).
+	for _, q := range []string{
+		`select tb, sum(len*8) from TCP where len > 10 group by time/60 as tb`,
+		`select tb, count(*), sum(len*8), min(len*8) from TCP where len > 10 group by time/60 as tb`,
+	} {
+		if _, err := m.Attach(q, 0, nop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.MultiStats()
+	if st.ExprHits == 0 {
+		t.Fatalf("no plan-time sharing: %+v", st)
+	}
+	for i := 0; i < 10; i++ {
+		if err := m.Push(pkt(int64(10*i), 1, 80, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = m.MultiStats()
+	if st.MemoHits == 0 {
+		t.Fatalf("no runtime sharing: %+v", st)
+	}
+	// time/60 and len*8 are read by two plans each; len>10 once per tuple
+	// (the class gate) — so misses are bounded by distinct slots × tuples,
+	// and hits must cover the second plan's reads.
+	if st.MemoMisses == 0 || st.MemoHits < 10 {
+		t.Fatalf("memo counters off: %+v", st)
+	}
+}

@@ -47,8 +47,30 @@ type plan struct {
 	fp uint64
 }
 
-// buildPlan analyzes and compiles a parsed query.
+// planHooks parameterize buildPlan for the multi-query runtime. The zero
+// value compiles a standalone plan exactly as before.
+type planHooks struct {
+	// shared is installed as the tuple-level compileEnv's shared hook: the
+	// MultiRun's hash-consed slot compiler (see multi.go).
+	shared func(e expr) evalFn
+	// stripWhere validates and compiles the WHERE clause (so its slots are
+	// interned and its errors surface at plan time) but leaves p.where nil
+	// and keeps it out of the vectorized plan: the MultiRun applies the
+	// filter once per predicate class, before fanning into per-query folds.
+	stripWhere bool
+	// plainArgs compiles aggregate arguments without the shared hook.
+	// Sharded backends evaluate arguments on shard-worker goroutines, where
+	// a shared slot's single-threaded memo would race.
+	plainArgs bool
+}
+
+// buildPlan analyzes and compiles a standalone query.
 func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, error) {
+	return buildPlanH(q, schema, aggs, planHooks{})
+}
+
+// buildPlanH analyzes and compiles a parsed query under the given hooks.
+func buildPlanH(q *queryAST, schema *Schema, aggs map[string]AggSpec, hooks planHooks) (*plan, error) {
 	p := &plan{schema: schema, temporalIdx: -1, temporalCol: -1, mergeable: true}
 
 	tupleEnv := &compileEnv{
@@ -59,7 +81,14 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 			}
 			return TNull
 		},
-		funcs: builtinFuncs,
+		shared: hooks.shared,
+		funcs:  builtinFuncs,
+	}
+	argEnv := tupleEnv
+	if hooks.plainArgs {
+		plain := *tupleEnv
+		plain.shared = nil
+		argEnv = &plain
 	}
 
 	// WHERE clause: tuple-level, no aggregates.
@@ -71,7 +100,9 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 		if err != nil {
 			return nil, err
 		}
-		p.where = fn
+		if !hooks.stripWhere {
+			p.where = fn
+		}
 	}
 
 	// Group-by expressions: tuple-level; record canonical keys and aliases
@@ -137,7 +168,7 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 			if hasAgg(arg) {
 				return 0, fmt.Errorf("gsql: nested aggregates are not allowed")
 			}
-			fn, err := tupleEnv.compile(arg)
+			fn, err := argEnv.compile(arg)
 			if err != nil {
 				return 0, err
 			}
@@ -220,7 +251,11 @@ func buildPlan(q *queryAST, schema *Schema, aggs map[string]AggSpec) (*plan, err
 	for i, g := range q.group {
 		groupASTs[i] = g.e
 	}
-	p.vec = compileVecPlan(tupleEnv, schema, q.where, groupASTs, argASTs)
+	vecWhere := q.where
+	if hooks.stripWhere {
+		vecWhere = nil
+	}
+	p.vec = compileVecPlan(tupleEnv, schema, vecWhere, groupASTs, argASTs)
 	return p, nil
 }
 

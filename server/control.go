@@ -387,17 +387,20 @@ func (s *Service) statsJSON() string {
 		Base uint64 `json:"base"`
 		End  uint64 `json:"end"`
 	}
+	s.refreshCatalogGauges()
 	out := struct {
-		Mode     string            `json:"mode"`
-		Gen      uint64            `json:"gen"`
-		Fails    int32             `json:"consecutive_failures"`
-		Counters map[string]uint64 `json:"counters"`
-		Queries  []queryStat       `json:"queries"`
+		Mode     string             `json:"mode"`
+		Gen      uint64             `json:"gen"`
+		Fails    int32              `json:"consecutive_failures"`
+		Counters map[string]uint64  `json:"counters"`
+		Gauges   map[string]float64 `json:"gauges"`
+		Queries  []queryStat        `json:"queries"`
 	}{
 		Mode:     s.Mode().String(),
 		Gen:      s.gen.Load(),
 		Fails:    s.fails.Load(),
 		Counters: s.counters.Snapshot(),
+		Gauges:   s.gauges.Snapshot(),
 	}
 	s.mu.Lock()
 	for _, q := range s.queries {

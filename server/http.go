@@ -32,9 +32,14 @@ func (s *Service) startHTTP(addr string) error {
 			fmt.Fprintln(w, s.statsJSON())
 			return
 		}
+		s.refreshCatalogGauges()
 		snap := s.counters.Snapshot()
 		for _, name := range s.counters.Names() {
 			fmt.Fprintf(w, "%s %d\n", name, snap[name])
+		}
+		gsnap := s.gauges.Snapshot()
+		for _, name := range s.gauges.Names() {
+			fmt.Fprintf(w, "%s %g\n", name, gsnap[name])
 		}
 		fmt.Fprintf(w, "server_mode %d\n", int32(s.mode.Load()))
 		fmt.Fprintf(w, "server_generation %d\n", s.gen.Load())

@@ -231,10 +231,11 @@ func httpGet(t *testing.T, url string) (int, string) {
 }
 
 type statsPayload struct {
-	Mode     string            `json:"mode"`
-	Gen      uint64            `json:"gen"`
-	Fails    int32             `json:"consecutive_failures"`
-	Counters map[string]uint64 `json:"counters"`
+	Mode     string             `json:"mode"`
+	Gen      uint64             `json:"gen"`
+	Fails    int32              `json:"consecutive_failures"`
+	Counters map[string]uint64  `json:"counters"`
+	Gauges   map[string]float64 `json:"gauges"`
 	Queries  []struct {
 		ID   uint32 `json:"id"`
 		Text string `json:"text"`
@@ -709,6 +710,12 @@ func TestServeEndToEnd(t *testing.T) {
 	if sp.Counters["server_rows_emitted"] < uint64(len(want)) {
 		t.Fatalf("rows_emitted %d < %d", sp.Counters["server_rows_emitted"], len(want))
 	}
+	if sp.Gauges["server_catalog_queries"] != 1 {
+		t.Fatalf("catalog queries gauge: %v", sp.Gauges)
+	}
+	if sp.Gauges["server_catalog_distinct_texts"] != 1 || sp.Gauges["server_catalog_shared_exprs"] <= 0 {
+		t.Fatalf("catalog sharing gauges: %v", sp.Gauges)
+	}
 
 	code, body := httpGet(t, "http://"+svc.HTTPAddr()+"/healthz")
 	if code != http.StatusOK || !strings.Contains(body, "healthy") {
@@ -717,6 +724,9 @@ func TestServeEndToEnd(t *testing.T) {
 	code, body = httpGet(t, "http://"+svc.HTTPAddr()+"/metrics")
 	if code != http.StatusOK || !strings.Contains(body, "server_rows_delivered") {
 		t.Fatalf("metrics: %d %q", code, body)
+	}
+	if !strings.Contains(body, "server_catalog_queries 1") || !strings.Contains(body, "server_shared_hit_ratio") {
+		t.Fatalf("metrics missing catalog gauges: %q", body)
 	}
 	code, body = httpGet(t, "http://"+svc.HTTPAddr()+"/metrics?format=json")
 	if code != http.StatusOK {

@@ -161,9 +161,14 @@ type runtime struct {
 	// ACQUIRED in the ApplyLog hooks (LogFrame/LogHeartbeat) and RELEASED
 	// at the end of the subsequent sink call — safe because the ingest
 	// pump is the only goroutine driving either. Lock order: s.mu → rt.mu.
-	mu       sync.Mutex
-	wal      *ingestWAL
-	runs     map[uint32]*queryRun
+	mu   sync.Mutex
+	wal  *ingestWAL
+	runs map[uint32]*queryRun
+	// multi is the incarnation's shared execution runtime: every attached
+	// query is a member of this one MultiRun, so the apply path makes a
+	// single pass over each frame no matter how many queries are live.
+	// Nil on degraded (WAL-only) incarnations.
+	multi    *gsql.MultiRun
 	listener *ingest.Listener
 	// inflight is the UnixNano start of the apply in progress (0 = idle);
 	// the watchdog reads it to detect a wedged runtime.
@@ -201,6 +206,7 @@ type Service struct {
 	rings atomic.Pointer[[]*resultLog]
 
 	counters *metrics.CounterSet
+	gauges   *metrics.GaugeSet
 	rng      *core.RNG
 
 	ctl        net.Listener
@@ -236,6 +242,7 @@ func New(cfg Config) (*Service, error) {
 		queries:  map[uint32]*Query{},
 		nextID:   1,
 		counters: metrics.NewCounterSet(),
+		gauges:   metrics.NewGaugeSet(),
 		rng:      core.NewRNG(cfg.Seed ^ 0x5eed),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -587,7 +594,19 @@ func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
 		return out, err
 	}
 
-	// Build the engine runs and reconcile the service catalog with disk.
+	// Build the shared runtime and reconcile the service catalog with disk.
+	// One engine, one MultiRun: every query attaches to the same feed, and
+	// the fan-out below becomes a single shared pass per frame.
+	eng := gsql.NewEngine()
+	if err := eng.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
+		return nil, err
+	}
+	multi, err := gsql.NewMultiRun(eng, "TCP", gsql.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rt.multi = multi
+
 	live := map[uint32]bool{}
 	for _, sp := range specs {
 		live[sp.qs.id] = true
@@ -605,7 +624,7 @@ func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
 		}
 		q.journaled = sp.journaled
 		q.attachEpoch, q.attachAt = sp.epoch, sp.at
-		run, err := s.startRun(q, sp.qs.ckpt, &rt.fenced)
+		run, err := s.startRun(rt, q, sp.qs.ckpt)
 		if err != nil {
 			return nil, fmt.Errorf("server: rebuilding query %d: %w", q.ID, err)
 		}
@@ -650,18 +669,16 @@ func (s *Service) newRing() *resultLog {
 	return rl
 }
 
-// startRun starts (or restores) the engine run for a query, sinking rows
-// into its result ring. fence is the owning incarnation's teardown fence:
-// once it flips, the sink refuses to emit (see runtime.fenced).
-func (s *Service) startRun(q *Query, ckpt []byte, fence *atomic.Bool) (*queryRun, error) {
-	e := gsql.NewEngine()
-	if err := e.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
-		return nil, err
-	}
-	st, err := e.Prepare(q.Text)
-	if err != nil {
-		return nil, err
-	}
+// startRun attaches (or restores) a query onto the incarnation's shared
+// MultiRun, sinking rows into its result ring. The incarnation's teardown
+// fence gates every emit: once it flips, the sink refuses to append (see
+// runtime.fenced). Identical query texts share one compiled plan inside the
+// MultiRun; each attach still owns its ring, cursor and checkpoints.
+//
+// Callers mutating a live incarnation must hold rt.mu — the attach touches
+// the same shared-pass state the apply path walks.
+func (s *Service) startRun(rt *runtime, q *Query, ckpt []byte) (*queryRun, error) {
+	fence := &rt.fenced
 	rl := q.log
 	sink := func(row gsql.Tuple) error {
 		if fence.Load() {
@@ -671,29 +688,24 @@ func (s *Service) startRun(q *Query, ckpt []byte, fence *atomic.Bool) (*queryRun
 		s.counters.Add("server_rows_emitted", 1)
 		return nil
 	}
-	if q.Shards > 0 {
-		var pr *gsql.ParallelRun
-		popts := gsql.ParallelOptions{Shards: int(q.Shards)}
-		if ckpt != nil {
-			pr, err = st.RestoreParallel(ckpt, sink, popts)
-		} else {
-			pr, err = st.StartParallel(sink, popts)
-		}
-		if err != nil {
-			return nil, err
-		}
-		return &queryRun{q: q, push: pr.PushBatch, hb: pr.Heartbeat, ckpt: pr.Checkpoint, close: pr.Close}, nil
-	}
-	var run *gsql.Run
+	var (
+		h   *gsql.MultiHandle
+		err error
+	)
 	if ckpt != nil {
-		run, err = st.Restore(ckpt, sink, gsql.Options{})
-		if err != nil {
-			return nil, err
-		}
+		h, err = rt.multi.Restore(q.Text, int(q.Shards), ckpt, sink)
 	} else {
-		run = st.Start(sink, gsql.Options{})
+		h, err = rt.multi.Attach(q.Text, int(q.Shards), sink)
 	}
-	return &queryRun{q: q, push: run.PushBatch, hb: run.Heartbeat, ckpt: run.Checkpoint, close: run.Close}, nil
+	if err != nil {
+		return nil, err
+	}
+	closer := func() error {
+		err := h.Close()
+		h.Detach()
+		return err
+	}
+	return &queryRun{q: q, push: h.PushBatch, hb: h.Heartbeat, ckpt: h.Checkpoint, close: closer}, nil
 }
 
 // replay feeds the WAL tail to each rebuilt run, honoring per-query replay
@@ -838,6 +850,26 @@ func (s *Service) checkpoint(rt *runtime) error {
 	return nil
 }
 
+// refreshCatalogGauges snapshots the live incarnation's shared-runtime
+// scoreboard into the gauge registry: attached-query count, how much
+// plan-level sharing the analyzer found, and how well the per-tuple memo is
+// paying off. Called at scrape time; a degraded or restarting incarnation
+// leaves the gauges at their last published levels.
+func (s *Service) refreshCatalogGauges() {
+	rt := s.rt.Load()
+	if rt == nil || rt.degraded || rt.multi == nil {
+		return
+	}
+	rt.mu.Lock()
+	st := rt.multi.MultiStats()
+	rt.mu.Unlock()
+	s.gauges.Set("server_catalog_queries", float64(st.Queries))
+	s.gauges.Set("server_catalog_distinct_texts", float64(st.DistinctTexts))
+	s.gauges.Set("server_catalog_predicate_classes", float64(st.Classes))
+	s.gauges.Set("server_catalog_shared_exprs", float64(st.DistinctExprs))
+	s.gauges.Set("server_shared_hit_ratio", st.SharedHitRatio())
+}
+
 // publishRingsLocked refreshes the COW ring snapshot. Callers hold s.mu.
 func (s *Service) publishRingsLocked() {
 	rings := make([]*resultLog, 0, len(s.queries))
@@ -858,14 +890,15 @@ func (s *Service) Attach(text string, shards uint32) (uint32, error) {
 	}
 	id := s.nextID
 	q := &Query{ID: id, Text: text, Shards: shards, log: s.newRing(), journaled: true}
-	run, err := s.startRun(q, nil, &rt.fenced)
+	// The WAL position must be frame-aligned, and the shared-runtime attach
+	// must not race the shared pass: rt.mu excludes the apply path, so
+	// wal.applied cannot move under us and the MultiRun is quiescent.
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	run, err := s.startRun(rt, q, nil)
 	if err != nil {
 		return 0, &serviceError{code: CodeParse, msg: err.Error()}
 	}
-	// The WAL position must be frame-aligned: rt.mu excludes the apply
-	// path, so wal.applied cannot move under us.
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	q.attachEpoch, q.attachAt = rt.wal.epoch, rt.wal.applied
 	if err := appendJournal(s.cfg.Dir, journalEntry{
 		op: jAttach, id: id, text: text, shards: shards,
@@ -937,14 +970,15 @@ var errDegraded = &serviceError{code: CodeDegraded, msg: "service degraded: inge
 // pump, or a teardown-path Close flush).
 var errFenced = errors.New("server: incarnation fenced")
 
-// fanSink fans the ingest feed out to every attached run. The rt.mu
-// acquired by the ApplyLog hook is released here, making {WAL append,
-// fan-out} one atomic step with respect to Attach/Detach.
+// fanSink feeds the ingest stream into the incarnation's shared MultiRun:
+// one pass per frame regardless of the number of attached queries. The
+// rt.mu acquired by the ApplyLog hook is released here, making {WAL append,
+// shared pass} one atomic step with respect to Attach/Detach.
 type fanSink struct {
 	rt *runtime
 }
 
-// PushBatch applies one logged data frame to every run.
+// PushBatch applies one logged data frame through the shared pass.
 func (f *fanSink) PushBatch(b *gsql.Batch) (rejected int, err error) {
 	rt := f.rt
 	defer rt.mu.Unlock() // acquired in rtLog.LogFrame
@@ -955,16 +989,7 @@ func (f *fanSink) PushBatch(b *gsql.Batch) (rejected int, err error) {
 			err = fmt.Errorf("server: runtime panic: %v", r)
 		}
 	}()
-	for _, run := range rt.runs {
-		rej, perr := run.push(b)
-		if perr != nil {
-			return rej, perr
-		}
-		if rej > rejected {
-			rejected = rej
-		}
-	}
-	return rejected, nil
+	return rt.multi.PushBatch(b)
 }
 
 // Push exists to satisfy ingest.Sink; the listener always prefers the
@@ -974,7 +999,7 @@ func (f *fanSink) Push(gsql.Tuple) error {
 	return fmt.Errorf("server: scalar push path not supported")
 }
 
-// Heartbeat applies one logged heartbeat to every run.
+// Heartbeat applies one logged heartbeat through the shared pass.
 func (f *fanSink) Heartbeat(v gsql.Value) (err error) {
 	rt := f.rt
 	defer rt.mu.Unlock() // acquired in rtLog.LogHeartbeat
@@ -985,12 +1010,7 @@ func (f *fanSink) Heartbeat(v gsql.Value) (err error) {
 			err = fmt.Errorf("server: runtime panic: %v", r)
 		}
 	}()
-	for _, run := range rt.runs {
-		if herr := run.hb(v); herr != nil {
-			return herr
-		}
-	}
-	return nil
+	return rt.multi.Heartbeat(v)
 }
 
 // rtLog adapts the incarnation WAL to ingest.ApplyLog, acquiring rt.mu so
