@@ -27,14 +27,17 @@ go test -race -run 'Churn|Crash|Handoff|Roll|Fault' -short -count=1 ./distrib/
 # Supervised query service: the crash/resume, shedding, breaker and wedge
 # drills get a dedicated -race pass — the supervisor's lock-passing pump
 # protocol and the ring freeze/thaw/fence dance are where the server's
-# locking is subtle.
-go test -race -run 'Kill|Slow|Breaker|Wedge|Shutdown|Disconnect' -count=1 ./server/
+# locking is subtle. Quarantine/Admission/Fenced cover the catalog-resilience
+# suite: poison-query fencing, dormant rebuild across crashes, admission
+# rejections, and the fence-at-pump invariant.
+go test -race -run 'Kill|Slow|Breaker|Wedge|Shutdown|Disconnect|Quarantine|Admission|Fenced' -count=1 ./server/
 
 # Shared multi-query runtime: the differential suite (MultiRun vs N
-# standalone runs, bit-for-bit, through checkpoints, epoch rolls and solo
-# replay) gets a dedicated -race pass — sharded members run the parallel
-# runtime under the shared feed.
-go test -race -run 'Multi' -count=1 ./gsql/
+# standalone runs, bit-for-bit, through checkpoints, epoch rolls, solo
+# replay, poison-query quarantine and attach/detach churn) gets a dedicated
+# -race pass — sharded members run the parallel runtime under the shared
+# feed, and detach-under-load is where the catalog locking is subtle.
+go test -race -run 'Multi|SoloReplay' -count=1 ./gsql/
 
 # Fuzz smoke: 10s per target. -run='^$' skips the unit tests (already run
 # above); -fuzzminimizetime caps the engine's per-input minimization, whose
@@ -50,6 +53,7 @@ go test -run='^$' -fuzz='^FuzzLogSegmentDecode$' -fuzztime=10s -fuzzminimizetime
 go test -run='^$' -fuzz='^FuzzSliceDecode$' -fuzztime=10s -fuzzminimizetime=10x ./distrib/
 go test -run='^$' -fuzz='^FuzzControlFrameDecode$' -fuzztime=10s -fuzzminimizetime=10x ./server/
 go test -run='^$' -fuzz='^FuzzWALRecordDecode$' -fuzztime=10s -fuzzminimizetime=10x ./server/
+go test -run='^$' -fuzz='^FuzzJournalEntryDecode$' -fuzztime=10s -fuzzminimizetime=10x ./server/
 
 # Perf gate: re-measure the hot-path micro-benchmarks and fail if any shared
 # benchmark runs >25% slower (ns/op) than the committed baseline. 300ms per
@@ -70,3 +74,12 @@ go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_PR6.json > /de
 # ~100x, so the gate has wide margin on both sides).
 go run ./cmd/fdbench -bench-json -benchtime 300ms -baseline BENCH_PR9.json > /dev/null
 go run ./cmd/fdbench -queries 1,10,100,1000 -scale-tuples 100000 -max-ratio 2.0 > /dev/null
+
+# Incremental-rebuild gate: attaching or detaching one query while 1000 are
+# standing must cost a small constant multiple of the same mutation on a
+# 10-query catalog — O(query), never O(catalog). A runtime that recompiled
+# its predicate classes or re-interned the shared expression slots per
+# mutation would cost ~100x at the 1000-query point (the committed
+# BENCH_PR10.json sweep measured 0.8x). 3x absorbs map-occupancy noise on
+# the single-core CI box while staying far below any recompile.
+go run ./cmd/fdbench -churn 10,1000 -churn-pairs 200 -churn-max-ratio 3.0 > /dev/null

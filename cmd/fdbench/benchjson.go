@@ -19,6 +19,7 @@ type benchReport struct {
 	Environment benchEnvironment        `json:"environment"`
 	Benchmarks  []bench.MicroResult     `json:"benchmarks,omitempty"`
 	Scaling     []bench.MultiScalePoint `json:"scaling,omitempty"`
+	Churn       []bench.ChurnPoint      `json:"churn,omitempty"`
 }
 
 type benchEnvironment struct {
@@ -40,13 +41,18 @@ const regressionLimit = 1.25
 // scheduler spike on the single-core CI box does not.
 const gateRetries = 2
 
-// runBenchJSON runs the micro suite and/or the multi-query scaling sweep,
-// writes the JSON report to stdout, and fails on >25% ns/op regressions
-// against a baseline or on a broken scaling invariant.
-func runBenchJSON(baselinePath, benchtime, description string, micro bool, queries string, scaleTuples int, maxRatio float64, seed uint64) error {
+// runBenchJSON runs the micro suite, the multi-query scaling sweep, and/or
+// the catalog-churn sweep, writes the JSON report to stdout, and fails on
+// >25% ns/op regressions against a baseline or on a broken scaling or churn
+// invariant.
+func runBenchJSON(baselinePath, benchtime, description string, micro bool, queries string, scaleTuples int, maxRatio float64, churn string, churnPairs int, churnMaxRatio float64, seed uint64) error {
+	command := "fdbench"
+	if micro {
+		command = fmt.Sprintf("fdbench -bench-json -benchtime %s", benchtime)
+	}
 	report := benchReport{
 		Description: description,
-		Command:     fmt.Sprintf("fdbench -bench-json -benchtime %s", benchtime),
+		Command:     command,
 		Environment: benchEnvironment{
 			GOOS:       runtime.GOOS,
 			GOARCH:     runtime.GOARCH,
@@ -77,6 +83,19 @@ func runBenchJSON(baselinePath, benchtime, description string, micro bool, queri
 		report.Scaling = points
 		report.Command = fmt.Sprintf("%s -queries %s -scale-tuples %d", report.Command, queries, scaleTuples)
 	}
+	if churn != "" {
+		catalogs, err := parseCounts(churn)
+		if err != nil {
+			return fmt.Errorf("bad -churn list: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "churn sweep: %d attach/detach pairs at catalog sizes %v\n", churnPairs, catalogs)
+		points, err := bench.RunChurn(catalogs, churnPairs, seed)
+		if err != nil {
+			return err
+		}
+		report.Churn = points
+		report.Command = fmt.Sprintf("%s -churn %s -churn-pairs %d", report.Command, churn, churnPairs)
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(report); err != nil {
@@ -101,6 +120,28 @@ func runBenchJSON(baselinePath, benchtime, description string, micro bool, queri
 			}
 		}
 		if err := checkScaling(report.Scaling, maxRatio); err != nil {
+			return err
+		}
+	}
+	if err := checkChurn(report.Churn, churnMaxRatio); err != nil {
+		// Same retry-and-keep-best discipline as the scaling gate: an
+		// O(catalog) recompile persists across laps, a scheduler spike on the
+		// single-core CI box does not.
+		catalogs := make([]int, len(report.Churn))
+		for i, p := range report.Churn {
+			catalogs[i] = p.Catalog
+		}
+		fmt.Fprintf(os.Stderr, "retrying churn sweep: %v\n", err)
+		again, rerr := bench.RunChurn(catalogs, churnPairs, seed)
+		if rerr != nil {
+			return rerr
+		}
+		for i := range report.Churn {
+			if again[i].AttachNs+again[i].DetachNs < report.Churn[i].AttachNs+report.Churn[i].DetachNs {
+				report.Churn[i] = again[i]
+			}
+		}
+		if err := checkChurn(report.Churn, churnMaxRatio); err != nil {
 			return err
 		}
 	}
@@ -159,6 +200,46 @@ func checkScaling(points []bench.MultiScalePoint, maxRatio float64) error {
 	}
 	fmt.Fprintf(os.Stderr, "\nscaling gate: %d queries at %.2fx the per-tuple cost of %d (limit %.2fx)\n",
 		top.Queries, ratio, base.Queries, maxRatio)
+	return nil
+}
+
+// checkChurn prints the churn table and enforces the incremental-rebuild
+// invariant: the largest catalog's combined attach+detach cost must stay
+// under maxRatio times the smallest catalog's. Attaching a query is parse +
+// plan + intern + splice-one-member, none of which depends on how many
+// queries are already standing; a runtime that recompiled its predicate
+// classes per mutation would cost ~100x at the 1000-query point, so the
+// 3x ci.sh gate has a wide margin on both sides.
+func checkChurn(points []bench.ChurnPoint, maxRatio float64) error {
+	if len(points) == 0 {
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "\n%-10s %14s %14s\n", "catalog", "attach ns", "detach ns")
+	for _, p := range points {
+		fmt.Fprintf(os.Stderr, "%-10d %14.1f %14.1f\n", p.Catalog, p.AttachNs, p.DetachNs)
+	}
+	if maxRatio <= 0 {
+		return nil
+	}
+	base, top := points[0], points[0]
+	for _, p := range points {
+		if p.Catalog < base.Catalog {
+			base = p
+		}
+		if p.Catalog > top.Catalog {
+			top = p
+		}
+	}
+	if top.Catalog == base.Catalog {
+		return fmt.Errorf("churn gate: need at least two distinct catalog sizes, got %d", top.Catalog)
+	}
+	ratio := (top.AttachNs + top.DetachNs) / (base.AttachNs + base.DetachNs)
+	if ratio > maxRatio {
+		return fmt.Errorf("churn gate: attach+detach at %d queries costs %.1f ns = %.2fx the %d-query cost (%.1f); limit %.2fx — catalog mutation is no longer O(query)",
+			top.Catalog, top.AttachNs+top.DetachNs, ratio, base.Catalog, base.AttachNs+base.DetachNs, maxRatio)
+	}
+	fmt.Fprintf(os.Stderr, "\nchurn gate: attach+detach at %d queries is %.2fx the %d-query cost (limit %.2fx)\n",
+		top.Catalog, ratio, base.Catalog, maxRatio)
 	return nil
 }
 

@@ -32,6 +32,16 @@
 // per-tuple cost must stay under that multiple of the count-10 point); ci.sh
 // gates on 2.0. Combined with -bench-json the sweep lands in the same JSON
 // report under "scaling".
+//
+// The catalog-churn sweep measures attach/detach latency against the number
+// of standing queries already attached:
+//
+//	fdbench -churn 10,1000 [-churn-pairs n] [-churn-max-ratio 3.0]
+//
+// With -churn-max-ratio it enforces the incremental-rebuild invariant (the
+// largest catalog's per-mutation cost must stay under that multiple of the
+// smallest catalog's — O(query), not O(catalog)); ci.sh gates on 3.0 against
+// the committed BENCH_PR10.json sweep.
 package main
 
 import (
@@ -53,11 +63,14 @@ func main() {
 	queries := flag.String("queries", "", "comma-separated standing-query counts for the multi-query scaling sweep (e.g. 1,10,100,1000)")
 	scaleTuples := flag.Int("scale-tuples", 200000, "tuples per scaling-sweep point")
 	maxRatio := flag.Float64("max-ratio", 0, "fail if the largest query count's ns/tuple exceeds this multiple of the count-10 (or smallest) point; 0 disables the check")
+	churn := flag.String("churn", "", "comma-separated catalog sizes for the attach/detach churn sweep (e.g. 10,1000)")
+	churnPairs := flag.Int("churn-pairs", 200, "attach/detach pairs per churn-sweep point")
+	churnMaxRatio := flag.Float64("churn-max-ratio", 0, "fail if the largest catalog's attach+detach ns exceeds this multiple of the smallest catalog's; 0 disables the check")
 	flag.Usage = usage
 	flag.Parse()
 	args := flag.Args()
-	if *benchJSON || *queries != "" {
-		if err := runBenchJSON(*baseline, *benchtime, *benchDesc, *benchJSON, *queries, *scaleTuples, *maxRatio, *seed); err != nil {
+	if *benchJSON || *queries != "" || *churn != "" {
+		if err := runBenchJSON(*baseline, *benchtime, *benchDesc, *benchJSON, *queries, *scaleTuples, *maxRatio, *churn, *churnPairs, *churnMaxRatio, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "fdbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -113,6 +126,10 @@ modes:
                   runtime at each standing-query count; with -max-ratio,
                   fail if the largest count exceeds that multiple of the
                   count-10 point; combines with -bench-json into one report
+  -churn N,...    attach/detach churn sweep: per-mutation ns at each catalog
+                  size; with -churn-max-ratio, fail if the largest catalog
+                  exceeds that multiple of the smallest (the incremental-
+                  rebuild gate); combines with the other modes into one report
 
 flags:
 `)

@@ -18,9 +18,11 @@
 // With -serve-drill, fdctl instead drills the supervised query service
 // (package server): a live subscriber follows a grouped aggregation while
 // the drill kills the runtime mid-stream, drops and cursor-resumes the
-// client, and cold-restarts the whole service from its state directory —
-// asserting after every act that the rows received are bit-identical to an
-// uninterrupted in-process oracle. -events doubles as the packet count.
+// client, quarantines and revives a poison query without perturbing the
+// healthy subscription, and cold-restarts the whole service from its state
+// directory — asserting after every act that the rows received are
+// bit-identical to an uninterrupted in-process oracle. -events doubles as
+// the packet count.
 package main
 
 import (

@@ -4,10 +4,11 @@ package main
 // server.Service, in the same acts-then-verdict shape as the cluster drill.
 // One subscriber follows a grouped aggregation while the drill kills the
 // runtime mid-stream (supervised restart), drops and resumes the client by
-// cursor, and finally takes the whole process through a graceful shutdown
-// and a cold restart in the same state directory. After every act the rows
-// received so far are compared bit-for-bit against an in-process oracle run
-// that was never interrupted; any drift exits non-zero.
+// cursor, fences a poison query into quarantine and revives it over the
+// control protocol, and finally takes the whole process through a graceful
+// shutdown and a cold restart in the same state directory. After every act
+// the rows received so far are compared bit-for-bit against an in-process
+// oracle run that was never interrupted; any drift exits non-zero.
 
 import (
 	"fmt"
@@ -22,6 +23,11 @@ import (
 
 const serveQuery = `select tb, dstIP, count(*), sum(len), avg(float(len))
 	from TCP group by time/10 as tb, dstIP`
+
+// servePoisonQuery divides by zero on every tuple it folds; the per-query
+// breaker fences it into quarantine while the healthy subscription above
+// must keep receiving bit-identical rows.
+const servePoisonQuery = `select tb, sum(len / (len - len)) from TCP group by time/10 as tb`
 
 const serveToken = "drill"
 
@@ -153,6 +159,14 @@ func runServeDrill(packets int, seed uint64, verbose bool) {
 	}
 	check("act 2: runtime killed twice, supervised restart", 2*q)
 
+	// A poison query joins the catalog before the next act: its div-by-zero
+	// trips the per-query breaker mid-stream, and the healthy subscription's
+	// bit-identical check below proves the blast radius stayed inside it.
+	pid, err := cl.Attach(servePoisonQuery)
+	if err != nil {
+		fatal(fmt.Errorf("poison attach: %w", err))
+	}
+
 	// The client vanishes mid-conversation and a fresh one resumes from its
 	// last-acked cursor.
 	cl.Close()
@@ -166,6 +180,26 @@ func runServeDrill(packets int, seed uint64, verbose bool) {
 	}
 	stream(dial(svc, 3), 2*q, 3*q)
 	check("act 3: client dropped, resumed by cursor", 3*q)
+
+	// The poison query must be fenced by now; revive it over the control
+	// protocol (the stream is idle, so the fence stays lifted) and detach it
+	// like any other query.
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Counters().Get("server_quarantines") < 1 {
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("act 3b: poison query never quarantined"))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cl.Revive(pid); err != nil {
+		fatal(fmt.Errorf("act 3b: revive: %w", err))
+	}
+	if err := cl.Detach(pid); err != nil {
+		fatal(fmt.Errorf("act 3b: detach revived query: %w", err))
+	}
+	fmt.Printf("%-44s quarantines=%d revives=%d  ✓ healthy rows unperturbed\n",
+		"act 3b: poison query fenced, revived, detached",
+		svc.Counters().Get("server_quarantines"), svc.Counters().Get("server_revives"))
 
 	// Full process restart: graceful shutdown (drains to a checkpoint), then
 	// a cold start from the same directory.

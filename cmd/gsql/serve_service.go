@@ -63,6 +63,19 @@ func runService(dir, controlAddr, ingestAddr, httpAddr, token string, shards int
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	// The stats line: per-query cost attribution while the runs are still
+	// live (Shutdown tears the incarnation down).
+	if top := svc.TopExpensive(3); len(top) > 0 {
+		fmt.Fprintln(os.Stderr, "most expensive queries (smoothed private ns/tuple):")
+		for _, qc := range top {
+			fenced := ""
+			if qc.Quarantined {
+				fenced = " [quarantined]"
+			}
+			fmt.Fprintf(os.Stderr, "  query %d: %.0f ns/tuple over %d tuples, %d errors%s — %s\n",
+				qc.ID, qc.NsPerTuple, qc.Tuples, qc.Errors, fenced, qc.Text)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "draining to a final checkpoint (timeout %v)...\n", drainTimeout)
 	if err := svc.Shutdown(); err != nil {
 		fatal(err)

@@ -9,10 +9,11 @@
 //
 // Canonical keys come from the gsql AST's String() form — lowercased and
 // fully parenthesized — so two expressions share a slot exactly when their
-// parse trees are structurally identical. The interner never frees a slot:
-// slot ids index directly into the runtime's shared-value table, and a
-// detached query's expressions stay interned so a re-attach rebinds to the
-// same slots.
+// parse trees are structurally identical. Slots are reference-counted:
+// every compiled plan that reads a slot holds one reference (Retain), and
+// when the last referencing query detaches the slot id returns to a free
+// list for reuse (Release). A long-lived server under attach/detach churn
+// therefore keeps the interner sized to its live catalog, not its history.
 package analyzer
 
 // Interner hash-conses canonical expression strings into dense slot ids.
@@ -21,6 +22,11 @@ package analyzer
 type Interner struct {
 	ids  map[string]int
 	keys []string
+	refs []int
+	// free holds slot ids released back for reuse; ids stay dense under
+	// churn instead of growing with the attach history.
+	free []int
+	live int
 	// hits counts Intern calls that found an existing slot (structural
 	// sharing across queries at plan time); misses counts fresh slots.
 	hits, misses uint64
@@ -31,19 +37,53 @@ func NewInterner() *Interner {
 	return &Interner{ids: map[string]int{}}
 }
 
-// Intern returns the slot id for a canonical key, allocating the next dense
-// id on first sight. fresh reports whether the slot was just created.
+// Intern returns the slot id for a canonical key, allocating a dense id
+// (reusing a released one when available) on first sight. fresh reports
+// whether the slot was just created. A fresh slot starts with a reference
+// count of zero: the caller decides with Retain whether anything pins it.
 func (in *Interner) Intern(key string) (id int, fresh bool) {
 	if id, ok := in.ids[key]; ok {
 		in.hits++
 		return id, false
 	}
-	id = len(in.keys)
+	if n := len(in.free); n > 0 {
+		id = in.free[n-1]
+		in.free = in.free[:n-1]
+		in.keys[id] = key
+	} else {
+		id = len(in.keys)
+		in.keys = append(in.keys, key)
+		in.refs = append(in.refs, 0)
+	}
 	in.ids[key] = id
-	in.keys = append(in.keys, key)
+	in.live++
 	in.misses++
 	return id, true
 }
+
+// Retain adds one reference to a live slot. It panics on ids never returned
+// by Intern, as a slice index would.
+func (in *Interner) Retain(id int) { in.refs[id]++ }
+
+// Release drops one reference. When the count reaches zero (a slot that was
+// interned but never retained frees on its first Release) the key is
+// forgotten and the id is pushed onto the free list for reuse; it reports
+// whether the slot was freed. The caller must drop its own id-indexed state
+// for freed slots before the id can be re-interned.
+func (in *Interner) Release(id int) bool {
+	if in.refs[id]--; in.refs[id] > 0 {
+		return false
+	}
+	delete(in.ids, in.keys[id])
+	in.keys[id] = ""
+	in.refs[id] = 0
+	in.free = append(in.free, id)
+	in.live--
+	return true
+}
+
+// Refs returns the current reference count of a slot id.
+func (in *Interner) Refs(id int) int { return in.refs[id] }
 
 // Lookup returns the slot id for a key without interning it.
 func (in *Interner) Lookup(key string) (int, bool) {
@@ -51,16 +91,20 @@ func (in *Interner) Lookup(key string) (int, bool) {
 	return id, ok
 }
 
-// Len returns the number of distinct interned keys.
-func (in *Interner) Len() int { return len(in.keys) }
+// Len returns the number of live interned keys (freed slots excluded).
+func (in *Interner) Len() int { return in.live }
 
-// Key returns the canonical key of a slot id; it panics on ids never
-// returned by Intern, as a slice index would.
+// Cap returns the high-water slot count — the size of the id-indexed tables
+// a caller mirrors (live slots plus the free list).
+func (in *Interner) Cap() int { return len(in.keys) }
+
+// Key returns the canonical key of a slot id ("" for a freed slot); it
+// panics on ids never returned by Intern, as a slice index would.
 func (in *Interner) Key(id int) string { return in.keys[id] }
 
 // Stats returns the interner's plan-time sharing counters.
 func (in *Interner) Stats() Stats {
-	return Stats{Distinct: len(in.keys), Hits: in.hits, Misses: in.misses}
+	return Stats{Distinct: in.live, Hits: in.hits, Misses: in.misses}
 }
 
 // Stats summarizes sharing: Distinct is the population (slots or catalog
@@ -89,7 +133,7 @@ type Entry struct {
 	Data any
 }
 
-// Catalog dedupes compiled artifacts by exact key. Unlike the interner it
+// Catalog dedupes compiled artifacts by exact key. Like the interner it
 // releases entries: a statement whose every attach has detached is dropped,
 // so the catalog tracks the live query population, not its history.
 type Catalog struct {
@@ -116,6 +160,9 @@ func (c *Catalog) Acquire(key string) (e *Entry, fresh bool) {
 	c.misses++
 	return e, true
 }
+
+// Get returns the live entry for key without touching its refcount, or nil.
+func (c *Catalog) Get(key string) *Entry { return c.entries[key] }
 
 // Release drops one reference; the entry is removed when the count reaches
 // zero. It reports whether the entry was removed, and is a no-op for

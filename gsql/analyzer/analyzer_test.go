@@ -37,6 +37,108 @@ func TestInternerDenseIDs(t *testing.T) {
 	}
 }
 
+func TestInternerRetainRelease(t *testing.T) {
+	in := NewInterner()
+	a, _ := in.Intern("a")
+	b, _ := in.Intern("b")
+	in.Retain(a)
+	in.Retain(a)
+	in.Retain(b)
+	if in.Refs(a) != 2 || in.Refs(b) != 1 {
+		t.Fatalf("refs = (%d, %d), want (2, 1)", in.Refs(a), in.Refs(b))
+	}
+	if in.Release(a) {
+		t.Fatal("slot freed while a reference remains")
+	}
+	if !in.Release(a) {
+		t.Fatal("slot not freed at refcount zero")
+	}
+	if in.Len() != 1 {
+		t.Fatalf("live = %d after free, want 1", in.Len())
+	}
+	if _, ok := in.Lookup("a"); ok {
+		t.Fatal("freed key still resolves")
+	}
+	if in.Key(a) != "" {
+		t.Fatalf("freed slot key = %q, want empty", in.Key(a))
+	}
+	// The freed id is reused for the next fresh key; capacity stays flat.
+	c, fresh := in.Intern("c")
+	if !fresh || c != a {
+		t.Fatalf("reuse intern = (%d, %v), want (%d, true)", c, fresh, a)
+	}
+	if in.Cap() != 2 || in.Len() != 2 {
+		t.Fatalf("cap=%d live=%d after reuse, want 2, 2", in.Cap(), in.Len())
+	}
+	// An unretained slot frees on its first Release (failed-compile
+	// placeholders use this).
+	d, _ := in.Intern("d")
+	if !in.Release(d) {
+		t.Fatal("unretained slot did not free on first release")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("live = %d, want 2", in.Len())
+	}
+}
+
+// TestInternerChurnReturnsToBaseline: a long attach/detach churn must leave
+// the interner at its pre-churn size — the leak regression this package's
+// refcounting exists to prevent.
+func TestInternerChurnReturnsToBaseline(t *testing.T) {
+	in := NewInterner()
+	base, _ := in.Intern("resident")
+	in.Retain(base)
+	baseLive := in.Len()
+	for i := 0; i < 10_000; i++ {
+		key := "churn-" + string(rune('a'+i%26)) + "-" + itoa(i)
+		id, fresh := in.Intern(key)
+		if !fresh {
+			t.Fatalf("churn key %q was already interned", key)
+		}
+		in.Retain(id)
+		if !in.Release(id) {
+			t.Fatalf("churn slot %d did not free", id)
+		}
+	}
+	if in.Len() != baseLive {
+		t.Fatalf("live = %d after churn, want baseline %d", in.Len(), baseLive)
+	}
+	if in.Cap() > baseLive+1 {
+		t.Fatalf("cap = %d after churn, want at most %d (ids must be reused)", in.Cap(), baseLive+1)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestCatalogGet(t *testing.T) {
+	c := NewCatalog()
+	if c.Get("q") != nil {
+		t.Fatal("Get on an empty catalog returned an entry")
+	}
+	e, _ := c.Acquire("q")
+	e.Data = "compiled"
+	got := c.Get("q")
+	if got != e || got.Refs != 1 {
+		t.Fatalf("Get = %+v, want the acquired entry with refs untouched", got)
+	}
+	c.Release("q")
+	if c.Get("q") != nil {
+		t.Fatal("Get returned a released entry")
+	}
+}
+
 func TestCatalogRefcounts(t *testing.T) {
 	c := NewCatalog()
 	e1, fresh := c.Acquire("q")

@@ -21,6 +21,12 @@ type Options struct {
 	// overflow-triggered landmark advancement across every live aggregate.
 	// Nil leaves the landmark fixed for the run's lifetime.
 	Epoch *EpochConfig
+	// Isolate enables per-query fault isolation in the multi-query runtime
+	// (see MultiRun): breaker/cardinality quarantine and attach-time
+	// admission control. Nil keeps the legacy fate-sharing behavior where
+	// the first member error aborts the tuple for the whole runtime.
+	// Standalone runs ignore it.
+	Isolate *IsolateConfig
 }
 
 // Run executes one prepared statement over a stream: Push tuples, then
@@ -378,6 +384,12 @@ func (r *Run) heartbeatBucket(ts Value) error {
 	}
 	return nil
 }
+
+// liveGroups approximates the live group population of the open bucket: the
+// high-level table plus the low-level slots occupied since the last flush.
+// lowUsed may briefly hold stale indexes from aborted inserts, so this is an
+// upper bound — which is the right direction for a cardinality cap.
+func (r *Run) liveGroups() int { return len(r.high) + len(r.lowUsed) }
 
 // Close flushes the final (still open) bucket.
 func (r *Run) Close() error { return r.flush() }

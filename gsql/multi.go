@@ -2,7 +2,9 @@ package gsql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"time"
 
 	"forwarddecay/gsql/analyzer"
 )
@@ -32,6 +34,25 @@ import (
 // passes — the Gigascope observation that a thousand LFTAs over one NIC
 // should cost one scan, applied at the expression level.
 //
+// Catalog-scale operations (attach/detach churn, hostile queries):
+//
+//   - Incremental rebuild: every attach and detach updates predicate
+//     classes, shared-slot refcounts and the analyzer's interner in place —
+//     membership lists use swap-remove via stored positions, slot retains
+//     are recorded per compiled artifact and released when its last
+//     reference drops — so attach/detach latency is O(query), independent
+//     of the catalog size.
+//   - Fault isolation (Options.Isolate): a query whose private expressions
+//     panic, whose error rate trips a per-query breaker, or whose group
+//     table exceeds a cardinality cap is fenced into a Quarantined state.
+//     Its shared slots and class membership are released and its last
+//     checkpoint retained for an operator-initiated Revive; every other
+//     query continues bit-for-bit as if the offender were never attached.
+//   - Admission control (Options.Isolate.AdmitBudget): Attach estimates the
+//     per-tuple cost of the candidate's private (non-shared) expressions
+//     against a catalog-wide budget and rejects with a typed
+//     *AdmissionError before touching any catalog state.
+//
 // Sharing safety invariants (the reasons the memo is correct):
 //
 //   - Single producer. A MultiRun, like a Run, is driven by one goroutine;
@@ -57,6 +78,7 @@ type MultiRun struct {
 	eng    *Engine
 	schema *Schema
 	opts   Options
+	iso    *IsolateConfig // normalized copy of opts.Isolate; nil = legacy
 
 	// Plan-time identity: expression interner and per-mode statement
 	// catalogs (serial and sharded plans compile differently, so the same
@@ -71,6 +93,11 @@ type MultiRun struct {
 	// structural compilation takes over (reproducing the compile error).
 	slots []*sharedSlot
 
+	// recording, when non-nil, collects the slot ids retained by the shared
+	// hook during one compile scope; the scope owner stores the list with
+	// the compiled artifact and releases it with the artifact.
+	recording *[]int
+
 	// Memo protocol: gen advances once per shared tuple and never moves
 	// backwards (a reset could collide with a stale slot generation); share
 	// gates memoization so unshared evaluation paths need no generation
@@ -82,10 +109,14 @@ type MultiRun struct {
 
 	classes    []*predClass
 	classByKey map[string]*predClass
-	parallel   []*multiEntry // sharded members, attach order
+	parallel   []*multiEntry // sharded members; order changes under churn
 
 	entries map[uint64]*multiEntry
 	nextID  uint64
+
+	// admitUsed is the summed private-cost estimate of every admitted query
+	// (quarantined ones excluded), checked against iso.AdmitBudget.
+	admitUsed float64
 
 	// tuples is the shared feed position: every attached member has seen
 	// every tuple since its attach point. Per-run counters are derived
@@ -104,6 +135,74 @@ type MultiRun struct {
 	soloSel []uint64
 	mbx     *batchExec
 	row     Tuple
+}
+
+// IsolateConfig tunes per-query fault isolation and admission control in a
+// MultiRun. The zero value of each field selects a sane default where one
+// exists; a nil *IsolateConfig in Options disables isolation entirely.
+type IsolateConfig struct {
+	// BreakerErrors quarantines a query after this many consecutive
+	// failed folds (its private expressions, aggregate steps or sink
+	// erroring tuple after tuple). 0 disables the breaker; transient
+	// errors then only count toward QueryStats.Errors.
+	BreakerErrors int
+	// MaxGroups quarantines a serial query whose live group population
+	// (current bucket) exceeds the cap — the group-key cardinality bomb.
+	// 0 disables the cap. Sharded members are not capped: their group
+	// state lives on shard workers where counting it would need a barrier.
+	MaxGroups int
+	// AdmitBudget is the catalog-wide budget for estimated private-
+	// expression cost, in estimated ns/tuple (the same unit QueryStats
+	// reports). Attach rejects with *AdmissionError when the candidate's
+	// estimate would push the catalog over. 0 disables admission control.
+	AdmitBudget float64
+	// EWMAAlpha is the smoothing factor of the measured ns/tuple EWMA
+	// (default 0.2); SampleEvery is the fold sampling stride of the scalar
+	// path (default 32 — timing every fold would dominate cheap queries).
+	EWMAAlpha   float64
+	SampleEvery int
+	// OnQuarantine, when set, is called synchronously (on the producer
+	// goroutine, mid-Push) each time a query is fenced. It must not call
+	// back into the MultiRun.
+	OnQuarantine func(QuarantineEvent)
+}
+
+// Quarantine reasons, as reported by QueryStats.Reason and QuarantineEvent.
+const (
+	QuarantinePanic       = "panic"
+	QuarantineBreaker     = "breaker"
+	QuarantineCardinality = "cardinality"
+	QuarantineEpoch       = "epoch-shift"
+)
+
+// QuarantineEvent describes one query being fenced out of the shared feed.
+type QuarantineEvent struct {
+	ID     uint64
+	Tag    any    // caller's tag, set via MultiHandle.SetTag
+	Text   string // query text
+	Reason string // Quarantine* constant
+	Err    error  // the triggering error (panic text for QuarantinePanic)
+	// Retained is the best-effort checkpoint taken at quarantine time (nil
+	// when the run's state was too damaged to serialize); Revive resumes
+	// from it.
+	Retained []byte
+	// Tuples is the query's tuple counter at quarantine time.
+	Tuples uint64
+}
+
+// AdmissionError reports an attach rejected by admission control: the
+// candidate's estimated private per-tuple cost would push the catalog over
+// its budget. The running catalog is left untouched.
+type AdmissionError struct {
+	Query   string
+	EstCost float64 // candidate's estimated private ns/tuple
+	Used    float64 // already-admitted estimate sum
+	Budget  float64
+}
+
+func (e *AdmissionError) Error() string {
+	return fmt.Sprintf("gsql: admission rejected: query costs ~%.0f ns/tuple, catalog at %.0f of %.0f",
+		e.EstCost, e.Used, e.Budget)
 }
 
 // sharedSlot is one hash-consed subexpression: its compiled evaluator and
@@ -141,6 +240,10 @@ type predClass struct {
 	key  string // canonical WHERE key; "" for unfiltered queries
 	pred evalFn // nil for unfiltered
 	ast  expr   // the WHERE AST the class was built from
+	pos  int    // index in m.classes, maintained by swap-remove
+	// slots are the shared-slot retains of the class predicate compile,
+	// released when the class is pruned.
+	slots []int
 
 	// vp is the vectorized where-only plan (nil when it did not compile);
 	// ctx and sel are its per-class scratch.
@@ -148,22 +251,43 @@ type predClass struct {
 	ctx vctx
 	sel []uint64
 
-	members []*multiEntry // attach order
+	members []*multiEntry // order changes under churn (swap-remove)
 }
 
 // multiEntry is one attached query.
 type multiEntry struct {
-	id    uint64
-	text  string
-	mode  string // catalog key space: "serial" or "parallel"
-	run   *Run
-	pr    *ParallelRun
-	cls   *predClass
-	armed bool
+	id     uint64
+	text   string
+	mode   string // catalog key space: "serial" or "parallel"
+	shards int
+	sink   func(Tuple) error
+	run    *Run
+	pr     *ParallelRun
+	cls    *predClass
+	pos    int // index in cls.members or m.parallel (swap-remove)
+	armed  bool
+	tag    any
 	// off converts the shared feed position into this run's tuple counter:
 	// r.tuples == m.tuples + off. Attach sets it to -m.tuples; restore to
 	// ckpt.tuples - m.tuples; solo pushes advance it directly.
 	off int64
+
+	// Admission and attribution (only maintained under Options.Isolate,
+	// except estCost which admission always records).
+	estCost    float64
+	folds      uint64
+	errs       uint64
+	consecErrs int
+	nsEWMA     float64
+
+	// Quarantine state. A quarantined entry stays in m.entries (visible to
+	// stats, detachable, revivable) but is unlinked from every shared
+	// structure; retained is its best-effort quarantine-time checkpoint.
+	quarantined bool
+	qreason     string
+	qerr        error
+	qtuples     uint64
+	retained    []byte
 }
 
 // MultiHandle is the caller's reference to one attached query.
@@ -172,12 +296,20 @@ type MultiHandle struct {
 	e *multiEntry
 }
 
-// serialStmt is the serial catalog artifact: the deduped statement plus the
-// pieces the predicate class is built from.
+// serialStmt is the serial catalog artifact: the deduped statement, the
+// pieces the predicate class is built from, and the shared-slot retains of
+// its compile (released with the last reference to the text).
 type serialStmt struct {
 	st       *Statement
 	whereKey string
 	whereAST expr
+	slots    []int
+}
+
+// parallelStmt is the sharded catalog artifact.
+type parallelStmt struct {
+	st    *Statement
+	slots []int
 }
 
 // NewMultiRun creates an empty multi-query runtime over one registered
@@ -206,6 +338,16 @@ func NewMultiRun(e *Engine, stream string, opts Options) (*MultiRun, error) {
 		ep:         ep,
 		row:        make(Tuple, len(schema.Cols)),
 	}
+	if opts.Isolate != nil {
+		iso := *opts.Isolate
+		if iso.EWMAAlpha <= 0 {
+			iso.EWMAAlpha = 0.2
+		}
+		if iso.SampleEvery <= 0 {
+			iso.SampleEvery = 32
+		}
+		m.iso = &iso
+	}
 	m.env = &compileEnv{
 		resolve: func(name string) int { return schema.ColumnIndex(name) },
 		colType: func(name string) Type {
@@ -228,7 +370,9 @@ func NewMultiRun(e *Engine, stream string, opts Options) (*MultiRun, error) {
 // plainly (a slot would only add indirection); everything else interns by
 // canonical key, compiles once through this same environment (so nested
 // subexpressions land in their own slots), and thereafter every query
-// referencing the subtree reads the one slot.
+// referencing the subtree reads the one slot. Every returned slot is
+// retained into the active compile scope, so a detach can give the retains
+// back.
 func (m *MultiRun) sharedHook(e expr) evalFn {
 	switch e.(type) {
 	case *binExpr, *unExpr, *callExpr:
@@ -244,6 +388,7 @@ func (m *MultiRun) sharedHook(e expr) evalFn {
 			return nil
 		}
 		m.in.Intern(key) // count the reuse
+		m.recordSlot(id)
 		return s.read
 	}
 	id, _ := m.in.Intern(key)
@@ -252,50 +397,99 @@ func (m *MultiRun) sharedHook(e expr) evalFn {
 	}
 	fn, err := m.env.compile(e)
 	if err != nil {
-		// Leave the slot nil: the caller's structural compilation of the
-		// same subtree reproduces the same error.
+		// Drop the placeholder: the caller's structural compilation of the
+		// same subtree reproduces the error, and a failed subtree must not
+		// pin an interner slot.
+		if m.in.Release(id) {
+			m.slots[id] = nil
+		}
 		return nil
 	}
 	s := &sharedSlot{m: m, fn: fn}
 	m.slots[id] = s
+	m.recordSlot(id)
 	return s.read
 }
 
-// prepareSerial parses and compiles text for shared serial execution: WHERE
+// recordSlot retains a slot into the active compile scope.
+func (m *MultiRun) recordSlot(id int) {
+	m.in.Retain(id)
+	if m.recording != nil {
+		*m.recording = append(*m.recording, id)
+	}
+}
+
+// releaseSlots gives back one retain per listed slot, clearing the slot
+// table entry of any slot whose last retain dropped (its id returns to the
+// interner's free list for reuse).
+func (m *MultiRun) releaseSlots(ids []int) {
+	for _, id := range ids {
+		if m.in.Release(id) {
+			m.slots[id] = nil
+		}
+	}
+}
+
+// compileScope runs f with slot recording active and returns the ids of
+// every shared slot retained during it. On error the retained slots are
+// released, so a failed attach leaves the interner exactly as it found it.
+func (m *MultiRun) compileScope(f func() error) ([]int, error) {
+	var rec []int
+	prev := m.recording
+	m.recording = &rec
+	err := f()
+	m.recording = prev
+	if err != nil {
+		m.releaseSlots(rec)
+		return nil, err
+	}
+	return rec, nil
+}
+
+// prepareSerial compiles a parsed query for shared serial execution: WHERE
 // stripped from the per-query plan (the predicate class applies it), every
 // tuple-level expression routed through the shared slots.
-func (m *MultiRun) prepareSerial(text string) (*serialStmt, error) {
-	ast, err := m.parse(text)
-	if err != nil {
-		return nil, err
-	}
-	p, err := buildPlanH(ast, m.schema, m.eng.aggs, planHooks{shared: m.sharedHook, stripWhere: true})
-	if err != nil {
-		return nil, err
-	}
-	p.fp = fingerprint(text, m.schema.Name)
-	ss := &serialStmt{st: &Statement{p: p, text: text}, whereAST: ast.where}
+func (m *MultiRun) prepareSerial(text string, ast *queryAST) (*serialStmt, error) {
+	ss := &serialStmt{whereAST: ast.where}
 	if ast.where != nil {
 		ss.whereKey = exprKey(ast.where)
 	}
+	slots, err := m.compileScope(func() error {
+		p, err := buildPlanH(ast, m.schema, m.eng.aggs, planHooks{shared: m.sharedHook, stripWhere: true})
+		if err != nil {
+			return err
+		}
+		p.fp = fingerprint(text, m.schema.Name)
+		ss.st = &Statement{p: p, text: text}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ss.slots = slots
 	return ss, nil
 }
 
-// prepareParallel parses and compiles text for a sharded member: WHERE and
+// prepareParallel compiles a parsed query for a sharded member: WHERE and
 // group expressions stay in the plan (the coordinator evaluates them on the
 // producer goroutine, so they still share slots); aggregate arguments
 // compile plainly because shard workers evaluate them off-thread.
-func (m *MultiRun) prepareParallel(text string) (*Statement, error) {
-	ast, err := m.parse(text)
+func (m *MultiRun) prepareParallel(text string, ast *queryAST) (*parallelStmt, error) {
+	ps := &parallelStmt{}
+	slots, err := m.compileScope(func() error {
+		p, err := buildPlanH(ast, m.schema, m.eng.aggs, planHooks{shared: m.sharedHook, plainArgs: true})
+		if err != nil {
+			return err
+		}
+		p.fp = fingerprint(text, m.schema.Name)
+		ps.st = &Statement{p: p, text: text}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	p, err := buildPlanH(ast, m.schema, m.eng.aggs, planHooks{shared: m.sharedHook, plainArgs: true})
-	if err != nil {
-		return nil, err
-	}
-	p.fp = fingerprint(text, m.schema.Name)
-	return &Statement{p: p, text: text}, nil
+	ps.slots = slots
+	return ps, nil
 }
 
 func (m *MultiRun) parse(text string) (*queryAST, error) {
@@ -318,24 +512,146 @@ func (m *MultiRun) classFor(ss *serialStmt) (*predClass, error) {
 	}
 	cls := &predClass{key: ss.whereKey, ast: ss.whereAST}
 	if ss.whereAST != nil {
-		fn, err := m.env.compile(ss.whereAST)
+		slots, err := m.compileScope(func() error {
+			fn, err := m.env.compile(ss.whereAST)
+			if err != nil {
+				return err
+			}
+			cls.pred = fn
+			cls.vp = compileVecPlan(m.env, m.schema, ss.whereAST, nil, nil)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		cls.pred = fn
-		cls.vp = compileVecPlan(m.env, m.schema, ss.whereAST, nil, nil)
+		cls.slots = slots
 	}
+	cls.pos = len(m.classes)
 	m.classByKey[ss.whereKey] = cls
 	m.classes = append(m.classes, cls)
 	return cls, nil
 }
+
+// Per-tuple cost model weights, in rough nanoseconds on a contemporary
+// core. Absolute accuracy does not matter — admission compares candidates
+// against a budget in the same unit, and the measured EWMA refines the
+// picture once the query runs.
+const (
+	costLit      = 1.0
+	costCol      = 2.0
+	costUnary    = 2.0
+	costBinary   = 4.0
+	costCall     = 24.0
+	costAggStep  = 16.0
+	costSlotRead = 3.0
+)
+
+// exprCost estimates the per-tuple cost of evaluating e, charging subtrees
+// already interned as live shared slots a flat slot-read: the catalog pays
+// for those once regardless of this query.
+func (m *MultiRun) exprCost(e expr) float64 {
+	if e == nil {
+		return 0
+	}
+	switch e.(type) {
+	case *binExpr, *unExpr, *callExpr:
+		if id, ok := m.in.Lookup(exprKey(e)); ok && id < len(m.slots) && m.slots[id] != nil {
+			return costSlotRead
+		}
+	}
+	switch n := e.(type) {
+	case *colRef:
+		return costCol
+	case *unExpr:
+		return costUnary + m.exprCost(n.e)
+	case *binExpr:
+		return costBinary + m.exprCost(n.l) + m.exprCost(n.r)
+	case *callExpr:
+		c := costCall
+		for _, a := range n.args {
+			c += m.exprCost(a)
+		}
+		return c
+	case *aggExpr:
+		c := costAggStep
+		for _, a := range n.args {
+			c += m.exprCost(a)
+		}
+		return c
+	default: // literals
+		return costLit
+	}
+}
+
+// aggStepCost sums the per-tuple stepping cost of every aggregate call in
+// an output expression (the rest of the output expression runs per emitted
+// row, not per tuple, and is excluded).
+func (m *MultiRun) aggStepCost(e expr) float64 {
+	switch n := e.(type) {
+	case *aggExpr:
+		return m.exprCost(n)
+	case *unExpr:
+		return m.aggStepCost(n.e)
+	case *binExpr:
+		return m.aggStepCost(n.l) + m.aggStepCost(n.r)
+	case *callExpr:
+		var c float64
+		for _, a := range n.args {
+			c += m.aggStepCost(a)
+		}
+		return c
+	default:
+		return 0
+	}
+}
+
+// privateCost estimates the per-tuple cost a candidate adds to the shared
+// pass: its WHERE (free when an identical predicate class already runs),
+// group expressions, and aggregate stepping. This is the estimate admission
+// control checks and the seed of the query's measured ns/tuple EWMA.
+func (m *MultiRun) privateCost(q *queryAST) float64 {
+	var c float64
+	if q.where != nil {
+		if m.classByKey[exprKey(q.where)] == nil {
+			c += m.exprCost(q.where)
+		} else {
+			c += costSlotRead
+		}
+	}
+	for _, g := range q.group {
+		c += m.exprCost(g.e)
+	}
+	for _, s := range q.sel {
+		c += m.aggStepCost(s.e)
+	}
+	if q.having != nil {
+		c += m.aggStepCost(q.having)
+	}
+	return c
+}
+
+// admit runs admission control for a candidate, returning its private-cost
+// estimate. The check happens before any catalog state is touched, so a
+// rejected attach perturbs nothing.
+func (m *MultiRun) admit(text string, q *queryAST) (float64, error) {
+	est := m.privateCost(q)
+	if m.iso != nil && m.iso.AdmitBudget > 0 && m.admitUsed+est > m.iso.AdmitBudget {
+		return est, &AdmissionError{Query: text, EstCost: est, Used: m.admitUsed, Budget: m.iso.AdmitBudget}
+	}
+	return est, nil
+}
+
+// AdmitUsed returns the summed private-cost estimate of the admitted
+// catalog (the quantity admission control compares against the budget).
+func (m *MultiRun) AdmitUsed() float64 { return m.admitUsed }
 
 // Attach registers a query against the shared feed and starts its run.
 // shards > 0 selects sharded (LFTA/HFTA) execution with that many workers.
 // Identical query texts share one compiled plan; every attach owns its own
 // run, sink, cursor and checkpoints. Queries attached mid-stream see only
 // tuples pushed after their attach, exactly as a standalone run started at
-// that point would.
+// that point would. Under admission control an attach that would blow the
+// catalog budget fails with *AdmissionError.
 func (m *MultiRun) Attach(text string, shards int, sink func(Tuple) error) (*MultiHandle, error) {
 	return m.add(text, shards, nil, sink)
 }
@@ -349,79 +665,22 @@ func (m *MultiRun) Restore(text string, shards int, ckpt []byte, sink func(Tuple
 }
 
 func (m *MultiRun) add(text string, shards int, ckpt []byte, sink func(Tuple) error) (*MultiHandle, error) {
-	e := &multiEntry{id: m.nextID, text: text}
-	if shards > 0 {
-		ent, fresh := m.pcat.Acquire(text)
-		if fresh {
-			st, err := m.prepareParallel(text)
-			if err != nil {
-				m.pcat.Release(text)
-				return nil, err
-			}
-			ent.Data = st
-		}
-		st := ent.Data.(*Statement)
-		popts := ParallelOptions{Shards: shards, Epoch: m.opts.Epoch}
-		var pr *ParallelRun
-		var err error
-		if ckpt != nil {
-			pr, err = st.RestoreParallel(ckpt, sink, popts)
-		} else {
-			pr, err = st.StartParallel(sink, popts)
-		}
-		if err != nil {
-			m.pcat.Release(text)
-			return nil, err
-		}
-		e.mode, e.pr = "parallel", pr
-		m.parallel = append(m.parallel, e)
-	} else {
-		ent, fresh := m.scat.Acquire(text)
-		if fresh {
-			ss, err := m.prepareSerial(text)
-			if err != nil {
-				m.scat.Release(text)
-				return nil, err
-			}
-			ent.Data = ss
-		}
-		ss := ent.Data.(*serialStmt)
-		cls, err := m.classFor(ss)
-		if err != nil {
-			m.scat.Release(text)
-			return nil, err
-		}
-		var r *Run
-		if ckpt != nil {
-			r, err = ss.st.Restore(ckpt, sink, m.opts)
-			if err != nil {
-				m.scat.Release(text)
-				return nil, err
-			}
-			e.off = int64(r.tuples) - int64(m.tuples)
-			// A restored epoch stamp re-anchors the shared supervisor: the
-			// whole runtime must continue the checkpointed landmark
-			// sequence, and later attaches must be born onto it.
-			if r.landmarkSet {
-				m.curL, m.landmarkSet = r.curL, true
-				if m.ep != nil && r.ep != nil {
-					m.ep.epoch, m.ep.model = r.ep.epoch, r.ep.model
-				}
-			}
-		} else {
-			r = newRun(ss.st.p, sink, m.opts)
-			e.off = -int64(m.tuples)
-			// Born after a rollover: adopt the current landmark so this
-			// run's groups live in the same frame as everyone else's.
-			if m.landmarkSet {
-				r.curL, r.landmarkSet = m.curL, true
-				if m.ep != nil && r.ep != nil {
-					r.ep.epoch, r.ep.model = m.ep.epoch, m.ep.model
-				}
-			}
-		}
-		e.mode, e.run, e.cls = "serial", r, cls
-		cls.members = append(cls.members, e)
+	ast, err := m.parse(text)
+	if err != nil {
+		return nil, err
+	}
+	est, err := m.admit(text, ast)
+	if err != nil {
+		return nil, err
+	}
+	e := &multiEntry{id: m.nextID, text: text, shards: shards, sink: sink}
+	if err := m.link(e, ast, ckpt); err != nil {
+		return nil, err
+	}
+	e.estCost = est
+	m.admitUsed += est
+	if m.iso != nil {
+		e.nsEWMA = est
 	}
 	m.nextID++
 	m.entries[e.id] = e
@@ -429,10 +688,248 @@ func (m *MultiRun) add(text string, shards int, ckpt []byte, sink func(Tuple) er
 	return &MultiHandle{m: m, e: e}, nil
 }
 
+// link compiles (or re-acquires) the entry's plan and joins it to the
+// shared feed: catalog reference, predicate-class membership, run creation,
+// landmark adoption. On error everything it acquired is released. Attach,
+// Restore and Revive all come through here, and its cost is O(query) — no
+// catalog-wide recompilation happens on any membership change.
+func (m *MultiRun) link(e *multiEntry, ast *queryAST, ckpt []byte) error {
+	if e.shards > 0 {
+		ent, fresh := m.pcat.Acquire(e.text)
+		if fresh {
+			ps, err := m.prepareParallel(e.text, ast)
+			if err != nil {
+				m.pcat.Release(e.text)
+				return err
+			}
+			ent.Data = ps
+		}
+		ps := ent.Data.(*parallelStmt)
+		popts := ParallelOptions{Shards: e.shards, Epoch: m.opts.Epoch}
+		var pr *ParallelRun
+		var err error
+		if ckpt != nil {
+			pr, err = ps.st.RestoreParallel(ckpt, e.sink, popts)
+		} else {
+			pr, err = ps.st.StartParallel(e.sink, popts)
+		}
+		if err != nil {
+			m.releaseParallelRef(e.text)
+			return err
+		}
+		e.mode, e.pr, e.run, e.cls = "parallel", pr, nil, nil
+		e.pos = len(m.parallel)
+		m.parallel = append(m.parallel, e)
+		return nil
+	}
+	ent, fresh := m.scat.Acquire(e.text)
+	if fresh {
+		ss, err := m.prepareSerial(e.text, ast)
+		if err != nil {
+			m.scat.Release(e.text)
+			return err
+		}
+		ent.Data = ss
+	}
+	ss := ent.Data.(*serialStmt)
+	cls, err := m.classFor(ss)
+	if err != nil {
+		m.releaseSerialRef(e.text)
+		return err
+	}
+	var r *Run
+	if ckpt != nil {
+		r, err = ss.st.Restore(ckpt, e.sink, m.opts)
+		if err != nil {
+			m.releaseSerialRef(e.text)
+			return err
+		}
+		e.off = int64(r.tuples) - int64(m.tuples)
+		// A restored epoch stamp re-anchors the shared supervisor: the
+		// whole runtime must continue the checkpointed landmark
+		// sequence, and later attaches must be born onto it.
+		if r.landmarkSet {
+			m.curL, m.landmarkSet = r.curL, true
+			if m.ep != nil && r.ep != nil {
+				m.ep.epoch, m.ep.model = r.ep.epoch, r.ep.model
+			}
+		}
+	} else {
+		r = newRun(ss.st.p, e.sink, m.opts)
+		e.off = -int64(m.tuples)
+		// Born after a rollover: adopt the current landmark so this
+		// run's groups live in the same frame as everyone else's.
+		if m.landmarkSet {
+			r.curL, r.landmarkSet = m.curL, true
+			if m.ep != nil && r.ep != nil {
+				r.ep.epoch, r.ep.model = m.ep.epoch, m.ep.model
+			}
+		}
+	}
+	e.mode, e.run, e.pr, e.cls = "serial", r, nil, cls
+	e.pos = len(cls.members)
+	cls.members = append(cls.members, e)
+	return nil
+}
+
+// releaseSerialRef drops one serial-catalog reference to text; the last
+// reference also returns the statement's shared-slot retains.
+func (m *MultiRun) releaseSerialRef(text string) {
+	ent := m.scat.Get(text)
+	if ent == nil {
+		return
+	}
+	ss, _ := ent.Data.(*serialStmt)
+	if m.scat.Release(text) && ss != nil {
+		m.releaseSlots(ss.slots)
+	}
+}
+
+// releaseParallelRef is releaseSerialRef for the sharded catalog.
+func (m *MultiRun) releaseParallelRef(text string) {
+	ent := m.pcat.Get(text)
+	if ent == nil {
+		return
+	}
+	ps, _ := ent.Data.(*parallelStmt)
+	if m.pcat.Release(text) && ps != nil {
+		m.releaseSlots(ps.slots)
+	}
+}
+
+// swapRemoveAt removes index i from a membership list in O(1), keeping the
+// moved element's stored position current.
+func swapRemoveAt(s []*multiEntry, i int) []*multiEntry {
+	last := len(s) - 1
+	s[i] = s[last]
+	s[i].pos = i
+	s[last] = nil
+	return s[:last]
+}
+
+// unlink removes an armed entry from every shared structure: class
+// membership (pruning an empty class and releasing its predicate slots),
+// the sharded member list, the admission budget, and the catalog reference
+// (releasing the statement's shared slots on the last one). O(1) in the
+// catalog size via the stored positions. The entry itself stays wherever
+// the caller keeps it — Detach drops it, quarantine retains it.
+func (m *MultiRun) unlink(e *multiEntry) {
+	m.admitUsed -= e.estCost
+	if e.pr != nil {
+		m.parallel = swapRemoveAt(m.parallel, e.pos)
+		m.releaseParallelRef(e.text)
+		return
+	}
+	cls := e.cls
+	cls.members = swapRemoveAt(cls.members, e.pos)
+	if len(cls.members) == 0 {
+		delete(m.classByKey, cls.key)
+		last := len(m.classes) - 1
+		m.classes[cls.pos] = m.classes[last]
+		m.classes[cls.pos].pos = cls.pos
+		m.classes[last] = nil
+		m.classes = m.classes[:last]
+		m.releaseSlots(cls.slots)
+		cls.slots = nil
+	}
+	e.cls = nil
+	m.releaseSerialRef(e.text)
+}
+
+// abortParallel tears a sharded member's workers down without the final
+// flush: quarantine must not emit rows from a fenced query, but the worker
+// goroutines must not outlive their membership either.
+func abortParallel(pr *ParallelRun) {
+	defer func() { _ = recover() }()
+	if pr.closed {
+		return
+	}
+	pr.closed = true
+	for _, w := range pr.workers {
+		close(w.work)
+	}
+	for _, w := range pr.workers {
+		<-w.done
+	}
+}
+
+// quarantine fences an armed entry out of the shared feed: best-effort
+// checkpoint, unlink from classes/slots/catalogs, state flip, operator
+// callback. Everything else keeps running as if the query were never
+// attached; the entry stays in m.entries for stats, Detach and Revive.
+func (m *MultiRun) quarantine(e *multiEntry, reason string, cause error) {
+	if !e.armed || e.quarantined {
+		return
+	}
+	// The run may be mid-fold corrupt (panic path), so the retained
+	// checkpoint is best-effort: a failure leaves it nil and a revive
+	// starts fresh.
+	func() {
+		defer func() { _ = recover() }()
+		if e.pr != nil {
+			e.retained, _ = e.pr.Checkpoint()
+		} else if e.run != nil {
+			m.syncTuples(e)
+			e.retained, _ = e.run.Checkpoint()
+		}
+	}()
+	if e.pr != nil {
+		e.qtuples = e.pr.Stats()
+	} else {
+		e.qtuples = uint64(int64(m.tuples) + e.off)
+	}
+	e.quarantined, e.qreason, e.qerr = true, reason, cause
+	pr := e.pr
+	m.unlink(e)
+	e.run, e.pr = nil, nil
+	if pr != nil {
+		abortParallel(pr)
+	}
+	if m.iso != nil && m.iso.OnQuarantine != nil {
+		m.iso.OnQuarantine(QuarantineEvent{
+			ID: e.id, Tag: e.tag, Text: e.text, Reason: reason, Err: cause,
+			Retained: e.retained, Tuples: e.qtuples,
+		})
+	}
+}
+
+// chargeMember books one failed fold against a member and trips the breaker
+// or (for panics and epoch-shift faults, which leave the run's state
+// unreliable) quarantines immediately.
+func (m *MultiRun) chargeMember(e *multiEntry, cause error, reason string) {
+	if e.quarantined {
+		return
+	}
+	e.errs++
+	e.consecErrs++
+	if reason != "" {
+		m.quarantine(e, reason, cause)
+		return
+	}
+	if br := m.iso.BreakerErrors; br > 0 && e.consecErrs >= br {
+		m.quarantine(e, QuarantineBreaker, cause)
+	}
+}
+
+// chargeClass books a class-predicate failure against every member: the
+// class predicate is each member's own WHERE clause, so a standalone run of
+// any of them would have hit the same error on this tuple.
+func (m *MultiRun) chargeClass(cls *predClass, cause error, reason string) {
+	for i := 0; i < len(cls.members); {
+		e := cls.members[i]
+		m.chargeMember(e, cause, reason)
+		if i < len(cls.members) && cls.members[i] == e {
+			i++
+		}
+	}
+}
+
 // Push feeds one tuple to every attached query: one finite check, one epoch
 // observation, one predicate evaluation per class, one fold per member whose
 // class passes. Shared subexpression slots are memoized for the duration of
-// the call.
+// the call. Without isolation the first member error aborts the tuple and
+// surfaces; with Options.Isolate member errors are charged to their query
+// and Push keeps feeding everyone else.
 func (m *MultiRun) Push(t Tuple) error {
 	m.tuples++
 	if err := checkTupleFinite(m.schema, t); err != nil {
@@ -454,10 +951,15 @@ func (m *MultiRun) Push(t Tuple) error {
 	return err
 }
 
-// foldAll is the post-epoch body of Push. Errors surface in deterministic
-// order: classes in creation order, members in attach order, sharded members
-// last; the first error aborts the tuple.
+// foldAll is the post-epoch body of Push. Without isolation, errors surface
+// in iteration order and the first one aborts the tuple (fate-sharing, the
+// historical contract); membership lists are swap-remove maintained, so
+// iteration order is attach order only until the first detach.
 func (m *MultiRun) foldAll(t Tuple) error {
+	if m.iso != nil {
+		m.foldAllIso(t)
+		return nil
+	}
 	for _, cls := range m.classes {
 		if len(cls.members) == 0 {
 			continue
@@ -485,20 +987,160 @@ func (m *MultiRun) foldAll(t Tuple) error {
 	return nil
 }
 
+// foldAllIso is foldAll under fault isolation: per-member recover, error
+// charging, breaker and cardinality enforcement. Quarantine swap-removes
+// from the very lists being walked, so every loop re-checks its cursor.
+func (m *MultiRun) foldAllIso(t Tuple) {
+	for ci := 0; ci < len(m.classes); {
+		cls := m.classes[ci]
+		if len(cls.members) == 0 {
+			ci++
+			continue
+		}
+		if cls.pred != nil {
+			ok, err, reason := m.evalPredSafe(cls, t)
+			if err != nil {
+				m.chargeClass(cls, err, reason)
+				if ci < len(m.classes) && m.classes[ci] == cls {
+					ci++
+				}
+				continue
+			}
+			if !ok {
+				ci++
+				continue
+			}
+		}
+		for i := 0; i < len(cls.members); {
+			e := cls.members[i]
+			m.foldMember(e, t)
+			if i < len(cls.members) && cls.members[i] == e {
+				i++
+			}
+		}
+		if ci < len(m.classes) && m.classes[ci] == cls {
+			ci++
+		}
+	}
+	for i := 0; i < len(m.parallel); {
+		e := m.parallel[i]
+		err, reason := m.parallelPushSafe(e, t)
+		if err != nil {
+			m.chargeMember(e, err, reason)
+		} else {
+			e.consecErrs = 0
+		}
+		if i < len(m.parallel) && m.parallel[i] == e {
+			i++
+		}
+	}
+}
+
+// evalPredSafe evaluates a class predicate with panic containment. reason
+// is QuarantinePanic when the predicate panicked, "" otherwise.
+func (m *MultiRun) evalPredSafe(cls *predClass, t Tuple) (ok bool, err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			ok, err, reason = false, fmt.Errorf("gsql: panic in class predicate: %v", p), QuarantinePanic
+		}
+	}()
+	v, perr := cls.pred(t)
+	if perr != nil {
+		return false, perr, ""
+	}
+	return v.Truthy(), nil, ""
+}
+
+// foldMember folds one tuple into a serial member under isolation: recover,
+// sampled timing into the ns/tuple EWMA, error charging, cardinality cap.
+func (m *MultiRun) foldMember(e *multiEntry, t Tuple) {
+	err, reason := m.foldMemberSafe(e, t)
+	if err != nil {
+		m.chargeMember(e, err, reason)
+		return
+	}
+	e.consecErrs = 0
+	if mg := m.iso.MaxGroups; mg > 0 && e.run.liveGroups() > mg {
+		m.quarantine(e, QuarantineCardinality,
+			fmt.Errorf("gsql: query %d exceeded the %d live-group cap", e.id, mg))
+	}
+}
+
+func (m *MultiRun) foldMemberSafe(e *multiEntry, t Tuple) (err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			err, reason = fmt.Errorf("gsql: panic folding query %d: %v", e.id, p), QuarantinePanic
+		}
+	}()
+	e.folds++
+	if e.folds%uint64(m.iso.SampleEvery) == 0 {
+		t0 := time.Now()
+		err = e.run.foldTuple(t)
+		dt := float64(time.Since(t0).Nanoseconds())
+		e.nsEWMA += m.iso.EWMAAlpha * (dt - e.nsEWMA)
+		return err, ""
+	}
+	return e.run.foldTuple(t), ""
+}
+
+func (m *MultiRun) parallelPushSafe(e *multiEntry, t Tuple) (err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			err, reason = fmt.Errorf("gsql: panic pushing query %d: %v", e.id, p), QuarantinePanic
+		}
+	}()
+	return e.pr.Push(t), ""
+}
+
 // shiftAll applies a landmark roll across the runtime: every serial member
 // shifts at the same point of the tuple sequence (sharded members roll
-// under their own supervisor at the same stream time).
+// under their own supervisor at the same stream time). Under isolation a
+// member whose shift fails is quarantined — a half-shifted run can never
+// rejoin the shared landmark frame — and the roll continues for the rest.
 func (m *MultiRun) shiftAll(newL float64) error {
-	for _, cls := range m.classes {
-		for _, e := range cls.members {
-			if err := e.run.ShiftLandmark(newL); err != nil {
-				return err
+	if m.iso == nil {
+		for _, cls := range m.classes {
+			for _, e := range cls.members {
+				if err := e.run.ShiftLandmark(newL); err != nil {
+					return err
+				}
 			}
+		}
+		m.ep.advanced(newL)
+		m.curL, m.landmarkSet = newL, true
+		return nil
+	}
+	for ci := 0; ci < len(m.classes); {
+		cls := m.classes[ci]
+		for i := 0; i < len(cls.members); {
+			e := cls.members[i]
+			err, reason := m.shiftMemberSafe(e, newL)
+			if err != nil {
+				if reason == "" {
+					reason = QuarantineEpoch
+				}
+				m.chargeMember(e, err, reason)
+			}
+			if i < len(cls.members) && cls.members[i] == e {
+				i++
+			}
+		}
+		if ci < len(m.classes) && m.classes[ci] == cls {
+			ci++
 		}
 	}
 	m.ep.advanced(newL)
 	m.curL, m.landmarkSet = newL, true
 	return nil
+}
+
+func (m *MultiRun) shiftMemberSafe(e *multiEntry, newL float64) (err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			err, reason = fmt.Errorf("gsql: panic shifting query %d: %v", e.id, p), QuarantinePanic
+		}
+	}()
+	return e.run.ShiftLandmark(newL), ""
 }
 
 // Heartbeat advances the epoch supervisor and every member's temporal bucket
@@ -510,6 +1152,10 @@ func (m *MultiRun) Heartbeat(ts Value) error {
 				return err
 			}
 		}
+	}
+	if m.iso != nil {
+		m.heartbeatIso(ts)
+		return nil
 	}
 	for _, cls := range m.classes {
 		for _, e := range cls.members {
@@ -526,12 +1172,59 @@ func (m *MultiRun) Heartbeat(ts Value) error {
 	return nil
 }
 
+func (m *MultiRun) heartbeatIso(ts Value) {
+	for ci := 0; ci < len(m.classes); {
+		cls := m.classes[ci]
+		for i := 0; i < len(cls.members); {
+			e := cls.members[i]
+			err, reason := m.heartbeatMemberSafe(e, ts)
+			if err != nil {
+				m.chargeMember(e, err, reason)
+			}
+			if i < len(cls.members) && cls.members[i] == e {
+				i++
+			}
+		}
+		if ci < len(m.classes) && m.classes[ci] == cls {
+			ci++
+		}
+	}
+	for i := 0; i < len(m.parallel); {
+		e := m.parallel[i]
+		err, reason := m.heartbeatParallelSafe(e, ts)
+		if err != nil {
+			m.chargeMember(e, err, reason)
+		}
+		if i < len(m.parallel) && m.parallel[i] == e {
+			i++
+		}
+	}
+}
+
+func (m *MultiRun) heartbeatMemberSafe(e *multiEntry, ts Value) (err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			err, reason = fmt.Errorf("gsql: panic in heartbeat of query %d: %v", e.id, p), QuarantinePanic
+		}
+	}()
+	return e.run.heartbeatBucket(ts), ""
+}
+
+func (m *MultiRun) heartbeatParallelSafe(e *multiEntry, ts Value) (err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			err, reason = fmt.Errorf("gsql: panic in heartbeat of query %d: %v", e.id, p), QuarantinePanic
+		}
+	}()
+	return e.pr.Heartbeat(ts), ""
+}
+
 // PushBatch folds a columnar batch into every attached query: one finite
 // scan, one epoch segmentation, and per segment one selection bitmap per
 // predicate class shared by its members. A class with no surviving rows in
 // a segment skips its members entirely. The batch's selection bitmap is
 // consumed as working state. rejected counts non-finite rows, as
-// Run.PushBatch does.
+// Run.PushBatch does. Isolation semantics match Push.
 func (m *MultiRun) PushBatch(b *Batch) (rejected int, err error) {
 	if b == nil || b.Len() == 0 {
 		return 0, nil
@@ -562,6 +1255,21 @@ func (m *MultiRun) PushBatch(b *Batch) (rejected int, err error) {
 		}
 		lo, skipObserve = hi, roll
 	}
+	if m.iso != nil {
+		for i := 0; i < len(m.parallel); {
+			e := m.parallel[i]
+			err, reason := m.parallelBatchSafe(e, b)
+			if err != nil {
+				m.chargeMember(e, err, reason)
+			} else {
+				e.consecErrs = 0
+			}
+			if i < len(m.parallel) && m.parallel[i] == e {
+				i++
+			}
+		}
+		return rejected, nil
+	}
 	for _, e := range m.parallel {
 		if _, err := e.pr.PushBatch(b); err != nil {
 			return rejected, err
@@ -570,10 +1278,24 @@ func (m *MultiRun) PushBatch(b *Batch) (rejected int, err error) {
 	return rejected, nil
 }
 
+func (m *MultiRun) parallelBatchSafe(e *multiEntry, b *Batch) (err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			err, reason = fmt.Errorf("gsql: panic pushing batch to query %d: %v", e.id, p), QuarantinePanic
+		}
+	}()
+	_, err = e.pr.PushBatch(b)
+	return err, ""
+}
+
 // processSegmentAll folds rows [lo,hi) — a fixed-landmark segment — into
 // every serial member, one class selection per class.
 func (m *MultiRun) processSegmentAll(b *Batch, lo, hi int) error {
 	if lo >= hi {
+		return nil
+	}
+	if m.iso != nil {
+		m.processSegmentIso(b, lo, hi)
 		return nil
 	}
 	for _, cls := range m.classes {
@@ -598,6 +1320,80 @@ func (m *MultiRun) processSegmentAll(b *Batch, lo, hi int) error {
 		}
 	}
 	return nil
+}
+
+func (m *MultiRun) processSegmentIso(b *Batch, lo, hi int) {
+	for ci := 0; ci < len(m.classes); {
+		cls := m.classes[ci]
+		if len(cls.members) == 0 {
+			ci++
+			continue
+		}
+		n, err, reason := m.classSelectSafe(cls, b, lo, hi)
+		if err != nil {
+			m.chargeClass(cls, err, reason)
+			if ci < len(m.classes) && m.classes[ci] == cls {
+				ci++
+			}
+			continue
+		}
+		if n == 0 {
+			ci++
+			continue
+		}
+		for i := 0; i < len(cls.members); {
+			e := cls.members[i]
+			m.batchMember(e, b, lo, hi, cls.sel, n)
+			if i < len(cls.members) && cls.members[i] == e {
+				i++
+			}
+		}
+		if ci < len(m.classes) && m.classes[ci] == cls {
+			ci++
+		}
+	}
+}
+
+func (m *MultiRun) classSelectSafe(cls *predClass, b *Batch, lo, hi int) (n int, err error, reason string) {
+	defer func() {
+		if p := recover(); p != nil {
+			n, err, reason = 0, fmt.Errorf("gsql: panic in class predicate: %v", p), QuarantinePanic
+		}
+	}()
+	n, err = m.classSelect(cls, b, lo, hi)
+	return n, err, ""
+}
+
+// batchMember folds one selected segment into a serial member under
+// isolation, timing the whole segment into the ns/tuple EWMA (n is the
+// surviving row count).
+func (m *MultiRun) batchMember(e *multiEntry, b *Batch, lo, hi int, sel []uint64, n int) {
+	err, reason := func() (err error, reason string) {
+		defer func() {
+			if p := recover(); p != nil {
+				err, reason = fmt.Errorf("gsql: panic folding query %d: %v", e.id, p), QuarantinePanic
+			}
+		}()
+		r := e.run
+		if r.bx == nil {
+			r.bx = newBatchExec(r.p, r.ep)
+		}
+		e.folds += uint64(n)
+		t0 := time.Now()
+		err = r.processSegmentBase(b, lo, hi, sel)
+		dt := float64(time.Since(t0).Nanoseconds()) / float64(n)
+		e.nsEWMA += m.iso.EWMAAlpha * (dt - e.nsEWMA)
+		return err, ""
+	}()
+	if err != nil {
+		m.chargeMember(e, err, reason)
+		return
+	}
+	e.consecErrs = 0
+	if mg := m.iso.MaxGroups; mg > 0 && e.run.liveGroups() > mg {
+		m.quarantine(e, QuarantineCardinality,
+			fmt.Errorf("gsql: query %d exceeded the %d live-group cap", e.id, mg))
+	}
 }
 
 // classSelect fills cls.sel with finite ∧ class-WHERE over [lo,hi) and
@@ -641,7 +1437,7 @@ func (m *MultiRun) classSelect(cls *predClass, b *Batch, lo, hi int) (int, error
 	return count, nil
 }
 
-// Queries returns the number of attached queries.
+// Queries returns the number of attached queries (quarantined included).
 func (m *MultiRun) Queries() int { return len(m.entries) }
 
 // Tuples returns the shared feed position (tuples pushed through the
@@ -651,13 +1447,16 @@ func (m *MultiRun) Tuples() uint64 { return m.tuples }
 // MultiStats is the runtime's sharing scoreboard, exported by the service
 // as catalog gauges.
 type MultiStats struct {
-	// Queries is the attached-query count; DistinctTexts the deduped
-	// compiled-statement count; Classes the predicate-class count.
+	// Queries is the attached-query count (quarantined included);
+	// DistinctTexts the deduped compiled-statement count; Classes the
+	// predicate-class count; Quarantined the fenced-query count.
 	Queries       int
 	DistinctTexts int
 	Classes       int
-	// DistinctExprs is the shared-subexpression slot population;
-	// ExprHits/ExprMisses its plan-time reuse counters.
+	Quarantined   int
+	// DistinctExprs is the live shared-subexpression slot population
+	// (slots of detached queries are freed); ExprHits/ExprMisses its
+	// plan-time reuse counters.
 	DistinctExprs        int
 	ExprHits, ExprMisses uint64
 	// MemoHits/MemoMisses count runtime shared-pass slot reads served from
@@ -666,6 +1465,9 @@ type MultiStats struct {
 	// PlanHits/PlanMisses count statement-catalog acquisitions.
 	PlanHits, PlanMisses uint64
 	Tuples               uint64
+	// AdmitUsed is the summed private-cost estimate of the admitted
+	// catalog, in estimated ns/tuple.
+	AdmitUsed float64
 }
 
 // SharedHitRatio is MemoHits/(MemoHits+MemoMisses) — the fraction of shared
@@ -689,10 +1491,17 @@ func (m *MultiRun) MultiStats() MultiStats {
 			live++
 		}
 	}
+	quar := 0
+	for _, e := range m.entries {
+		if e.quarantined {
+			quar++
+		}
+	}
 	return MultiStats{
 		Queries:       len(m.entries),
 		DistinctTexts: m.scat.Len() + m.pcat.Len(),
 		Classes:       live,
+		Quarantined:   quar,
 		DistinctExprs: es.Distinct,
 		ExprHits:      es.Hits,
 		ExprMisses:    es.Misses,
@@ -701,16 +1510,91 @@ func (m *MultiRun) MultiStats() MultiStats {
 		PlanHits:      ss.Hits + ps.Hits,
 		PlanMisses:    ss.Misses + ps.Misses,
 		Tuples:        m.tuples,
+		AdmitUsed:     m.admitUsed,
 	}
 }
 
-// CloseAll flushes every attached query's final bucket, in attach order.
-// The first error is returned; later members still flush.
+// QueryStats is one attached query's attribution snapshot: feed position,
+// error and quarantine state, the admission estimate and the measured
+// ns/tuple EWMA it seeds.
+type QueryStats struct {
+	ID   uint64
+	Text string
+	Mode string // "serial" or "parallel"
+	// Tuples is the query's own tuple counter (frozen at quarantine time
+	// for fenced queries); Groups its live group population (serial only).
+	Tuples uint64
+	Groups int
+	// Errors counts failed folds; ConsecErrors the current breaker streak.
+	Errors       uint64
+	ConsecErrors int
+	// Quarantined/Reason/Cause describe the fence, when applied.
+	Quarantined bool
+	Reason      string
+	Cause       string
+	// EstCostNs is the admission-time private-cost estimate; NsPerTuple the
+	// measured private-fold EWMA it seeds (equal until the first sample).
+	EstCostNs  float64
+	NsPerTuple float64
+}
+
+func (m *MultiRun) queryStats(e *multiEntry) QueryStats {
+	qs := QueryStats{
+		ID: e.id, Text: e.text, Mode: e.mode,
+		Errors: e.errs, ConsecErrors: e.consecErrs,
+		Quarantined: e.quarantined, Reason: e.qreason,
+		EstCostNs: e.estCost, NsPerTuple: e.nsEWMA,
+	}
+	if e.qerr != nil {
+		qs.Cause = e.qerr.Error()
+	}
+	switch {
+	case e.quarantined:
+		qs.Tuples = e.qtuples
+	case e.pr != nil:
+		qs.Tuples = e.pr.Stats()
+	default:
+		qs.Tuples = uint64(int64(m.tuples) + e.off)
+		qs.Groups = e.run.liveGroups()
+	}
+	return qs
+}
+
+// QueryStatsAll snapshots every attached query, ordered by id.
+func (m *MultiRun) QueryStatsAll() []QueryStats {
+	out := make([]QueryStats, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, m.queryStats(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TopExpensive returns the n most expensive queries of a snapshot by
+// measured ns/tuple (ties by id), without mutating the input.
+func TopExpensive(stats []QueryStats, n int) []QueryStats {
+	out := make([]QueryStats, len(stats))
+	copy(out, stats)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NsPerTuple != out[j].NsPerTuple {
+			return out[i].NsPerTuple > out[j].NsPerTuple
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// CloseAll flushes every attached query's final bucket, in id order.
+// Quarantined queries are skipped — a fenced run must not emit. The first
+// error is returned; later members still flush.
 func (m *MultiRun) CloseAll() error {
 	var first error
 	for id := uint64(0); id < m.nextID; id++ {
 		e := m.entries[id]
-		if e == nil || !e.armed {
+		if e == nil || !e.armed || e.quarantined {
 			continue
 		}
 		if err := (&MultiHandle{m: m, e: e}).Close(); err != nil && first == nil {
@@ -731,13 +1615,47 @@ func (m *MultiRun) syncTuples(e *multiEntry) {
 // solo tuple would advance one member's landmark past its peers'.
 var errSoloEpoch = fmt.Errorf("gsql: per-query push is not supported under a shared epoch supervisor")
 
+// errQuarantined guards the solo paths of a fenced query.
+var errQuarantined = fmt.Errorf("gsql: query is quarantined")
+
+// ID returns the query's runtime-assigned id (stable across quarantine and
+// revive, unique within this MultiRun).
+func (h *MultiHandle) ID() uint64 { return h.e.id }
+
+// SetTag attaches an opaque caller tag to the query; it rides along on
+// QuarantineEvent so callers can map events back to their own bookkeeping.
+func (h *MultiHandle) SetTag(tag any) { h.e.tag = tag }
+
+// Quarantined reports whether the query is fenced, and why.
+func (h *MultiHandle) Quarantined() (bool, string) {
+	return h.e.quarantined, h.e.qreason
+}
+
+// QueryStats snapshots this query's attribution counters.
+func (h *MultiHandle) QueryStats() QueryStats { return h.m.queryStats(h.e) }
+
 // Push feeds one tuple to this query alone — the crash-recovery replay path,
 // where members resume from different feed offsets. Equivalent to a
 // standalone Run.Push: the class filter (this query's WHERE) still applies.
-// Not available when the runtime has an epoch supervisor.
+// Not available when the runtime has an epoch supervisor. Under isolation,
+// fold errors are charged to the query (tripping the breaker exactly as the
+// shared feed would) instead of surfacing, so a deterministic replay
+// re-quarantines a poison query at the same tuple.
 func (h *MultiHandle) Push(t Tuple) error {
 	m, e := h.m, h.e
+	if e.quarantined {
+		return errQuarantined
+	}
 	if e.pr != nil {
+		if m.iso != nil {
+			err, reason := m.parallelPushSafe(e, t)
+			if err != nil {
+				m.chargeMember(e, err, reason)
+			} else {
+				e.consecErrs = 0
+			}
+			return nil
+		}
 		return e.pr.Push(t)
 	}
 	if m.ep != nil {
@@ -746,6 +1664,10 @@ func (h *MultiHandle) Push(t Tuple) error {
 	e.off++
 	if err := checkTupleFinite(m.schema, t); err != nil {
 		return err
+	}
+	if m.iso != nil {
+		m.soloFoldIso(e, t)
+		return nil
 	}
 	if cls := e.cls; cls.pred != nil {
 		ok, err := cls.pred(t)
@@ -759,12 +1681,40 @@ func (h *MultiHandle) Push(t Tuple) error {
 	return e.run.foldTuple(t)
 }
 
+// soloFoldIso is the isolated solo fold: the class predicate error is the
+// member's own WHERE failing, so it charges like a fold error.
+func (m *MultiRun) soloFoldIso(e *multiEntry, t Tuple) {
+	if cls := e.cls; cls.pred != nil {
+		ok, err, reason := m.evalPredSafe(cls, t)
+		if err != nil {
+			m.chargeMember(e, err, reason)
+			return
+		}
+		if !ok {
+			return
+		}
+	}
+	m.foldMember(e, t)
+}
+
 // PushBatch feeds a batch to this query alone (solo replay). Rows are
 // replayed through the scalar fold path — replay exactness over replay
 // speed.
 func (h *MultiHandle) PushBatch(b *Batch) (rejected int, err error) {
 	m, e := h.m, h.e
+	if e.quarantined {
+		return 0, errQuarantined
+	}
 	if e.pr != nil {
+		if m.iso != nil {
+			err, reason := m.parallelBatchSafe(e, b)
+			if err != nil {
+				m.chargeMember(e, err, reason)
+			} else {
+				e.consecErrs = 0
+			}
+			return 0, nil
+		}
 		return e.pr.PushBatch(b)
 	}
 	if m.ep != nil {
@@ -780,12 +1730,21 @@ func (h *MultiHandle) PushBatch(b *Batch) (rejected int, err error) {
 	m.soloSel = growBits(m.soloSel, b.n)
 	b.scanFinite(m.soloSel)
 	for i := 0; i < b.n; i++ {
+		if e.quarantined {
+			// Replay re-fenced the query mid-batch; the rest of the batch
+			// is not its to see.
+			return rejected, nil
+		}
 		e.off++
 		if !bitGet(m.soloSel, i) {
 			rejected++
 			continue
 		}
 		b.row(i, m.row)
+		if m.iso != nil {
+			m.soloFoldIso(e, m.row)
+			continue
+		}
 		if cls := e.cls; cls.pred != nil {
 			ok, perr := cls.pred(m.row)
 			if perr != nil {
@@ -804,19 +1763,44 @@ func (h *MultiHandle) PushBatch(b *Batch) (rejected int, err error) {
 
 // Heartbeat advances this query's temporal bucket alone (solo replay).
 func (h *MultiHandle) Heartbeat(ts Value) error {
-	if h.e.pr != nil {
-		return h.e.pr.Heartbeat(ts)
+	m, e := h.m, h.e
+	if e.quarantined {
+		return errQuarantined
 	}
-	if h.m.ep != nil {
+	if e.pr != nil {
+		if m.iso != nil {
+			err, reason := m.heartbeatParallelSafe(e, ts)
+			if err != nil {
+				m.chargeMember(e, err, reason)
+			}
+			return nil
+		}
+		return e.pr.Heartbeat(ts)
+	}
+	if m.ep != nil {
 		return errSoloEpoch
 	}
-	return h.e.run.heartbeatBucket(ts)
+	if m.iso != nil {
+		err, reason := m.heartbeatMemberSafe(e, ts)
+		if err != nil {
+			m.chargeMember(e, err, reason)
+		}
+		return nil
+	}
+	return e.run.heartbeatBucket(ts)
 }
 
 // Checkpoint serializes this query's aggregation state, restorable by
 // MultiRun.Restore or the standalone Statement.Restore — the formats are
-// identical.
+// identical. A quarantined query returns its retained quarantine-time
+// checkpoint.
 func (h *MultiHandle) Checkpoint() ([]byte, error) {
+	if h.e.quarantined {
+		if h.e.retained == nil {
+			return nil, fmt.Errorf("gsql: query %d is quarantined with no retained checkpoint", h.e.id)
+		}
+		return append([]byte(nil), h.e.retained...), nil
+	}
 	if h.e.pr != nil {
 		return h.e.pr.Checkpoint()
 	}
@@ -825,8 +1809,12 @@ func (h *MultiHandle) Checkpoint() ([]byte, error) {
 }
 
 // Stats reports this query's tuples-seen and eviction counters, as
-// Run.Stats does.
+// Run.Stats does. A quarantined query reports its frozen quarantine-time
+// position.
 func (h *MultiHandle) Stats() (tuples, evictions uint64) {
+	if h.e.quarantined {
+		return h.e.qtuples, 0
+	}
 	if h.e.pr != nil {
 		return h.e.pr.Stats(), 0
 	}
@@ -835,8 +1823,12 @@ func (h *MultiHandle) Stats() (tuples, evictions uint64) {
 }
 
 // Close flushes the query's final (still open) bucket. The query stays
-// attached; Detach removes it from the feed.
+// attached; Detach removes it from the feed. Closing a quarantined query is
+// a no-op — a fenced run must not emit.
 func (h *MultiHandle) Close() error {
+	if h.e.quarantined {
+		return nil
+	}
 	if h.e.pr != nil {
 		return h.e.pr.Close()
 	}
@@ -844,9 +1836,11 @@ func (h *MultiHandle) Close() error {
 }
 
 // Detach removes the query from the shared feed without flushing (call
-// Close first for final results) and releases its compiled-plan reference.
-// An empty predicate class is pruned; its interned expression slots remain,
-// so a re-attach rebinds to the same slots.
+// Close first for final results), releasing its compiled-plan reference,
+// its predicate-class membership (an empty class is pruned) and its shared
+// expression slots — the interner stays sized to the live catalog under
+// churn. O(query): no other member is touched. Detaching a quarantined
+// query just forgets it (quarantine already unlinked everything).
 func (h *MultiHandle) Detach() {
 	m, e := h.m, h.e
 	if !e.armed {
@@ -854,30 +1848,48 @@ func (h *MultiHandle) Detach() {
 	}
 	e.armed = false
 	delete(m.entries, e.id)
-	if e.pr != nil {
-		m.parallel = removeEntry(m.parallel, e)
-		m.pcat.Release(e.text)
+	if e.quarantined {
 		return
 	}
-	cls := e.cls
-	cls.members = removeEntry(cls.members, e)
-	if len(cls.members) == 0 {
-		delete(m.classByKey, cls.key)
-		for i, c := range m.classes {
-			if c == cls {
-				m.classes = append(m.classes[:i], m.classes[i+1:]...)
-				break
-			}
-		}
-	}
-	m.scat.Release(e.text)
+	m.unlink(e)
 }
 
-func removeEntry(s []*multiEntry, e *multiEntry) []*multiEntry {
-	for i, x := range s {
-		if x == e {
-			return append(s[:i], s[i+1:]...)
+// Revive re-admits a quarantined query: the plan is recompiled (or
+// re-acquired from the catalog), the retained quarantine-time checkpoint
+// restored, class membership and shared slots re-established, and the
+// breaker reset. If the retained checkpoint no longer restores (a panic can
+// fence a run mid-write), the query restarts fresh at the current feed
+// position. Admission control applies as on Attach.
+func (h *MultiHandle) Revive() error {
+	m, e := h.m, h.e
+	if !e.armed {
+		return fmt.Errorf("gsql: query %d is detached", e.id)
+	}
+	if !e.quarantined {
+		return fmt.Errorf("gsql: query %d is not quarantined", e.id)
+	}
+	ast, err := m.parse(e.text)
+	if err != nil {
+		return err
+	}
+	est, err := m.admit(e.text, ast)
+	if err != nil {
+		return err
+	}
+	if err := m.link(e, ast, e.retained); err != nil {
+		if e.retained == nil {
+			return err
+		}
+		if err2 := m.link(e, ast, nil); err2 != nil {
+			return err
 		}
 	}
-	return s
+	e.quarantined, e.qreason, e.qerr, e.retained = false, "", nil, nil
+	e.consecErrs = 0
+	e.estCost = est
+	m.admitUsed += est
+	if m.iso != nil && e.nsEWMA == 0 {
+		e.nsEWMA = est
+	}
+	return nil
 }

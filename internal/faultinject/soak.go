@@ -50,6 +50,20 @@ const (
 	// SoakRollCrash performs an epoch rollover with the prepare fault point
 	// armed, so one site fails mid-roll and must be quarantined.
 	SoakRollCrash
+
+	// Catalog-churn events for standing-query soaks. As with site churn,
+	// the events carry no query id: the harness picks attach texts and
+	// detach/revive victims deterministically from its own catalog state.
+
+	// SoakAttach attaches one standing query mid-stream.
+	SoakAttach
+	// SoakDetach detaches one attached query.
+	SoakDetach
+	// SoakPoison attaches a hostile query that faults on every tuple, so
+	// the runtime's breaker must fence it without disturbing neighbors.
+	SoakPoison
+	// SoakRevive lifts the oldest quarantined query back into the catalog.
+	SoakRevive
 )
 
 // String names the op for failure messages.
@@ -79,6 +93,14 @@ func (op SoakOp) String() string {
 		return "handoff-crash"
 	case SoakRollCrash:
 		return "roll-crash"
+	case SoakAttach:
+		return "attach"
+	case SoakDetach:
+		return "detach"
+	case SoakPoison:
+		return "poison"
+	case SoakRevive:
+		return "revive"
 	default:
 		return "unknown"
 	}
@@ -137,6 +159,15 @@ type SoakConfig struct {
 	// RollCrashEvery inserts an epoch rollover with one site made to fail
 	// its proposal at this period.
 	RollCrashEvery float64
+
+	// AttachEvery / DetachEvery insert catalog-churn events at their
+	// period; PoisonEvery attaches a per-tuple-faulting query instead.
+	AttachEvery float64
+	DetachEvery float64
+	PoisonEvery float64
+	// ReviveAfter schedules a SoakRevive this long after each SoakPoison
+	// (quarantined queries stay fenced forever when zero).
+	ReviveAfter float64
 }
 
 // soakRNG is splitmix64 — the repository's standard deterministic generator.
@@ -185,6 +216,10 @@ func SoakSchedule(cfg SoakConfig) []SoakEvent {
 		{SoakSiteCrash, cfg.SiteCrashEvery},
 		{SoakHandoffCrash, cfg.HandoffCrashEvery},
 		{SoakRollCrash, cfg.RollCrashEvery},
+		// Catalog churn comes last of all, for the same reason.
+		{SoakAttach, cfg.AttachEvery},
+		{SoakDetach, cfg.DetachEvery},
+		{SoakPoison, cfg.PoisonEvery},
 	}
 	for _, p := range periodic {
 		if p.every <= 0 {
@@ -200,6 +235,15 @@ func SoakSchedule(cfg SoakConfig) []SoakEvent {
 		for t := cfg.Start + cfg.SiteCrashEvery; t < end; t += cfg.SiteCrashEvery {
 			if rt := t + cfg.SiteRejoinAfter; rt < end {
 				events = append(events, SoakEvent{Op: SoakSiteRejoin, T: rt})
+			}
+		}
+	}
+	// Each poison earns a revive a fixed delay later, mirroring the
+	// crash/rejoin pairing above.
+	if cfg.PoisonEvery > 0 && cfg.ReviveAfter > 0 {
+		for t := cfg.Start + cfg.PoisonEvery; t < end; t += cfg.PoisonEvery {
+			if rt := t + cfg.ReviveAfter; rt < end {
+				events = append(events, SoakEvent{Op: SoakRevive, T: rt})
 			}
 		}
 	}

@@ -57,6 +57,16 @@ func (gs *GaugeSet) Gauge(name string) *Gauge {
 // Set stores a named gauge's level, interning it if needed.
 func (gs *GaugeSet) Set(name string, v float64) { gs.Gauge(name).Set(v) }
 
+// Delete removes a named gauge from the registry so short-lived series
+// (per-query attribution under catalog churn) do not accumulate forever.
+// Deleting an absent name is a no-op. Holders of the *Gauge pointer may
+// keep using it; it is simply no longer exposed.
+func (gs *GaugeSet) Delete(name string) {
+	gs.mu.Lock()
+	delete(gs.m, name)
+	gs.mu.Unlock()
+}
+
 // Get returns a named gauge's level (0 for names never interned).
 func (gs *GaugeSet) Get(name string) float64 {
 	gs.mu.RLock()

@@ -246,6 +246,13 @@ func (cl *Client) Detach(id uint32) error {
 	return err
 }
 
+// Revive lifts a quarantined query back into the running catalog; it
+// resumes from the partials retained when it was fenced.
+func (cl *Client) Revive(id uint32) error {
+	_, err := cl.request(&Msg{Type: CtRevive, Query: id})
+	return err
+}
+
 // Subscribe streams a query's results from cursor (0 = oldest retained;
 // lastSeen+1 to resume). The returned channel closes after a terminal
 // event. deadline only matters for PolicyDisconnect.

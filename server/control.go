@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"forwarddecay/gsql"
 	"forwarddecay/ingest"
 )
 
@@ -173,6 +174,8 @@ func (cc *ctlConn) serve() {
 			cc.handleAttach(m)
 		case CtDetach:
 			cc.handleDetach(m)
+		case CtRevive:
+			cc.handleRevive(m)
 		case CtSubscribe:
 			cc.handleSubscribe(m)
 		case CtUnsubscribe:
@@ -228,6 +231,15 @@ func (cc *ctlConn) handleAttach(m *Msg) {
 
 func (cc *ctlConn) handleDetach(m *Msg) {
 	if err := cc.s.Detach(m.Query); err != nil {
+		code, msg := errCode(err)
+		cc.writeErr(m.Req, code, msg)
+		return
+	}
+	cc.write(&Msg{Type: StOK, Req: m.Req})
+}
+
+func (cc *ctlConn) handleRevive(m *Msg) {
+	if err := cc.s.Revive(m.Query); err != nil {
 		code, msg := errCode(err)
 		cc.writeErr(m.Req, code, msg)
 		return
@@ -379,15 +391,94 @@ func (cc *ctlConn) forgetSub(sub *ctlSub) {
 	cc.smu.Unlock()
 }
 
+// statsTopN bounds the "most expensive queries" section of the stats
+// snapshot.
+const statsTopN = 5
+
+// QueryCost is one row of Service.TopExpensive: a query's attribution
+// snapshot, ranked by the smoothed private-expression cost that admission
+// control budgets against.
+type QueryCost struct {
+	ID          uint32
+	Text        string
+	NsPerTuple  float64
+	Tuples      uint64
+	Errors      uint64
+	Quarantined bool
+}
+
+// TopExpensive returns the n most expensive queries of the live catalog,
+// most expensive first, by the same ns/tuple attribution the stats verb
+// surfaces. A degraded or empty catalog returns nil. cmd/gsql prints this
+// as the drain-time stats line.
+func (s *Service) TopExpensive(n int) []QueryCost {
+	rt := s.rt.Load()
+	if rt == nil || rt.degraded {
+		return nil
+	}
+	// Same lock order as statsJSON: rt.mu for attribution, s.mu after (never
+	// around) it for the catalog texts.
+	perRun := map[uint32]gsql.QueryStats{}
+	byMember := map[uint64]uint32{}
+	rt.mu.Lock()
+	for id, run := range rt.runs {
+		qs := run.stats()
+		perRun[id] = qs
+		byMember[qs.ID] = id
+	}
+	rt.mu.Unlock()
+	all := make([]gsql.QueryStats, 0, len(perRun))
+	for _, qs := range perRun {
+		all = append(all, qs)
+	}
+	var out []QueryCost
+	s.mu.Lock()
+	for _, qs := range gsql.TopExpensive(all, n) {
+		id := byMember[qs.ID]
+		qc := QueryCost{ID: id, NsPerTuple: qs.NsPerTuple, Tuples: qs.Tuples, Errors: qs.Errors}
+		if q := s.queries[id]; q != nil {
+			qc.Text = q.Text
+			qc.Quarantined, _ = q.Quarantined()
+		}
+		out = append(out, qc)
+	}
+	s.mu.Unlock()
+	return out
+}
+
 // statsJSON renders the service snapshot served by CtStats and /metrics.
 func (s *Service) statsJSON() string {
 	type queryStat struct {
-		ID   uint32 `json:"id"`
-		Text string `json:"text"`
-		Base uint64 `json:"base"`
-		End  uint64 `json:"end"`
+		ID          uint32  `json:"id"`
+		Text        string  `json:"text"`
+		Base        uint64  `json:"base"`
+		End         uint64  `json:"end"`
+		Tuples      uint64  `json:"tuples,omitempty"`
+		Errors      uint64  `json:"errors,omitempty"`
+		NsPerTuple  float64 `json:"ns_per_tuple,omitempty"`
+		Quarantined bool    `json:"quarantined,omitempty"`
+		Reason      string  `json:"quarantine_reason,omitempty"`
+	}
+	type topStat struct {
+		ID         uint32  `json:"id"`
+		NsPerTuple float64 `json:"ns_per_tuple"`
+		Tuples     uint64  `json:"tuples"`
 	}
 	s.refreshCatalogGauges()
+
+	// Per-run attribution, collected under rt.mu only (lock order: s.mu is
+	// taken after, never around, rt.mu here).
+	perRun := map[uint32]gsql.QueryStats{}
+	byMember := map[uint64]uint32{}
+	if rt := s.rt.Load(); rt != nil && !rt.degraded {
+		rt.mu.Lock()
+		for id, run := range rt.runs {
+			qs := run.stats()
+			perRun[id] = qs
+			byMember[qs.ID] = id
+		}
+		rt.mu.Unlock()
+	}
 	out := struct {
 		Mode     string             `json:"mode"`
 		Gen      uint64             `json:"gen"`
@@ -395,6 +486,7 @@ func (s *Service) statsJSON() string {
 		Counters map[string]uint64  `json:"counters"`
 		Gauges   map[string]float64 `json:"gauges"`
 		Queries  []queryStat        `json:"queries"`
+		Top      []topStat          `json:"most_expensive,omitempty"`
 	}{
 		Mode:     s.Mode().String(),
 		Gen:      s.gen.Load(),
@@ -405,11 +497,25 @@ func (s *Service) statsJSON() string {
 	s.mu.Lock()
 	for _, q := range s.queries {
 		base, rows := q.log.snapshot()
-		out.Queries = append(out.Queries, queryStat{
+		st := queryStat{
 			ID: q.ID, Text: q.Text, Base: base, End: base + uint64(len(rows)) - 1,
-		})
+		}
+		if qs, ok := perRun[q.ID]; ok {
+			st.Tuples, st.Errors, st.NsPerTuple = qs.Tuples, qs.Errors, qs.NsPerTuple
+		}
+		if fenced, why := q.Quarantined(); fenced {
+			st.Quarantined, st.Reason = true, why
+		}
+		out.Queries = append(out.Queries, st)
 	}
 	s.mu.Unlock()
+	all := make([]gsql.QueryStats, 0, len(perRun))
+	for _, qs := range perRun {
+		all = append(all, qs)
+	}
+	for _, qs := range gsql.TopExpensive(all, statsTopN) {
+		out.Top = append(out.Top, topStat{ID: byMember[qs.ID], NsPerTuple: qs.NsPerTuple, Tuples: qs.Tuples})
+	}
 	b, err := json.Marshal(out)
 	if err != nil {
 		return `{"error":"stats marshal failed"}`

@@ -28,8 +28,10 @@ func FuzzControlFrameDecode(f *testing.F) {
 		{Type: CtUnsubscribe, Req: 5, Query: 1},
 		{Type: CtStats, Req: 6},
 		{Type: CtBye, Req: 7},
+		{Type: CtRevive, Req: 13, Query: 2},
 		{Type: StOK, Req: 8},
 		{Type: StErr, Req: 9, Code: CodeSlowConsumer, Text: "too slow"},
+		{Type: StErr, Req: 14, Code: CodeAdmission, Text: "admission: estimated cost 48 exceeds budget"},
 		{Type: StAttached, Req: 10, Query: 3},
 		{Type: StRow, Query: 3, Cursor: 77, Row: row},
 		{Type: StGap, Query: 3, GapFrom: 5, Cursor: 9},
@@ -50,6 +52,33 @@ func FuzzControlFrameDecode(f *testing.F) {
 		// exact input bytes.
 		if out := appendMsgBody(nil, m); !bytes.Equal(out, data) {
 			t.Fatalf("non-canonical frame: decode(%x) re-encodes to %x", data, out)
+		}
+	})
+}
+
+// FuzzJournalEntryDecode covers the catalog-journal codec, including the
+// quarantine/revive ops: arbitrary bytes never panic, and any entry that
+// decodes re-encodes to the exact input (the rebuild path trusts that).
+func FuzzJournalEntryDecode(f *testing.F) {
+	seeds := []journalEntry{
+		{op: jAttach, id: 1, text: "select count(*) from TCP group by time as tb", shards: 2, epoch: 3, at: 9},
+		{op: jDetach, id: 1, epoch: 3, at: 12},
+		{op: jQuarantine, id: 2, reason: "breaker", ckpt: []byte{1, 2, 3, 4}},
+		{op: jQuarantine, id: 3, reason: "panic"},
+		{op: jRevive, id: 2, epoch: 4, at: 11},
+	}
+	for _, e := range seeds {
+		f.Add(encodeJournalBody(e))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{99, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := decodeJournalEntry(data)
+		if err != nil {
+			return
+		}
+		if out := encodeJournalBody(e); !bytes.Equal(out, data) {
+			t.Fatalf("non-canonical journal entry: decode(%x) re-encodes to %x", data, out)
 		}
 	})
 }

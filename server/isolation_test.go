@@ -1,0 +1,210 @@
+package server
+
+// Catalog-resilience suite: a poison query quarantines behind the breaker
+// without perturbing healthy neighbors, survives a crash as a dormant
+// catalog entry, and revives over the control protocol; admission-control
+// rejections carry their own wire code; and a fenced incarnation can
+// neither apply frames nor checkpoint (the invariant that keeps a zombie
+// pump from persisting state whose emissions the fence discarded).
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"forwarddecay/gsql"
+)
+
+// serverPoisonQuery divides by zero on every folded tuple: each charge is a
+// member fault, so the breaker fences it after Config.QueryBreakerErrors
+// consecutive errors.
+const serverPoisonQuery = `select tb, sum(len / (len - len)) from TCP group by time/60 as tb`
+
+func TestServerQuarantineIsolatesPoisonQuery(t *testing.T) {
+	pkts := genPackets(t, 4000, 50, 57)
+	want := oracleRows(t, pkts)
+	svc := startService(t, t.TempDir(), nil)
+	cl := dialControl(t, svc)
+
+	hid, err := cl.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := cl.Attach(serverPoisonQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Subscribe(hid, 0, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := dialIngest(t, svc, 31)
+	for i, p := range pkts {
+		if err := d.Send(p); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy neighbor is bit-identical to a catalog that never held
+	// the poison query.
+	got, _ := collectRows(t, ch, 0, len(want), 30*time.Second)
+	requireIdentical(t, want, got, "healthy neighbor")
+
+	waitFor(t, 10*time.Second, "poison query quarantined", func() bool {
+		return svc.Counters().Get("server_quarantines") >= 1
+	})
+	q, err := svc.lookup(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenced, why := q.Quarantined()
+	if !fenced || why != gsql.QuarantineBreaker {
+		t.Fatalf("poison query fenced=%v why=%q, want breaker quarantine", fenced, why)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st, `"quarantined":true`) || !strings.Contains(st, `"quarantine_reason":"breaker"`) {
+		t.Fatalf("stats do not surface the quarantine: %s", st)
+	}
+
+	// Revive lifts the fence (the stream is idle, so it stays lifted);
+	// reviving a healthy query is a typed rejection.
+	if err := cl.Revive(pid); err != nil {
+		t.Fatalf("revive: %v", err)
+	}
+	if fenced, _ := q.Quarantined(); fenced {
+		t.Fatal("query still fenced after revive")
+	}
+	var ce *ClientError
+	if err := cl.Revive(hid); !errors.As(err, &ce) || ce.Code != CodeBadRequest {
+		t.Fatalf("revive of a healthy query = %v, want CodeBadRequest", err)
+	}
+	// A revived query detaches like any other.
+	if err := cl.Detach(pid); err != nil {
+		t.Fatalf("detach revived query: %v", err)
+	}
+}
+
+func TestServerQuarantineSurvivesRestartDormant(t *testing.T) {
+	pkts := genPackets(t, 6000, 50, 58)
+	want := oracleRows(t, pkts)
+	svc := startService(t, t.TempDir(), func(c *Config) {
+		c.CheckpointEvery = 500
+	})
+	cl := dialControl(t, svc)
+
+	hid, err := cl.Attach(testQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, err := cl.Attach(serverPoisonQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := cl.Subscribe(hid, 0, PolicyBlock, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := dialIngest(t, svc, 32)
+	for i, p := range pkts {
+		if i == len(pkts)/2 {
+			// By now the poison query is long fenced (breaker trips within
+			// the first frame); the crash must rebuild it dormant from the
+			// quarantine journal entry or the state file.
+			svc.Kill()
+		}
+		if err := d.Send(p); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _ := collectRows(t, ch, 0, len(want), 30*time.Second)
+	requireIdentical(t, want, got, "healthy neighbor across crash")
+
+	q, err := svc.lookup(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fenced, why := q.Quarantined()
+	if !fenced || why != gsql.QuarantineBreaker {
+		t.Fatalf("rebuilt poison query fenced=%v why=%q, want dormant breaker quarantine", fenced, why)
+	}
+
+	// Revive the dormant query (the stream is idle, so no re-trip), then
+	// crash again: the journaled revive must rebuild it live.
+	if err := cl.Revive(pid); err != nil {
+		t.Fatalf("revive after restart: %v", err)
+	}
+	restarts := svc.Counters().Get("server_restarts")
+	svc.Kill()
+	waitFor(t, 10*time.Second, "rebuild after second kill", func() bool {
+		return svc.Counters().Get("server_restarts") > restarts && svc.Mode() == ModeHealthy
+	})
+	q, err = svc.lookup(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fenced, why := q.Quarantined(); fenced {
+		t.Fatalf("revived query re-fenced (%q) after crash: the jRevive entry did not replay", why)
+	}
+}
+
+func TestServerAdmissionRejectionCode(t *testing.T) {
+	svc := startService(t, t.TempDir(), func(c *Config) {
+		c.AdmitBudget = 1e-12 // below any query's estimated private cost
+	})
+	cl := dialControl(t, svc)
+
+	_, err := cl.Attach(testQuery)
+	var ce *ClientError
+	if !errors.As(err, &ce) || ce.Code != CodeAdmission {
+		t.Fatalf("attach under an exhausted budget = %v, want CodeAdmission", err)
+	}
+	if !strings.Contains(ce.Msg, "admission") {
+		t.Fatalf("admission error message %q does not say why", ce.Msg)
+	}
+	// The rejection left no trace in the catalog.
+	if n := svc.Counters().Get("server_attaches"); n != 0 {
+		t.Fatalf("rejected attach counted as an attach (%d)", n)
+	}
+	if _, err := svc.lookup(1); err == nil {
+		t.Fatal("rejected attach left a catalog entry")
+	}
+}
+
+func TestFencedIncarnationRefusesApplyAndCheckpoint(t *testing.T) {
+	svc := startService(t, t.TempDir(), nil)
+	rt := svc.rt.Load()
+	rt.fenced.Store(true)
+	defer rt.fenced.Store(false) // Shutdown's final checkpoint needs the fence down
+
+	// The pump boundary: a fenced incarnation aborts the apply (so the
+	// frame stays unacked and is resent to the successor) instead of
+	// letting isolation charge the fence to individual queries.
+	fs := &fanSink{rt: rt}
+	rt.mu.Lock() // PushBatch releases it, mirroring the ApplyLog hook
+	if _, err := fs.PushBatch(nil); !errors.Is(err, errFenced) {
+		t.Fatalf("fenced PushBatch = %v, want errFenced", err)
+	}
+	rt.mu.Lock()
+	if err := fs.Heartbeat(gsql.Int(1)); !errors.Is(err, errFenced) {
+		t.Fatalf("fenced Heartbeat = %v, want errFenced", err)
+	}
+
+	// And the state file: a fenced engine may be past emissions its frozen
+	// rings refused; persisting that state would orphan those rows.
+	if err := svc.checkpoint(rt); err == nil {
+		t.Fatal("checkpoint of a fenced incarnation succeeded")
+	}
+}

@@ -89,6 +89,20 @@ type Config struct {
 	WedgeTimeout time.Duration
 	// DrainTimeout bounds the graceful-shutdown drain (default 5s).
 	DrainTimeout time.Duration
+	// QueryBreakerErrors is the consecutive per-query evaluation-failure
+	// count that quarantines a standing query (default 16). Negative
+	// disables per-query fault isolation entirely; a member fault then
+	// fails the whole incarnation as it did before isolation existed.
+	QueryBreakerErrors int
+	// QueryMaxGroups caps one query's live group cardinality; exceeding it
+	// quarantines the query (0 = unlimited).
+	QueryMaxGroups int
+	// AdmitBudget caps the catalog's summed private per-tuple expression
+	// cost (gsql cost units); an attach that would exceed it is rejected
+	// with CodeAdmission and the running catalog is untouched (0 =
+	// unlimited). Lowering it below the running catalog's usage across a
+	// restart makes the rebuild fail — raise it back or detach first.
+	AdmitBudget float64
 	// Seed feeds the supervisor's jittered backoff.
 	Seed uint64
 	// Logf receives diagnostics; nil discards them.
@@ -120,6 +134,9 @@ func (c *Config) fill() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 5 * time.Second
 	}
+	if c.QueryBreakerErrors == 0 {
+		c.QueryBreakerErrors = 16
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -140,15 +157,38 @@ type Query struct {
 	// queries only).
 	attachEpoch uint64
 	attachAt    uint64
+	// quar is non-nil while the query is quarantined: fenced out of the
+	// shared pass, its last-good partials retained for an operator Revive.
+	// Stored atomically because the quarantine callback fires on the ingest
+	// pump under rt.mu, where s.mu must not be taken.
+	quar atomic.Pointer[quarInfo]
+}
+
+// quarInfo is the quarantine record carried by a fenced query: why it was
+// fenced and the engine partials retained at that instant (the revive seed).
+type quarInfo struct {
+	reason   string
+	retained []byte
+}
+
+// Quarantined reports whether the query is fenced, and why.
+func (q *Query) Quarantined() (bool, string) {
+	if qi := q.quar.Load(); qi != nil {
+		return true, qi.reason
+	}
+	return false, ""
 }
 
 // queryRun is the per-incarnation engine handle for one query.
 type queryRun struct {
-	q     *Query
-	push  func(*gsql.Batch) (int, error)
-	hb    func(gsql.Value) error
-	ckpt  func() ([]byte, error)
-	close func() error
+	q      *Query
+	push   func(*gsql.Batch) (int, error)
+	hb     func(gsql.Value) error
+	ckpt   func() ([]byte, error)
+	close  func() error
+	quar   func() (bool, string)
+	revive func() error
+	stats  func() gsql.QueryStats
 }
 
 // runtime is one supervised incarnation: WAL appender, engine runs and the
@@ -175,6 +215,12 @@ type runtime struct {
 	inflight atomic.Int64
 	// killed is closed by Kill to simulate an abrupt process death.
 	killed chan struct{}
+	// replaying is true while buildRuntime replays the WAL tail: quarantines
+	// that re-fire during replay are deterministic re-derivations of events
+	// the journal already records (or will re-derive on every rebuild), so
+	// the OnQuarantine hook skips the journal append. Written before the
+	// listener starts; never raced.
+	replaying bool
 	// fenced is set at teardown. The emit sinks of this incarnation check it
 	// and refuse to append once set: a wedged (zombie) pump that wakes up
 	// after the successor has thawed the rings must not land stale rows in
@@ -579,6 +625,35 @@ func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
 					break
 				}
 			}
+		case jQuarantine:
+			// The query was fenced after the last checkpoint: park it
+			// dormant, seeded with the partials retained at the fence.
+			for i := range specs {
+				if specs[i].qs.id == e.id {
+					specs[i].qs.quarantined = true
+					specs[i].qs.qreason = e.reason
+					specs[i].qs.ckpt = e.ckpt
+					break
+				}
+			}
+		case jRevive:
+			// The operator lifted the fence: the query rejoins from its
+			// quarantine-retained partials at the revive WAL position.
+			// Tuples between the fence and the revive are gone for this
+			// query by design — a fenced query sees nothing.
+			for i := range specs {
+				if specs[i].qs.id == e.id {
+					specs[i].qs.quarantined = false
+					specs[i].qs.qreason = ""
+					specs[i].replayFrom = 0
+					if wal.epoch == e.epoch {
+						specs[i].replayFrom = e.at
+					}
+					specs[i].journaled = true
+					specs[i].epoch, specs[i].at = e.epoch, e.at
+					break
+				}
+			}
 		}
 	}
 	for _, rec := range recs {
@@ -601,7 +676,7 @@ func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
 	if err := eng.RegisterStream(gsql.PacketSchema("TCP")); err != nil {
 		return nil, err
 	}
-	multi, err := gsql.NewMultiRun(eng, "TCP", gsql.Options{})
+	multi, err := gsql.NewMultiRun(eng, "TCP", gsql.Options{Isolate: s.isolateConfig(rt)})
 	if err != nil {
 		return nil, err
 	}
@@ -624,6 +699,14 @@ func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
 		}
 		q.journaled = sp.journaled
 		q.attachEpoch, q.attachAt = sp.epoch, sp.at
+		if sp.qs.quarantined {
+			// A fenced query rebuilds dormant: no run, no replay, its ring
+			// and cursors intact, its retained partials parked on the Query
+			// until an operator revives it.
+			q.quar.Store(&quarInfo{reason: sp.qs.qreason, retained: sp.qs.ckpt})
+			continue
+		}
+		q.quar.Store(nil)
 		run, err := s.startRun(rt, q, sp.qs.ckpt)
 		if err != nil {
 			return nil, fmt.Errorf("server: rebuilding query %d: %w", q.ID, err)
@@ -644,8 +727,13 @@ func (s *Service) buildRuntime(degraded bool) (*runtime, error) {
 	}
 
 	// Replay the WAL tail into the rebuilt runs. Rows emitted here land in
-	// the rings at exactly the cursors they held before the crash.
-	if err := s.replay(rt, specs, recs); err != nil {
+	// the rings at exactly the cursors they held before the crash. A query
+	// that was fenced after the tail began re-quarantines deterministically
+	// mid-replay (same tuples, same breaker) without failing the build.
+	rt.replaying = true
+	err = s.replay(rt, specs, recs)
+	rt.replaying = false
+	if err != nil {
 		return nil, err
 	}
 	out, err := s.finishBuild(rt, sessions)
@@ -700,12 +788,72 @@ func (s *Service) startRun(rt *runtime, q *Query, ckpt []byte) (*queryRun, error
 	if err != nil {
 		return nil, err
 	}
+	h.SetTag(q)
 	closer := func() error {
 		err := h.Close()
 		h.Detach()
 		return err
 	}
-	return &queryRun{q: q, push: h.PushBatch, hb: h.Heartbeat, ckpt: h.Checkpoint, close: closer}, nil
+	return &queryRun{
+		q: q, push: h.PushBatch, hb: h.Heartbeat, ckpt: h.Checkpoint, close: closer,
+		quar: h.Quarantined, revive: h.Revive, stats: h.QueryStats,
+	}, nil
+}
+
+// maxJournalCkpt bounds the retained checkpoint a quarantine journal entry
+// may carry: the journal is framed at MaxControlFrame, and an oversized
+// retained state is droppable (a post-crash revive then falls back to a
+// fresh start; the next state-file checkpoint persists the full partials).
+const maxJournalCkpt = MaxControlFrame - 256
+
+// isolateConfig builds the per-query fault-isolation policy for one
+// incarnation, or nil (fate-sharing, the pre-isolation behavior) when
+// QueryBreakerErrors is negative.
+//
+// The OnQuarantine hook fires synchronously on whichever goroutine drove the
+// faulting tuple — the ingest pump under rt.mu, or buildRuntime itself
+// during WAL replay. It must therefore never take s.mu; everything it
+// touches (the Query's atomic quarantine slot, counters, the journal file)
+// is safe under rt.mu.
+func (s *Service) isolateConfig(rt *runtime) *gsql.IsolateConfig {
+	if s.cfg.QueryBreakerErrors < 0 {
+		return nil
+	}
+	return &gsql.IsolateConfig{
+		BreakerErrors: s.cfg.QueryBreakerErrors,
+		MaxGroups:     s.cfg.QueryMaxGroups,
+		AdmitBudget:   s.cfg.AdmitBudget,
+		OnQuarantine: func(ev gsql.QuarantineEvent) {
+			if rt.fenced.Load() {
+				// A torn-down incarnation's zombie pump charging errFenced
+				// emits is not a query fault: the successor rebuilds this
+				// query live and re-derives everything from the WAL.
+				return
+			}
+			q, _ := ev.Tag.(*Query)
+			if q == nil {
+				return
+			}
+			q.quar.Store(&quarInfo{reason: ev.Reason, retained: ev.Retained})
+			s.counters.Add("server_quarantines", 1)
+			s.cfg.Logf("server: query %d quarantined (%s): %v", q.ID, ev.Reason, ev.Err)
+			if rt.replaying {
+				// Replay re-derives quarantines deterministically from the
+				// WAL tail; journaling them again would only duplicate
+				// entries the next rebuild replays anyway.
+				return
+			}
+			ckpt := ev.Retained
+			if len(ckpt) > maxJournalCkpt {
+				ckpt = nil
+			}
+			if err := appendJournal(s.cfg.Dir, journalEntry{
+				op: jQuarantine, id: q.ID, reason: ev.Reason, ckpt: ckpt,
+			}); err != nil {
+				s.cfg.Logf("server: journaling quarantine of query %d: %v", q.ID, err)
+			}
+		},
+	}
 }
 
 // replay feeds the WAL tail to each rebuilt run, honoring per-query replay
@@ -732,6 +880,9 @@ func (s *Service) replay(rt *runtime, specs []buildSpec, recs []walRecord) error
 				if pos < starts[id] {
 					continue
 				}
+				if fenced, _ := run.quar(); fenced {
+					continue // re-quarantined mid-replay; sees nothing more
+				}
 				if _, err := run.push(batch); err != nil {
 					return fmt.Errorf("server: replaying record %d into query %d: %w", i, id, err)
 				}
@@ -740,6 +891,9 @@ func (s *Service) replay(rt *runtime, specs []buildSpec, recs []walRecord) error
 		case recHeartbeat:
 			for id, run := range rt.runs {
 				if pos < starts[id] {
+					continue
+				}
+				if fenced, _ := run.quar(); fenced {
 					continue
 				}
 				if err := run.hb(rec.hb); err != nil {
@@ -810,22 +964,49 @@ func (s *Service) checkpoint(rt *runtime) error {
 	if rt.degraded {
 		return fmt.Errorf("server: cannot checkpoint a degraded (WAL-only) incarnation")
 	}
+	if rt.fenced.Load() {
+		// A fenced incarnation's engine may be past emissions its frozen
+		// rings refused; persisting that state would orphan those rows.
+		return fmt.Errorf("server: cannot checkpoint a fenced incarnation")
+	}
 	st := &serverState{
 		walEpoch:    rt.wal.epoch,
 		walApplied:  rt.wal.applied,
 		nextQueryID: s.nextID,
 		sessions:    rt.listener.Sessions(),
 	}
-	for id, run := range rt.runs {
+	for id, q := range s.queries {
+		if qi := q.quar.Load(); qi != nil {
+			// Fenced (live-quarantined or rebuilt dormant): persist the
+			// retained partials and the quarantine trailer so the next
+			// incarnation parks it dormant too.
+			base, rows := q.log.snapshot()
+			st.queries = append(st.queries, queryState{
+				id:          id,
+				text:        q.Text,
+				shards:      q.Shards,
+				ckpt:        qi.retained,
+				base:        base,
+				rows:        rows,
+				end:         base + uint64(len(rows)) - 1,
+				quarantined: true,
+				qreason:     qi.reason,
+			})
+			continue
+		}
+		run := rt.runs[id]
+		if run == nil {
+			return fmt.Errorf("server: checkpointing query %d: no live run", id)
+		}
 		b, err := run.ckpt()
 		if err != nil {
 			return fmt.Errorf("server: checkpointing query %d: %w", id, err)
 		}
-		base, rows := run.q.log.snapshot()
+		base, rows := q.log.snapshot()
 		st.queries = append(st.queries, queryState{
 			id:     id,
-			text:   run.q.Text,
-			shards: run.q.Shards,
+			text:   q.Text,
+			shards: q.Shards,
 			ckpt:   b,
 			base:   base,
 			rows:   rows,
@@ -862,12 +1043,56 @@ func (s *Service) refreshCatalogGauges() {
 	}
 	rt.mu.Lock()
 	st := rt.multi.MultiStats()
+	perRun := make(map[uint32]gsql.QueryStats, len(rt.runs))
+	for id, run := range rt.runs {
+		perRun[id] = run.stats()
+	}
 	rt.mu.Unlock()
 	s.gauges.Set("server_catalog_queries", float64(st.Queries))
 	s.gauges.Set("server_catalog_distinct_texts", float64(st.DistinctTexts))
 	s.gauges.Set("server_catalog_predicate_classes", float64(st.Classes))
 	s.gauges.Set("server_catalog_shared_exprs", float64(st.DistinctExprs))
 	s.gauges.Set("server_shared_hit_ratio", st.SharedHitRatio())
+	s.gauges.Set("server_catalog_quarantined", float64(st.Quarantined))
+	s.gauges.Set("server_catalog_admit_used", st.AdmitUsed)
+	for id, qs := range perRun {
+		s.setQueryGauges(id, qs.Tuples, qs.Errors, qs.NsPerTuple, qs.Quarantined)
+	}
+	// Dormant quarantined queries have no run; their attribution is frozen.
+	s.mu.Lock()
+	for id, q := range s.queries {
+		if _, live := perRun[id]; live {
+			continue
+		}
+		if fenced, _ := q.Quarantined(); fenced {
+			s.gauges.Set(queryGaugeName(id, "quarantined"), 1)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// queryGaugeName renders one per-query attribution gauge name.
+func queryGaugeName(id uint32, what string) string {
+	return fmt.Sprintf("server_query_%d_%s", id, what)
+}
+
+func (s *Service) setQueryGauges(id uint32, tuples, errs uint64, nsPerTuple float64, quarantined bool) {
+	s.gauges.Set(queryGaugeName(id, "tuples"), float64(tuples))
+	s.gauges.Set(queryGaugeName(id, "errors"), float64(errs))
+	s.gauges.Set(queryGaugeName(id, "ns_per_tuple"), nsPerTuple)
+	var quar float64
+	if quarantined {
+		quar = 1
+	}
+	s.gauges.Set(queryGaugeName(id, "quarantined"), quar)
+}
+
+// dropQueryGauges removes a detached query's attribution gauges so the
+// exposition does not accumulate dead series across catalog churn.
+func (s *Service) dropQueryGauges(id uint32) {
+	for _, what := range []string{"tuples", "errors", "ns_per_tuple", "quarantined"} {
+		s.gauges.Delete(queryGaugeName(id, what))
+	}
 }
 
 // publishRingsLocked refreshes the COW ring snapshot. Callers hold s.mu.
@@ -897,7 +1122,7 @@ func (s *Service) Attach(text string, shards uint32) (uint32, error) {
 	defer rt.mu.Unlock()
 	run, err := s.startRun(rt, q, nil)
 	if err != nil {
-		return 0, &serviceError{code: CodeParse, msg: err.Error()}
+		return 0, attachErr(err)
 	}
 	q.attachEpoch, q.attachAt = rt.wal.epoch, rt.wal.applied
 	if err := appendJournal(s.cfg.Dir, journalEntry{
@@ -913,6 +1138,65 @@ func (s *Service) Attach(text string, shards uint32) (uint32, error) {
 	s.publishRingsLocked()
 	s.counters.Add("server_attaches", 1)
 	return id, nil
+}
+
+// attachErr types a failed attach/revive for the wire: admission-control
+// rejections get their own code so clients can tell "over budget" from
+// "won't parse".
+func attachErr(err error) error {
+	var adm *gsql.AdmissionError
+	if errors.As(err, &adm) {
+		return &serviceError{code: CodeAdmission, msg: err.Error()}
+	}
+	return &serviceError{code: CodeParse, msg: err.Error()}
+}
+
+// Revive lifts a quarantined query back into the running catalog: its
+// retained partials rejoin the shared pass at the current WAL position and
+// the revive is journaled durably. Tuples that flowed while the query was
+// fenced are not backfilled — a fenced query sees nothing, by design.
+func (s *Service) Revive(id uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q := s.queries[id]
+	if q == nil {
+		return &serviceError{code: CodeUnknownQuery, msg: fmt.Sprintf("no query %d", id)}
+	}
+	qi := q.quar.Load()
+	if qi == nil {
+		return &serviceError{code: CodeBadRequest, msg: fmt.Sprintf("query %d is not quarantined", id)}
+	}
+	rt := s.rt.Load()
+	if rt == nil || rt.degraded {
+		return errDegraded
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if run := rt.runs[id]; run != nil {
+		// Quarantined in this incarnation: the handle revives in place.
+		if err := run.revive(); err != nil {
+			return attachErr(err)
+		}
+	} else {
+		// Rebuilt dormant: a fresh run seeded from the retained partials.
+		run, err := s.startRun(rt, q, qi.retained)
+		if err != nil {
+			return attachErr(err)
+		}
+		rt.runs[id] = run
+	}
+	q.attachEpoch, q.attachAt = rt.wal.epoch, rt.wal.applied
+	q.journaled = true
+	q.quar.Store(nil)
+	if err := appendJournal(s.cfg.Dir, journalEntry{
+		op: jRevive, id: id, epoch: q.attachEpoch, at: q.attachAt,
+	}); err != nil {
+		// The revive is live but not durable; a crash before the next
+		// checkpoint re-parks the query dormant. Surface the disk failure.
+		return err
+	}
+	s.counters.Add("server_revives", 1)
+	return nil
 }
 
 // Detach removes a query: journal the detach, drop its run and ring, and
@@ -941,6 +1225,7 @@ func (s *Service) Detach(id uint32) error {
 	}
 	q.log.close() // wakes subscribers with fetchClosed→removed semantics
 	s.publishRingsLocked()
+	s.dropQueryGauges(id)
 	s.counters.Add("server_detaches", 1)
 	return nil
 }
@@ -989,6 +1274,16 @@ func (f *fanSink) PushBatch(b *gsql.Batch) (rejected int, err error) {
 			err = fmt.Errorf("server: runtime panic: %v", r)
 		}
 	}()
+	if rt.fenced.Load() {
+		// The fence is an incarnation-level condition, not a per-query fault,
+		// so it must abort the apply here at the pump boundary. Under
+		// isolation a member's errFenced emit is charged to that query
+		// instead of failing the shared pass — a torn-down incarnation's
+		// pump would otherwise keep applying (and acking) frames whose
+		// emissions the fence discards, and live long enough to checkpoint
+		// that row-less state.
+		return 0, errFenced
+	}
 	return rt.multi.PushBatch(b)
 }
 
@@ -1010,6 +1305,9 @@ func (f *fanSink) Heartbeat(v gsql.Value) (err error) {
 			err = fmt.Errorf("server: runtime panic: %v", r)
 		}
 	}()
+	if rt.fenced.Load() {
+		return errFenced // see PushBatch
+	}
 	return rt.multi.Heartbeat(v)
 }
 

@@ -31,14 +31,21 @@ import (
 	"forwarddecay/internal/durable"
 )
 
-var stateMagic = [8]byte{'F', 'D', 'S', 'T', 'A', 'T', 'E', 1}
+// stateMagic's last byte is the format version. Version 2 added the
+// per-query quarantine trailer (flag + reason); version-1 files are still
+// accepted and decode with every query live.
+var stateMagic = [8]byte{'F', 'D', 'S', 'T', 'A', 'T', 'E', 2}
+
+const stateVersionV1 = 1
 
 const (
 	stateFile   = "server.state"
 	journalFile = "catalog.journal"
 
-	jAttach = 1
-	jDetach = 2
+	jAttach     = 1
+	jDetach     = 2
+	jQuarantine = 3
+	jRevive     = 4
 )
 
 // queryState is one query's persisted slice of the state file.
@@ -51,6 +58,11 @@ type queryState struct {
 	end     uint64 // highest assigned cursor at checkpoint time
 	shards  uint32 // 0 = serial run
 	startAt uint64 // replay start within the checkpoint's WAL epoch
+	// Quarantine trailer (state v2): a fenced query is persisted dormant —
+	// ckpt holds the partials retained at the moment it was fenced, and the
+	// rebuilt catalog does not re-attach it until an operator revives it.
+	quarantined bool
+	qreason     string
 }
 
 // serverState is the full parsed state file.
@@ -83,6 +95,12 @@ func encodeState(st *serverState) []byte {
 		for _, row := range q.rows {
 			b = appendRow(b, row)
 		}
+		if q.quarantined {
+			b = append(b, 1)
+			b = appendString(b, q.qreason)
+		} else {
+			b = append(b, 0)
+		}
 	}
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(st.sessions)))
 	for id, applied := range st.sessions {
@@ -97,7 +115,8 @@ func decodeState(b []byte) (*serverState, error) {
 	if len(b) < len(stateMagic)+8 {
 		return nil, errors.New("server: state file too short")
 	}
-	if [8]byte(b[:8]) != stateMagic {
+	version := int(b[7])
+	if [7]byte(b[:7]) != [7]byte(stateMagic[:7]) || (version != stateVersionV1 && version != int(stateMagic[7])) {
 		return nil, errors.New("server: state file: bad magic")
 	}
 	payload, trailer := b[:len(b)-8], binary.LittleEndian.Uint64(b[len(b)-8:])
@@ -131,6 +150,12 @@ func decodeState(b []byte) (*serverState, error) {
 		}
 		for r := uint32(0); r < nr && d.err == ""; r++ {
 			q.rows = append(q.rows, d.row())
+		}
+		if version >= 2 {
+			if d.u8() != 0 {
+				q.quarantined = true
+				q.qreason = d.str()
+			}
 		}
 		st.queries = append(st.queries, q)
 	}
@@ -172,22 +197,36 @@ type journalEntry struct {
 	id     uint32
 	text   string // attach
 	shards uint32 // attach
-	// epoch/at pin where in the WAL the attach took effect: replay feeds
-	// the query only records from this position on.
+	// epoch/at pin where in the WAL the attach (or revive) took effect:
+	// replay feeds the query only records from this position on.
 	epoch uint64
 	at    uint64
+	// Quarantine payload: why the query was fenced and the partials
+	// retained at that instant (the revive seed). A fenced query sees
+	// nothing until revived, so this checkpoint needs no WAL alignment.
+	reason string // quarantine
+	ckpt   []byte // quarantine
 }
 
 func encodeJournalEntry(e journalEntry) []byte {
+	return ingest.AppendSealed(nil, encodeJournalBody(e))
+}
+
+func encodeJournalBody(e journalEntry) []byte {
 	body := []byte{e.op}
 	body = binary.LittleEndian.AppendUint32(body, e.id)
 	body = binary.LittleEndian.AppendUint64(body, e.epoch)
 	body = binary.LittleEndian.AppendUint64(body, e.at)
-	if e.op == jAttach {
+	switch e.op {
+	case jAttach:
 		body = binary.LittleEndian.AppendUint32(body, e.shards)
 		body = appendString(body, e.text)
+	case jQuarantine:
+		body = appendString(body, e.reason)
+		body = binary.LittleEndian.AppendUint32(body, uint32(len(e.ckpt)))
+		body = append(body, e.ckpt...)
 	}
-	return ingest.AppendSealed(nil, body)
+	return body
 }
 
 func decodeJournalEntry(body []byte) (journalEntry, error) {
@@ -201,12 +240,24 @@ func decodeJournalEntry(body []byte) (journalEntry, error) {
 	case jAttach:
 		e.shards = d.u32()
 		e.text = d.str()
-	case jDetach:
+	case jDetach, jRevive:
+	case jQuarantine:
+		e.reason = d.str()
+		cl := d.u32()
+		if d.err == "" {
+			if int(cl) > len(body) {
+				return e, errors.New("forged quarantine checkpoint length")
+			}
+			e.ckpt = append([]byte(nil), d.take(int(cl))...)
+		}
 	default:
 		return e, fmt.Errorf("unknown journal op %d", e.op)
 	}
 	if d.err != "" {
 		return e, errors.New(d.err)
+	}
+	if d.off != len(body) {
+		return e, fmt.Errorf("%d trailing bytes", len(body)-d.off)
 	}
 	return e, nil
 }

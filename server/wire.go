@@ -39,6 +39,8 @@ const (
 	CtStats uint8 = 6
 	// CtBye closes the control session cleanly.
 	CtBye uint8 = 7
+	// CtRevive lifts a quarantined query back into the running catalog.
+	CtRevive uint8 = 8
 
 	// StOK acknowledges a request that carries no payload back.
 	StOK uint8 = 64
@@ -77,6 +79,10 @@ const (
 	CodeBadRequest uint16 = 7
 	// CodeShutdown: the service is draining; reconnect to the successor.
 	CodeShutdown uint16 = 8
+	// CodeAdmission: the query was rejected by admission control — its
+	// estimated private per-tuple cost would push the catalog past its
+	// configured budget. The running catalog is unperturbed.
+	CodeAdmission uint16 = 9
 )
 
 // Policy selects what the server does with a subscriber that cannot keep up
@@ -120,7 +126,7 @@ type Msg struct {
 	Code  uint16 // StErr
 	Text  string // CtHello token, CtAttach query text, StErr message, StStats JSON
 	Sess  uint64 // CtHello client session id
-	Query uint32 // query id (CtDetach/CtSubscribe/CtUnsubscribe/StAttached/StRow/StGap)
+	Query uint32 // query id (CtDetach/CtSubscribe/CtUnsubscribe/CtRevive/StAttached/StRow/StGap)
 	// Cursor is the 1-based absolute result cursor: the subscribe start
 	// position, a row's position, or a gap's resume position.
 	Cursor uint64
@@ -163,7 +169,7 @@ func appendMsgBody(b []byte, m *Msg) []byte {
 		b = appendString(b, m.Text)
 	case CtAttach:
 		b = appendString(b, m.Text)
-	case CtDetach, CtUnsubscribe:
+	case CtDetach, CtUnsubscribe, CtRevive:
 		b = binary.LittleEndian.AppendUint32(b, m.Query)
 	case CtSubscribe:
 		b = binary.LittleEndian.AppendUint32(b, m.Query)
@@ -207,7 +213,7 @@ func DecodeMsg(body []byte) (*Msg, error) {
 		m.Text = d.str()
 	case CtAttach:
 		m.Text = d.str()
-	case CtDetach, CtUnsubscribe:
+	case CtDetach, CtUnsubscribe, CtRevive:
 		m.Query = d.u32()
 	case CtSubscribe:
 		m.Query = d.u32()
